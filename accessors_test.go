@@ -1,0 +1,53 @@
+package gupcxx_test
+
+import (
+	"testing"
+
+	"gupcxx"
+)
+
+// TestAccessors sweeps the small read-only API surface.
+func TestAccessors(t *testing.T) {
+	if _, err := gupcxx.ParseConduit("pshm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := gupcxx.ParseConduit("nope"); err == nil {
+		t.Error("bad conduit accepted")
+	}
+	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		if r.World() != w {
+			t.Error("World() wrong")
+		}
+		if r.Version().Name != gupcxx.Eager2021_3_6.Name {
+			t.Error("Version() wrong")
+		}
+		if e := r.Engine(); e.Rank() != r.Me() || e.Version().Name != r.Version().Name {
+			t.Error("engine accessors wrong")
+		}
+		if !r.LocalTo((r.Me() + 1) % r.N()) {
+			t.Error("PSHM ranks must be mutually local")
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := w.Domain().Config()
+	if !cfg.SameNode(0, 1) {
+		t.Error("SameNode wrong on PSHM")
+	}
+	if w.Domain().Endpoint(0).Domain() != w.Domain() {
+		t.Error("endpoint Domain() wrong")
+	}
+	if w.Domain().Endpoint(1).LocalSegment(0) != w.Domain().Segment(0) {
+		t.Error("LocalSegment wrong")
+	}
+	if w.Domain().Segment(0).Size() < 1<<12 {
+		t.Error("segment size wrong")
+	}
+}

@@ -1,0 +1,210 @@
+package gupcxx
+
+import (
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Word is the constraint for atomic-domain element types: 64-bit integers
+// (signed or unsigned). Arithmetic is two's-complement, so all operations
+// are bit-identical across the signed and unsigned instantiations.
+type Word interface {
+	~int64 | ~uint64
+}
+
+// AtomicDomain provides remote atomic memory operations over objects of
+// type T, the analogue of upcxx::atomic_domain<T>. Unlike RMA, atomics
+// admit no manual-localization bypass: every operation must go through the
+// runtime (and, off-node, the substrate's atomic engine) to remain
+// coherent with concurrent accesses from other nodes — which is exactly
+// why the paper's eager notifications matter for atomics (§II-B).
+//
+// The fetching operations come in three forms, following §III-B:
+//
+//   - FetchAdd etc.: the classic form, producing the old value through a
+//     value-carrying future (one unavoidable cell allocation even when
+//     eager);
+//   - FetchAddInto etc.: the paper's new fetch-to-memory form, writing the
+//     old value to a local address so the notification stays value-less
+//     (allocation-free when eager);
+//   - Add etc.: non-fetching, side-effect only.
+type AtomicDomain[T Word] struct {
+	r *Rank
+}
+
+// NewAtomicDomain constructs rank r's handle on the atomic domain for T.
+// Like upcxx::atomic_domain, it is a collective concept; each rank
+// constructs its own handle.
+func NewAtomicDomain[T Word](r *Rank) *AtomicDomain[T] {
+	return &AtomicDomain[T]{r: r}
+}
+
+// apply runs a value-less atomic op.
+func (ad *AtomicDomain[T]) apply(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, cxs []Cx) Result {
+	r := ad.r
+	cxs = cxsOrDefault(cxs)
+	if r.localTo(p.rank) {
+		seg := r.w.dom.Segment(int(p.rank))
+		gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2))
+		return r.eng.DeliverSync(cxs)
+	}
+	res, ac := r.eng.PrepareAsync(cxs)
+	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(uint64) { ac.Fire() })
+	return res
+}
+
+// fetch runs a fetching atomic op, producing the old value via a future.
+func (ad *AtomicDomain[T]) fetch(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, mode []Mode) FutureV[T] {
+	r := ad.r
+	m := core.ModeDefault
+	if len(mode) > 0 {
+		m = mode[0]
+	}
+	if r.localTo(p.rank) {
+		seg := r.w.dom.Segment(int(p.rank))
+		old := T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
+		if eagerMode(r, m) {
+			return core.NewReadyFutureV(r.eng, old)
+		}
+		fut, vp, h := core.NewFutureV[T](r.eng)
+		*vp = old
+		h.Defer()
+		return fut
+	}
+	fut, vp, h := core.NewFutureV[T](r.eng)
+	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+		*vp = T(old)
+		h.Fulfill()
+	})
+	return fut
+}
+
+// fetchInto runs a fetching atomic op that writes the old value to the
+// local address dst instead of producing it (§III-B). Completion is
+// value-less: dst is guaranteed written when operation completion is
+// delivered.
+func (ad *AtomicDomain[T]) fetchInto(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, dst *T, cxs []Cx) Result {
+	r := ad.r
+	cxs = cxsOrDefault(cxs)
+	if r.localTo(p.rank) {
+		seg := r.w.dom.Segment(int(p.rank))
+		*dst = T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
+		return r.eng.DeliverSync(cxs)
+	}
+	res, ac := r.eng.PrepareAsync(cxs)
+	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+		*dst = T(old)
+		ac.Fire()
+	})
+	return res
+}
+
+// fetchPromise runs a fetching atomic op delivering the old value through
+// a value-carrying promise.
+func (ad *AtomicDomain[T]) fetchPromise(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, pv *PromiseV[T], mode []Mode) {
+	r := ad.r
+	m := core.ModeDefault
+	if len(mode) > 0 {
+		m = mode[0]
+	}
+	pv.Bind()
+	if r.localTo(p.rank) {
+		seg := r.w.dom.Segment(int(p.rank))
+		old := T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
+		if eagerMode(r, m) {
+			pv.Deliver(old)
+		} else {
+			pv.DeliverDeferred(old)
+		}
+		return
+	}
+	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+		pv.Deliver(T(old))
+	})
+}
+
+// Load atomically reads the value at p.
+func (ad *AtomicDomain[T]) Load(p GlobalPtr[T], mode ...Mode) FutureV[T] {
+	return ad.fetch(p, gasnet.AmoLoad, 0, 0, mode)
+}
+
+// Store atomically writes v to p (value-less completion).
+func (ad *AtomicDomain[T]) Store(p GlobalPtr[T], v T, cxs ...Cx) Result {
+	return ad.apply(p, gasnet.AmoStore, v, 0, cxs)
+}
+
+// Add atomically adds v to the value at p — non-fetching (§III-B).
+func (ad *AtomicDomain[T]) Add(p GlobalPtr[T], v T, cxs ...Cx) Result {
+	return ad.apply(p, gasnet.AmoAdd, v, 0, cxs)
+}
+
+// Xor atomically xors v into the value at p — non-fetching.
+func (ad *AtomicDomain[T]) Xor(p GlobalPtr[T], v T, cxs ...Cx) Result {
+	return ad.apply(p, gasnet.AmoXor, v, 0, cxs)
+}
+
+// And atomically ands v into the value at p — non-fetching.
+func (ad *AtomicDomain[T]) And(p GlobalPtr[T], v T, cxs ...Cx) Result {
+	return ad.apply(p, gasnet.AmoAnd, v, 0, cxs)
+}
+
+// Or atomically ors v into the value at p — non-fetching.
+func (ad *AtomicDomain[T]) Or(p GlobalPtr[T], v T, cxs ...Cx) Result {
+	return ad.apply(p, gasnet.AmoOr, v, 0, cxs)
+}
+
+// FetchAdd atomically adds v to the value at p, producing the old value.
+func (ad *AtomicDomain[T]) FetchAdd(p GlobalPtr[T], v T, mode ...Mode) FutureV[T] {
+	return ad.fetch(p, gasnet.AmoAdd, v, 0, mode)
+}
+
+// FetchXor atomically xors v into the value at p, producing the old value.
+func (ad *AtomicDomain[T]) FetchXor(p GlobalPtr[T], v T, mode ...Mode) FutureV[T] {
+	return ad.fetch(p, gasnet.AmoXor, v, 0, mode)
+}
+
+// Exchange atomically replaces the value at p with v, producing the old
+// value.
+func (ad *AtomicDomain[T]) Exchange(p GlobalPtr[T], v T, mode ...Mode) FutureV[T] {
+	return ad.fetch(p, gasnet.AmoSwap, v, 0, mode)
+}
+
+// CompareExchange atomically replaces the value at p with desired if it
+// equals expected, producing the previous value.
+func (ad *AtomicDomain[T]) CompareExchange(p GlobalPtr[T], expected, desired T, mode ...Mode) FutureV[T] {
+	return ad.fetch(p, gasnet.AmoCAS, expected, desired, mode)
+}
+
+// FetchAddInto atomically adds v to the value at p and writes the old
+// value to the local address dst — the paper's fetch-to-memory form.
+func (ad *AtomicDomain[T]) FetchAddInto(p GlobalPtr[T], v T, dst *T, cxs ...Cx) Result {
+	return ad.fetchInto(p, gasnet.AmoAdd, v, 0, dst, cxs)
+}
+
+// FetchXorInto atomically xors v into the value at p and writes the old
+// value to dst.
+func (ad *AtomicDomain[T]) FetchXorInto(p GlobalPtr[T], v T, dst *T, cxs ...Cx) Result {
+	return ad.fetchInto(p, gasnet.AmoXor, v, 0, dst, cxs)
+}
+
+// ExchangeInto atomically replaces the value at p with v and writes the
+// old value to dst.
+func (ad *AtomicDomain[T]) ExchangeInto(p GlobalPtr[T], v T, dst *T, cxs ...Cx) Result {
+	return ad.fetchInto(p, gasnet.AmoSwap, v, 0, dst, cxs)
+}
+
+// CompareExchangeInto performs CompareExchange and writes the previous
+// value to dst.
+func (ad *AtomicDomain[T]) CompareExchangeInto(p GlobalPtr[T], expected, desired T, dst *T, cxs ...Cx) Result {
+	return ad.fetchInto(p, gasnet.AmoCAS, expected, desired, dst, cxs)
+}
+
+// FetchAddPromise performs FetchAdd, delivering the old value through pv.
+func (ad *AtomicDomain[T]) FetchAddPromise(p GlobalPtr[T], v T, pv *PromiseV[T], mode ...Mode) {
+	ad.fetchPromise(p, gasnet.AmoAdd, v, 0, pv, mode)
+}
+
+// FetchXorPromise performs FetchXor, delivering the old value through pv.
+func (ad *AtomicDomain[T]) FetchXorPromise(p GlobalPtr[T], v T, pv *PromiseV[T], mode ...Mode) {
+	ad.fetchPromise(p, gasnet.AmoXor, v, 0, pv, mode)
+}

@@ -1,0 +1,231 @@
+package gupcxx_test
+
+import (
+	"testing"
+
+	"gupcxx"
+)
+
+func TestAtomicOpsLocalAndRemote(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, SegmentBytes: 1 << 16}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			p := gupcxx.New[uint64](r)
+			*p.Local(r) = 0
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				tgt := ptrs[1]
+
+				ad.Store(tgt, 100).Wait()
+				if v := ad.Load(tgt).Wait(); v != 100 {
+					t.Errorf("%v: load = %d", conduit, v)
+				}
+				if old := ad.FetchAdd(tgt, 5).Wait(); old != 100 {
+					t.Errorf("%v: fetchadd old = %d", conduit, old)
+				}
+				ad.Add(tgt, 5).Wait()
+				if v := ad.Load(tgt).Wait(); v != 110 {
+					t.Errorf("%v: after adds = %d", conduit, v)
+				}
+				if old := ad.FetchXor(tgt, 0xF).Wait(); old != 110 {
+					t.Errorf("%v: fetchxor old = %d", conduit, old)
+				}
+				ad.Xor(tgt, 0xF).Wait() // undo
+				ad.And(tgt, 0xFF).Wait()
+				ad.Or(tgt, 0x100).Wait()
+				if v := ad.Load(tgt).Wait(); v != (110&0xFF)|0x100 {
+					t.Errorf("%v: after and/or = %#x", conduit, v)
+				}
+				if old := ad.Exchange(tgt, 1).Wait(); old != (110&0xFF)|0x100 {
+					t.Errorf("%v: exchange old = %#x", conduit, old)
+				}
+				if old := ad.CompareExchange(tgt, 1, 2).Wait(); old != 1 {
+					t.Errorf("%v: cas old = %d", conduit, old)
+				}
+				if old := ad.CompareExchange(tgt, 1, 3).Wait(); old != 2 {
+					t.Errorf("%v: failed cas old = %d", conduit, old)
+				}
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAtomicIntoVariants(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, SegmentBytes: 1 << 16}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			p := gupcxx.New[int64](r)
+			*p.Local(r) = 50
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				ad := gupcxx.NewAtomicDomain[int64](r)
+				tgt := ptrs[1]
+				var old int64
+
+				ad.FetchAddInto(tgt, 7, &old).Wait()
+				if old != 50 {
+					t.Errorf("%v: FetchAddInto old = %d", conduit, old)
+				}
+				ad.FetchXorInto(tgt, 1, &old).Wait()
+				if old != 57 {
+					t.Errorf("%v: FetchXorInto old = %d", conduit, old)
+				}
+				ad.ExchangeInto(tgt, -5, &old).Wait()
+				if old != 57^1 {
+					t.Errorf("%v: ExchangeInto old = %d", conduit, old)
+				}
+				ad.CompareExchangeInto(tgt, -5, 11, &old).Wait()
+				if old != -5 {
+					t.Errorf("%v: CASInto old = %d", conduit, old)
+				}
+				if v := ad.Load(tgt).Wait(); v != 11 {
+					t.Errorf("%v: final = %d", conduit, v)
+				}
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAtomicSignedArithmetic(t *testing.T) {
+	pairWorldI64(t, func(r *gupcxx.Rank, tgt gupcxx.GlobalPtr[int64]) {
+		ad := gupcxx.NewAtomicDomain[int64](r)
+		ad.Store(tgt, -10).Wait()
+		if old := ad.FetchAdd(tgt, -5).Wait(); old != -10 {
+			t.Errorf("signed fetchadd old = %d", old)
+		}
+		if v := ad.Load(tgt).Wait(); v != -15 {
+			t.Errorf("signed add result = %d", v)
+		}
+	})
+}
+
+func pairWorldI64(t *testing.T, fn func(r *gupcxx.Rank, tgt gupcxx.GlobalPtr[int64])) {
+	t.Helper()
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 16},
+		func(r *gupcxx.Rank) {
+			p := gupcxx.New[int64](r)
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				fn(r, ptrs[1])
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicPromiseDelivery(t *testing.T) {
+	for _, ver := range []gupcxx.Version{gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6} {
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 16},
+			func(r *gupcxx.Rank) {
+				p := gupcxx.New[uint64](r)
+				*p.Local(r) = 3
+				ptrs := gupcxx.ExchangePtr(r, p)
+				r.Barrier()
+				if r.Me() == 0 {
+					ad := gupcxx.NewAtomicDomain[uint64](r)
+					pv := gupcxx.NewPromiseV[uint64](r)
+					ad.FetchAddPromise(ptrs[1], 4, pv)
+					if got := pv.Finalize().Wait(); got != 3 {
+						t.Errorf("%s: promise old = %d", ver.Name, got)
+					}
+					pv2 := gupcxx.NewPromiseV[uint64](r)
+					ad.FetchXorPromise(ptrs[1], 0, pv2)
+					if got := pv2.Finalize().Wait(); got != 7 {
+						t.Errorf("%s: second old = %d", ver.Name, got)
+					}
+				}
+				r.Barrier()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAtomicEagerReadiness mirrors the microbenchmark structure: local
+// atomic completions are ready at initiation only under eager.
+func TestAtomicEagerReadiness(t *testing.T) {
+	check := func(ver gupcxx.Version, want bool) {
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 16},
+			func(r *gupcxx.Rank) {
+				p := gupcxx.New[uint64](r)
+				ptrs := gupcxx.ExchangePtr(r, p)
+				r.Barrier()
+				if r.Me() == 0 {
+					ad := gupcxx.NewAtomicDomain[uint64](r)
+					res := ad.Add(ptrs[1], 1)
+					if res.Op.Ready() != want {
+						t.Errorf("%s: add ready=%v want %v", ver.Name, res.Op.Ready(), want)
+					}
+					res.Wait()
+					f := ad.FetchAdd(ptrs[1], 1)
+					if f.Ready() != want {
+						t.Errorf("%s: fetchadd ready=%v want %v", ver.Name, f.Ready(), want)
+					}
+					f.Wait()
+				}
+				r.Barrier()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(gupcxx.Eager2021_3_6, true)
+	check(gupcxx.Defer2021_3_6, false)
+	check(gupcxx.Legacy2021_3_0, false)
+}
+
+// TestAtomicContention: concurrent fetch-adds from all ranks produce
+// distinct old values covering exactly [0, total).
+func TestAtomicContention(t *testing.T) {
+	const perRank = 200
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 20}
+	seen := make([][]uint64, cfg.Ranks)
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		ctr := gupcxx.New[uint64](r)
+		*ctr.Local(r) = 0
+		ptrs := gupcxx.ExchangePtr(r, ctr)
+		r.Barrier()
+		ad := gupcxx.NewAtomicDomain[uint64](r)
+		mine := make([]uint64, 0, perRank)
+		for i := 0; i < perRank; i++ {
+			mine = append(mine, ad.FetchAdd(ptrs[0], 1).Wait())
+		}
+		seen[r.Me()] = mine
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make(map[uint64]bool)
+	for _, mine := range seen {
+		for _, v := range mine {
+			if all[v] {
+				t.Fatalf("duplicate ticket %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != 4*perRank {
+		t.Errorf("tickets = %d", len(all))
+	}
+	for i := uint64(0); i < 4*perRank; i++ {
+		if !all[i] {
+			t.Fatalf("missing ticket %d", i)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package gupcxx_test
+
+import (
+	"math"
+	"testing"
+
+	"gupcxx"
+)
+
+func TestFloatAtomics(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, SegmentBytes: 1 << 14}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			p := gupcxx.New[float64](r)
+			*p.Local(r) = 0
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				ad := gupcxx.NewAtomicDomainF64(r)
+				tgt := ptrs[1]
+				ad.Store(tgt, 1.5).Wait()
+				if v := ad.Load(tgt).Wait(); v != 1.5 {
+					t.Errorf("%v: load = %v", conduit, v)
+				}
+				if old := ad.FetchAdd(tgt, 0.25).Wait(); old != 1.5 {
+					t.Errorf("%v: fetchadd old = %v", conduit, old)
+				}
+				ad.Add(tgt, 0.25).Wait()
+				if v := ad.Load(tgt).Wait(); v != 2.0 {
+					t.Errorf("%v: after adds = %v", conduit, v)
+				}
+				ad.Min(tgt, 1.0).Wait()
+				ad.Max(tgt, 0.5).Wait() // no effect: 1.0 > 0.5
+				if v := ad.Load(tgt).Wait(); v != 1.0 {
+					t.Errorf("%v: after min/max = %v", conduit, v)
+				}
+				if old := ad.FetchMax(tgt, 7.5).Wait(); old != 1.0 {
+					t.Errorf("%v: fetchmax old = %v", conduit, old)
+				}
+				if old := ad.FetchMin(tgt, -1).Wait(); old != 7.5 {
+					t.Errorf("%v: fetchmin old = %v", conduit, old)
+				}
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFloatAtomicContention: concurrent float adds from all ranks sum
+// exactly (each addend is exactly representable, so the result is
+// order-independent).
+func TestFloatAtomicContention(t *testing.T) {
+	const perRank = 500
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 16}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		acc := gupcxx.New[float64](r)
+		*acc.Local(r) = 0
+		ptrs := gupcxx.ExchangePtr(r, acc)
+		r.Barrier()
+		ad := gupcxx.NewAtomicDomainF64(r)
+		for i := 0; i < perRank; i++ {
+			ad.Add(ptrs[0], 0.5).Wait()
+		}
+		r.Barrier()
+		if r.Me() == 0 {
+			want := 0.5 * perRank * float64(r.N())
+			if got := ad.Load(ptrs[0]).Wait(); got != want {
+				t.Errorf("sum = %v, want %v", got, want)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFloatAtomicEagerReadiness: the completion rules carry over to the
+// float domain.
+func TestFloatAtomicEagerReadiness(t *testing.T) {
+	check := func(ver gupcxx.Version, want bool) {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 12}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			p := gupcxx.New[float64](r)
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				ad := gupcxx.NewAtomicDomainF64(r)
+				res := ad.Add(ptrs[1], 1)
+				if res.Op.Ready() != want {
+					t.Errorf("%s: ready=%v want %v", ver.Name, res.Op.Ready(), want)
+				}
+				res.Wait()
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(gupcxx.Eager2021_3_6, true)
+	check(gupcxx.Defer2021_3_6, false)
+}
+
+func TestFloatAtomicSpecialValues(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 1, SegmentBytes: 1 << 12}, func(r *gupcxx.Rank) {
+		p := gupcxx.New[float64](r)
+		ad := gupcxx.NewAtomicDomainF64(r)
+		ad.Store(p, math.Inf(-1)).Wait()
+		ad.Max(p, -1e300).Wait()
+		if v := ad.Load(p).Wait(); v != -1e300 {
+			t.Errorf("max over -inf = %v", v)
+		}
+		ad.Add(p, math.Inf(1)).Wait()
+		if v := ad.Load(p).Wait(); !math.IsInf(v, 1) {
+			t.Errorf("add inf = %v", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

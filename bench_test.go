@@ -1,0 +1,454 @@
+package gupcxx_test
+
+// testing.B benchmarks, one family per table/figure of the paper plus the
+// ablations called out in DESIGN.md. The cmd/ harnesses regenerate the
+// figures with the paper's sampling methodology; these benches expose the
+// same measurements to `go test -bench`.
+//
+//	BenchmarkMicro*      — Figs 2–4 (on-node per-op latency, E1)
+//	BenchmarkOffNode*    — §IV-A off-node study (E5)
+//	BenchmarkGUPS*       — Figs 5–7 (E2)
+//	BenchmarkMatching*   — Fig 8 (E4)
+//	BenchmarkAblation*   — A1/A2 (when_all short-circuit, ready singleton)
+
+import (
+	"fmt"
+	"testing"
+
+	"gupcxx"
+	"gupcxx/internal/graph"
+	"gupcxx/internal/gups"
+	"gupcxx/internal/matching"
+)
+
+// versions under comparison, in the paper's presentation order.
+var benchVersions = []gupcxx.Version{
+	gupcxx.Legacy2021_3_0,
+	gupcxx.Defer2021_3_6,
+	gupcxx.Eager2021_3_6,
+}
+
+// microWorld runs fn on rank 0 of a two-rank single-node world, with the
+// operation target allocated on rank 1 — co-located but not same-rank,
+// like the paper's microbenchmarks.
+func microWorld(b *testing.B, ver gupcxx.Version, fn func(r *gupcxx.Rank, target gupcxx.GlobalPtr[uint64])) {
+	b.Helper()
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks:        2,
+		Conduit:      gupcxx.PSHM,
+		Version:      ver,
+		SegmentBytes: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Run(func(r *gupcxx.Rank) {
+		target := gupcxx.New[uint64](r)
+		targets := gupcxx.ExchangePtr(r, target)
+		r.Barrier()
+		if r.Me() == 0 {
+			fn(r, targets[1])
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroPut measures on-node rput latency with future completion
+// (Figs 2–4, "put").
+func BenchmarkMicroPut(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gupcxx.Rput(r, uint64(i), t).Wait()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMicroGet measures on-node rget latency (Figs 2–4, "get").
+func BenchmarkMicroGet(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				var sink uint64
+				for i := 0; i < b.N; i++ {
+					sink += gupcxx.Rget(r, t).Wait()
+				}
+				benchSinkU64 = sink
+			})
+		})
+	}
+}
+
+// BenchmarkMicroGetBulk measures on-node value-less get (into a local
+// buffer), the form whose eager completion is allocation-free.
+func BenchmarkMicroGetBulk(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				var buf [1]uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gupcxx.RgetBulk(r, t, buf[:]).Wait()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMicroFetchAdd measures on-node value-producing atomic
+// fetch-and-add (Figs 2–4, "fadd (value)").
+func BenchmarkMicroFetchAdd(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				b.ResetTimer()
+				var sink uint64
+				for i := 0; i < b.N; i++ {
+					sink += ad.FetchAdd(t, 1).Wait()
+				}
+				benchSinkU64 = sink
+			})
+		})
+	}
+}
+
+// BenchmarkMicroFetchAddInto measures the paper's new fetch-to-memory
+// atomic (Figs 2–4, "fadd (memory)"); it does not exist under 2021.3.0,
+// matching the figures' missing bars.
+func BenchmarkMicroFetchAddInto(b *testing.B) {
+	for _, ver := range benchVersions {
+		if ver.Name == gupcxx.Legacy2021_3_0.Name {
+			continue // operation introduced by this work (§III-B)
+		}
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				var old uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ad.FetchAddInto(t, 1, &old).Wait()
+				}
+				benchSinkU64 = old
+			})
+		})
+	}
+}
+
+// BenchmarkMicroAdd measures on-node non-fetching atomic add (Figs 2–4,
+// "add (no value)").
+func BenchmarkMicroAdd(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ad.Add(t, 1).Wait()
+				}
+			})
+		})
+	}
+}
+
+var benchSinkU64 uint64
+
+// offNodeWorld is microWorld over two simulated nodes: the target is
+// remote, so completion is never synchronous and eager-vs-defer must not
+// differ (E5).
+func offNodeWorld(b *testing.B, ver gupcxx.Version, fn func(r *gupcxx.Rank, target gupcxx.GlobalPtr[uint64])) {
+	b.Helper()
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks:        2,
+		Conduit:      gupcxx.SIM,
+		RanksPerNode: 1,
+		SimLatency:   1, // minimal wire latency: we are measuring CPU path
+		Version:      ver,
+		SegmentBytes: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = w.Run(func(r *gupcxx.Rank) {
+		target := gupcxx.New[uint64](r)
+		targets := gupcxx.ExchangePtr(r, target)
+		r.Barrier()
+		if r.Me() == 0 {
+			fn(r, targets[1])
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOffNodePut validates that the eager-notification branch does
+// not slow the off-node path (§IV-A).
+func BenchmarkOffNodePut(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			offNodeWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gupcxx.Rput(r, uint64(i), t).Wait()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkOffNodeAdd is the atomic counterpart of BenchmarkOffNodePut.
+func BenchmarkOffNodeAdd(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			offNodeWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ad.Add(t, 1).Wait()
+				}
+			})
+		})
+	}
+}
+
+// benchGUPS runs one GUPS variant on a single-node world and reports
+// ns/update.
+func benchGUPS(b *testing.B, ver gupcxx.Version, variant gups.Variant, ranks int) {
+	b.Helper()
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks:        ranks,
+		Conduit:      gupcxx.PSHM,
+		Version:      ver,
+		SegmentBytes: 8 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := gups.Config{
+		LogTableSize:   18,
+		UpdatesPerRank: int64(b.N),
+	}
+	err = w.Run(func(r *gupcxx.Rank) {
+		bench, err := gups.New(r, cfg)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		r.Barrier()
+		if r.Me() == 0 {
+			b.ResetTimer()
+		}
+		if err := bench.Run(variant); err != nil {
+			b.Error(err)
+		}
+		r.Barrier()
+		if r.Me() == 0 {
+			b.StopTimer()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGUPS regenerates the Fig 5–7 family: all six variants × three
+// versions, 4 ranks (use cmd/gups for the full 16-process sweep).
+func BenchmarkGUPS(b *testing.B) {
+	for _, variant := range gups.Variants() {
+		b.Run(variant.String(), func(b *testing.B) {
+			for _, ver := range benchVersions {
+				b.Run(ver.Name, func(b *testing.B) {
+					benchGUPS(b, ver, variant, 4)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkMatching regenerates Fig 8 at bench scale: solve time per
+// input graph per version, 4 ranks (use cmd/matching for 16 ranks and
+// paper-scaled graphs).
+func BenchmarkMatching(b *testing.B) {
+	inputs := map[string]*graph.Graph{
+		"channel":  graph.Grid3D(16, 16, 64, 101),
+		"delaunay": graph.Geometric(16384, 6, 102),
+		"venturi":  graph.Geometric(16384, 4, 103),
+		"random":   graph.GeometricNoise(16384, 6, 15, 104),
+		"youtube":  graph.PowerLaw(16384, 5, 105),
+	}
+	for name, g := range inputs {
+		b.Run(name, func(b *testing.B) {
+			for _, ver := range benchVersions {
+				b.Run(ver.Name, func(b *testing.B) {
+					d := graph.NewDist(g.N, 4)
+					for i := 0; i < b.N; i++ {
+						err := gupcxx.Launch(gupcxx.Config{
+							Ranks: 4, Conduit: gupcxx.PSHM, Version: ver,
+							SegmentBytes: 8 << 20,
+						}, func(r *gupcxx.Rank) {
+							if _, err := matching.Run(r, g, d); err != nil {
+								b.Error(err)
+							}
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWhenAll isolates the §III-C when_all short-circuit: a
+// future-conjoining loop over eager (ready) futures with the optimization
+// on vs off (A1).
+func BenchmarkAblationWhenAll(b *testing.B) {
+	configs := []gupcxx.Version{
+		gupcxx.Eager2021_3_6,
+		func() gupcxx.Version {
+			v := gupcxx.Eager2021_3_6
+			v.Name = "eager-no-shortcircuit"
+			v.WhenAllShortCircuit = false
+			return v
+		}(),
+	}
+	for _, ver := range configs {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				f := r.MakeFuture()
+				for i := 0; i < b.N; i++ {
+					f = r.WhenAll(f, gupcxx.Rput(r, uint64(i), t).Op)
+					if i%256 == 255 {
+						f.Wait()
+						f = r.MakeFuture()
+					}
+				}
+				f.Wait()
+			})
+		})
+	}
+}
+
+// BenchmarkPromiseAggregation quantifies the §IV-A remark that promise
+// performance depends on how many operations are aggregated on a single
+// promise: per-op cost of batches of local puts tracked by one promise,
+// across batch sizes and versions.
+func BenchmarkPromiseAggregation(b *testing.B) {
+	for _, batch := range []int{1, 8, 64, 512} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			for _, ver := range benchVersions {
+				b.Run(ver.Name, func(b *testing.B) {
+					microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+						b.ResetTimer()
+						for done := 0; done < b.N; {
+							p := r.NewPromise()
+							n := batch
+							if rem := b.N - done; rem < n {
+								n = rem
+							}
+							for j := 0; j < n; j++ {
+								gupcxx.Rput(r, uint64(j), t, gupcxx.OpPromise(p))
+							}
+							p.Finalize().Wait()
+							done += n
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationReadySingleton isolates the §III-B shared ready-cell
+// optimization under eager puts (A2).
+func BenchmarkAblationReadySingleton(b *testing.B) {
+	configs := []gupcxx.Version{
+		gupcxx.Eager2021_3_6,
+		func() gupcxx.Version {
+			v := gupcxx.Eager2021_3_6
+			v.Name = "eager-no-singleton"
+			v.ReadySingleton = false
+			return v
+		}(),
+	}
+	for _, ver := range configs {
+		b.Run(ver.Name, func(b *testing.B) {
+			microWorld(b, ver, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					gupcxx.Rput(r, uint64(i), t).Wait()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkBarrier measures collective latency per conduit — not a paper
+// figure, but the synchronization cost underlying the application
+// benchmarks' bulk-synchronous phases.
+func BenchmarkBarrier(b *testing.B) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.SMP, gupcxx.PSHM, gupcxx.UDP} {
+		b.Run(conduit.String(), func(b *testing.B) {
+			w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 4, Conduit: conduit, SegmentBytes: 1 << 12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			err = w.Run(func(r *gupcxx.Rank) {
+				if r.Me() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					r.Barrier()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFloatAtomicAdd measures the CAS-loop float AMO (on-node,
+// co-located target).
+func BenchmarkFloatAtomicAdd(b *testing.B) {
+	for _, ver := range benchVersions {
+		b.Run(ver.Name, func(b *testing.B) {
+			w, err := gupcxx.NewWorld(gupcxx.Config{
+				Ranks: 2, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 14,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			err = w.Run(func(r *gupcxx.Rank) {
+				p := gupcxx.New[float64](r)
+				ptrs := gupcxx.ExchangePtr(r, p)
+				r.Barrier()
+				if r.Me() == 0 {
+					ad := gupcxx.NewAtomicDomainF64(r)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ad.Add(ptrs[1], 1.0).Wait()
+					}
+				}
+				r.Barrier()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,108 @@
+// Command benchall regenerates every experiment in EXPERIMENTS.md in one
+// run: the microbenchmarks (Figs. 2–4), the off-node study (§IV-A), GUPS
+// (Figs. 5–7), and graph matching (Fig. 8). It shells out to the sibling
+// commands so each experiment runs exactly the code documented for it;
+// run it from the repository root.
+//
+// Usage:
+//
+//	go run ./cmd/benchall [-quick] [-out results.txt]
+//
+// -quick reduces iteration counts and sample counts roughly 10× for a
+// fast smoke pass; the default parameters are the ones EXPERIMENTS.md
+// records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+)
+
+var (
+	quick = flag.Bool("quick", false, "reduced iteration/sample counts (~10x faster)")
+	out   = flag.String("out", "", "also append output to this file")
+)
+
+// experiment is one sub-command invocation.
+type experiment struct {
+	title string
+	args  []string
+	quick []string // replacement args under -quick
+}
+
+func main() {
+	flag.Parse()
+	experiments := []experiment{
+		{
+			title: "E1 — microbenchmarks, on-node (Figs. 2–4)",
+			args:  []string{"run", "./cmd/microbench", "-iters", "300000", "-samples", "20", "-topk", "10"},
+			quick: []string{"run", "./cmd/microbench", "-iters", "100000", "-samples", "6", "-topk", "3"},
+		},
+		{
+			title: "E5 — microbenchmarks, off-node (§IV-A)",
+			args:  []string{"run", "./cmd/microbench", "-offnode", "-iters", "100000", "-samples", "20", "-topk", "10"},
+			quick: []string{"run", "./cmd/microbench", "-offnode", "-iters", "20000", "-samples", "6", "-topk", "3"},
+		},
+		{
+			title: "E2 — GUPS, 16 processes (Figs. 5–7)",
+			args:  []string{"run", "./cmd/gups", "-procs", "16", "-log-table", "20", "-samples", "30", "-topk", "10"},
+			quick: []string{"run", "./cmd/gups", "-procs", "16", "-log-table", "18", "-samples", "6", "-topk", "3"},
+		},
+		{
+			title: "E3 — GUPS process sweep (§IV-B)",
+			args:  []string{"run", "./cmd/gups", "-sweep", "-log-table", "18", "-samples", "10", "-topk", "5"},
+			quick: []string{"run", "./cmd/gups", "-procs", "1,4", "-log-table", "16", "-samples", "4", "-topk", "2"},
+		},
+		{
+			title: "E2b — GUPS on the SMP conduit (Fig. 5's constexpr is_local effect)",
+			args:  []string{"run", "./cmd/gups", "-procs", "16", "-log-table", "20", "-samples", "30", "-topk", "10", "-conduit", "smp"},
+			quick: []string{"run", "./cmd/gups", "-procs", "16", "-log-table", "18", "-samples", "6", "-topk", "3", "-conduit", "smp"},
+		},
+		{
+			title: "E4 — graph matching, 16 ranks (Fig. 8)",
+			args:  []string{"run", "./cmd/matching", "-ranks", "16", "-scale", "0.5", "-samples", "16", "-topk", "8"},
+			quick: []string{"run", "./cmd/matching", "-ranks", "16", "-scale", "0.25", "-samples", "6", "-topk", "3"},
+		},
+	}
+
+	var sinks []io.Writer
+	sinks = append(sinks, os.Stdout)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "gupcxx benchall (%s mode) — %s\n", mode, time.Now().Format(time.RFC3339))
+	start := time.Now()
+	for _, ex := range experiments {
+		args := ex.args
+		if *quick {
+			args = ex.quick
+		}
+		fmt.Fprintf(w, "\n──── %s ────\n$ go %v\n\n", ex.title, args)
+		cmd := exec.Command("go", args...)
+		cmd.Stdout = w
+		cmd.Stderr = w
+		t0 := time.Now()
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(w, "benchall: %s failed: %v\n", ex.title, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "(%s in %v)\n", ex.title, time.Since(t0).Round(time.Second))
+	}
+	fmt.Fprintf(w, "\nbenchall: all experiments complete in %v\n", time.Since(start).Round(time.Second))
+}

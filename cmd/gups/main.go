@@ -1,0 +1,321 @@
+// Command gups regenerates the paper's GUPS figures (Figs. 5–7 and the
+// §IV-B process-count sweep, experiments E2/E3): single-node runs of the
+// HPC Challenge RandomAccess benchmark in six variants across the three
+// library versions, reported in GUP/s (giga-updates per second, higher is
+// better).
+//
+// Methodology follows §IV: -samples timed runs per configuration, mean of
+// the best -topk reported. The paper uses the SMP conduit on Intel and a
+// UDP conduit with process-shared memory elsewhere; -conduit smp|pshm
+// selects the analogous substrate (smp enables the constexpr is_local
+// optimization visible in the manual-localization variant).
+//
+// Usage:
+//
+//	gups [-procs 16] [-sweep] [-log-table 22] [-samples 20] [-topk 10]
+//	     [-conduit pshm] [-updates-per-rank N] [-sample-ms 300] [-verify]
+//
+// Samples are interleaved across the three library versions and scaled to
+// at least -sample-ms of wall time each (calibrated against a probe run),
+// which keeps version comparisons fair under environmental drift; the ±
+// column reports per-configuration sample spread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gupcxx"
+	"gupcxx/internal/gups"
+	"gupcxx/internal/stats"
+)
+
+var (
+	procs       = flag.String("procs", "16", "comma-separated process counts")
+	sweep       = flag.Bool("sweep", false, "shorthand for -procs 1,2,4,8,16 (the paper's sweep)")
+	logTable    = flag.Int("log-table", 22, "log2 of total table words")
+	updatesPer  = flag.Int64("updates-per-rank", 0, "updates per rank (0 = table/ranks, a 4x-reduced HPCC count)")
+	samples     = flag.Int("samples", 20, "samples per configuration")
+	topk        = flag.Int("topk", 10, "best samples averaged")
+	conduitFlag = flag.String("conduit", "pshm", "conduit (smp or pshm)")
+	batch       = flag.Int("batch", gups.DefaultBatch, "update look-ahead depth")
+	verify      = flag.Bool("verify", false, "verify each configuration after timing (slow)")
+	sampleMs    = flag.Int("sample-ms", 300, "minimum wall time per sample (update count is scaled up to this)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gups:", err)
+		os.Exit(1)
+	}
+}
+
+func parseProcs() ([]int, error) {
+	if *sweep {
+		return []int{1, 2, 4, 8, 16}, nil
+	}
+	var out []int
+	for _, f := range strings.Split(*procs, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad process count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run() error {
+	procList, err := parseProcs()
+	if err != nil {
+		return err
+	}
+	conduit, err := gupcxx.ParseConduit(*conduitFlag)
+	if err != nil {
+		return err
+	}
+	versions := []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6}
+
+	fmt.Printf("gupcxx GUPS — table 2^%d words, conduit %s, best %d of %d samples\n",
+		*logTable, conduit, *topk, *samples)
+	fmt.Printf("(reproduces Figs. 5–7; GUP/s, higher is better)\n\n")
+
+	for _, np := range procList {
+		fmt.Printf("== %d processes ==\n", np)
+		table := stats.NewTable("variant", "version", "GUP/s", "±", "vs defer", "errors")
+		for _, variant := range gups.Variants() {
+			results, err := measureVariant(np, conduit, versions, variant)
+			if err != nil {
+				if variant == gups.Raw && strings.Contains(err.Error(), "single-node") {
+					for _, ver := range versions {
+						table.AddRow(variant.String(), ver.Name, "n/a")
+					}
+					continue
+				}
+				return err
+			}
+			var deferGups float64
+			for i, ver := range versions {
+				g := results[i].gups
+				rel := ""
+				if ver.Name == gupcxx.Defer2021_3_6.Name {
+					deferGups = g
+				} else if deferGups > 0 {
+					rel = fmt.Sprintf("%.2fx", g/deferGups)
+				}
+				errStr := ""
+				if *verify {
+					errStr = strconv.FormatInt(results[i].errs, 10)
+				}
+				table.AddRow(variant.String(), ver.Name, fmt.Sprintf("%.4f", g),
+					fmt.Sprintf("%.0f%%", 100*results[i].spread), rel, errStr)
+			}
+		}
+		table.Render(os.Stdout)
+		fmt.Println()
+	}
+	fmt.Println("expected shape: raw ≥ manual-localization ≥ rma-promises(eager);")
+	fmt.Println("eager ≫ defer for the future-conjoining variants; manual unaffected by version")
+	return nil
+}
+
+// result is one version's measurement of a variant.
+type result struct {
+	gups   float64
+	spread float64 // relative sample standard deviation
+	errs   int64
+}
+
+// versionRun is one live world collecting samples on demand: closing
+// starts[s] releases all ranks into sample s; its duration arrives on
+// dones[s]. Idle worlds block on channels and consume no CPU.
+type versionRun struct {
+	starts []chan struct{}
+	dones  chan time.Duration
+	errs   chan error
+	errCnt chan int64
+	scale  chan int64
+}
+
+// measureVariant measures one variant under every version with
+// *interleaved* sampling — sample s of every version runs back-to-back
+// before sample s+1 of any — so slow system phases (GC, frequency drift,
+// scheduler modes) hit all versions alike instead of biasing whole
+// version blocks. This matters acutely when ranks outnumber cores.
+func measureVariant(np int, conduit gupcxx.Conduit, versions []gupcxx.Version, variant gups.Variant) ([]result, error) {
+	gcfg := gups.Config{
+		LogTableSize:   *logTable,
+		UpdatesPerRank: *updatesPer,
+		Batch:          *batch,
+	}
+	if gcfg.UpdatesPerRank == 0 {
+		// One update per table word total (a 4× reduction of the HPCC
+		// count, keeping 20-sample runs tractable at library scale).
+		gcfg.UpdatesPerRank = (int64(1) << *logTable) / int64(np)
+	}
+
+	runs := make([]*versionRun, len(versions))
+	var wg sync.WaitGroup
+	for i, ver := range versions {
+		w, err := gupcxx.NewWorld(gupcxx.Config{
+			Ranks:        np,
+			Conduit:      conduit,
+			Version:      ver,
+			SegmentBytes: (8 << *logTable) / np * 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vr := &versionRun{
+			dones:  make(chan time.Duration, *samples),
+			errs:   make(chan error, 1),
+			errCnt: make(chan int64, 1),
+			scale:  make(chan int64, 1),
+		}
+		for s := 0; s < *samples; s++ {
+			vr.starts = append(vr.starts, make(chan struct{}))
+		}
+		runs[i] = vr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer w.Close()
+			err := w.Run(func(r *gupcxx.Rank) {
+				b, err := gups.New(r, gcfg)
+				if err != nil {
+					fail(r, vr, err)
+					return
+				}
+				if *verify {
+					// Verification is meaningful after exactly one pass
+					// (the undo stream inverts one application), so run
+					// it standalone and reset before the timed samples.
+					r.Barrier()
+					if err := b.Run(variant); err != nil {
+						fail(r, vr, err)
+						return
+					}
+					errs := r.SumU64(uint64(b.Verify()))
+					if r.Me() == 0 {
+						vr.errCnt <- int64(errs)
+					}
+					b.Reset()
+					r.Barrier()
+				} else if r.Me() == 0 {
+					vr.errCnt <- -1
+				}
+				// Probe run: surfaces variant/world incompatibilities
+				// (raw on a multi-node world) before sampling begins, and
+				// calibrates the sample length — short samples are
+				// hopelessly noisy when ranks outnumber cores, so scale
+				// the update count until one sample spans -sample-ms.
+				r.Barrier()
+				probeStart := time.Now()
+				if err := b.Run(variant); err != nil {
+					fail(r, vr, err)
+					return
+				}
+				r.Barrier()
+				var scale uint64 = 1
+				if r.Me() == 0 {
+					probe := time.Since(probeStart)
+					target := time.Duration(*sampleMs) * time.Millisecond
+					if probe > 0 && probe < target {
+						scale = uint64(target/probe) + 1
+					}
+					if scale > 4096 {
+						scale = 4096
+					}
+				}
+				scale = r.BroadcastU64(0, scale)
+				b.SetUpdatesPerRank(gcfg.UpdatesPerRank * int64(scale))
+				if r.Me() == 0 {
+					vr.scale <- int64(scale)
+					vr.errs <- nil
+				}
+				for s := 0; s < *samples; s++ {
+					<-vr.starts[s]
+					r.Barrier()
+					start := time.Now()
+					if err := b.Run(variant); err != nil {
+						fail(r, vr, err)
+						return
+					}
+					r.Barrier()
+					if r.Me() == 0 {
+						vr.dones <- time.Since(start)
+					}
+				}
+			})
+			if err != nil {
+				select {
+				case vr.errs <- err:
+				default:
+				}
+			}
+		}()
+	}
+
+	out := make([]result, len(versions))
+	scales := make([]int64, len(versions))
+	var firstErr error
+	for i := range runs {
+		out[i].errs = <-runs[i].errCnt
+		scales[i] = <-runs[i].scale
+		if err := <-runs[i].errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Release every world so its goroutines exit.
+		for _, vr := range runs {
+			for _, c := range vr.starts {
+				close(c)
+			}
+		}
+		wg.Wait()
+		return nil, firstErr
+	}
+	durations := make([][]time.Duration, len(versions))
+	for s := 0; s < *samples; s++ {
+		for i, vr := range runs {
+			close(vr.starts[s])
+			durations[i] = append(durations[i], <-vr.dones)
+		}
+	}
+	wg.Wait()
+	for i := range out {
+		sum := stats.Summarize(durations[i], *topk)
+		totalUpdates := float64(gcfg.UpdatesPerRank*scales[i]) * float64(np)
+		out[i].gups = totalUpdates / sum.TopKMean.Seconds() / 1e9
+		if sum.Mean > 0 {
+			out[i].spread = float64(sum.StdDev) / float64(sum.Mean)
+		}
+	}
+	return out, nil
+}
+
+// fail reports a rank-level error once (rank 0 owns the channels) and
+// unblocks the collector.
+func fail(r *gupcxx.Rank, vr *versionRun, err error) {
+	if r.Me() == 0 {
+		select {
+		case vr.errCnt <- -1:
+		default:
+		}
+		select {
+		case vr.scale <- 1:
+		default:
+		}
+		select {
+		case vr.errs <- err:
+		default:
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestParseProcs(t *testing.T) {
+	restore := *procs
+	defer func() { *procs = restore; *sweep = false }()
+
+	*procs = "1, 4,16"
+	got, err := parseProcs()
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Errorf("parseProcs = %v, %v", got, err)
+	}
+
+	*procs = "0"
+	if _, err := parseProcs(); err == nil {
+		t.Error("zero process count accepted")
+	}
+	*procs = "two"
+	if _, err := parseProcs(); err == nil {
+		t.Error("non-numeric accepted")
+	}
+
+	*procs = "8"
+	*sweep = true
+	got, err = parseProcs()
+	if err != nil || len(got) != 5 || got[4] != 16 {
+		t.Errorf("sweep = %v, %v", got, err)
+	}
+}
+
+func TestFlagsRegistered(t *testing.T) {
+	for _, name := range []string{"procs", "sweep", "log-table", "samples", "topk", "conduit", "batch", "verify", "sample-ms", "updates-per-rank"} {
+		if flag.Lookup(name) == nil {
+			t.Errorf("flag %q not registered", name)
+		}
+	}
+}

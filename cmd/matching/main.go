@@ -1,0 +1,221 @@
+// Command matching regenerates the paper's graph-matching figure
+// (Fig. 8, experiment E4): solve time of the distributed half-approximate
+// maximum-weight matching on five inputs spanning the locality spectrum,
+// across the three library versions.
+//
+// The paper's SuiteSparse inputs are replaced by synthetic generators
+// matched on the property that drives the result — the fraction of edges
+// crossing ranks under block distribution (see DESIGN.md):
+//
+//	channel  → 3-D mesh (grid3d), nearly all edges rank-local
+//	delaunay → random geometric graph, spatially ordered ids
+//	venturi  → sparser random geometric graph
+//	random   → geometric + 15 long-range edges per 100 (the paper's own
+//	           synthetic input, --p 15)
+//	youtube  → preferential-attachment (power-law), highly non-local
+//
+// Usage:
+//
+//	matching [-ranks 16] [-scale 1.0] [-samples 20] [-topk 10] [-conduit pshm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"gupcxx"
+	"gupcxx/internal/graph"
+	"gupcxx/internal/matching"
+	"gupcxx/internal/stats"
+)
+
+var (
+	ranks       = flag.Int("ranks", 16, "number of ranks")
+	scale       = flag.Float64("scale", 1.0, "graph size multiplier (1.0 ≈ 64k-vertex inputs)")
+	samples     = flag.Int("samples", 20, "samples per configuration")
+	topk        = flag.Int("topk", 10, "best samples averaged")
+	conduitFlag = flag.String("conduit", "pshm", "conduit (smp or pshm)")
+	checkOracle = flag.Bool("check", false, "verify each result against the sequential greedy oracle")
+)
+
+// input describes one Fig. 8 graph.
+type input struct {
+	name string
+	gen  func(scale float64) *graph.Graph
+}
+
+var inputs = []input{
+	{"channel", func(s float64) *graph.Graph {
+		side := int(16 * math.Cbrt(s))
+		return graph.Grid3D(side, side, side*16, 1001)
+	}},
+	{"delaunay", func(s float64) *graph.Graph {
+		return graph.Geometric(int(65536*s), 6, 1002)
+	}},
+	{"venturi", func(s float64) *graph.Graph {
+		return graph.Geometric(int(65536*s), 4, 1003)
+	}},
+	{"random", func(s float64) *graph.Graph {
+		return graph.GeometricNoise(int(65536*s), 6, 15, 1004)
+	}},
+	{"youtube", func(s float64) *graph.Graph {
+		return graph.PowerLaw(int(65536*s), 5, 1005)
+	}},
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "matching:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	conduit, err := gupcxx.ParseConduit(*conduitFlag)
+	if err != nil {
+		return err
+	}
+	versions := []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6}
+
+	fmt.Printf("gupcxx graph matching — %d ranks, conduit %s, best %d of %d samples\n",
+		*ranks, conduit, *topk, *samples)
+	fmt.Printf("(reproduces Fig. 8; solve time, lower is better)\n\n")
+
+	table := stats.NewTable("graph", "locality", "version", "solve ms", "±", "vs defer", "weight")
+	for _, in := range inputs {
+		g := in.gen(*scale)
+		d := graph.NewDist(g.N, *ranks)
+		loc := graph.MeasureLocality(g, d)
+		var oracleW float64
+		if *checkOracle {
+			_, oracleW = matching.Greedy(g)
+		}
+		results, err := measureVersions(g, d, conduit, versions)
+		if err != nil {
+			return err
+		}
+		var deferMs float64
+		for i, ver := range versions {
+			ms, weight := results[i].ms, results[i].weight
+			if *checkOracle && math.Abs(weight-oracleW) > 1e-6*math.Max(1, oracleW) {
+				return fmt.Errorf("%s/%s: weight %.6f != greedy %.6f", in.name, ver.Name, weight, oracleW)
+			}
+			rel := ""
+			if ver.Name == gupcxx.Defer2021_3_6.Name {
+				deferMs = ms
+			} else if deferMs > 0 {
+				rel = fmt.Sprintf("%.2fx", deferMs/ms)
+			}
+			table.AddRow(in.name, fmt.Sprintf("%.2f", loc.SameRank), ver.Name,
+				fmt.Sprintf("%.2f", ms), fmt.Sprintf("%.0f%%", 100*results[i].spread),
+				rel, fmt.Sprintf("%.1f", weight))
+		}
+	}
+	table.Render(os.Stdout)
+	fmt.Println("\nexpected shape: eager speedup grows as locality falls (channel ≈ none, youtube largest)")
+	return nil
+}
+
+// result is one version's measurement on one input graph.
+type result struct {
+	ms     float64
+	spread float64
+	weight float64
+}
+
+// measureVersions runs the distributed matching under every version with
+// interleaved sampling (sample s of each version runs back-to-back), so
+// slow system phases affect all versions alike; see cmd/gups for the
+// same technique.
+func measureVersions(g *graph.Graph, d graph.Dist, conduit gupcxx.Conduit, versions []gupcxx.Version) ([]result, error) {
+	type versionRun struct {
+		starts  []chan struct{}
+		dones   chan time.Duration
+		weights chan float64
+		errs    chan error
+	}
+	// Each Run bump-allocates two per-vertex arrays from the segment, once
+	// per sample; size segments for exactly that (three worlds of *ranks
+	// segments are live at once, so over-sizing costs real memory).
+	segBytes := d.BlockSize()*8*2*(*samples+4) + (1 << 20)
+	runs := make([]*versionRun, len(versions))
+	var wg sync.WaitGroup
+	for i, ver := range versions {
+		w, err := gupcxx.NewWorld(gupcxx.Config{
+			Ranks:        *ranks,
+			Conduit:      conduit,
+			Version:      ver,
+			SegmentBytes: segBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vr := &versionRun{
+			dones:   make(chan time.Duration, *samples),
+			weights: make(chan float64, *samples),
+			errs:    make(chan error, 1),
+		}
+		for s := 0; s < *samples; s++ {
+			vr.starts = append(vr.starts, make(chan struct{}))
+		}
+		runs[i] = vr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer w.Close()
+			err := w.Run(func(r *gupcxx.Rank) {
+				for s := 0; s < *samples; s++ {
+					<-vr.starts[s]
+					r.Barrier()
+					start := time.Now()
+					res, err := matching.Run(r, g, d)
+					if err != nil {
+						if r.Me() == 0 {
+							vr.errs <- err
+						}
+						return
+					}
+					r.Barrier()
+					if r.Me() == 0 {
+						vr.dones <- time.Since(start)
+						vr.weights <- res.Weight
+					}
+				}
+			})
+			if err != nil {
+				select {
+				case vr.errs <- err:
+				default:
+				}
+			}
+		}()
+	}
+	out := make([]result, len(versions))
+	durations := make([][]time.Duration, len(versions))
+	for s := 0; s < *samples; s++ {
+		for i, vr := range runs {
+			close(vr.starts[s])
+			select {
+			case d := <-vr.dones:
+				durations[i] = append(durations[i], d)
+				out[i].weight = <-vr.weights
+			case err := <-vr.errs:
+				return nil, err
+			}
+		}
+	}
+	wg.Wait()
+	for i := range out {
+		sum := stats.Summarize(durations[i], *topk)
+		out[i].ms = float64(sum.TopKMean) / float64(time.Millisecond)
+		if sum.Mean > 0 {
+			out[i].spread = float64(sum.StdDev) / float64(sum.Mean)
+		}
+	}
+	return out, nil
+}

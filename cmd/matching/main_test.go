@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"gupcxx/internal/graph"
+)
+
+// TestInputsGenerateAndSpanLocality: the five Fig. 8 inputs build at a
+// small scale, validate, and span the locality axis in the intended
+// order under a 16-rank distribution.
+func TestInputsGenerateAndSpanLocality(t *testing.T) {
+	const s = 0.05
+	locs := make(map[string]float64, len(inputs))
+	for _, in := range inputs {
+		g := in.gen(s)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+		if g.N == 0 || g.M() == 0 {
+			t.Fatalf("%s: degenerate graph", in.name)
+		}
+		locs[in.name] = graph.MeasureLocality(g, graph.NewDist(g.N, 16)).SameRank
+	}
+	if !(locs["channel"] > locs["random"] && locs["random"] > locs["youtube"]) {
+		t.Errorf("locality ordering violated: %v", locs)
+	}
+}
+
+// TestInputsDeterministic: the generators are seeded, so repeated builds
+// are identical (required for cross-version comparability).
+func TestInputsDeterministic(t *testing.T) {
+	for _, in := range inputs {
+		a := in.gen(0.05)
+		b := in.gen(0.05)
+		if a.N != b.N || a.M() != b.M() {
+			t.Fatalf("%s: size differs across builds", in.name)
+		}
+		for i := range a.W {
+			if a.W[i] != b.W[i] || a.Adj[i] != b.Adj[i] {
+				t.Fatalf("%s: content differs at %d", in.name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command microbench regenerates the paper's microbenchmark figures
+// (Figs. 2–4): per-operation latency of on-node RMA and atomic operations
+// with future completion, across the three library versions. With
+// -offnode it instead runs the §IV-A off-node study (experiment E5),
+// where eager and deferred notification must be indistinguishable.
+//
+// Methodology follows §IV: each sample times -iters back-to-back
+// initiate-then-wait operations; -samples samples are taken and the mean
+// of the best -topk is reported.
+//
+// Usage:
+//
+//	microbench [-iters N] [-samples N] [-topk N] [-conduit smp|pshm] [-offnode]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"gupcxx"
+	"gupcxx/internal/stats"
+)
+
+var (
+	iters   = flag.Int("iters", 1_000_000, "operations per sample")
+	samples = flag.Int("samples", 20, "samples per configuration")
+	topk    = flag.Int("topk", 10, "best samples averaged")
+	conduit = flag.String("conduit", "pshm", "conduit for on-node runs (smp or pshm)")
+	offnode = flag.Bool("offnode", false, "run the off-node (SIM conduit) study instead")
+)
+
+// op is one measured operation: a closure factory bound to a world.
+type op struct {
+	name   string
+	legacy bool // exists under 2021.3.0
+	run    func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], iters int)
+}
+
+var ops = []op{
+	{"rput", true, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		for i := 0; i < n; i++ {
+			gupcxx.Rput(r, uint64(i), t).Wait()
+		}
+	}},
+	{"rget (value)", true, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		var sink uint64
+		for i := 0; i < n; i++ {
+			sink += gupcxx.Rget(r, t).Wait()
+		}
+		_ = sink
+	}},
+	{"rget (bulk1)", true, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		var buf [1]uint64
+		for i := 0; i < n; i++ {
+			gupcxx.RgetBulk(r, t, buf[:]).Wait()
+		}
+	}},
+	{"amo fadd (value)", true, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		ad := gupcxx.NewAtomicDomain[uint64](r)
+		var sink uint64
+		for i := 0; i < n; i++ {
+			sink += ad.FetchAdd(t, 1).Wait()
+		}
+		_ = sink
+	}},
+	{"amo fadd (memory)", false, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		ad := gupcxx.NewAtomicDomain[uint64](r)
+		var old uint64
+		for i := 0; i < n; i++ {
+			ad.FetchAddInto(t, 1, &old).Wait()
+		}
+	}},
+	{"amo add (no value)", true, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64], n int) {
+		ad := gupcxx.NewAtomicDomain[uint64](r)
+		for i := 0; i < n; i++ {
+			ad.Add(t, 1).Wait()
+		}
+	}},
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	versions := []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6}
+
+	cfg := gupcxx.Config{Ranks: 2, SegmentBytes: 1 << 16}
+	mode := "on-node (co-located target)"
+	switch {
+	case *offnode:
+		cfg.Conduit = gupcxx.SIM
+		cfg.RanksPerNode = 1
+		cfg.SimLatency = time.Nanosecond // isolate CPU path, not wire time
+		mode = "off-node (SIM conduit)"
+	default:
+		c, err := gupcxx.ParseConduit(*conduit)
+		if err != nil {
+			return err
+		}
+		cfg.Conduit = c
+	}
+
+	fmt.Printf("gupcxx microbenchmarks — %s, %d iters/sample, best %d of %d samples\n",
+		mode, *iters, *topk, *samples)
+	fmt.Printf("(reproduces Figs. 2–4; one host CPU stands in for the paper's three systems)\n\n")
+
+	table := stats.NewTable("operation", "version", "ns/op", "±", "vs defer")
+	for _, o := range ops {
+		vers := versions
+		if !o.legacy {
+			vers = versions[1:] // operation introduced by this work (§III-B)
+			table.AddRow(o.name, gupcxx.Legacy2021_3_0.Name, "n/a (introduced by this work)")
+		}
+		sums, err := measureOp(cfg, vers, o)
+		if err != nil {
+			return err
+		}
+		var deferNs float64
+		for i, ver := range vers {
+			sum := sums[i]
+			nsPerOp := float64(sum.TopKMean) / float64(*iters)
+			rel := ""
+			if ver.Name == gupcxx.Defer2021_3_6.Name {
+				deferNs = nsPerOp
+			} else if deferNs > 0 {
+				rel = fmt.Sprintf("%.2fx", deferNs/nsPerOp)
+			}
+			spread := ""
+			if sum.Mean > 0 {
+				spread = fmt.Sprintf("%.0f%%", 100*float64(sum.StdDev)/float64(sum.Mean))
+			}
+			table.AddRow(o.name, ver.Name, fmt.Sprintf("%.1f", nsPerOp), spread, rel)
+		}
+	}
+	table.Render(os.Stdout)
+	if *offnode {
+		fmt.Println("\nexpected shape: eager ≈ defer (the extra locality branch is free off-node)")
+	} else {
+		fmt.Println("\nexpected shape: eager ≫ defer ≥ 2021.3.0; non-value ops beat value ops under eager")
+	}
+	return nil
+}
+
+// measureOp times one operation under every version with interleaved
+// sampling: sample s of every version runs back-to-back before sample
+// s+1 of any, so environmental drift (frequency scaling, background
+// load) hits all versions alike instead of biasing whole version blocks.
+// Idle worlds block on channels between their turns.
+func measureOp(cfg gupcxx.Config, versions []gupcxx.Version, o op) ([]stats.Summary, error) {
+	type versionRun struct {
+		starts []chan struct{}
+		dones  chan time.Duration
+	}
+	runs := make([]*versionRun, len(versions))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(versions))
+	for i, ver := range versions {
+		c := cfg
+		c.Version = ver
+		w, err := gupcxx.NewWorld(c)
+		if err != nil {
+			return nil, err
+		}
+		vr := &versionRun{dones: make(chan time.Duration, *samples)}
+		for s := 0; s < *samples; s++ {
+			vr.starts = append(vr.starts, make(chan struct{}))
+		}
+		runs[i] = vr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer w.Close()
+			err := w.Run(func(r *gupcxx.Rank) {
+				target := gupcxx.New[uint64](r)
+				targets := gupcxx.ExchangePtr(r, target)
+				r.Barrier()
+				if r.Me() == 0 {
+					// Warm up outside the samples.
+					o.run(r, targets[1], *iters/10+1)
+					for s := 0; s < *samples; s++ {
+						<-vr.starts[s]
+						start := time.Now()
+						o.run(r, targets[1], *iters)
+						vr.dones <- time.Since(start)
+					}
+				}
+				r.Barrier()
+			})
+			if err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	durations := make([][]time.Duration, len(versions))
+	for s := 0; s < *samples; s++ {
+		for i, vr := range runs {
+			close(vr.starts[s])
+			select {
+			case d := <-vr.dones:
+				durations[i] = append(durations[i], d)
+			case err := <-errCh:
+				return nil, err
+			}
+		}
+	}
+	wg.Wait()
+	out := make([]stats.Summary, len(versions))
+	for i := range out {
+		out[i] = stats.Summarize(durations[i], *topk)
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package gupcxx
+
+import (
+	"fmt"
+
+	"gupcxx/internal/gasnet"
+)
+
+// Collectives over the world: barrier, broadcast, exchange (allgather),
+// and reductions. These are SPMD-synchronous conveniences built on active
+// messages; every rank must call each collective in the same order (the
+// usual single-phase matching rule). They are not on the paper's measured
+// paths — the applications use them for setup — so the implementation
+// favours clarity: a dissemination barrier and linear broadcast/gather.
+
+// collective op kinds, carried in Msg.A1.
+const (
+	collBarrier uint64 = iota
+	collBcast
+	collGather
+)
+
+// collKey identifies one collective sub-step on the receiving rank.
+type collKey struct {
+	kind  uint64
+	seq   uint64
+	round uint32
+}
+
+// collState is a rank's collective matching table. It is mutated only on
+// the owning rank's goroutine (the AM handler runs during its Poll).
+type collState struct {
+	inbox      map[collKey][]gasnet.Msg
+	barrierSeq uint64
+	bcastSeq   uint64
+	gatherSeq  uint64
+}
+
+func newCollState() *collState {
+	return &collState{inbox: make(map[collKey][]gasnet.Msg)}
+}
+
+// handleColl files an inbound collective message under its key.
+func handleColl(ep *gasnet.Endpoint, m *gasnet.Msg) {
+	r := rankOf(ep)
+	k := collKey{kind: m.A1, seq: m.A2, round: uint32(m.A3)}
+	// Payload slices from cross-node delivery alias the wire buffer, which
+	// the queue owns only until the next drain; copy for safekeeping.
+	if len(m.Payload) > 0 {
+		p := make([]byte, len(m.Payload))
+		copy(p, m.Payload)
+		m.Payload = p
+	}
+	r.coll.inbox[k] = append(r.coll.inbox[k], *m)
+}
+
+// waitColl spins progress until at least n messages are filed under k,
+// then removes and returns them.
+func (r *Rank) waitColl(k collKey, n int) []gasnet.Msg {
+	r.spinWait(func() bool { return len(r.coll.inbox[k]) >= n })
+	msgs := r.coll.inbox[k]
+	delete(r.coll.inbox, k)
+	return msgs
+}
+
+// Barrier blocks until every rank has entered the barrier, driving the
+// progress engine while waiting (a dissemination barrier: ceil(log2 N)
+// rounds of token exchange).
+func (r *Rank) Barrier() {
+	n := r.N()
+	seq := r.coll.barrierSeq
+	r.coll.barrierSeq++
+	if n == 1 {
+		return
+	}
+	me := r.Me()
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		peer := (me + dist) % n
+		r.ep.Send(peer, gasnet.Msg{
+			Handler: hColl,
+			A1:      collBarrier,
+			A2:      seq,
+			A3:      uint64(k),
+		})
+		r.waitColl(collKey{collBarrier, seq, uint32(k)}, 1)
+	}
+}
+
+// BroadcastBytes distributes data from the root rank to all ranks,
+// returning each rank's copy. Non-root ranks ignore their data argument.
+func (r *Rank) BroadcastBytes(root int, data []byte) []byte {
+	seq := r.coll.bcastSeq
+	r.coll.bcastSeq++
+	if r.N() == 1 {
+		return data
+	}
+	if r.Me() == root {
+		for t := 0; t < r.N(); t++ {
+			if t == root {
+				continue
+			}
+			r.ep.Send(t, gasnet.Msg{
+				Handler: hColl,
+				A1:      collBcast,
+				A2:      seq,
+				Payload: data,
+			})
+		}
+		return data
+	}
+	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1)
+	return msgs[0].Payload
+}
+
+// BroadcastU64 distributes one word from the root rank to all ranks.
+func (r *Rank) BroadcastU64(root int, v uint64) uint64 {
+	seq := r.coll.bcastSeq
+	r.coll.bcastSeq++
+	if r.N() == 1 {
+		return v
+	}
+	if r.Me() == root {
+		for t := 0; t < r.N(); t++ {
+			if t == root {
+				continue
+			}
+			r.ep.Send(t, gasnet.Msg{Handler: hColl, A1: collBcast, A2: seq, A3: 0, A0: v})
+		}
+		return v
+	}
+	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1)
+	return msgs[0].A0
+}
+
+// ExchangeU64 performs an allgather of one word per rank: the result's
+// i'th element is rank i's contribution. Every rank receives the full
+// vector.
+func (r *Rank) ExchangeU64(v uint64) []uint64 {
+	n := r.N()
+	seq := r.coll.gatherSeq
+	r.coll.gatherSeq++
+	out := make([]uint64, n)
+	out[r.Me()] = v
+	if n == 1 {
+		return out
+	}
+	for t := 0; t < n; t++ {
+		if t == r.Me() {
+			continue
+		}
+		r.ep.Send(t, gasnet.Msg{
+			Handler: hColl,
+			A1:      collGather,
+			A2:      seq,
+			A0:      v,
+		})
+	}
+	msgs := r.waitColl(collKey{collGather, seq, 0}, n-1)
+	seen := make(map[int32]bool, len(msgs))
+	for _, m := range msgs {
+		if seen[m.From] {
+			panic(fmt.Sprintf("gupcxx: duplicate allgather contribution from rank %d", m.From))
+		}
+		seen[m.From] = true
+		out[m.From] = m.A0
+	}
+	return out
+}
+
+// ExchangePtr performs an allgather of one global pointer per rank: the
+// standard idiom for publishing each rank's allocation to all peers.
+func ExchangePtr[T any](r *Rank, p GlobalPtr[T]) []GlobalPtr[T] {
+	packed := uint64(uint32(p.rank))<<32 | uint64(p.off)
+	words := r.ExchangeU64(packed)
+	out := make([]GlobalPtr[T], len(words))
+	for i, w := range words {
+		out[i] = GlobalPtr[T]{rank: int32(w >> 32), off: uint32(w)}
+	}
+	return out
+}
+
+// ReduceU64 combines one word from every rank with op (which must be
+// associative and commutative) and returns the result on every rank — an
+// allreduce.
+func (r *Rank) ReduceU64(v uint64, op func(a, b uint64) uint64) uint64 {
+	words := r.ExchangeU64(v)
+	acc := words[0]
+	for _, w := range words[1:] {
+		acc = op(acc, w)
+	}
+	return acc
+}
+
+// SumU64 returns the sum over all ranks of v.
+func (r *Rank) SumU64(v uint64) uint64 {
+	return r.ReduceU64(v, func(a, b uint64) uint64 { return a + b })
+}
+
+// MaxU64 returns the maximum over all ranks of v.
+func (r *Rank) MaxU64(v uint64) uint64 {
+	return r.ReduceU64(v, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// MinU64 returns the minimum over all ranks of v.
+func (r *Rank) MinU64(v uint64) uint64 {
+	return r.ReduceU64(v, func(a, b uint64) uint64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}

@@ -1,0 +1,151 @@
+package gupcxx_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gupcxx"
+)
+
+func TestBarrierOrdering(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.SMP, gupcxx.PSHM, gupcxx.SIM} {
+		for _, ranks := range []int{1, 2, 5, 8} {
+			cfg := gupcxx.Config{Ranks: ranks, Conduit: conduit, RanksPerNode: 3, SegmentBytes: 1 << 12}
+			var phase atomic.Int64
+			err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+				for round := int64(1); round <= 5; round++ {
+					phase.Add(1)
+					r.Barrier()
+					// After the barrier every rank must have bumped phase.
+					if got := phase.Load(); got < round*int64(ranks) {
+						t.Errorf("%v/%d: phase %d < %d after barrier", conduit, ranks, got, round*int64(ranks))
+					}
+					r.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 5, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		// Word broadcast from each root in turn.
+		for root := 0; root < r.N(); root++ {
+			got := r.BroadcastU64(root, uint64(1000+root))
+			if got != uint64(1000+root) {
+				t.Errorf("rank %d: bcast from %d = %d", r.Me(), root, got)
+			}
+		}
+		// Byte broadcast.
+		var data []byte
+		if r.Me() == 2 {
+			data = []byte("payload from two")
+		}
+		out := r.BroadcastBytes(2, data)
+		if string(out) != "payload from two" {
+			t.Errorf("rank %d: bytes = %q", r.Me(), out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeAndReduce(t *testing.T) {
+	for _, ranks := range []int{1, 2, 7} {
+		cfg := gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			vec := r.ExchangeU64(uint64(r.Me() * 10))
+			if len(vec) != r.N() {
+				t.Fatalf("exchange len %d", len(vec))
+			}
+			for i, v := range vec {
+				if v != uint64(i*10) {
+					t.Errorf("vec[%d] = %d", i, v)
+				}
+			}
+			n := uint64(r.N())
+			if s := r.SumU64(uint64(r.Me())); s != n*(n-1)/2 {
+				t.Errorf("sum = %d", s)
+			}
+			if m := r.MaxU64(uint64(r.Me())); m != n-1 {
+				t.Errorf("max = %d", m)
+			}
+			if m := r.MinU64(uint64(r.Me() + 5)); m != 5 {
+				t.Errorf("min = %d", m)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestExchangePtrRoundTrip(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 14}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		p := gupcxx.New[int64](r)
+		*p.Local(r) = int64(r.Me())
+		ptrs := gupcxx.ExchangePtr(r, p)
+		r.Barrier()
+		for i, q := range ptrs {
+			if q.Rank() != i {
+				t.Errorf("ptr %d has rank %d", i, q.Rank())
+			}
+			if got := gupcxx.Rget(r, q).Wait(); got != int64(i) {
+				t.Errorf("deref ptr %d = %d", i, got)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivesInterleaved: back-to-back different collectives must not
+// cross-match (sequence numbering correctness).
+func TestCollectivesInterleaved(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 3, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		for i := 0; i < 10; i++ {
+			r.Barrier()
+			v := r.BroadcastU64(i%3, uint64(i))
+			if v != uint64(i) {
+				t.Errorf("iter %d: bcast %d", i, v)
+			}
+			s := r.SumU64(1)
+			if s != uint64(r.N()) {
+				t.Errorf("iter %d: sum %d", i, s)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanicCaptured(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 2, SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.Run(func(r *gupcxx.Rank) {
+		if r.Me() == 1 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 0}); err == nil {
+		t.Error("0 ranks accepted")
+	}
+}

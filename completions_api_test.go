@@ -1,0 +1,162 @@
+package gupcxx_test
+
+import (
+	"testing"
+
+	"gupcxx"
+)
+
+// TestPromiseModeFactories exercises the full §III-A factory matrix on a
+// real operation: eager/defer promise variants override the version
+// default in both directions.
+func TestPromiseModeFactories(t *testing.T) {
+	pairWorld(t, gupcxx.Config{Conduit: gupcxx.PSHM, Version: gupcxx.Defer2021_3_6},
+		func(r *gupcxx.Rank, p gupcxx.GlobalPtr[int64]) {
+			// Eager promise under the defer library: promise untouched.
+			prom := r.NewPromise()
+			gupcxx.Rput(r, 1, p, gupcxx.OpEagerPromise(prom))
+			if prom.Pending() != 1 { // just the finalize dependency
+				t.Errorf("as_eager_promise modified the promise: %d", prom.Pending())
+			}
+			if !prom.Finalize().Ready() {
+				t.Error("promise not ready at finalize")
+			}
+		})
+	pairWorld(t, gupcxx.Config{Conduit: gupcxx.PSHM, Version: gupcxx.Eager2021_3_6},
+		func(r *gupcxx.Rank, p gupcxx.GlobalPtr[int64]) {
+			// Defer promise under the eager library: counted and queued.
+			prom := r.NewPromise()
+			gupcxx.Rput(r, 1, p, gupcxx.OpDeferPromise(prom))
+			if prom.Pending() != 2 {
+				t.Errorf("as_defer_promise did not register: %d", prom.Pending())
+			}
+			if prom.Finalized() {
+				t.Error("Finalized before Finalize")
+			}
+			f := prom.Finalize()
+			if !prom.Finalized() {
+				t.Error("Finalized not set")
+			}
+			if f.Ready() {
+				t.Error("deferred promise ready before progress")
+			}
+			f.Wait()
+		})
+}
+
+// TestSourceFactories exercises the source-event factory set on a bulk
+// put.
+func TestSourceFactories(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, Version: gupcxx.Defer2021_3_6, SegmentBytes: 1 << 16}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		arr := gupcxx.NewArray[int64](r, 8)
+		ptrs := gupcxx.ExchangePtr(r, arr)
+		r.Barrier()
+		if r.Me() == 0 {
+			src := make([]int64, 8)
+
+			res := gupcxx.RputBulk(r, src, ptrs[1], gupcxx.SourceEagerFuture(), gupcxx.OpFuture())
+			if !res.Source.Ready() {
+				t.Error("as_eager source future not ready (copy-at-injection)")
+			}
+			res.Wait()
+
+			res = gupcxx.RputBulk(r, src, ptrs[1], gupcxx.SourceDeferFuture(), gupcxx.OpFuture())
+			if res.Source.Ready() {
+				t.Error("as_defer source future ready at initiation")
+			}
+			res.Source.Wait()
+			res.Wait()
+
+			sp := r.NewPromise()
+			lpcRan := false
+			res = gupcxx.RputBulk(r, src, ptrs[1],
+				gupcxx.SourcePromise(sp),
+				gupcxx.SourceLPC(func() { lpcRan = true }),
+				gupcxx.OpFuture())
+			res.Wait()
+			sp.Finalize().Wait()
+			r.Progress()
+			if !lpcRan {
+				t.Error("source LPC never ran")
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteRPCOnReceivesTargetRank: the ctx-carrying remote completion
+// observes the target's rank, both co-located and cross-node.
+func TestRemoteRPCOnReceivesTargetRank(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, SegmentBytes: 1 << 14}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			cell := gupcxx.New[int64](r)
+			seen := gupcxx.New[int64](r)
+			*seen.Local(r) = -1
+			cells := gupcxx.ExchangePtr(r, cell)
+			seens := gupcxx.ExchangePtr(r, seen)
+			r.Barrier()
+			if r.Me() == 0 {
+				gupcxx.Rput(r, 5, cells[1],
+					gupcxx.OpFuture(),
+					gupcxx.RemoteRPCOn(func(tr *gupcxx.Rank) {
+						// Runs on rank 1: record its identity locally.
+						gupcxx.Rput(tr, int64(tr.Me()), seens[1]).Wait()
+					}),
+				).Wait()
+				for gupcxx.Rget(r, seens[1]).Wait() != 1 {
+				}
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTeamExchange covers the public allgather and min/max reductions on
+// teams and the world.
+func TestTeamExchange(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 3, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			team := r.WorldTeam()
+			vec := team.ExchangeU64(uint64(r.Me() * 7))
+			for i, v := range vec {
+				if v != uint64(i*7) {
+					t.Errorf("vec[%d] = %d", i, v)
+				}
+			}
+			if team.String() == "" || team.ID() == 0 {
+				t.Error("team identity accessors broken")
+			}
+			got := team.ReduceU64(uint64(r.Me()+1), func(a, b uint64) uint64 { return a * b })
+			if got != 1*2*3 {
+				t.Errorf("product reduce = %d, want 6", got)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultWaitAndValid covers Result.Wait and FutureV.Valid.
+func TestResultWaitAndValid(t *testing.T) {
+	pairWorld(t, gupcxx.Config{}, func(r *gupcxx.Rank, p gupcxx.GlobalPtr[int64]) {
+		res := gupcxx.Rput(r, 2, p)
+		res.Wait()
+		f := gupcxx.Rget(r, p)
+		if !f.Valid() {
+			t.Error("produced future invalid")
+		}
+		var zero gupcxx.FutureV[int64]
+		if zero.Valid() {
+			t.Error("zero FutureV claims valid")
+		}
+		f.Wait()
+	})
+}

@@ -1,0 +1,76 @@
+package gupcxx
+
+import "fmt"
+
+// DistObject is the analogue of upcxx::dist_object<T>: a handle to one
+// value of type T per rank, constructed collectively, where any rank can
+// fetch any other rank's value asynchronously. Unlike GlobalPtr, the
+// value lives in ordinary Go memory (it may contain pointers, slices,
+// maps); fetches ship through the RPC machinery rather than RMA.
+//
+// Construction is collective: every rank must call NewDistObject the same
+// number of times, in the same order, which is what matches up the
+// per-rank instances (mirroring dist_object's id-based matching in
+// UPC++).
+type DistObject[T any] struct {
+	r  *Rank
+	id int
+}
+
+// distRegistry is a rank's table of its own dist-object values, reachable
+// by remote fetch RPCs through the endpoint context.
+type distRegistry struct {
+	vals []any
+}
+
+// NewDistObject collectively registers v as the calling rank's instance
+// and returns the handle.
+func NewDistObject[T any](r *Rank, v T) *DistObject[T] {
+	if r.dist == nil {
+		r.dist = &distRegistry{}
+	}
+	id := len(r.dist.vals)
+	r.dist.vals = append(r.dist.vals, v)
+	return &DistObject[T]{r: r, id: id}
+}
+
+// Local returns the value of the rank that created this handle. Inside
+// an RPC body executing on another rank, use On(tr) with the rank the
+// body received — the handle captured by the closure still belongs to the
+// sender.
+func (d *DistObject[T]) Local() T {
+	return d.r.dist.vals[d.id].(T)
+}
+
+// On returns the instance owned by rank tr. tr must be the rank whose
+// goroutine is executing the call (the *Rank an RPC body receives); this
+// is how an RPC shipped with a captured handle addresses the *target's*
+// instance.
+func (d *DistObject[T]) On(tr *Rank) T {
+	return fetchDist[T](tr, d.id)
+}
+
+// SetLocal replaces the calling rank's own value.
+func (d *DistObject[T]) SetLocal(v T) {
+	d.r.dist.vals[d.id] = v
+}
+
+// Fetch retrieves the target rank's instance, returning a value future —
+// the analogue of dist_object::fetch. The target must have constructed
+// its instance (typically guaranteed by a barrier after construction).
+func (d *DistObject[T]) Fetch(target int) FutureV[T] {
+	id := d.id
+	// A self-fetch is still asynchronous (it runs as an LPC at the next
+	// progress call), matching UPC++'s progress rules.
+	return RPCCall(d.r, target, func(tr *Rank) T {
+		return fetchDist[T](tr, id)
+	})
+}
+
+// fetchDist reads instance id of the registry on rank tr.
+func fetchDist[T any](tr *Rank, id int) T {
+	if tr.dist == nil || id >= len(tr.dist.vals) {
+		panic(fmt.Sprintf("gupcxx: dist_object %d not constructed on rank %d (missing barrier?)", id, tr.Me()))
+	}
+	return tr.dist.vals[id].(T)
+}

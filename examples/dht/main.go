@@ -1,0 +1,117 @@
+// DHT: a distributed hash table, the canonical UPC++ tutorial
+// application, built on DistObject and RPC.
+//
+// Keys are hashed to an owner rank; insert and find ship to the owner as
+// remote procedure calls that run on its progress goroutine, so the map
+// needs no locking (the owner is the only writer — UPC++'s persona
+// discipline). Each rank inserts a deterministic key set and then looks
+// up keys owned by every other rank; the run validates every lookup and
+// prints aggregate statistics.
+//
+// Run it:
+//
+//	go run ./examples/dht
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+
+	"gupcxx"
+)
+
+const (
+	ranks          = 4
+	insertsPerRank = 20_000
+	lookupsPerRank = 20_000
+)
+
+// shard is one rank's partition of the table.
+type shard struct {
+	m map[string]int64
+}
+
+func ownerOf(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % n
+}
+
+func key(i int) string { return fmt.Sprintf("key-%d", i) }
+
+func main() {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM}, func(r *gupcxx.Rank) {
+		me, n := r.Me(), r.N()
+		table := gupcxx.NewDistObject(r, &shard{m: make(map[string]int64)})
+		r.Barrier()
+
+		// insert ships (key, value) to the owner; the promise aggregates
+		// acknowledgment of a batch of inserts.
+		insert := func(k string, v int64) gupcxx.Future {
+			return gupcxx.RPC(r, ownerOf(k, n), func(tr *gupcxx.Rank) {
+				// table.On(tr), not table.Local(): the captured handle
+				// belongs to the sender; the shard lives on the target.
+				table.On(tr).m[k] = v
+			})
+		}
+		find := func(k string) gupcxx.FutureV[int64] {
+			return gupcxx.RPCCall(r, ownerOf(k, n), func(tr *gupcxx.Rank) int64 {
+				v, ok := table.On(tr).m[k]
+				if !ok {
+					return -1
+				}
+				return v
+			})
+		}
+
+		// Phase 1: each rank inserts its slice of the key space,
+		// conjoining completion futures in bounded windows.
+		f := r.MakeFuture()
+		for i := 0; i < insertsPerRank; i++ {
+			id := me*insertsPerRank + i
+			f = r.WhenAll(f, insert(key(id), int64(id)*3))
+			if i%64 == 63 {
+				f.Wait()
+				f = r.MakeFuture()
+			}
+		}
+		f.Wait()
+		r.Barrier()
+
+		// Phase 2: look up keys inserted by the next rank over.
+		peer := (me + 1) % n
+		bad := 0
+		for i := 0; i < lookupsPerRank; i++ {
+			id := peer*insertsPerRank + i%insertsPerRank
+			if got := find(key(id)).Wait(); got != int64(id)*3 {
+				bad++
+			}
+		}
+		if bad != 0 {
+			log.Fatalf("rank %d: %d bad lookups", me, bad)
+		}
+		// A missing key must report as such.
+		if got := find("no-such-key").Wait(); got != -1 {
+			log.Fatalf("rank %d: phantom key", me)
+		}
+		r.Barrier()
+
+		// Aggregate statistics.
+		local := uint64(len(table.Local().m))
+		total := r.SumU64(local)
+		maxShard := r.MaxU64(local)
+		if me == 0 {
+			if total != uint64(n*insertsPerRank) {
+				log.Fatalf("table holds %d entries, want %d", total, n*insertsPerRank)
+			}
+			fmt.Printf("dht: %d entries across %d shards (largest %d, %.1f%% of even split)\n",
+				total, n, maxShard, 100*float64(maxShard)/(float64(total)/float64(n)))
+			fmt.Println("dht: ok")
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

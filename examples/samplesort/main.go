@@ -1,0 +1,183 @@
+// Samplesort: a distributed sort combining collectives, RPC, and bulk RMA.
+//
+// The classic PGAS sample sort:
+//
+//  1. every rank sorts a local sample and rank 0 broadcasts p−1 splitters;
+//  2. each rank partitions its data by splitter and reserves space in the
+//     destination rank's receive buffer with a remote atomic fetch-add
+//     (the paper's fetch-to-memory form keeps this allocation-free);
+//  3. the partition is shipped with one bulk rput per destination,
+//     tracked by a single promise;
+//  4. after a barrier every rank sorts its received bucket.
+//
+// The global result is validated against sort.Float64s on the gathered
+// input.
+//
+// Run it:
+//
+//	go run ./examples/samplesort
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gupcxx"
+)
+
+const (
+	ranks      = 4
+	perRank    = 50_000
+	oversample = 32
+)
+
+func main() {
+	// Generate the global input deterministically.
+	input := make([]float64, ranks*perRank)
+	rng := rand.New(rand.NewSource(7))
+	for i := range input {
+		input[i] = rng.NormFloat64()
+	}
+	want := append([]float64(nil), input...)
+	sort.Float64s(want)
+
+	got := make([]float64, 0, len(input))
+	counts := make([]int, ranks)
+
+	err := gupcxx.Launch(gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM, SegmentBytes: 32 << 20},
+		func(r *gupcxx.Rank) {
+			me := r.Me()
+			mine := append([]float64(nil), input[me*perRank:(me+1)*perRank]...)
+
+			// --- Step 1: splitters. Rank 0 gathers a sample via RPC. ---
+			var splitters []float64
+			sample := make([]float64, oversample)
+			sampleRng := rand.New(rand.NewSource(int64(me) + 100))
+			for i := range sample {
+				sample[i] = mine[sampleRng.Intn(len(mine))]
+			}
+			if me == 0 {
+				all := append([]float64(nil), sample...)
+				for t := 1; t < r.N(); t++ {
+					part := gupcxx.RPCCall(r, t, func(tr *gupcxx.Rank) []float64 {
+						s := make([]float64, oversample)
+						rng := rand.New(rand.NewSource(int64(tr.Me()) + 100))
+						for i := range s {
+							s[i] = input[tr.Me()*perRank+rng.Intn(perRank)]
+						}
+						return s
+					}).Wait()
+					all = append(all, part...)
+				}
+				sort.Float64s(all)
+				splitters = make([]float64, r.N()-1)
+				for i := range splitters {
+					splitters[i] = all[(i+1)*len(all)/r.N()]
+				}
+			}
+			// Broadcast splitters (as raw bits, one word per splitter).
+			var sbits []byte
+			if me == 0 {
+				sbits = floatsToBytes(splitters)
+			}
+			splitters = bytesToFloats(r.BroadcastBytes(0, sbits))
+
+			// --- Step 2+3: partition and ship. ---
+			// Receive buffer sized for worst-case skew, plus a cursor
+			// that remote fetch-adds bump to reserve space.
+			capacity := 4 * perRank
+			recv := gupcxx.NewArray[float64](r, capacity)
+			cursor := gupcxx.New[int64](r)
+			*cursor.Local(r) = 0
+			recvs := gupcxx.ExchangePtr(r, recv)
+			cursors := gupcxx.ExchangePtr(r, cursor)
+			r.Barrier()
+
+			buckets := make([][]float64, r.N())
+			for _, v := range mine {
+				d := sort.SearchFloat64s(splitters, v)
+				buckets[d] = append(buckets[d], v)
+			}
+
+			ad := gupcxx.NewAtomicDomain[int64](r)
+			p := r.NewPromise()
+			offs := make([]int64, r.N())
+			// Reserve space on every destination with fetch-add into
+			// memory (value-less completion, promise-aggregated).
+			for d, b := range buckets {
+				if len(b) == 0 {
+					continue
+				}
+				ad.FetchAddInto(cursors[d], int64(len(b)), &offs[d], gupcxx.OpPromise(p))
+			}
+			p.Finalize().Wait()
+			// Ship each bucket with one bulk put.
+			p2 := r.NewPromise()
+			for d, b := range buckets {
+				if len(b) == 0 {
+					continue
+				}
+				if offs[d]+int64(len(b)) > int64(capacity) {
+					log.Fatalf("rank %d: bucket overflow on dest %d", me, d)
+				}
+				gupcxx.RputBulk(r, b, recvs[d].Element(int(offs[d])), gupcxx.OpPromise(p2))
+			}
+			p2.Finalize().Wait()
+			r.Barrier()
+
+			// --- Step 4: local sort of the received bucket. ---
+			n := int(*cursor.Local(r))
+			bucket := recv.LocalSlice(r, capacity)[:n]
+			sort.Float64s(bucket)
+			counts[me] = n
+			r.Barrier()
+
+			// Gather in rank order on rank 0 (sequentially via RPC).
+			if me == 0 {
+				got = append(got, bucket...)
+				for t := 1; t < r.N(); t++ {
+					part := gupcxx.RPCCall(r, t, func(tr *gupcxx.Rank) []float64 {
+						m := counts[tr.Me()]
+						out := make([]float64, m)
+						copy(out, recvs[tr.Me()].LocalSlice(tr, m))
+						return out
+					}).Wait()
+					got = append(got, part...)
+				}
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if len(got) != len(want) {
+		log.Fatalf("samplesort: length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			log.Fatalf("samplesort: mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	fmt.Printf("samplesort: sorted %d elements across %d ranks: ok\n", len(got), ranks)
+}
+
+func floatsToBytes(fs []float64) []byte {
+	out := make([]byte, 8*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+	}
+	return out
+}
+
+func bytesToFloats(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}

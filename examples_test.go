@@ -1,0 +1,26 @@
+package gupcxx_test
+
+// Integration test for the example programs: each one is a complete,
+// self-verifying application (they exit non-zero on any check failure),
+// so running them end-to-end doubles as a system test of the public API.
+// Skipped in -short mode (they compile and run real workloads).
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples run real workloads")
+	}
+	for _, ex := range []string{"quickstart", "histogram", "stencil", "samplesort", "dht"} {
+		t.Run(ex, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+ex)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", ex, err, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module gupcxx
+
+go 1.24

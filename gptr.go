@@ -1,0 +1,122 @@
+package gupcxx
+
+import (
+	"fmt"
+
+	"gupcxx/internal/gasnet"
+)
+
+// GlobalPtr is a typed global address: a (rank, segment offset) pair
+// referring to an object of type T in some rank's shared segment. It is the
+// analogue of UPC++'s global_ptr<T>. The zero value is the null global
+// pointer.
+//
+// T must be a fixed-layout value type (integers, floats, or structs/arrays
+// thereof); global memory cannot hold Go pointers, slices, or maps, since
+// co-located ranks access it as raw shared words.
+type GlobalPtr[T any] struct {
+	rank int32
+	off  uint32
+}
+
+// Null reports whether the pointer is the null global pointer.
+//
+// Offset 0 of rank 0's segment is intentionally never handed out by the
+// allocator, so the zero GlobalPtr is unambiguous.
+func (p GlobalPtr[T]) Null() bool { return p.rank == 0 && p.off == 0 }
+
+// Rank returns the rank whose segment the pointer refers into.
+func (p GlobalPtr[T]) Rank() int { return int(p.rank) }
+
+// Offset returns the byte offset within the owning rank's segment.
+func (p GlobalPtr[T]) Offset() uint32 { return p.off }
+
+// String formats the pointer for diagnostics.
+func (p GlobalPtr[T]) String() string {
+	var z T
+	return fmt.Sprintf("gptr[%T]{rank %d, off %d}", z, p.rank, p.off)
+}
+
+// IsLocal reports whether rank r has direct load/store access to the
+// referenced memory — the paper's is_local query.
+func (p GlobalPtr[T]) IsLocal(r *Rank) bool { return r.localTo(p.rank) }
+
+// Local downcasts the global pointer to a raw pointer, valid only when
+// IsLocal(r); it panics otherwise. This is the manual-localization
+// primitive of §II-C: dereferencing the result bypasses the runtime
+// entirely.
+func (p GlobalPtr[T]) Local(r *Rank) *T {
+	if !r.localTo(p.rank) {
+		panic(fmt.Sprintf("gupcxx: Local() on non-local %v from rank %d", p, r.Me()))
+	}
+	return gasnet.ViewAs[T](r.w.dom.Segment(int(p.rank)), p.off)
+}
+
+// LocalSlice views n elements starting at the pointer as a slice; the
+// pointer must be local to r.
+func (p GlobalPtr[T]) LocalSlice(r *Rank, n int) []T {
+	if !r.localTo(p.rank) {
+		panic(fmt.Sprintf("gupcxx: LocalSlice() on non-local %v from rank %d", p, r.Me()))
+	}
+	return gasnet.ViewSlice[T](r.w.dom.Segment(int(p.rank)), p.off, n)
+}
+
+// Element returns a pointer to the i'th element of the array the pointer
+// heads — global pointer arithmetic.
+func (p GlobalPtr[T]) Element(i int) GlobalPtr[T] {
+	size := gasnet.SizeOf[T]()
+	off := int64(p.off) + int64(i)*int64(size)
+	if off < 0 || off > int64(^uint32(0)) {
+		panic(fmt.Sprintf("gupcxx: element offset %d out of range for %v", i, p))
+	}
+	return GlobalPtr[T]{rank: p.rank, off: uint32(off)}
+}
+
+// Alloc reserves space for one T in rank r's own shared segment.
+func Alloc[T any](r *Rank) (GlobalPtr[T], error) {
+	return AllocArray[T](r, 1)
+}
+
+// AllocArray reserves space for n contiguous Ts in rank r's own shared
+// segment.
+func AllocArray[T any](r *Rank, n int) (GlobalPtr[T], error) {
+	seg := r.ep.Segment()
+	size := gasnet.SizeOf[T]()
+	if r.Me() == 0 && seg.Used() == 0 {
+		// Reserve offset 0 of rank 0 so the zero GlobalPtr stays null.
+		if _, err := seg.Alloc(8); err != nil {
+			return GlobalPtr[T]{}, err
+		}
+	}
+	off, err := seg.Alloc(n * size)
+	if err != nil {
+		return GlobalPtr[T]{}, fmt.Errorf("rank %d: %w", r.Me(), err)
+	}
+	return GlobalPtr[T]{rank: int32(r.Me()), off: off}, nil
+}
+
+// New allocates one T in rank r's shared segment, panicking on segment
+// exhaustion (the analogue of upcxx::new_<T>, which throws).
+func New[T any](r *Rank) GlobalPtr[T] {
+	p, err := Alloc[T](r)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewArray allocates n contiguous Ts in rank r's shared segment, panicking
+// on exhaustion (the analogue of upcxx::new_array<T>).
+func NewArray[T any](r *Rank, n int) GlobalPtr[T] {
+	p, err := AllocArray[T](r, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Delete releases the allocation at p. The segment arena is bump-allocated
+// (see gasnet.Segment.Free), so this records intent rather than recycling.
+func Delete[T any](r *Rank, p GlobalPtr[T]) {
+	r.w.dom.Segment(int(p.rank)).Free(p.off)
+}

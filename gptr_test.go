@@ -1,0 +1,180 @@
+package gupcxx_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gupcxx"
+)
+
+func TestGlobalPtrBasics(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 14},
+		func(r *gupcxx.Rank) {
+			var null gupcxx.GlobalPtr[int64]
+			if !null.Null() {
+				t.Error("zero pointer not null")
+			}
+			p := gupcxx.New[int64](r)
+			if p.Null() {
+				t.Error("allocated pointer is null")
+			}
+			if p.Rank() != r.Me() {
+				t.Errorf("rank = %d", p.Rank())
+			}
+			if !p.IsLocal(r) {
+				t.Error("own allocation not local")
+			}
+			*p.Local(r) = 5
+			if *p.Local(r) != 5 {
+				t.Error("local store lost")
+			}
+			if !strings.Contains(p.String(), "gptr") {
+				t.Errorf("String = %q", p.String())
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementArithmetic(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 1, SegmentBytes: 1 << 14}, func(r *gupcxx.Rank) {
+		arr := gupcxx.NewArray[int32](r, 16)
+		sl := arr.LocalSlice(r, 16)
+		for i := range sl {
+			sl[i] = int32(i)
+		}
+		for i := 0; i < 16; i++ {
+			if got := *arr.Element(i).Local(r); got != int32(i) {
+				t.Errorf("element %d = %d", i, got)
+			}
+		}
+		// Element size respected: int32 stride is 4 bytes.
+		if arr.Element(2).Offset()-arr.Offset() != 8 {
+			t.Errorf("stride wrong: %d", arr.Element(2).Offset()-arr.Offset())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementArithmeticProperty(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 1, SegmentBytes: 1 << 20}, func(r *gupcxx.Rank) {
+		arr := gupcxx.NewArray[uint64](r, 1024)
+		f := func(i uint16, j uint16) bool {
+			a := int(i) % 1024
+			b := int(j) % 1024
+			// Element is associative: (p+a)+b == p+(a+b).
+			return arr.Element(a).Element(b).Offset() == arr.Element(a+b).Offset()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalOnRemotePanics(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 2, Conduit: gupcxx.SIM, SegmentBytes: 1 << 12}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		p := gupcxx.New[int64](r)
+		ptrs := gupcxx.ExchangePtr(r, p)
+		r.Barrier()
+		if r.Me() == 0 {
+			if ptrs[1].IsLocal(r) {
+				t.Error("cross-node pointer claims local")
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Local() on remote pointer should panic")
+					}
+				}()
+				ptrs[1].Local(r)
+			}()
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 1, SegmentBytes: 64}, func(r *gupcxx.Rank) {
+		if _, err := gupcxx.AllocArray[uint64](r, 1024); err == nil {
+			t.Error("exhaustion not reported")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("New should panic on exhaustion")
+				}
+			}()
+			gupcxx.NewArray[uint64](r, 1024)
+		}()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroOffsetReserved(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			p := gupcxx.New[int64](r)
+			if r.Me() == 0 {
+				// Rank 0's first allocation skips offset 0 so the zero
+				// GlobalPtr stays unambiguous.
+				if p.Offset() == 0 {
+					t.Error("rank 0 handed out offset 0")
+				}
+				if p.Null() {
+					t.Error("valid allocation is null")
+				}
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructGlobalPtr(t *testing.T) {
+	type pair struct {
+		A int64
+		B float64
+	}
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 14},
+		func(r *gupcxx.Rank) {
+			p := gupcxx.New[pair](r)
+			ptrs := gupcxx.ExchangePtr(r, p)
+			r.Barrier()
+			if r.Me() == 0 {
+				gupcxx.Rput(r, pair{A: 4, B: 2.5}, ptrs[1]).Wait()
+				got := gupcxx.Rget(r, ptrs[1]).Wait()
+				if got.A != 4 || got.B != 2.5 {
+					t.Errorf("struct roundtrip %+v", got)
+				}
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 1, SegmentBytes: 1 << 12}, func(r *gupcxx.Rank) {
+		p := gupcxx.New[int64](r)
+		gupcxx.Delete(r, p) // records intent; must not panic
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

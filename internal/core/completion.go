@@ -1,0 +1,352 @@
+package core
+
+import "fmt"
+
+// Event identifies which stage of a communication operation a completion
+// notification is attached to (§II-A).
+type Event uint8
+
+const (
+	// EvOp is operation completion: the whole operation is complete from
+	// the initiator's perspective.
+	EvOp Event = iota
+	// EvSource is source completion: the source buffer may be reused.
+	EvSource
+	// EvRemote is remote completion: data has arrived at the target (put
+	// only); the action runs on the target process.
+	EvRemote
+)
+
+// String names the event as in the paper.
+func (ev Event) String() string {
+	switch ev {
+	case EvOp:
+		return "operation"
+	case EvSource:
+		return "source"
+	case EvRemote:
+		return "remote"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(ev))
+	}
+}
+
+// Mode selects the notification discipline for a completion request.
+type Mode uint8
+
+const (
+	// ModeDefault defers to the library version's default (eager for
+	// Eager2021_3_6, deferred otherwise) — the as_future/as_promise
+	// factories under the UPCXX_DEFER_COMPLETION macro regime.
+	ModeDefault Mode = iota
+	// ModeEager permits (but does not guarantee) notification at
+	// initiation when the data movement completes synchronously
+	// (as_eager_future / as_eager_promise).
+	ModeEager
+	// ModeDefer guarantees notification is deferred to the next progress
+	// call, the legacy semantics (as_defer_future / as_defer_promise).
+	ModeDefer
+)
+
+// Kind identifies the notification mechanism of a completion request.
+type Kind uint8
+
+const (
+	// KFuture notifies through a returned future.
+	KFuture Kind = iota
+	// KPromise notifies by fulfilling a registered promise.
+	KPromise
+	// KLPC notifies by running a local procedure call on the initiator at
+	// the next progress call.
+	KLPC
+	// KRPC notifies by running a procedure on the target after data
+	// arrival (remote completion only).
+	KRPC
+)
+
+// Cx is a single completion request: an event, a mechanism, and a mode.
+// Compose several by passing multiple Cx values to an operation, the
+// library analogue of UPC++'s `|` composition of completion factories.
+type Cx struct {
+	Ev   Event
+	Kind Kind
+	Mode Mode
+	Prom *Promise // KPromise
+	Fn   func()   // KLPC and KRPC
+	// CtxFn is the KRPC variant receiving the target's runtime context
+	// (the *Rank, passed as the substrate endpoint's Ctx) — the analogue
+	// of a remote_cx::as_rpc body observing rank_me() == target.
+	CtxFn func(ctx any)
+}
+
+// Completion factories, mirroring the paper's §III-A API.
+
+// OpFuture requests operation completion via a future in the version's
+// default mode (operation_cx::as_future).
+func OpFuture() Cx { return Cx{Ev: EvOp, Kind: KFuture, Mode: ModeDefault} }
+
+// OpEagerFuture requests operation completion via a future, permitting
+// eager notification (operation_cx::as_eager_future).
+func OpEagerFuture() Cx { return Cx{Ev: EvOp, Kind: KFuture, Mode: ModeEager} }
+
+// OpDeferFuture requests operation completion via a future with guaranteed
+// deferral (operation_cx::as_defer_future).
+func OpDeferFuture() Cx { return Cx{Ev: EvOp, Kind: KFuture, Mode: ModeDefer} }
+
+// OpPromise requests operation completion by fulfilling p in the version's
+// default mode (operation_cx::as_promise).
+func OpPromise(p *Promise) Cx { return Cx{Ev: EvOp, Kind: KPromise, Mode: ModeDefault, Prom: p} }
+
+// OpEagerPromise permits eager fulfillment of p
+// (operation_cx::as_eager_promise).
+func OpEagerPromise(p *Promise) Cx { return Cx{Ev: EvOp, Kind: KPromise, Mode: ModeEager, Prom: p} }
+
+// OpDeferPromise guarantees deferred fulfillment of p
+// (operation_cx::as_defer_promise).
+func OpDeferPromise(p *Promise) Cx { return Cx{Ev: EvOp, Kind: KPromise, Mode: ModeDefer, Prom: p} }
+
+// OpLPC requests operation completion by running fn on the initiating rank
+// at the next progress call (operation_cx::as_lpc).
+func OpLPC(fn func()) Cx { return Cx{Ev: EvOp, Kind: KLPC, Fn: fn} }
+
+// SourceFuture requests source completion via a future in the default mode
+// (source_cx::as_future).
+func SourceFuture() Cx { return Cx{Ev: EvSource, Kind: KFuture, Mode: ModeDefault} }
+
+// SourceEagerFuture permits eager source-completion notification.
+func SourceEagerFuture() Cx { return Cx{Ev: EvSource, Kind: KFuture, Mode: ModeEager} }
+
+// SourceDeferFuture guarantees deferred source-completion notification.
+func SourceDeferFuture() Cx { return Cx{Ev: EvSource, Kind: KFuture, Mode: ModeDefer} }
+
+// SourcePromise requests source completion by fulfilling p.
+func SourcePromise(p *Promise) Cx {
+	return Cx{Ev: EvSource, Kind: KPromise, Mode: ModeDefault, Prom: p}
+}
+
+// SourceLPC requests source completion via a local procedure call.
+func SourceLPC(fn func()) Cx { return Cx{Ev: EvSource, Kind: KLPC, Fn: fn} }
+
+// RemoteRPC requests remote completion: fn runs on the target rank's
+// progress goroutine after the data has been applied
+// (remote_cx::as_rpc).
+func RemoteRPC(fn func()) Cx { return Cx{Ev: EvRemote, Kind: KRPC, Fn: fn} }
+
+// RemoteRPCCtx requests remote completion with access to the target
+// rank's runtime context; the runtime layer supplies the context value.
+func RemoteRPCCtx(fn func(ctx any)) Cx { return Cx{Ev: EvRemote, Kind: KRPC, CtxFn: fn} }
+
+// eager decides whether a request with the given mode is delivered eagerly
+// under this engine's version.
+func (e *Engine) eager(m Mode) bool {
+	switch m {
+	case ModeEager:
+		return true
+	case ModeDefer:
+		return false
+	default:
+		return e.ver.EagerDefault
+	}
+}
+
+// Result carries the futures produced by an operation's requested
+// completions. Futures for events that were not requested are invalid.
+type Result struct {
+	// Op is the operation-completion future (valid iff an Op future was
+	// requested).
+	Op Future
+	// Source is the source-completion future (valid iff a Source future
+	// was requested).
+	Source Future
+}
+
+// Wait waits on the operation-completion future.
+func (r Result) Wait() { r.Op.Wait() }
+
+// DeliverSync delivers the requested completions for an operation whose
+// data movement completed synchronously during initiation (the
+// shared-memory bypass case). This is the crux of the paper:
+//
+//   - an eager future request is satisfied by a ready future — under the
+//     ReadySingleton optimization, with zero allocation;
+//   - an eager promise request elides all modification of the promise;
+//   - deferred requests allocate a cell (futures) or register a dependency
+//     (promises) and route through the deferred-notification queue, to be
+//     delivered at the next progress call;
+//   - LPC requests are always queued for the next progress call;
+//   - remote (KRPC) requests are not handled here — the caller delivers
+//     them at the target.
+//
+// Both source and operation events fire, since the data movement is fully
+// complete.
+func (e *Engine) DeliverSync(cxs []Cx) Result {
+	var res Result
+	for _, cx := range cxs {
+		if cx.Ev == EvRemote {
+			continue
+		}
+		switch cx.Kind {
+		case KFuture:
+			var f Future
+			if e.eager(cx.Mode) {
+				e.Stats.EagerDeliveries++
+				f = e.ReadyFuture()
+			} else {
+				c := e.newCell()
+				e.deferFulfill(c)
+				f = Future{c}
+			}
+			res.set(cx.Ev, f)
+		case KPromise:
+			if e.eager(cx.Mode) {
+				e.Stats.EagerDeliveries++
+				// Elided entirely: the promise is never touched.
+			} else {
+				cx.Prom.Require(1)
+				e.deferFulfill(cx.Prom.c)
+			}
+		case KLPC:
+			e.EnqueueLPC(cx.Fn)
+		default:
+			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
+		}
+	}
+	return res
+}
+
+// set records a produced future in the Result slot for its event.
+func (r *Result) set(ev Event, f Future) {
+	switch ev {
+	case EvOp:
+		if r.Op.Valid() {
+			panic("gupcxx: duplicate operation-completion future requested")
+		}
+		r.Op = f
+	case EvSource:
+		if r.Source.Valid() {
+			panic("gupcxx: duplicate source-completion future requested")
+		}
+		r.Source = f
+	}
+}
+
+// AsyncCompletion is the initiator-side state for an operation that did
+// not complete synchronously: the notifications to deliver when the
+// substrate reports source and operation completion.
+type AsyncCompletion struct {
+	eng     *Engine
+	opCells []FulfillHandle
+	opProms []*Promise
+	opLPCs  []func()
+}
+
+// PrepareAsync builds the completion state for an asynchronous (remote)
+// operation and returns the Result futures. Source-event completions are
+// delivered immediately via the synchronous path — the substrate copies
+// the source buffer at injection, so the buffer is reusable when
+// initiation returns (their mode still governs eager vs deferred
+// notification). Operation-event completions are registered to fire when
+// the substrate acknowledges, which always happens inside the progress
+// engine, trivially satisfying both eager and deferred semantics.
+func (e *Engine) PrepareAsync(cxs []Cx) (Result, *AsyncCompletion) {
+	var res Result
+	ac := &AsyncCompletion{eng: e}
+	for _, cx := range cxs {
+		switch cx.Ev {
+		case EvRemote:
+			continue // delivered at the target by the substrate
+		case EvSource:
+			sub := e.DeliverSync([]Cx{cx})
+			if sub.Source.Valid() {
+				res.set(EvSource, sub.Source)
+			}
+			continue
+		}
+		switch cx.Kind {
+		case KFuture:
+			f, h := e.NewOpFuture()
+			ac.opCells = append(ac.opCells, h)
+			res.set(EvOp, f)
+		case KPromise:
+			cx.Prom.Require(1)
+			ac.opProms = append(ac.opProms, cx.Prom)
+		case KLPC:
+			ac.opLPCs = append(ac.opLPCs, cx.Fn)
+		default:
+			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
+		}
+	}
+	return res, ac
+}
+
+// Fire delivers the operation-completion notifications. It must be called
+// on the initiating rank's goroutine from within the progress engine (the
+// substrate's acknowledgment handler).
+func (ac *AsyncCompletion) Fire() {
+	for _, h := range ac.opCells {
+		h.Fulfill()
+	}
+	for _, p := range ac.opProms {
+		p.Fulfill(1)
+	}
+	for _, fn := range ac.opLPCs {
+		ac.eng.EnqueueLPC(fn)
+	}
+}
+
+// RemoteFn extracts the composed remote-completion action from cxs, or nil
+// if none was requested. Multiple RemoteRPC/RemoteRPCCtx requests compose
+// in order; the action receives the target's runtime context (forwarded
+// to CtxFn callbacks, ignored by plain ones).
+func RemoteFn(cxs []Cx) func(ctx any) {
+	var fns []func(ctx any)
+	for _, cx := range cxs {
+		if cx.Ev != EvRemote {
+			continue
+		}
+		if cx.Kind != KRPC {
+			panic("gupcxx: remote completion supports only RPC notification")
+		}
+		if cx.CtxFn != nil {
+			fns = append(fns, cx.CtxFn)
+		} else {
+			fn := cx.Fn
+			fns = append(fns, func(any) { fn() })
+		}
+	}
+	switch len(fns) {
+	case 0:
+		return nil
+	case 1:
+		return fns[0]
+	default:
+		return func(ctx any) {
+			for _, fn := range fns {
+				fn(ctx)
+			}
+		}
+	}
+}
+
+// HasRemote reports whether cxs requests remote completion; get-class
+// operations use it to reject the request (remote completion is defined
+// only for puts, as in UPC++).
+func HasRemote(cxs []Cx) bool {
+	for _, cx := range cxs {
+		if cx.Ev == EvRemote {
+			return true
+		}
+	}
+	return false
+}
+
+// HasOpFuture reports whether cxs requests an operation-completion future;
+// used by operations to pick a default when no completion is supplied.
+func HasOpFuture(cxs []Cx) bool {
+	for _, cx := range cxs {
+		if cx.Ev == EvOp && cx.Kind == KFuture {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+package core
+
+import "runtime"
+
+// Engine is one rank's progress engine: the deferred-notification queue,
+// the local-procedure-call queue, the substrate poll hook, and the shared
+// ready-future cell. All Engine state is owned by the rank's goroutine.
+type Engine struct {
+	rank int
+	ver  Version
+
+	poller func() int // substrate poll (AM dispatch); may be nil in tests
+	parker func()     // substrate idle wait; may be nil in tests
+
+	// idleStreak counts consecutive idle progress steps, driving the
+	// spin-then-park policy in Idle.
+	idleStreak int
+
+	deferq  []*cell  // notifications awaiting the next progress call
+	deferq2 []*cell  // double buffer for drain
+	lpcq    []func() // local procedure calls awaiting the next progress call
+	lpcq2   []func()
+
+	readyCell *cell // shared pre-allocated ready cell (§III-B)
+
+	inProgress bool
+
+	// legacyScratch prevents the compiler from eliding the
+	// LegacyExtraAlloc allocation.
+	legacyScratch *legacyOpState
+
+	// Stats counts allocation- and queue-level events, so tests can assert
+	// the cost model the paper describes (e.g. an eager on-node put
+	// allocates no cells and touches no queues).
+	Stats Stats
+}
+
+// Stats tallies completion-machinery events on one engine.
+type Stats struct {
+	CellAllocs      int64 // internal promise cells heap-allocated
+	DeferQPushes    int64 // notifications routed through the deferred queue
+	LPCRuns         int64 // local procedure calls executed
+	ProgressCalls   int64
+	WhenAllBuilt    int64 // dependency-graph nodes constructed by WhenAll
+	WhenAllElided   int64 // WhenAll calls short-circuited (§III-C)
+	ReadyHits       int64 // ready futures served from the shared cell
+	LegacyAllocs    int64 // extra 2021.3.0-style operation-state allocations
+	EagerDeliveries int64 // completions delivered eagerly at initiation
+}
+
+// NewEngine constructs rank's progress engine under the given library
+// version.
+func NewEngine(rank int, ver Version) *Engine {
+	e := &Engine{rank: rank, ver: ver}
+	e.readyCell = &cell{eng: e, ready: true}
+	return e
+}
+
+// Rank returns the rank this engine belongs to.
+func (e *Engine) Rank() int { return e.rank }
+
+// Version returns the library version the engine is emulating.
+func (e *Engine) Version() Version { return e.ver }
+
+// SetPoller installs the substrate poll hook, called at the start of every
+// progress step to dispatch inbound active messages.
+func (e *Engine) SetPoller(fn func() int) { e.poller = fn }
+
+// SetParker installs the substrate idle-wait hook, used by wait loops
+// after an idle Progress to relinquish the CPU until new messages may
+// arrive.
+func (e *Engine) SetParker(fn func()) { e.parker = fn }
+
+// idleSpin is the number of consecutive idle progress steps a waiter
+// yields (cheap, low-latency) before parking on the substrate (cheap for
+// long waits). Ping-pong latency paths stay in the yield regime; barrier
+// waiters with nothing to do park.
+const idleSpin = 128
+
+// Idle relinquishes the CPU after an idle Progress step: a scheduler
+// yield while the idle streak is short, the substrate parker once the
+// wait looks long.
+func (e *Engine) Idle() {
+	e.idleStreak++
+	if e.parker == nil || e.idleStreak < idleSpin {
+		runtime.Gosched()
+		return
+	}
+	e.parker()
+}
+
+// Progress runs one step of the progress engine: poll the substrate, fire
+// all queued deferred notifications, and run queued LPCs. It returns the
+// number of events processed (0 means the step was idle, so callers may
+// yield).
+//
+// Progress may be re-entered from a callback (e.g. a Then body that Waits);
+// the nested call polls the substrate but leaves queue draining to the
+// outer invocation, mirroring UPC++'s restricted-context rules.
+func (e *Engine) Progress() int {
+	e.Stats.ProgressCalls++
+	n := 0
+	if e.poller != nil {
+		n += e.poller()
+	}
+	if n > 0 {
+		e.idleStreak = 0
+	}
+	if e.inProgress {
+		return n
+	}
+	e.inProgress = true
+	defer func() { e.inProgress = false }()
+
+	// Drain the deferred-notification queue. Firing a notification runs
+	// user callbacks, which may initiate new operations and push new
+	// deferred notifications; those fire in the same call (they are being
+	// delivered "inside the progress engine", which the deferred contract
+	// permits), so drain to a fixpoint using a double buffer.
+	for len(e.deferq) > 0 {
+		q := e.deferq
+		e.deferq = e.deferq2[:0]
+		e.deferq2 = q // will be reused next swap
+		for _, c := range q {
+			c.fulfill(1)
+		}
+		n += len(q)
+		clearCells(q)
+	}
+	for len(e.lpcq) > 0 {
+		q := e.lpcq
+		e.lpcq = e.lpcq2[:0]
+		e.lpcq2 = q
+		for _, fn := range q {
+			fn()
+		}
+		n += len(q)
+		e.Stats.LPCRuns += int64(len(q))
+		clearFns(q)
+	}
+	return n
+}
+
+func clearCells(q []*cell) {
+	for i := range q {
+		q[i] = nil
+	}
+}
+
+func clearFns(q []func()) {
+	for i := range q {
+		q[i] = nil
+	}
+}
+
+// deferFulfill schedules one dependency resolution of c for the next
+// progress call (the legacy deferred-notification path).
+func (e *Engine) deferFulfill(c *cell) {
+	e.Stats.DeferQPushes++
+	e.deferq = append(e.deferq, c)
+}
+
+// EnqueueLPC schedules fn to run at the next progress call on this rank.
+func (e *Engine) EnqueueLPC(fn func()) {
+	e.lpcq = append(e.lpcq, fn)
+}
+
+// ReadyFuture returns a ready value-less future. Under the ReadySingleton
+// optimization this is the engine's shared pre-allocated cell and costs no
+// allocation; otherwise a fresh ready cell is allocated, reproducing the
+// 2021.3.0 cost model.
+func (e *Engine) ReadyFuture() Future {
+	if e.ver.ReadySingleton {
+		e.Stats.ReadyHits++
+		return Future{e.readyCell}
+	}
+	return Future{e.newReadyCell()}
+}
+
+// MakeFuture constructs a ready value-less future (the user-visible
+// make_future idiom that seeds conjoining loops).
+func (e *Engine) MakeFuture() Future { return e.ReadyFuture() }
+
+// NewOpFuture allocates a non-ready future for an asynchronous operation
+// and returns it with its fulfillment handle.
+func (e *Engine) NewOpFuture() (Future, FulfillHandle) {
+	c := e.newCell()
+	return Future{c}, FulfillHandle{c}
+}
+
+// legacyOpState stands in for the operation-state object that UPC++
+// 2021.3.0 heap-allocated even for directly-addressable RMA (§IV-A).
+type legacyOpState struct {
+	_ [4]uint64
+}
+
+// LegacyAlloc performs the extra 2021.3.0-style allocation when the
+// emulated version calls for it.
+func (e *Engine) LegacyAlloc() {
+	if e.ver.LegacyExtraAlloc {
+		e.Stats.LegacyAllocs++
+		e.legacyScratch = &legacyOpState{}
+	}
+}
+
+// Quiesced reports whether the engine has no queued work (used by tests
+// and orderly shutdown).
+func (e *Engine) Quiesced() bool {
+	return len(e.deferq) == 0 && len(e.lpcq) == 0
+}

@@ -1,0 +1,78 @@
+package core
+
+import "testing"
+
+// TestIdleSpinThenPark: Idle yields for the first idleSpin idle steps and
+// only then invokes the substrate parker; a productive progress step
+// resets the streak.
+func TestIdleSpinThenPark(t *testing.T) {
+	e := NewEngine(0, Eager2021_3_6)
+	parks := 0
+	e.SetParker(func() { parks++ })
+	e.SetPoller(func() int { return 0 })
+
+	for i := 0; i < idleSpin-1; i++ {
+		e.Progress()
+		e.Idle()
+	}
+	if parks != 0 {
+		t.Fatalf("parked during spin phase: %d", parks)
+	}
+	e.Idle()
+	if parks != 1 {
+		t.Fatalf("parks = %d after exceeding spin budget", parks)
+	}
+
+	// A productive poll resets the streak.
+	productive := true
+	e.SetPoller(func() int {
+		if productive {
+			productive = false
+			return 1
+		}
+		return 0
+	})
+	e.Progress() // productive
+	for i := 0; i < idleSpin-1; i++ {
+		e.Progress()
+		e.Idle()
+	}
+	if parks != 1 {
+		t.Fatalf("streak not reset by productive progress: parks = %d", parks)
+	}
+}
+
+// TestIdleWithoutParkerYields: no parker installed means Idle must not
+// panic (it falls back to a scheduler yield).
+func TestIdleWithoutParkerYields(t *testing.T) {
+	e := NewEngine(0, Defer2021_3_6)
+	for i := 0; i < idleSpin*2; i++ {
+		e.Idle()
+	}
+}
+
+// TestProgressReentrancyGuard: a nested Progress (from inside a callback)
+// polls but leaves queue draining to the outer call, and the outer call
+// still drains everything.
+func TestProgressReentrancyGuard(t *testing.T) {
+	e := NewEngine(0, Defer2021_3_6)
+	polls := 0
+	e.SetPoller(func() int { polls++; return 0 })
+
+	var nestedSaw int
+	f, h := e.NewOpFuture()
+	f.Then(func() {
+		nestedSaw = e.Progress() // nested: poll only
+	})
+	h.Defer()
+	e.Progress()
+	if !f.Ready() {
+		t.Fatal("outer progress did not drain")
+	}
+	if nestedSaw != 0 {
+		t.Errorf("nested progress drained queues: %d", nestedSaw)
+	}
+	if polls < 2 {
+		t.Errorf("polls = %d, nested call should still poll", polls)
+	}
+}

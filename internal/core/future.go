@@ -1,0 +1,286 @@
+package core
+
+// cell is the internal promise cell backing futures and promises: a
+// countdown of outstanding dependencies, a readiness flag, and the list of
+// callbacks to cascade when the count drains. Every future references a
+// cell; constructing a non-ready future therefore costs one heap
+// allocation — the cost the paper's eager notification removes from the
+// critical path of synchronously-completed operations.
+//
+// A cell is owned by the rank that allocated it: all mutation happens on
+// that rank's goroutine (initiation, progress, or callbacks run from
+// either), so no synchronization is needed — mirroring UPC++'s
+// single-persona execution model.
+type cell struct {
+	eng   *Engine
+	deps  int32
+	ready bool
+	cbs   []func()
+}
+
+// newCell allocates a cell with one outstanding dependency.
+func (e *Engine) newCell() *cell {
+	e.Stats.CellAllocs++
+	return &cell{eng: e, deps: 1}
+}
+
+// newReadyCell allocates an already-ready cell (used when the ready-future
+// singleton optimization is disabled).
+func (e *Engine) newReadyCell() *cell {
+	e.Stats.CellAllocs++
+	return &cell{eng: e, ready: true}
+}
+
+// fulfill resolves n dependencies; when the count drains to zero the cell
+// becomes ready and its callbacks run immediately (the caller is by
+// construction either inside the progress engine or at an eager-completion
+// initiation point).
+func (c *cell) fulfill(n int32) {
+	if c.ready {
+		panic("gupcxx: fulfill on ready future/promise cell")
+	}
+	c.deps -= n
+	if c.deps < 0 {
+		panic("gupcxx: dependency count underflow (over-fulfilled promise)")
+	}
+	if c.deps > 0 {
+		return
+	}
+	c.ready = true
+	cbs := c.cbs
+	c.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// require adds n outstanding dependencies to a not-yet-ready cell.
+func (c *cell) require(n int32) {
+	if c.ready {
+		panic("gupcxx: require on ready promise cell")
+	}
+	c.deps += n
+}
+
+// onReady arranges for fn to run when the cell is ready; if it already is,
+// fn runs immediately. Ready cells are never mutated, so the shared ready
+// singleton can be handed out freely.
+func (c *cell) onReady(fn func()) {
+	if c.ready {
+		fn()
+		return
+	}
+	c.cbs = append(c.cbs, fn)
+}
+
+// Future is the consumer side of a value-less asynchronous result. The
+// zero Future is invalid; futures are obtained from communication
+// operations, promises, MakeFuture, or WhenAll.
+type Future struct {
+	c *cell
+}
+
+// Valid reports whether the future was actually produced by an operation
+// (a completion that was not requested yields an invalid Future).
+func (f Future) Valid() bool { return f.c != nil }
+
+// Ready reports whether the future's operation has completed and the
+// notification has been delivered.
+func (f Future) Ready() bool {
+	f.check()
+	return f.c.ready
+}
+
+func (f Future) check() {
+	if f.c == nil {
+		panic("gupcxx: use of invalid Future (completion was not requested)")
+	}
+}
+
+// Wait spins the owning rank's progress engine until the future is ready.
+func (f Future) Wait() {
+	f.check()
+	c := f.c
+	for !c.ready {
+		if c.eng.Progress() == 0 {
+			c.eng.Idle()
+		}
+	}
+}
+
+// Then registers fn to run when the future becomes ready and returns a
+// future representing fn's completion. If the receiver is already ready —
+// which can only happen through eager notification or explicit ready-future
+// construction — fn runs synchronously during Then, per the paper's relaxed
+// semantics.
+func (f Future) Then(fn func()) Future {
+	f.check()
+	if f.c.ready {
+		fn()
+		return f.c.eng.ReadyFuture()
+	}
+	child := f.c.eng.newCell()
+	f.c.cbs = append(f.c.cbs, func() {
+		fn()
+		child.fulfill(1)
+	})
+	return Future{child}
+}
+
+// ThenF chains an asynchronous continuation: fn runs when the receiver
+// readies and itself returns a future; the result readies when fn's
+// future does. This is the paper's §II chaining idiom
+// (rget(...).then(cb-returning-rput-future)). A ready receiver runs fn
+// synchronously and returns fn's future directly.
+func (f Future) ThenF(fn func() Future) Future {
+	f.check()
+	if f.c.ready {
+		inner := fn()
+		inner.check()
+		return inner
+	}
+	child := f.c.eng.newCell()
+	f.c.cbs = append(f.c.cbs, func() {
+		inner := fn()
+		inner.check()
+		inner.c.onReady(func() { child.fulfill(1) })
+	})
+	return Future{child}
+}
+
+// cellV is a cell carrying a single value of type T. Ready value-carrying
+// futures cannot use the shared singleton — the value must live somewhere —
+// so they always cost an allocation (§III-B), which is what motivates the
+// paper's fetch-to-memory atomics.
+type cellV[T any] struct {
+	cell
+	v T
+}
+
+// FutureV is the consumer side of an asynchronous result carrying one value
+// of type T.
+type FutureV[T any] struct {
+	c *cellV[T]
+}
+
+// Valid reports whether the future was produced by an operation.
+func (f FutureV[T]) Valid() bool { return f.c != nil }
+
+// Ready reports whether the value is available.
+func (f FutureV[T]) Ready() bool {
+	f.check()
+	return f.c.ready
+}
+
+func (f FutureV[T]) check() {
+	if f.c == nil {
+		panic("gupcxx: use of invalid FutureV (completion was not requested)")
+	}
+}
+
+// Wait spins the progress engine until the value is available and returns
+// it.
+func (f FutureV[T]) Wait() T {
+	f.check()
+	c := f.c
+	for !c.ready {
+		if c.eng.Progress() == 0 {
+			c.eng.Idle()
+		}
+	}
+	return c.v
+}
+
+// Value returns the result of a ready future; it panics if the future is
+// not ready.
+func (f FutureV[T]) Value() T {
+	f.check()
+	if !f.c.ready {
+		panic("gupcxx: Value on non-ready future")
+	}
+	return f.c.v
+}
+
+// Then registers fn to receive the value when ready, returning a future for
+// fn's completion. A ready receiver runs fn synchronously (eager
+// semantics).
+func (f FutureV[T]) Then(fn func(T)) Future {
+	f.check()
+	if f.c.ready {
+		fn(f.c.v)
+		return f.c.eng.ReadyFuture()
+	}
+	child := f.c.eng.newCell()
+	c := f.c
+	c.cbs = append(c.cbs, func() {
+		fn(c.v)
+		child.fulfill(1)
+	})
+	return Future{child}
+}
+
+// ThenF chains an asynchronous continuation receiving the value; the
+// result readies when the future fn returns does. See Future.ThenF.
+func (f FutureV[T]) ThenF(fn func(T) Future) Future {
+	f.check()
+	if f.c.ready {
+		inner := fn(f.c.v)
+		inner.check()
+		return inner
+	}
+	child := f.c.eng.newCell()
+	c := f.c
+	c.cbs = append(c.cbs, func() {
+		inner := fn(c.v)
+		inner.check()
+		inner.c.onReady(func() { child.fulfill(1) })
+	})
+	return Future{child}
+}
+
+// Drop discards the value, viewing the future as value-less. The returned
+// Future shares the receiver's readiness.
+func (f FutureV[T]) Drop() Future {
+	f.check()
+	if f.c.ready {
+		return f.c.eng.ReadyFuture()
+	}
+	child := f.c.eng.newCell()
+	f.c.cbs = append(f.c.cbs, func() { child.fulfill(1) })
+	return Future{child}
+}
+
+// NewFutureV allocates a value-carrying future plus its producer hooks:
+// setValue stores the result, and the cell is fulfilled through the
+// returned cell handle. Used by the runtime layer for value-producing
+// operations; not part of the public API surface.
+func NewFutureV[T any](e *Engine) (FutureV[T], *T, FulfillHandle) {
+	e.Stats.CellAllocs++
+	c := &cellV[T]{cell: cell{eng: e, deps: 1}}
+	return FutureV[T]{c}, &c.v, FulfillHandle{&c.cell}
+}
+
+// NewReadyFutureV allocates an already-ready future carrying v.
+func NewReadyFutureV[T any](e *Engine, v T) FutureV[T] {
+	e.Stats.CellAllocs++
+	c := &cellV[T]{cell: cell{eng: e, ready: true}, v: v}
+	return FutureV[T]{c}
+}
+
+// FulfillHandle lets the runtime layer resolve a dependency on an internal
+// cell without exposing the cell type.
+type FulfillHandle struct {
+	c *cell
+}
+
+// Valid reports whether the handle references a cell.
+func (h FulfillHandle) Valid() bool { return h.c != nil }
+
+// Fulfill resolves one dependency immediately. It must be called on the
+// owning rank's goroutine, inside the progress engine or at an eager
+// initiation point.
+func (h FulfillHandle) Fulfill() { h.c.fulfill(1) }
+
+// Defer enqueues the resolution on the owning engine's deferred-
+// notification queue, to fire at the next progress call.
+func (h FulfillHandle) Defer() { h.c.eng.deferFulfill(h.c) }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+)
+
+func testEngine(ver Version) *Engine { return NewEngine(0, ver) }
+
+func TestReadyFutureSingleton(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	f1 := e.ReadyFuture()
+	f2 := e.ReadyFuture()
+	if !f1.Ready() || !f2.Ready() {
+		t.Fatal("ready futures not ready")
+	}
+	if f1.c != f2.c {
+		t.Error("ReadySingleton should share one cell")
+	}
+	if e.Stats.CellAllocs != 0 {
+		t.Errorf("singleton path allocated %d cells", e.Stats.CellAllocs)
+	}
+
+	legacy := testEngine(Legacy2021_3_0)
+	g1 := legacy.ReadyFuture()
+	g2 := legacy.ReadyFuture()
+	if g1.c == g2.c {
+		t.Error("legacy ready futures should be distinct allocations")
+	}
+	if legacy.Stats.CellAllocs != 2 {
+		t.Errorf("legacy allocated %d cells, want 2", legacy.Stats.CellAllocs)
+	}
+}
+
+func TestFutureWaitOnDeferred(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	f, h := e.NewOpFuture()
+	if f.Ready() {
+		t.Fatal("fresh op future ready")
+	}
+	h.Defer()
+	if f.Ready() {
+		t.Fatal("deferred notification delivered before progress")
+	}
+	f.Wait() // drives Progress
+	if !f.Ready() {
+		t.Fatal("not ready after wait")
+	}
+}
+
+func TestThenOnReadyRunsSynchronously(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	ran := false
+	child := e.ReadyFuture().Then(func() { ran = true })
+	if !ran {
+		t.Error("Then on ready future must run synchronously (eager semantics)")
+	}
+	if !child.Ready() {
+		t.Error("child future of synchronous Then must be ready")
+	}
+}
+
+func TestThenChainsThroughProgress(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	f, h := e.NewOpFuture()
+	order := []int{}
+	f2 := f.Then(func() { order = append(order, 1) })
+	f3 := f2.Then(func() { order = append(order, 2) })
+	h.Defer()
+	if len(order) != 0 {
+		t.Fatal("callbacks ran before progress")
+	}
+	f3.Wait()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("callback order %v", order)
+	}
+}
+
+func TestFutureVValueDelivery(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	f, vp, h := NewFutureV[int](e)
+	*vp = 42
+	h.Defer()
+	if f.Ready() {
+		t.Fatal("deferred value future ready early")
+	}
+	if got := f.Wait(); got != 42 {
+		t.Errorf("Wait = %d", got)
+	}
+	if got := f.Value(); got != 42 {
+		t.Errorf("Value = %d", got)
+	}
+}
+
+func TestFutureVThenAndDrop(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	f := NewReadyFutureV(e, "hi")
+	var got string
+	f.Then(func(s string) { got = s })
+	if got != "hi" {
+		t.Errorf("Then got %q", got)
+	}
+	d := f.Drop()
+	if !d.Ready() {
+		t.Error("Drop of ready future not ready")
+	}
+
+	g, vp, h := NewFutureV[int](e)
+	*vp = 5
+	dg := g.Drop()
+	if dg.Ready() {
+		t.Error("Drop of pending future ready early")
+	}
+	h.Fulfill()
+	if !dg.Ready() {
+		t.Error("Drop not readied by fulfillment")
+	}
+}
+
+func TestInvalidFuturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Wait on invalid future should panic")
+		}
+	}()
+	var f Future
+	f.Wait()
+}
+
+func TestValueOnPendingPanics(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	f, _, _ := NewFutureV[int](e)
+	defer func() {
+		if recover() == nil {
+			t.Error("Value on pending future should panic")
+		}
+	}()
+	f.Value()
+}
+
+func TestOverFulfillPanics(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	_, h := e.NewOpFuture()
+	h.Fulfill()
+	defer func() {
+		if recover() == nil {
+			t.Error("double fulfill should panic")
+		}
+	}()
+	h.Fulfill()
+}
+
+func TestDeferredQueueFIFOAndCascade(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	var order []int
+	f1, h1 := e.NewOpFuture()
+	f2, h2 := e.NewOpFuture()
+	f1.Then(func() { order = append(order, 1) })
+	f2.Then(func() { order = append(order, 2) })
+	h1.Defer()
+	h2.Defer()
+	e.Progress()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("deferred delivery order %v", order)
+	}
+}
+
+func TestProgressDrainsNotificationsEnqueuedByCallbacks(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	f1, h1 := e.NewOpFuture()
+	var inner Future
+	f1.Then(func() {
+		// A callback initiating a new deferred notification: it must
+		// fire within the same progress call (it is being delivered
+		// inside the progress engine).
+		f, h := e.NewOpFuture()
+		h.Defer()
+		inner = f
+	})
+	h1.Defer()
+	e.Progress()
+	if !inner.Ready() {
+		t.Error("nested deferred notification not drained")
+	}
+}
+
+func TestLPCRunsAtProgress(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	ran := false
+	e.EnqueueLPC(func() { ran = true })
+	if ran {
+		t.Fatal("LPC ran before progress")
+	}
+	e.Progress()
+	if !ran {
+		t.Fatal("LPC did not run at progress")
+	}
+	if e.Stats.LPCRuns != 1 {
+		t.Errorf("LPCRuns = %d", e.Stats.LPCRuns)
+	}
+}
+
+func TestQuiesced(t *testing.T) {
+	e := testEngine(Defer2021_3_6)
+	if !e.Quiesced() {
+		t.Error("fresh engine not quiesced")
+	}
+	_, h := e.NewOpFuture()
+	h.Defer()
+	if e.Quiesced() {
+		t.Error("engine with queued notification claims quiesced")
+	}
+	e.Progress()
+	if !e.Quiesced() {
+		t.Error("engine not quiesced after drain")
+	}
+}

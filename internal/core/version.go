@@ -1,0 +1,92 @@
+// Package core implements the paper's primary contribution: the completion
+// machinery of an APGAS runtime — futures, promises, completion requests,
+// the per-rank progress engine with its deferred-notification queue — and
+// the eager-notification optimization that lets operations whose data
+// movement completed synchronously (shared-memory bypass) notify completion
+// at initiation time instead of at the next progress call.
+//
+// Three library behaviours from the paper are reconstructed via Version:
+//
+//   - Legacy2021_3_0: all notifications deferred; an extra per-operation
+//     heap allocation on directly-addressable RMA; no when_all
+//     short-circuiting; no shared ready-future cell.
+//   - Defer2021_3_6: still deferred notifications, but with the
+//     allocation-elimination, when_all, and ready-future optimizations.
+//   - Eager2021_3_6: the same snapshot with eager notification as the
+//     default completion mode.
+package core
+
+// Version captures the implementation knobs distinguishing the three UPC++
+// builds compared in the paper (§IV). Fields default to the most
+// conservative (legacy) behaviour; use the predefined variables rather than
+// constructing Versions by hand.
+type Version struct {
+	// Name labels benchmark output rows.
+	Name string
+
+	// EagerDefault selects eager notification for completions requested
+	// with the default-mode factories (the paper's as_future/as_promise
+	// under the new implementation; the UPCXX_DEFER_COMPLETION macro
+	// corresponds to turning this off).
+	EagerDefault bool
+
+	// LegacyExtraAlloc reinstates the additional per-operation heap
+	// allocation that 2021.3.0 performed for RMA on directly-addressable
+	// global pointers (eliminated in the 2021.3.6 snapshot, §IV-A).
+	LegacyExtraAlloc bool
+
+	// WhenAllShortCircuit enables the when_all conjoining optimizations of
+	// §III-C (return a single contributing input instead of building a
+	// dependency-graph node).
+	WhenAllShortCircuit bool
+
+	// ReadySingleton enables construction of ready value-less futures from
+	// a shared pre-allocated cell instead of a fresh heap allocation
+	// (§III-B).
+	ReadySingleton bool
+
+	// ConstexprLocal enables resolving the is_local locality query at
+	// compile time on conduits where every rank is co-located (the SMP
+	// conduit optimization of §IV-B, new in the 2021.3.6 snapshot).
+	ConstexprLocal bool
+}
+
+// The three library versions evaluated in the paper.
+var (
+	Legacy2021_3_0 = Version{
+		Name: "2021.3.0",
+	}
+	Defer2021_3_6 = Version{
+		Name:                "2021.3.6-defer",
+		WhenAllShortCircuit: true,
+		ReadySingleton:      true,
+		ConstexprLocal:      true,
+	}
+	Eager2021_3_6 = Version{
+		Name:                "2021.3.6-eager",
+		EagerDefault:        true,
+		WhenAllShortCircuit: true,
+		ReadySingleton:      true,
+		ConstexprLocal:      true,
+	}
+)
+
+func init() {
+	// LegacyExtraAlloc is only meaningful for the 2021.3.0 build.
+	Legacy2021_3_0.LegacyExtraAlloc = true
+}
+
+// Versions lists the three paper configurations in presentation order.
+func Versions() []Version {
+	return []Version{Legacy2021_3_0, Defer2021_3_6, Eager2021_3_6}
+}
+
+// VersionByName returns the predefined Version with the given Name.
+func VersionByName(name string) (Version, bool) {
+	for _, v := range Versions() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return Version{}, false
+}

@@ -1,0 +1,87 @@
+package core
+
+// WhenAll conjoins value-less futures into a single future that readies
+// when all inputs are ready (the when_all combinator of §II-A).
+//
+// Under Version.WhenAllShortCircuit the §III-C optimizations apply:
+//
+//   - if every input is ready, the result is a ready future (the shared
+//     cell, costing nothing);
+//   - if exactly one input is non-ready, that input is returned directly —
+//     it is the only contributor to the result's readiness;
+//   - otherwise a dependency-graph node is built.
+//
+// Without the optimization (legacy behaviour) every call constructs a
+// graph node, which is what makes future-conjoining loops so expensive
+// under deferred notification (Fig. 1 of the paper).
+func (e *Engine) WhenAll(fs ...Future) Future {
+	for _, f := range fs {
+		f.check()
+	}
+	if e.ver.WhenAllShortCircuit {
+		nonReady := -1
+		n := 0
+		for i, f := range fs {
+			if !f.c.ready {
+				n++
+				nonReady = i
+			}
+		}
+		switch n {
+		case 0:
+			e.Stats.WhenAllElided++
+			return e.ReadyFuture()
+		case 1:
+			e.Stats.WhenAllElided++
+			return fs[nonReady]
+		}
+	}
+	e.Stats.WhenAllBuilt++
+	conj := e.newCell()
+	conj.deps = int32(len(fs)) // replaces the construction dependency
+	if conj.deps == 0 {
+		conj.ready = true
+		return Future{conj}
+	}
+	for _, f := range fs {
+		f.c.onReady(func() { conj.fulfill(1) })
+	}
+	return Future{conj}
+}
+
+// WhenAllV conjoins one value-carrying future with any number of
+// value-less futures, producing a future carrying the same value — the
+// §III-C case "all the values come from a single input future". Under the
+// short-circuit optimization, if every value-less input is ready the
+// value-carrying input is returned unchanged (no allocation, no graph).
+func WhenAllV[T any](e *Engine, fv FutureV[T], fs ...Future) FutureV[T] {
+	fv.check()
+	for _, f := range fs {
+		f.check()
+	}
+	if e.ver.WhenAllShortCircuit {
+		allReady := true
+		for _, f := range fs {
+			if !f.c.ready {
+				allReady = false
+				break
+			}
+		}
+		if allReady {
+			e.Stats.WhenAllElided++
+			return fv
+		}
+	}
+	e.Stats.WhenAllBuilt++
+	e.Stats.CellAllocs++
+	conj := &cellV[T]{cell: cell{eng: e, deps: int32(1 + len(fs))}}
+	src := fv.c
+	fv.c.onReady(func() {
+		conj.v = src.v
+		conj.fulfill(1)
+	})
+	for _, f := range fs {
+		f.c.onReady(func() { conj.fulfill(1) })
+	}
+	return FutureV[T]{conj}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWhenAllEmpty(t *testing.T) {
+	for _, ver := range Versions() {
+		e := testEngine(ver)
+		if !e.WhenAll().Ready() {
+			t.Errorf("%s: WhenAll() not ready", ver.Name)
+		}
+	}
+}
+
+func TestWhenAllShortCircuitAllReady(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	f := e.WhenAll(e.ReadyFuture(), e.ReadyFuture(), e.ReadyFuture())
+	if !f.Ready() {
+		t.Fatal("not ready")
+	}
+	if e.Stats.WhenAllBuilt != 0 {
+		t.Error("short-circuit path built a graph node")
+	}
+	if e.Stats.WhenAllElided != 1 {
+		t.Errorf("WhenAllElided = %d", e.Stats.WhenAllElided)
+	}
+	if e.Stats.CellAllocs != 0 {
+		t.Errorf("allocated %d cells", e.Stats.CellAllocs)
+	}
+}
+
+func TestWhenAllShortCircuitSingleNonReady(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	pending, h := e.NewOpFuture()
+	allocsBefore := e.Stats.CellAllocs
+	f := e.WhenAll(e.ReadyFuture(), pending, e.ReadyFuture())
+	if e.Stats.CellAllocs != allocsBefore {
+		t.Error("single-non-ready case should not allocate")
+	}
+	if f.c != pending.c {
+		t.Error("should return the single non-ready input itself")
+	}
+	h.Fulfill()
+	if !f.Ready() {
+		t.Error("not readied by the input")
+	}
+}
+
+func TestWhenAllBuildsGraphWhenNeeded(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	f1, h1 := e.NewOpFuture()
+	f2, h2 := e.NewOpFuture()
+	conj := e.WhenAll(f1, f2)
+	if conj.Ready() {
+		t.Fatal("ready early")
+	}
+	if e.Stats.WhenAllBuilt != 1 {
+		t.Errorf("WhenAllBuilt = %d", e.Stats.WhenAllBuilt)
+	}
+	h1.Fulfill()
+	if conj.Ready() {
+		t.Fatal("ready with one input pending")
+	}
+	h2.Fulfill()
+	if !conj.Ready() {
+		t.Fatal("not ready after both")
+	}
+}
+
+func TestWhenAllLegacyAlwaysBuilds(t *testing.T) {
+	e := testEngine(Legacy2021_3_0)
+	f := e.WhenAll(e.ReadyFuture(), e.ReadyFuture())
+	if !f.Ready() {
+		t.Fatal("conjunction of ready futures must be ready")
+	}
+	if e.Stats.WhenAllBuilt != 1 {
+		t.Errorf("legacy should always build: WhenAllBuilt = %d", e.Stats.WhenAllBuilt)
+	}
+	if e.Stats.WhenAllElided != 0 {
+		t.Error("legacy should never elide")
+	}
+}
+
+// TestWhenAllEquivalenceProperty: for random readiness patterns, the
+// optimized and legacy implementations must agree on the result's
+// readiness at every step of fulfillment.
+func TestWhenAllEquivalenceProperty(t *testing.T) {
+	f := func(pattern []bool, fulfilOrder []uint8) bool {
+		if len(pattern) == 0 || len(pattern) > 12 {
+			return true
+		}
+		build := func(ver Version) (Future, []FulfillHandle, *Engine) {
+			e := testEngine(ver)
+			ins := make([]Future, len(pattern))
+			var hs []FulfillHandle
+			for i, ready := range pattern {
+				if ready {
+					ins[i] = e.ReadyFuture()
+				} else {
+					f, h := e.NewOpFuture()
+					ins[i] = f
+					hs = append(hs, h)
+				}
+			}
+			return e.WhenAll(ins...), hs, e
+		}
+		opt, hsO, _ := build(Eager2021_3_6)
+		leg, hsL, _ := build(Legacy2021_3_0)
+		if opt.Ready() != leg.Ready() {
+			return false
+		}
+		for i := range hsO {
+			hsO[i].Fulfill()
+			hsL[i].Fulfill()
+			if opt.Ready() != leg.Ready() {
+				return false
+			}
+		}
+		return opt.Ready() && leg.Ready()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhenAllVPassThrough(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	fv := NewReadyFutureV(e, 3.5)
+	allocs := e.Stats.CellAllocs
+	out := WhenAllV(e, fv, e.ReadyFuture(), e.ReadyFuture())
+	if e.Stats.CellAllocs != allocs {
+		t.Error("pass-through case allocated")
+	}
+	if out.c != fv.c {
+		t.Error("should return the value future unchanged")
+	}
+	if out.Value() != 3.5 {
+		t.Error("wrong value")
+	}
+}
+
+func TestWhenAllVBuildsWhenPending(t *testing.T) {
+	e := testEngine(Eager2021_3_6)
+	fv := NewReadyFutureV(e, 7)
+	pending, h := e.NewOpFuture()
+	out := WhenAllV(e, fv, pending)
+	if out.Ready() {
+		t.Fatal("ready early")
+	}
+	h.Fulfill()
+	if !out.Ready() || out.Value() != 7 {
+		t.Fatalf("value not propagated: ready=%v", out.Ready())
+	}
+}
+
+func TestWhenAllVPendingValue(t *testing.T) {
+	for _, ver := range Versions() {
+		e := testEngine(ver)
+		fv, vp, h := NewFutureV[int](e)
+		out := WhenAllV(e, fv, e.ReadyFuture())
+		if ver.WhenAllShortCircuit {
+			// All value-less inputs ready ⇒ pass-through even though the
+			// value input is pending.
+			if out.c != fv.c {
+				t.Errorf("%s: expected pass-through", ver.Name)
+			}
+		}
+		if out.Ready() {
+			t.Fatalf("%s: ready early", ver.Name)
+		}
+		*vp = 11
+		h.Fulfill()
+		if !out.Ready() || out.Value() != 11 {
+			t.Errorf("%s: value lost", ver.Name)
+		}
+	}
+}
+
+// TestConjoiningLoopCost reproduces Fig. 1's cost asymmetry: a conjoining
+// loop over eagerly-completed (ready) futures allocates nothing with the
+// short-circuit, and one graph node per iteration without it.
+func TestConjoiningLoopCost(t *testing.T) {
+	run := func(ver Version) (cells int64) {
+		e := testEngine(ver)
+		f := e.MakeFuture()
+		for i := 0; i < 100; i++ {
+			f = e.WhenAll(f, e.ReadyFuture())
+		}
+		if !f.Ready() {
+			t.Fatalf("%s: conjunction of ready futures not ready", ver.Name)
+		}
+		return e.Stats.CellAllocs
+	}
+	if got := run(Eager2021_3_6); got != 0 {
+		t.Errorf("optimized loop allocated %d cells, want 0", got)
+	}
+	if got := run(Legacy2021_3_0); got < 100 {
+		t.Errorf("legacy loop allocated %d cells, want >= 100", got)
+	}
+}

@@ -1,0 +1,81 @@
+package gasnet
+
+import (
+	"fmt"
+
+	"gupcxx/internal/serial"
+)
+
+// Handler identifiers for the substrate's internal protocol. User-level
+// layers (the gupcxx runtime) register additional handlers starting at
+// HandlerUserBase.
+const (
+	hPutReq uint8 = iota // put request: apply payload at offset, reply ack
+	hPutAck              // put acknowledgment: complete outstanding op
+	hGetReq              // get request: read range, reply with data
+	hGetRep              // get reply: deliver data, complete outstanding op
+	hAmoReq              // atomic request: apply op, reply with old value
+	hAmoRep              // atomic reply: deliver old value, complete op
+	hHeldFn              // held remote-completion closure (PollInternal)
+
+	// HandlerUserBase is the first handler ID available to higher layers.
+	HandlerUserBase = 16
+
+	// MaxHandlers bounds the handler table size.
+	MaxHandlers = 64
+)
+
+// Msg is an active message. Internal-protocol messages are fully described
+// by (Handler, A0..A3, Payload) and are round-trippable through the serial
+// wire encoding; Fn is an in-memory extension used for closure-carrying
+// user-level RPC on co-located ranks (a network conduit for separate address
+// spaces would instead require registered handlers, which is exactly what
+// the internal protocol demonstrates).
+type Msg struct {
+	Handler uint8
+	From    int32 // sender rank
+	A0      uint64
+	A1      uint64
+	A2      uint64
+	A3      uint64
+	Payload []byte
+	Fn      func(*Endpoint) // closure payload; nil for wire messages
+
+	readyAt int64 // SIM conduit release time (0 = immediately deliverable)
+}
+
+// HandlerFunc processes one delivered active message on the receiving
+// endpoint's progress goroutine.
+type HandlerFunc func(ep *Endpoint, m *Msg)
+
+// encodeMsg serializes a wire message (one with Fn == nil) into buf,
+// returning the encoded bytes.
+func encodeMsg(buf []byte, m *Msg) []byte {
+	e := serial.NewEncoder(buf)
+	e.PutU8(m.Handler)
+	e.PutU32(uint32(m.From))
+	e.PutU64(m.A0)
+	e.PutU64(m.A1)
+	e.PutU64(m.A2)
+	e.PutU64(m.A3)
+	e.PutRaw(m.Payload) // extends to end of message
+	return e.Bytes()
+}
+
+// decodeMsg parses a wire message produced by encodeMsg. The returned
+// message's Payload aliases b.
+func decodeMsg(b []byte) (Msg, error) {
+	d := serial.NewDecoder(b)
+	var m Msg
+	m.Handler = d.U8()
+	m.From = int32(d.U32())
+	m.A0 = d.U64()
+	m.A1 = d.U64()
+	m.A2 = d.U64()
+	m.A3 = d.U64()
+	m.Payload = d.Raw()
+	if err := d.Err(); err != nil {
+		return Msg{}, fmt.Errorf("gasnet: bad wire message: %w", err)
+	}
+	return m, nil
+}

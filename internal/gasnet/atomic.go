@@ -1,0 +1,144 @@
+package gasnet
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// AmoOp identifies an atomic memory operation on a 64-bit segment word.
+// Signed operations share opcodes with unsigned ones: two's-complement add,
+// swap, and compare-exchange are bit-identical, and the substrate provides
+// no ordered comparisons.
+type AmoOp uint8
+
+const (
+	// AmoLoad reads the word (operands ignored).
+	AmoLoad AmoOp = iota
+	// AmoStore writes operand1 (returns the previous value).
+	AmoStore
+	// AmoAdd adds operand1.
+	AmoAdd
+	// AmoXor xors in operand1.
+	AmoXor
+	// AmoAnd ands in operand1.
+	AmoAnd
+	// AmoOr ors in operand1.
+	AmoOr
+	// AmoSwap exchanges the word with operand1.
+	AmoSwap
+	// AmoCAS replaces the word with operand2 if it equals operand1.
+	AmoCAS
+	// AmoFAdd adds operand1 to the word, both interpreted as IEEE-754
+	// binary64 (GASNet-EX supports floating-point AMOs; software targets
+	// implement them as CAS loops, as here).
+	AmoFAdd
+	// AmoFMin stores min(word, operand1) under float64 interpretation.
+	AmoFMin
+	// AmoFMax stores max(word, operand1) under float64 interpretation.
+	AmoFMax
+
+	amoOpCount
+)
+
+// String returns the operation's conventional name.
+func (op AmoOp) String() string {
+	switch op {
+	case AmoLoad:
+		return "load"
+	case AmoStore:
+		return "store"
+	case AmoAdd:
+		return "add"
+	case AmoXor:
+		return "xor"
+	case AmoAnd:
+		return "and"
+	case AmoOr:
+		return "or"
+	case AmoSwap:
+		return "swap"
+	case AmoCAS:
+		return "cas"
+	case AmoFAdd:
+		return "fadd"
+	case AmoFMin:
+		return "fmin"
+	case AmoFMax:
+		return "fmax"
+	default:
+		return fmt.Sprintf("amo(%d)", uint8(op))
+	}
+}
+
+// Valid reports whether op is a defined operation.
+func (op AmoOp) Valid() bool { return op < amoOpCount }
+
+// ApplyAmo performs op on the 8-byte-aligned word at off in seg, returning
+// the word's previous value. This is the shared-memory execution engine
+// used both for direct on-node atomics (the synchronous-completion case the
+// paper's eager notifications exploit) and by the AM handler servicing
+// cross-node atomic requests — guaranteeing coherence between the two paths
+// the same way GASNet-EX must when NIC offload is in play.
+func ApplyAmo(seg *Segment, off uint32, op AmoOp, operand1, operand2 uint64) uint64 {
+	w := seg.WordAt(off)
+	switch op {
+	case AmoLoad:
+		return atomic.LoadUint64(w)
+	case AmoStore, AmoSwap:
+		return atomic.SwapUint64(w, operand1)
+	case AmoAdd:
+		return atomic.AddUint64(w, operand1) - operand1
+	case AmoXor:
+		for {
+			old := atomic.LoadUint64(w)
+			if atomic.CompareAndSwapUint64(w, old, old^operand1) {
+				return old
+			}
+		}
+	case AmoAnd:
+		for {
+			old := atomic.LoadUint64(w)
+			if atomic.CompareAndSwapUint64(w, old, old&operand1) {
+				return old
+			}
+		}
+	case AmoOr:
+		for {
+			old := atomic.LoadUint64(w)
+			if atomic.CompareAndSwapUint64(w, old, old|operand1) {
+				return old
+			}
+		}
+	case AmoCAS:
+		for {
+			old := atomic.LoadUint64(w)
+			if old != operand1 {
+				return old
+			}
+			if atomic.CompareAndSwapUint64(w, old, operand2) {
+				return old
+			}
+		}
+	case AmoFAdd, AmoFMin, AmoFMax:
+		f1 := math.Float64frombits(operand1)
+		for {
+			old := atomic.LoadUint64(w)
+			cur := math.Float64frombits(old)
+			var next float64
+			switch op {
+			case AmoFAdd:
+				next = cur + f1
+			case AmoFMin:
+				next = math.Min(cur, f1)
+			case AmoFMax:
+				next = math.Max(cur, f1)
+			}
+			if atomic.CompareAndSwapUint64(w, old, math.Float64bits(next)) {
+				return old
+			}
+		}
+	default:
+		panic(fmt.Sprintf("gasnet: invalid atomic op %d", op))
+	}
+}

@@ -1,0 +1,192 @@
+package gasnet
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func amoSeg(t *testing.T) *Segment {
+	t.Helper()
+	return NewSegment(64)
+}
+
+func TestApplyAmoBasics(t *testing.T) {
+	s := amoSeg(t)
+	const off = 8
+
+	if old := ApplyAmo(s, off, AmoStore, 5, 0); old != 0 {
+		t.Errorf("store old = %d", old)
+	}
+	if v := ApplyAmo(s, off, AmoLoad, 0, 0); v != 5 {
+		t.Errorf("load = %d", v)
+	}
+	if old := ApplyAmo(s, off, AmoAdd, 3, 0); old != 5 {
+		t.Errorf("add old = %d", old)
+	}
+	if old := ApplyAmo(s, off, AmoXor, 0xFF, 0); old != 8 {
+		t.Errorf("xor old = %d", old)
+	}
+	if v := ApplyAmo(s, off, AmoLoad, 0, 0); v != 8^0xFF {
+		t.Errorf("after xor = %d", v)
+	}
+	ApplyAmo(s, off, AmoStore, 0b1100, 0)
+	if old := ApplyAmo(s, off, AmoAnd, 0b1010, 0); old != 0b1100 {
+		t.Errorf("and old = %b", old)
+	}
+	if v := ApplyAmo(s, off, AmoLoad, 0, 0); v != 0b1000 {
+		t.Errorf("after and = %b", v)
+	}
+	if old := ApplyAmo(s, off, AmoOr, 0b0011, 0); old != 0b1000 {
+		t.Errorf("or old = %b", old)
+	}
+	if old := ApplyAmo(s, off, AmoSwap, 77, 0); old != 0b1011 {
+		t.Errorf("swap old = %b", old)
+	}
+	if v := ApplyAmo(s, off, AmoLoad, 0, 0); v != 77 {
+		t.Errorf("after swap = %d", v)
+	}
+}
+
+func TestApplyAmoCAS(t *testing.T) {
+	s := amoSeg(t)
+	ApplyAmo(s, 0, AmoStore, 10, 0)
+	// Failed CAS: returns current value, no change.
+	if old := ApplyAmo(s, 0, AmoCAS, 11, 99); old != 10 {
+		t.Errorf("failed CAS old = %d", old)
+	}
+	if v := ApplyAmo(s, 0, AmoLoad, 0, 0); v != 10 {
+		t.Errorf("failed CAS mutated to %d", v)
+	}
+	// Successful CAS.
+	if old := ApplyAmo(s, 0, AmoCAS, 10, 99); old != 10 {
+		t.Errorf("CAS old = %d", old)
+	}
+	if v := ApplyAmo(s, 0, AmoLoad, 0, 0); v != 99 {
+		t.Errorf("CAS did not store: %d", v)
+	}
+}
+
+func TestApplyAmoInvalidPanics(t *testing.T) {
+	s := amoSeg(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid op should panic")
+		}
+	}()
+	ApplyAmo(s, 0, AmoOp(200), 0, 0)
+}
+
+func TestAmoOpStrings(t *testing.T) {
+	names := map[AmoOp]string{
+		AmoLoad: "load", AmoStore: "store", AmoAdd: "add", AmoXor: "xor",
+		AmoAnd: "and", AmoOr: "or", AmoSwap: "swap", AmoCAS: "cas",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+		if !op.Valid() {
+			t.Errorf("%v not valid", op)
+		}
+	}
+	if AmoOp(99).Valid() {
+		t.Error("99 valid")
+	}
+}
+
+// TestAmoConcurrentAdds: adds from many goroutines sum exactly (atomicity
+// under contention).
+func TestAmoConcurrentAdds(t *testing.T) {
+	s := amoSeg(t)
+	const goroutines = 8
+	const per = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ApplyAmo(s, 16, AmoAdd, 1, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := ApplyAmo(s, 16, AmoLoad, 0, 0); v != goroutines*per {
+		t.Errorf("sum = %d, want %d", v, goroutines*per)
+	}
+}
+
+// TestAmoXorInvolution: xor-ing a random stream twice restores the word —
+// the property GUPS verification depends on.
+func TestAmoXorInvolution(t *testing.T) {
+	f := func(init uint64, stream []uint64) bool {
+		s := NewSegment(8)
+		ApplyAmo(s, 0, AmoStore, init, 0)
+		for _, v := range stream {
+			ApplyAmo(s, 0, AmoXor, v, 0)
+		}
+		for _, v := range stream {
+			ApplyAmo(s, 0, AmoXor, v, 0)
+		}
+		return ApplyAmo(s, 0, AmoLoad, 0, 0) == init
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAmoConcurrentCASIncrement: a CAS loop increment from many
+// goroutines loses nothing.
+func TestAmoConcurrentCASIncrement(t *testing.T) {
+	s := amoSeg(t)
+	const goroutines = 4
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for {
+					old := ApplyAmo(s, 24, AmoLoad, 0, 0)
+					if ApplyAmo(s, 24, AmoCAS, old, old+1) == old {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := ApplyAmo(s, 24, AmoLoad, 0, 0); v != goroutines*per {
+		t.Errorf("count = %d, want %d", v, goroutines*per)
+	}
+}
+
+func TestApplyAmoFloat(t *testing.T) {
+	s := amoSeg(t)
+	bits := func(f float64) uint64 { return math.Float64bits(f) }
+	val := func() float64 { return math.Float64frombits(ApplyAmo(s, 0, AmoLoad, 0, 0)) }
+
+	ApplyAmo(s, 0, AmoStore, bits(2.5), 0)
+	if old := ApplyAmo(s, 0, AmoFAdd, bits(0.5), 0); math.Float64frombits(old) != 2.5 {
+		t.Errorf("fadd old = %v", math.Float64frombits(old))
+	}
+	if v := val(); v != 3.0 {
+		t.Errorf("after fadd = %v", v)
+	}
+	ApplyAmo(s, 0, AmoFMin, bits(1.25), 0)
+	if v := val(); v != 1.25 {
+		t.Errorf("after fmin = %v", v)
+	}
+	ApplyAmo(s, 0, AmoFMax, bits(9.75), 0)
+	if v := val(); v != 9.75 {
+		t.Errorf("after fmax = %v", v)
+	}
+	for _, op := range []AmoOp{AmoFAdd, AmoFMin, AmoFMax} {
+		if !op.Valid() || op.String() == "" {
+			t.Errorf("op %d metadata wrong", op)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package gasnet implements the communication substrate underneath the
+// gupcxx runtime, modeled on GASNet-EX: per-rank shared-memory segments, a
+// rank-to-node topology, active-message (AM) endpoints with polling-based
+// progress, an AM-based remote RMA/atomic protocol, and pluggable conduits.
+//
+// Four conduits are provided:
+//
+//   - SMP: every rank lives on one node; all segments are directly
+//     addressable and the locality of a global address is a compile-time
+//     fact (the "constexpr is_local" optimization in the paper).
+//   - PSHM: models the paper's UDP-conduit-with-process-shared-memory runs:
+//     all ranks are co-located and have direct load/store access to each
+//     other's segments, but locality is a dynamic property that must be
+//     queried per address.
+//   - SIM: a message-passing conduit with injected wire latency. Ranks are
+//     partitioned into nodes of RanksPerNode ranks each; accesses between
+//     nodes travel as serialized active messages and never complete
+//     synchronously, exercising the deferred-notification path exactly as a
+//     network NIC would.
+//   - UDP: like PSHM, but wire-encodable active messages travel over real
+//     loopback UDP sockets (see udp.go) — the substrate configuration of
+//     the paper's IBM and Marvell runs.
+package gasnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Conduit selects the communication substrate for a Domain.
+type Conduit int
+
+const (
+	// SMP is the single-node shared-memory conduit with static locality.
+	SMP Conduit = iota
+	// PSHM is the co-located-processes conduit with dynamic locality.
+	PSHM
+	// SIM is the simulated-network conduit with cross-node latency.
+	SIM
+	// UDP is the co-located-processes conduit whose active messages
+	// travel over real loopback UDP datagrams (the paper's UDP-conduit
+	// runs); RMA data still moves through process-shared memory.
+	UDP
+)
+
+// String returns the conduit's conventional lower-case name.
+func (c Conduit) String() string {
+	switch c {
+	case SMP:
+		return "smp"
+	case PSHM:
+		return "pshm"
+	case SIM:
+		return "sim"
+	case UDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("conduit(%d)", int(c))
+	}
+}
+
+// ParseConduit converts a conduit name ("smp", "pshm", "sim", "udp") to a
+// Conduit.
+func ParseConduit(s string) (Conduit, error) {
+	switch s {
+	case "smp":
+		return SMP, nil
+	case "pshm":
+		return PSHM, nil
+	case "sim":
+		return SIM, nil
+	case "udp":
+		return UDP, nil
+	default:
+		return 0, fmt.Errorf("gasnet: unknown conduit %q", s)
+	}
+}
+
+// DefaultSegmentBytes is the per-rank shared segment size used when
+// Config.SegmentBytes is zero.
+const DefaultSegmentBytes = 16 << 20
+
+// Config describes a gasnet job: the number of ranks, how they are grouped
+// into nodes, the conduit connecting them, and segment sizing.
+type Config struct {
+	// Ranks is the total number of ranks in the job. Must be >= 1.
+	Ranks int
+
+	// Conduit selects the substrate. The zero value is SMP.
+	Conduit Conduit
+
+	// RanksPerNode applies to the SIM conduit only and gives the number of
+	// co-located ranks per simulated node. Zero means 1 (every rank on its
+	// own node, all traffic remote). SMP and PSHM place all ranks on node 0.
+	RanksPerNode int
+
+	// SegmentBytes is the size of each rank's shared segment. Zero selects
+	// DefaultSegmentBytes. Rounded up to a multiple of 8.
+	SegmentBytes int
+
+	// SimLatency is the one-way wire latency injected by the SIM conduit
+	// for cross-node messages. Zero selects 1µs. Ignored by other conduits.
+	SimLatency time.Duration
+}
+
+// normalized returns a copy of c with defaults filled in, or an error if the
+// configuration is invalid.
+func (c Config) normalized() (Config, error) {
+	if c.Ranks < 1 {
+		return c, fmt.Errorf("gasnet: Ranks must be >= 1, got %d", c.Ranks)
+	}
+	switch c.Conduit {
+	case SMP, PSHM, UDP:
+		c.RanksPerNode = c.Ranks
+	case SIM:
+		if c.RanksPerNode == 0 {
+			c.RanksPerNode = 1
+		}
+		if c.RanksPerNode < 1 {
+			return c, fmt.Errorf("gasnet: RanksPerNode must be >= 1, got %d", c.RanksPerNode)
+		}
+	default:
+		return c, fmt.Errorf("gasnet: unknown conduit %v", c.Conduit)
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = DefaultSegmentBytes
+	}
+	if c.SegmentBytes < 8 {
+		return c, fmt.Errorf("gasnet: SegmentBytes must be >= 8, got %d", c.SegmentBytes)
+	}
+	c.SegmentBytes = (c.SegmentBytes + 7) &^ 7
+	if c.Conduit == SIM && c.SimLatency == 0 {
+		c.SimLatency = time.Microsecond
+	}
+	return c, nil
+}
+
+// NodeOf reports which node the given rank resides on under this config.
+func (c Config) NodeOf(rank int) int {
+	if c.RanksPerNode <= 0 || c.Conduit != SIM {
+		return 0
+	}
+	return rank / c.RanksPerNode
+}
+
+// SameNode reports whether two ranks are co-located (and therefore have
+// direct load/store access to each other's segments).
+func (c Config) SameNode(a, b int) bool {
+	return c.NodeOf(a) == c.NodeOf(b)
+}
+
+// StaticLocal reports whether locality is a compile-time fact for this
+// configuration (true only for the SMP conduit, where the is_local check is
+// constexpr in the paper's terms).
+func (c Config) StaticLocal() bool { return c.Conduit == SMP }

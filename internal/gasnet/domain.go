@@ -1,0 +1,346 @@
+package gasnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Domain is one gasnet job: the set of segments, endpoints, and the handler
+// table shared by all ranks. A Domain is created once and its endpoints are
+// then driven concurrently, one goroutine per rank.
+type Domain struct {
+	cfg      Config
+	segs     []*Segment
+	eps      []*Endpoint
+	handlers [MaxHandlers]HandlerFunc
+
+	// amSends counts cross-endpoint active messages, for tests and
+	// instrumentation.
+	amSends atomic.Int64
+
+	// udp is the socket transport, present only on the UDP conduit.
+	udp *udpTransport
+}
+
+// NewDomain validates cfg and constructs the job: one segment and one
+// endpoint per rank, with the internal RMA/atomic protocol handlers
+// installed.
+func NewDomain(cfg Config) (*Domain, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{cfg: cfg}
+	d.segs = make([]*Segment, cfg.Ranks)
+	d.eps = make([]*Endpoint, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		d.segs[r] = NewSegment(cfg.SegmentBytes)
+		d.eps[r] = &Endpoint{
+			dom:  d,
+			rank: r,
+			node: cfg.NodeOf(r),
+			wake: make(chan struct{}, 1),
+		}
+	}
+	d.handlers[hPutReq] = handlePutReq
+	d.handlers[hPutAck] = handleAck
+	d.handlers[hGetReq] = handleGetReq
+	d.handlers[hGetRep] = handleAck
+	d.handlers[hAmoReq] = handleAmoReq
+	d.handlers[hAmoRep] = handleAck
+	d.handlers[hHeldFn] = func(ep *Endpoint, m *Msg) { m.Fn(ep) }
+	if cfg.Conduit == UDP {
+		if err := d.initUDP(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Config returns the (normalized) configuration the Domain was built with.
+func (d *Domain) Config() Config { return d.cfg }
+
+// Ranks reports the number of ranks in the job.
+func (d *Domain) Ranks() int { return d.cfg.Ranks }
+
+// Endpoint returns rank r's endpoint.
+func (d *Domain) Endpoint(r int) *Endpoint { return d.eps[r] }
+
+// Segment returns rank r's shared segment.
+func (d *Domain) Segment(r int) *Segment { return d.segs[r] }
+
+// RegisterHandler installs a user-level AM handler. IDs must be in
+// [HandlerUserBase, MaxHandlers). Registration must complete before any
+// endpoint is driven.
+func (d *Domain) RegisterHandler(id uint8, fn HandlerFunc) {
+	if id < HandlerUserBase || int(id) >= MaxHandlers {
+		panic(fmt.Sprintf("gasnet: handler id %d outside user range [%d,%d)",
+			id, HandlerUserBase, MaxHandlers))
+	}
+	if d.handlers[id] != nil {
+		panic(fmt.Sprintf("gasnet: handler id %d already registered", id))
+	}
+	d.handlers[id] = fn
+}
+
+// AMSends reports the total number of cross-endpoint active messages sent
+// so far in this Domain.
+func (d *Domain) AMSends() int64 { return d.amSends.Load() }
+
+// Endpoint is one rank's attachment to the Domain: its inbound AM queue and
+// its table of outstanding remote operations. All methods except the
+// producer side of message delivery must be called from the owning rank's
+// goroutine.
+type Endpoint struct {
+	dom   *Domain
+	rank  int
+	node  int
+	inbox amQueue
+	ops   opTable
+
+	// Ctx is an opaque slot for the runtime layer to attach its per-rank
+	// state (the progress engine), so AM handlers can reach it.
+	Ctx any
+
+	wirebuf []byte // reused encode buffer for SIM sends
+
+	// wake is signaled (coalescing) whenever a message is delivered to
+	// this endpoint, so an idle waiter can park instead of spinning — a
+	// large win when ranks outnumber cores.
+	wake      chan struct{}
+	parkTimer *time.Timer
+
+	// held carries messages deferred by PollInternal until the next
+	// user-level Poll.
+	held []Msg
+}
+
+// Rank returns this endpoint's rank index.
+func (ep *Endpoint) Rank() int { return ep.rank }
+
+// Node returns the node this endpoint resides on.
+func (ep *Endpoint) Node() int { return ep.node }
+
+// Domain returns the owning Domain.
+func (ep *Endpoint) Domain() *Domain { return ep.dom }
+
+// Segment returns this rank's own shared segment.
+func (ep *Endpoint) Segment() *Segment { return ep.dom.segs[ep.rank] }
+
+// Local reports whether this endpoint has direct load/store access to the
+// target rank's segment (i.e. the ranks are co-located). This is the
+// dynamic locality query behind the paper's is_local.
+func (ep *Endpoint) Local(target int) bool {
+	return ep.node == ep.dom.cfg.NodeOf(target)
+}
+
+// LocalSegment returns the target rank's segment, which the caller may
+// access directly only when Local(target) is true.
+func (ep *Endpoint) LocalSegment(target int) *Segment {
+	return ep.dom.segs[target]
+}
+
+// Send delivers an active message to the target rank's endpoint. Co-located
+// targets receive the message immediately (in-memory handoff). Cross-node
+// targets (SIM conduit) receive a copy that was round-tripped through the
+// wire encoding and released only after the configured latency; closure
+// messages (Fn != nil) cannot cross nodes.
+func (ep *Endpoint) Send(to int, m Msg) {
+	m.From = int32(ep.rank)
+	dst := ep.dom.eps[to]
+	ep.dom.amSends.Add(1)
+	if ep.dom.cfg.Conduit == UDP && m.Fn == nil {
+		// Wire-encodable message on the UDP conduit: through the kernel.
+		ep.dom.sendUDP(ep.rank, to, &m)
+		return
+	}
+	if ep.node == dst.node {
+		dst.inbox.push(m)
+		dst.notify()
+		return
+	}
+	// Round-trip through the wire format: this both validates that the
+	// internal protocol is serializable and gives the payload copy
+	// semantics of a real injection path. Closure payloads (remote
+	// completions, user RPC) are reattached out of band — the SIM conduit
+	// models wire latency, not address-space separation; see DESIGN.md.
+	fn := m.Fn
+	m.Fn = nil
+	ep.wirebuf = encodeMsg(ep.wirebuf[:0], &m)
+	wire := make([]byte, len(ep.wirebuf))
+	copy(wire, ep.wirebuf)
+	dm, err := decodeMsg(wire)
+	if err != nil {
+		panic(err) // encode/decode are inverses; this is a runtime bug
+	}
+	dm.Fn = fn
+	dm.readyAt = nanotime() + int64(ep.dom.cfg.SimLatency)
+	dst.inbox.push(dm)
+	dst.notify()
+}
+
+// Poll drains and dispatches all deliverable inbound messages (user-level
+// progress), returning the number processed. It must be called from the
+// owning rank's goroutine; it is the substrate half of the runtime's
+// progress engine. Messages held back by a preceding PollInternal are
+// dispatched first, preserving their arrival order.
+func (ep *Endpoint) Poll() int {
+	n := 0
+	if len(ep.held) > 0 {
+		held := ep.held
+		ep.held = nil
+		for i := range held {
+			ep.dispatch(&held[i])
+		}
+		n += len(held)
+	}
+	msgs := ep.inbox.drain(nanotime())
+	for i := range msgs {
+		ep.dispatch(&msgs[i])
+	}
+	return n + len(msgs)
+}
+
+// dispatch routes one message to its handler.
+func (ep *Endpoint) dispatch(m *Msg) {
+	h := ep.dom.handlers[m.Handler]
+	if h == nil {
+		panic(fmt.Sprintf("gasnet: no handler registered for id %d", m.Handler))
+	}
+	h(ep, m)
+}
+
+// PollInternal performs internal-level progress (the GASNet/UPC++ level
+// distinction of §II-B): it services inbound *requests* — remote put, get,
+// and atomic operations targeting this rank's segment — so that peers can
+// make progress, but delivers no user-observable notification on this
+// rank: acknowledgments (which would ready local futures and promises) and
+// user-level messages (RPCs, collective tokens) are held for the next
+// user-level Poll. Remote-completion callbacks attached to serviced puts
+// are likewise held — the data is applied and the ack sent, but the
+// callback waits for user-level progress, as remote_cx::as_rpc does in
+// UPC++.
+func (ep *Endpoint) PollInternal() int {
+	msgs := ep.inbox.drain(nanotime())
+	n := 0
+	for i := range msgs {
+		m := &msgs[i]
+		switch m.Handler {
+		case hPutReq:
+			if m.Fn != nil {
+				// Apply the data and ack now; hold the user-level remote
+				// completion for Poll.
+				fn := m.Fn
+				ep.Segment().CopyIn(uint32(m.A1), m.Payload)
+				ep.Send(int(m.From), Msg{Handler: hPutAck, A0: m.A0})
+				ep.held = append(ep.held, Msg{Handler: hHeldFn, Fn: fn})
+				n++
+				continue
+			}
+			ep.dispatch(m)
+			n++
+		case hGetReq, hAmoReq:
+			ep.dispatch(m)
+			n++
+		default:
+			// Acks, replies, and user-level messages wait for Poll. Copy:
+			// the drain buffer is reused.
+			ep.held = append(ep.held, *m)
+		}
+	}
+	return n
+}
+
+// InboxEmpty reports whether no messages (deliverable or in flight) are
+// queued for this endpoint.
+func (ep *Endpoint) InboxEmpty() bool { return ep.inbox.empty() }
+
+// notify signals (coalescing) that a message was delivered.
+func (ep *Endpoint) notify() {
+	select {
+	case ep.wake <- struct{}{}:
+	default:
+	}
+}
+
+// parkTimeout bounds how long Park blocks, so a waiter whose condition is
+// satisfied by something other than an inbound message (time passing on
+// the SIM conduit, a logic error in user code) re-polls periodically.
+const parkTimeout = time.Millisecond
+
+// Park blocks the calling (owner) goroutine until a new message may be
+// available for this endpoint, or parkTimeout elapses. Callers use it in
+// wait loops after an idle Poll, relinquishing the CPU to other ranks —
+// essential when ranks outnumber cores. Spurious returns are expected;
+// the caller re-checks its condition.
+func (ep *Endpoint) Park() {
+	if !ep.inbox.empty() {
+		// Messages exist but were not deliverable (SIM wire latency):
+		// yield briefly rather than blocking on the wake channel.
+		runtime.Gosched()
+		return
+	}
+	if ep.parkTimer == nil {
+		ep.parkTimer = time.NewTimer(parkTimeout)
+	} else {
+		ep.parkTimer.Reset(parkTimeout)
+	}
+	select {
+	case <-ep.wake:
+		if !ep.parkTimer.Stop() {
+			<-ep.parkTimer.C
+		}
+	case <-ep.parkTimer.C:
+	}
+}
+
+// PendingOps reports the number of outstanding remote operations initiated
+// by this endpoint that have not yet completed.
+func (ep *Endpoint) PendingOps() int { return ep.ops.live() }
+
+// opTable tracks outstanding remote operations by cookie. It is only
+// touched by the owning rank's goroutine (initiation and the ack handler
+// both run there), so it needs no locking.
+type opTable struct {
+	slots []func(*Msg)
+	free  []uint32
+	n     int
+}
+
+// add registers a completion callback and returns its cookie.
+func (t *opTable) add(cb func(*Msg)) uint64 {
+	t.n++
+	if len(t.free) > 0 {
+		id := t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		t.slots[id] = cb
+		return uint64(id)
+	}
+	t.slots = append(t.slots, cb)
+	return uint64(len(t.slots) - 1)
+}
+
+// take removes and returns the callback for cookie.
+func (t *opTable) take(cookie uint64) func(*Msg) {
+	cb := t.slots[cookie]
+	if cb == nil {
+		panic(fmt.Sprintf("gasnet: completion for unknown cookie %d", cookie))
+	}
+	t.slots[cookie] = nil
+	t.free = append(t.free, uint32(cookie))
+	t.n--
+	return cb
+}
+
+// live reports the number of registered, uncompleted operations.
+func (t *opTable) live() int { return t.n }
+
+// handleAck completes an outstanding operation: the reply's A0 carries the
+// cookie. Shared by put acks, get replies, and atomic replies; the
+// registered callback interprets the rest of the message.
+func handleAck(ep *Endpoint, m *Msg) {
+	cb := ep.ops.take(m.A0)
+	cb(m)
+}

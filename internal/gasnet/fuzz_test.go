@@ -1,0 +1,24 @@
+package gasnet
+
+import "testing"
+
+// FuzzDecodeMsg: arbitrary datagrams must either decode or error, never
+// panic — the UDP conduit's reader trusts decodeMsg with kernel-delivered
+// bytes.
+func FuzzDecodeMsg(f *testing.F) {
+	f.Add([]byte{})
+	m := Msg{Handler: 3, From: 1, A0: 9, Payload: []byte("x")}
+	f.Add(append([]byte(nil), encodeMsg(nil, &m)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeMsg(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the identical bytes
+		// (encode∘decode is the identity on valid wire messages).
+		back := encodeMsg(nil, &got)
+		if string(back) != string(data) {
+			t.Fatalf("re-encode mismatch: %x vs %x", back, data)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package gasnet
+
+import (
+	"sync"
+	"time"
+)
+
+// amQueue is a multi-producer single-consumer queue of inbound active
+// messages for one endpoint. Producers are any rank's goroutine; the sole
+// consumer is the owning rank's progress engine.
+//
+// Messages may carry a readyAt release time (SIM conduit wire latency); a
+// message is not delivered before that time. Because every sender-receiver
+// pair experiences the same constant latency, release times are monotone in
+// arrival order and a simple FIFO scan suffices.
+type amQueue struct {
+	mu      sync.Mutex
+	pending []Msg
+	scratch []Msg // drain buffer, reused across polls
+}
+
+// push enqueues a message.
+func (q *amQueue) push(m Msg) {
+	q.mu.Lock()
+	q.pending = append(q.pending, m)
+	q.mu.Unlock()
+}
+
+// drain moves all deliverable messages (readyAt in the past) into the
+// returned slice, which is owned by the caller until the next drain call.
+// It returns nil when nothing is deliverable.
+func (q *amQueue) drain(now int64) []Msg {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		return nil
+	}
+	// Find the prefix of deliverable messages.
+	n := 0
+	for n < len(q.pending) && q.pending[n].readyAt <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	q.scratch = q.scratch[:0]
+	q.scratch = append(q.scratch, q.pending[:n]...)
+	// Shift the remainder down, releasing references in the tail.
+	rem := copy(q.pending, q.pending[n:])
+	for i := rem; i < len(q.pending); i++ {
+		q.pending[i] = Msg{}
+	}
+	q.pending = q.pending[:rem]
+	return q.scratch
+}
+
+// empty reports whether the queue holds no messages at all (deliverable or
+// not).
+func (q *amQueue) empty() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) == 0
+}
+
+// nanotime returns the current monotonic-ish time in nanoseconds used for
+// SIM-conduit message release.
+func nanotime() int64 { return time.Now().UnixNano() }

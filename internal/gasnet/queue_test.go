@@ -1,0 +1,94 @@
+package gasnet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	var q amQueue
+	for i := uint64(0); i < 5; i++ {
+		q.push(Msg{A0: i})
+	}
+	msgs := q.drain(nanotime())
+	if len(msgs) != 5 {
+		t.Fatalf("drained %d", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.A0 != uint64(i) {
+			t.Errorf("order broken at %d: %d", i, m.A0)
+		}
+	}
+	if !q.empty() {
+		t.Error("queue not empty after drain")
+	}
+}
+
+func TestQueueReleaseTime(t *testing.T) {
+	var q amQueue
+	now := nanotime()
+	q.push(Msg{A0: 1, readyAt: now - 10})
+	q.push(Msg{A0: 2, readyAt: now + 1e9})
+	msgs := q.drain(now)
+	if len(msgs) != 1 || msgs[0].A0 != 1 {
+		t.Fatalf("drain = %v", msgs)
+	}
+	if q.empty() {
+		t.Error("in-flight message dropped")
+	}
+	msgs = q.drain(now + 2e9)
+	if len(msgs) != 1 || msgs[0].A0 != 2 {
+		t.Fatalf("late drain = %v", msgs)
+	}
+}
+
+func TestQueueDrainNilWhenNothingDeliverable(t *testing.T) {
+	var q amQueue
+	if q.drain(nanotime()) != nil {
+		t.Error("empty drain should be nil")
+	}
+	q.push(Msg{readyAt: nanotime() + 1e9})
+	if q.drain(nanotime()) != nil {
+		t.Error("undeliverable drain should be nil")
+	}
+}
+
+// TestQueueConcurrentProducers: messages from many producers are all
+// delivered exactly once.
+func TestQueueConcurrentProducers(t *testing.T) {
+	var q amQueue
+	const producers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.push(Msg{A0: uint64(p*per + i)})
+			}
+		}(p)
+	}
+	seen := make(map[uint64]bool)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		for _, m := range q.drain(nanotime()) {
+			if seen[m.A0] {
+				t.Errorf("duplicate %d", m.A0)
+			}
+			seen[m.A0] = true
+		}
+		select {
+		case <-done:
+			for _, m := range q.drain(nanotime()) {
+				seen[m.A0] = true
+			}
+			if len(seen) != producers*per {
+				t.Fatalf("delivered %d of %d", len(seen), producers*per)
+			}
+			return
+		default:
+		}
+	}
+}

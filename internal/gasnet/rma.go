@@ -1,0 +1,98 @@
+package gasnet
+
+// This file implements the AM-based remote RMA and atomic protocol: the
+// code path taken when the target segment is NOT directly addressable by
+// the initiator. Each operation is a request/reply pair; the reply carries
+// the initiator-side cookie that locates the completion callback in the
+// endpoint's outstanding-op table. Completion callbacks therefore always
+// run inside the initiator's Poll — i.e. remote operations never complete
+// synchronously, which is exactly why the paper's eager-notification
+// optimization is a no-op (one predicted-untaken branch) off-node.
+
+// nopDone is installed when the caller passes a nil completion callback.
+func nopDone(*Msg) {}
+
+// PutRemote initiates a put of data into the target rank's segment at byte
+// offset off. remoteFn, if non-nil, is executed on the target's progress
+// goroutine after the data is applied (the paper's remote completion /
+// remote_cx::as_rpc). onDone, if non-nil, runs on the initiating rank's
+// goroutine during a later Poll once the target has acknowledged
+// (operation completion). data is copied at injection time, so the caller
+// may reuse the buffer immediately (source completion is synchronous).
+func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*Endpoint), onDone func()) {
+	cb := nopDone
+	if onDone != nil {
+		cb = func(*Msg) { onDone() }
+	}
+	cookie := ep.ops.add(cb)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	ep.Send(to, Msg{
+		Handler: hPutReq,
+		A0:      cookie,
+		A1:      uint64(off),
+		Payload: buf,
+		Fn:      remoteFn,
+	})
+}
+
+func handlePutReq(ep *Endpoint, m *Msg) {
+	ep.Segment().CopyIn(uint32(m.A1), m.Payload)
+	if m.Fn != nil {
+		m.Fn(ep)
+	}
+	ep.Send(int(m.From), Msg{Handler: hPutAck, A0: m.A0})
+}
+
+// GetRemote initiates a get of n bytes from the target rank's segment at
+// byte offset off into dst (which must have length >= n). onDone runs on
+// the initiating rank's goroutine during a later Poll, after the data has
+// been stored into dst.
+func (ep *Endpoint) GetRemote(to int, off uint32, n int, dst []byte, onDone func()) {
+	cb := func(m *Msg) {
+		copy(dst, m.Payload)
+		if onDone != nil {
+			onDone()
+		}
+	}
+	cookie := ep.ops.add(cb)
+	ep.Send(to, Msg{
+		Handler: hGetReq,
+		A0:      cookie,
+		A1:      uint64(off),
+		A2:      uint64(n),
+	})
+}
+
+func handleGetReq(ep *Endpoint, m *Msg) {
+	n := int(m.A2)
+	data := make([]byte, n)
+	ep.Segment().CopyOut(uint32(m.A1), data)
+	ep.Send(int(m.From), Msg{Handler: hGetRep, A0: m.A0, Payload: data})
+}
+
+// AmoRemote initiates an atomic op on the 8-byte word at off in the target
+// rank's segment. onOld, if non-nil, receives the word's previous value on
+// the initiating rank's goroutine during a later Poll. Non-fetching callers
+// pass an onOld that ignores its argument (or nil).
+func (ep *Endpoint) AmoRemote(to int, off uint32, op AmoOp, operand1, operand2 uint64, onOld func(old uint64)) {
+	cb := nopDone
+	if onOld != nil {
+		cb = func(m *Msg) { onOld(m.A1) }
+	}
+	cookie := ep.ops.add(cb)
+	ep.Send(to, Msg{
+		Handler: hAmoReq,
+		A0:      cookie,
+		A1:      uint64(off) | uint64(op)<<32,
+		A2:      operand1,
+		A3:      operand2,
+	})
+}
+
+func handleAmoReq(ep *Endpoint, m *Msg) {
+	off := uint32(m.A1)
+	op := AmoOp(m.A1 >> 32)
+	old := ApplyAmo(ep.Segment(), off, op, m.A2, m.A3)
+	ep.Send(int(m.From), Msg{Handler: hAmoRep, A0: m.A0, A1: old})
+}

@@ -1,0 +1,129 @@
+package gasnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The UDP conduit models the paper's non-Intel configurations (§IV): the
+// job runs on one node with process-shared memory — every rank has direct
+// load/store access to every segment, so all RMA and atomic data movement
+// is performed through shared memory and completes synchronously — while
+// active messages (collective tokens, RPC acknowledgments, and the
+// internal protocol, should it ever fire) travel over real UDP datagrams
+// on the loopback interface.
+//
+// One honest deviation from a multi-process runtime is documented in
+// DESIGN.md: closure-carrying messages (user RPC bodies, remote
+// completions) cannot be serialized onto a socket in Go, so they are
+// delivered through the in-memory queue. This is sound because UDP-conduit
+// jobs are single-address-space by construction, exactly like the paper's
+// single-node UDP runs; wire-encodable messages genuinely round-trip
+// through the kernel.
+
+// maxUDPPayload bounds the wire size of one active message. Collective
+// tokens and protocol messages are far below this; oversized payloads are
+// a programming error on this conduit.
+const maxUDPPayload = 60 << 10
+
+// udpTransport is the per-domain socket state for the UDP conduit.
+type udpTransport struct {
+	conns []*net.UDPConn
+	addrs []*net.UDPAddr
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// initUDP binds one loopback socket per rank and starts its reader
+// goroutine, which decodes datagrams into the owning endpoint's inbox.
+func (d *Domain) initUDP() error {
+	tr := &udpTransport{}
+	for r := 0; r < d.cfg.Ranks; r++ {
+		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			tr.close()
+			return fmt.Errorf("gasnet: udp conduit: %w", err)
+		}
+		// A generous receive buffer: collective fan-ins burst many small
+		// datagrams at one socket, and loopback UDP drops on overflow.
+		_ = conn.SetReadBuffer(4 << 20)
+		tr.conns = append(tr.conns, conn)
+		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr))
+	}
+	for r := 0; r < d.cfg.Ranks; r++ {
+		ep := d.eps[r]
+		conn := tr.conns[r]
+		tr.wg.Add(1)
+		go func() {
+			defer tr.wg.Done()
+			buf := make([]byte, maxUDPPayload+128)
+			for {
+				n, _, err := conn.ReadFromUDP(buf)
+				if err != nil {
+					if errors.Is(err, net.ErrClosed) {
+						return
+					}
+					// Transient errors on loopback are unexpected but
+					// not fatal; keep serving.
+					continue
+				}
+				wire := make([]byte, n)
+				copy(wire, buf[:n])
+				m, err := decodeMsg(wire)
+				if err != nil {
+					panic(fmt.Sprintf("gasnet: udp conduit received undecodable datagram: %v", err))
+				}
+				ep.inbox.push(m)
+				ep.notify()
+			}
+		}()
+	}
+	d.udp = tr
+	return nil
+}
+
+// sendUDP ships a wire message to the target rank's socket.
+func (d *Domain) sendUDP(from, to int, m *Msg) {
+	wire := encodeMsg(nil, m)
+	if len(wire) > maxUDPPayload {
+		panic(fmt.Sprintf("gasnet: AM payload %d bytes exceeds UDP conduit limit %d",
+			len(m.Payload), maxUDPPayload))
+	}
+	conn := d.udp.conns[from]
+	if _, err := conn.WriteToUDP(wire, d.udp.addrs[to]); err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return // racing shutdown; message loss is fine post-Close
+		}
+		panic(fmt.Sprintf("gasnet: udp send failed: %v", err))
+	}
+}
+
+// close shuts down the sockets and waits for the reader goroutines.
+func (tr *udpTransport) close() {
+	tr.mu.Lock()
+	if tr.closed {
+		tr.mu.Unlock()
+		return
+	}
+	tr.closed = true
+	tr.mu.Unlock()
+	for _, c := range tr.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	tr.wg.Wait()
+}
+
+// Close releases conduit resources (UDP sockets and reader goroutines).
+// It is idempotent and a no-op for the in-memory conduits. Endpoints must
+// not be driven after Close.
+func (d *Domain) Close() {
+	if d.udp != nil {
+		d.udp.close()
+	}
+}

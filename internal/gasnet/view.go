@@ -1,0 +1,54 @@
+package gasnet
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// This file provides the typed views of segment memory used by the runtime
+// layer's generic global pointers. Together with segment.go it confines all
+// unsafe usage to this package.
+
+// SizeOf reports the in-memory size of T in bytes.
+func SizeOf[T any]() int {
+	var v T
+	return int(unsafe.Sizeof(v))
+}
+
+// ViewAs returns a typed pointer to the object of type T at byte offset
+// off in seg. The offset must be aligned for T (the segment allocator's
+// 8-byte granularity guarantees this for all word-sized-or-smaller
+// elements) and the object must lie entirely within the segment.
+func ViewAs[T any](s *Segment, off uint32) *T {
+	var v T
+	size := int(unsafe.Sizeof(v))
+	align := uint32(unsafe.Alignof(v))
+	if align != 0 && off%align != 0 {
+		panic(fmt.Sprintf("gasnet: misaligned view of %T at offset %d (align %d)", v, off, align))
+	}
+	return (*T)(s.PointerAt(off, size))
+}
+
+// ViewSlice returns a typed slice over n elements of type T starting at
+// byte offset off in seg.
+func ViewSlice[T any](s *Segment, off uint32, n int) []T {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice(ViewAs[T](s, off), n)
+}
+
+// ValueBytes returns the raw byte representation of the object at p. The
+// returned slice aliases *p.
+func ValueBytes[T any](p *T) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(p)), unsafe.Sizeof(*p))
+}
+
+// SliceBytes returns the raw byte representation of s. The returned slice
+// aliases s's backing array; an empty s yields nil.
+func SliceBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*int(unsafe.Sizeof(s[0])))
+}

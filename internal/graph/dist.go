@@ -1,0 +1,82 @@
+package graph
+
+import "fmt"
+
+// Dist is a block distribution of a graph's vertices across ranks:
+// contiguous id ranges of (nearly) equal size, the distribution the
+// matching application uses.
+type Dist struct {
+	N     int
+	Ranks int
+	per   int // block size (ceil division)
+}
+
+// NewDist builds the block distribution of n vertices over ranks.
+func NewDist(n, ranks int) Dist {
+	if ranks < 1 || n < 0 {
+		panic(fmt.Sprintf("graph: invalid distribution n=%d ranks=%d", n, ranks))
+	}
+	per := (n + ranks - 1) / ranks
+	if per == 0 {
+		per = 1
+	}
+	return Dist{N: n, Ranks: ranks, per: per}
+}
+
+// Owner returns the rank owning vertex v.
+func (d Dist) Owner(v int32) int {
+	return int(v) / d.per
+}
+
+// Range returns the [lo, hi) vertex-id range owned by rank.
+func (d Dist) Range(rank int) (lo, hi int32) {
+	l := rank * d.per
+	h := l + d.per
+	if l > d.N {
+		l = d.N
+	}
+	if h > d.N {
+		h = d.N
+	}
+	return int32(l), int32(h)
+}
+
+// Local converts a global vertex id to its offset within the owner's
+// block.
+func (d Dist) Local(v int32) int32 {
+	return v - int32(d.Owner(v)*d.per)
+}
+
+// BlockSize returns the per-rank block size.
+func (d Dist) BlockSize() int { return d.per }
+
+// Locality summarizes how a graph's edges fall relative to a
+// distribution; it is the property Fig. 8's speedups track.
+type Locality struct {
+	// SameRank is the fraction of directed edges whose endpoints share a
+	// rank (updates the application manually localizes).
+	SameRank float64
+	// CrossRank is 1 − SameRank: edges requiring communication, which on
+	// one node means RMA to co-located processes — the operations eager
+	// notification accelerates.
+	CrossRank float64
+}
+
+// MeasureLocality computes edge locality of g under d.
+func MeasureLocality(g *Graph, d Dist) Locality {
+	if len(g.Adj) == 0 {
+		return Locality{SameRank: 1}
+	}
+	var same int64
+	for v := int32(0); int(v) < g.N; v++ {
+		ov := d.Owner(v)
+		lo, hi := g.XAdj[v], g.XAdj[v+1]
+		for _, u := range g.Adj[lo:hi] {
+			if d.Owner(u) == ov {
+				same++
+			}
+		}
+	}
+	f := float64(same) / float64(len(g.Adj))
+	return Locality{SameRank: f, CrossRank: 1 - f}
+}

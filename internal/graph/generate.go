@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Synthetic generators standing in for the paper's SuiteSparse inputs.
+// What matters for Fig. 8 is each input's *locality* — the fraction of
+// edges whose endpoints land on the same rank under block distribution —
+// because eager notification only accelerates updates to co-located (but
+// not same-rank) memory. The generators below span that axis:
+//
+//	Grid3D          ("channel"): 3-D mesh, nearly all edges local
+//	Geometric       ("delaunay"/"venturi"): random geometric graph with
+//	                 spatially sorted ids, moderately local
+//	GeometricNoise  ("random"): geometric plus a fraction of arbitrary
+//	                 pairs, the paper's own synthetic input (15 noise edges
+//	                 per 100 geometric)
+//	PowerLaw        ("youtube"): preferential attachment, highly non-local
+//	ErdosRenyi      (tests): uniform random
+//
+// All generators are deterministic in (parameters, seed). Edge weights are
+// drawn uniformly from (0,1); ties are broken by endpoint ids in the
+// matching code, so exact duplicates are harmless.
+
+// Grid3D builds an nx×ny×nz 6-point mesh with random weights — the
+// "channel" analog. Vertex ids are x-fastest, so block distribution cuts
+// the mesh into contiguous slabs and almost all edges stay within a rank.
+func Grid3D(nx, ny, nz int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := nx * ny * nz
+	id := func(x, y, z int) int32 { return int32(x + nx*(y+ny*z)) }
+	var edges []Edge
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				u := id(x, y, z)
+				if x+1 < nx {
+					edges = append(edges, Edge{u, id(x+1, y, z), rng.Float64()})
+				}
+				if y+1 < ny {
+					edges = append(edges, Edge{u, id(x, y+1, z), rng.Float64()})
+				}
+				if z+1 < nz {
+					edges = append(edges, Edge{u, id(x, y, z+1), rng.Float64()})
+				}
+			}
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("graph: Grid3D internal error: %v", err))
+	}
+	return g
+}
+
+// Geometric builds a random geometric graph: n points in the unit square,
+// an edge between every pair within the radius that yields the target
+// average degree. Vertex ids are assigned in spatial (cell-major) order,
+// giving the moderate locality of mesh-like inputs ("delaunay",
+// "venturi").
+func Geometric(n int, avgDegree float64, seed int64) *Graph {
+	g, _ := geometric(n, avgDegree, 0, seed)
+	return g
+}
+
+// GeometricNoise builds a geometric graph plus noisePer100 random
+// long-range edges per 100 geometric edges — the construction the paper
+// used for its "random" input (--p 15 ⇒ 15 per 100).
+func GeometricNoise(n int, avgDegree float64, noisePer100 int, seed int64) *Graph {
+	g, _ := geometric(n, avgDegree, noisePer100, seed)
+	return g
+}
+
+func geometric(n int, avgDegree float64, noisePer100 int, seed int64) (*Graph, int) {
+	rng := rand.New(rand.NewSource(seed))
+	// Expected degree = π r² (n-1) ⇒ r.
+	r := math.Sqrt(avgDegree / (math.Pi * float64(n-1)))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Sort points into cell-major order so vertex ids reflect spatial
+	// position (block distribution then yields locality).
+	cells := int(math.Ceil(1 / r))
+	if cells < 1 {
+		cells = 1
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	cellOf := func(i int) (int, int) {
+		cx := int(xs[i] / r)
+		cy := int(ys[i] / r)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ax, ay := cellOf(order[a])
+		bx, by := cellOf(order[b])
+		if ay != by {
+			return ay < by
+		}
+		if ax != bx {
+			return ax < bx
+		}
+		return order[a] < order[b]
+	})
+	newID := make([]int32, n)
+	for rank, old := range order {
+		newID[old] = int32(rank)
+	}
+	// Bucket points by cell for neighbor search.
+	bucket := make(map[[2]int][]int)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		bucket[[2]int{cx, cy}] = append(bucket[[2]int{cx, cy}], i)
+	}
+	var edges []Edge
+	r2 := r * r
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range bucket[[2]int{cx + dx, cy + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						edges = append(edges, Edge{newID[i], newID[j], rng.Float64()})
+					}
+				}
+			}
+		}
+	}
+	geoEdges := len(edges)
+	// Long-range noise: noisePer100 random pairs per 100 geometric edges.
+	want := geoEdges * noisePer100 / 100
+	have := make(map[[2]int32]bool, len(edges)+want)
+	for _, e := range edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		have[[2]int32{a, b}] = true
+	}
+	for added := 0; added < want; {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if have[[2]int32{a, b}] {
+			continue
+		}
+		have[[2]int32{a, b}] = true
+		edges = append(edges, Edge{a, b, rng.Float64()})
+		added++
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("graph: geometric internal error: %v", err))
+	}
+	return g, geoEdges
+}
+
+// PowerLaw builds a Barabási–Albert preferential-attachment graph: each
+// new vertex attaches to m distinct existing vertices chosen proportional
+// to degree — the heavy-tailed, locality-free structure of social graphs
+// ("youtube").
+func PowerLaw(n, m int, seed int64) *Graph {
+	if n <= m {
+		panic(fmt.Sprintf("graph: PowerLaw needs n > m, got n=%d m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// repeated-endpoints list: picking a uniform element is
+	// degree-proportional sampling.
+	targets := make([]int32, 0, 2*m*(n-m))
+	var edges []Edge
+	// Seed clique-ish core: connect vertex i to i-1 for the first m+1.
+	for v := 1; v <= m; v++ {
+		edges = append(edges, Edge{int32(v), int32(v - 1), rng.Float64()})
+		targets = append(targets, int32(v), int32(v-1))
+	}
+	chosen := make(map[int32]bool, m)
+	picked := make([]int32, 0, m)
+	for v := m + 1; v < n; v++ {
+		clear(chosen)
+		picked = picked[:0]
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if !chosen[t] {
+				chosen[t] = true
+				picked = append(picked, t)
+			}
+		}
+		// Deterministic weight assignment: attach in pick order, not map
+		// iteration order.
+		for _, t := range picked {
+			edges = append(edges, Edge{int32(v), t, rng.Float64()})
+			targets = append(targets, int32(v), t)
+		}
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("graph: PowerLaw internal error: %v", err))
+	}
+	return g
+}
+
+// ErdosRenyi builds a uniform random graph with exactly m distinct edges.
+func ErdosRenyi(n int, m int, seed int64) *Graph {
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		panic(fmt.Sprintf("graph: ErdosRenyi m=%d exceeds max %d", m, maxEdges))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	have := make(map[[2]int32]bool, m)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		a := int32(rng.Intn(n))
+		b := int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if have[[2]int32{a, b}] {
+			continue
+		}
+		have[[2]int32{a, b}] = true
+		edges = append(edges, Edge{a, b, rng.Float64()})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(fmt.Sprintf("graph: ErdosRenyi internal error: %v", err))
+	}
+	return g
+}

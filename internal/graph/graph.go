@@ -1,0 +1,173 @@
+// Package graph provides the weighted undirected graphs used by the
+// matching application: a CSR representation, deterministic synthetic
+// generators spanning the locality spectrum of the paper's inputs (§IV-C),
+// and block distribution across ranks with locality metrics.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected graph in compressed-sparse-row form.
+// Every undirected edge {u,v} is stored twice (u→v and v→u) with equal
+// weights. Self-loops are disallowed.
+type Graph struct {
+	// N is the vertex count; vertices are 0..N-1.
+	N int
+	// XAdj has N+1 entries; vertex v's neighbors occupy
+	// Adj[XAdj[v]:XAdj[v+1]].
+	XAdj []int64
+	// Adj holds neighbor vertex ids.
+	Adj []int32
+	// W holds edge weights, parallel to Adj.
+	W []float64
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return int64(len(g.Adj)) / 2 }
+
+// Degree returns vertex v's neighbor count.
+func (g *Graph) Degree(v int32) int {
+	return int(g.XAdj[v+1] - g.XAdj[v])
+}
+
+// Neighbors returns vertex v's neighbor ids and edge weights. The slices
+// alias the graph's storage.
+func (g *Graph) Neighbors(v int32) ([]int32, []float64) {
+	lo, hi := g.XAdj[v], g.XAdj[v+1]
+	return g.Adj[lo:hi], g.W[lo:hi]
+}
+
+// Edge is one endpoint pair with weight, used by builders.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// FromEdges builds a CSR graph over n vertices from an undirected edge
+// list (each edge listed once). Duplicate edges and self-loops are
+// rejected.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self-loop at vertex %d", e.U)
+		}
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) outside 0..%d", e.U, e.V, n-1)
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	g := &Graph{N: n, XAdj: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		g.XAdj[v+1] = g.XAdj[v] + deg[v+1]
+	}
+	m2 := g.XAdj[n]
+	g.Adj = make([]int32, m2)
+	g.W = make([]float64, m2)
+	cursor := make([]int64, n)
+	copy(cursor, g.XAdj[:n])
+	place := func(u, v int32, w float64) {
+		i := cursor[u]
+		g.Adj[i] = v
+		g.W[i] = w
+		cursor[u]++
+	}
+	for _, e := range edges {
+		place(e.U, e.V, e.W)
+		place(e.V, e.U, e.W)
+	}
+	// Sort each adjacency list for deterministic iteration and fast
+	// duplicate detection.
+	for v := 0; v < n; v++ {
+		lo, hi := g.XAdj[v], g.XAdj[v+1]
+		idx := g.Adj[lo:hi]
+		ws := g.W[lo:hi]
+		sort.Sort(&adjSorter{idx, ws})
+		for i := 1; i < len(idx); i++ {
+			if idx[i] == idx[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, idx[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+type adjSorter struct {
+	idx []int32
+	w   []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.idx) }
+func (s *adjSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// Validate checks CSR structural invariants: monotone XAdj, in-range
+// neighbor ids, no self-loops, sorted duplicate-free adjacency, and
+// symmetry (u∈adj(v) ⇔ v∈adj(u) with equal weight).
+func (g *Graph) Validate() error {
+	if len(g.XAdj) != g.N+1 {
+		return fmt.Errorf("graph: XAdj length %d, want %d", len(g.XAdj), g.N+1)
+	}
+	if g.XAdj[0] != 0 || g.XAdj[g.N] != int64(len(g.Adj)) || len(g.Adj) != len(g.W) {
+		return fmt.Errorf("graph: inconsistent arrays")
+	}
+	for v := int32(0); int(v) < g.N; v++ {
+		lo, hi := g.XAdj[v], g.XAdj[v+1]
+		if hi < lo {
+			return fmt.Errorf("graph: XAdj not monotone at %d", v)
+		}
+		var prev int32 = -1
+		for i := lo; i < hi; i++ {
+			u := g.Adj[i]
+			if u < 0 || int(u) >= g.N {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", u, v)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if u <= prev {
+				return fmt.Errorf("graph: adjacency of %d not sorted/unique", v)
+			}
+			prev = u
+			if w, ok := g.weight(u, v); !ok || w != g.W[i] {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// weight looks up the weight of directed edge u→v by binary search.
+func (g *Graph) weight(u, v int32) (float64, bool) {
+	lo, hi := g.XAdj[u], g.XAdj[u+1]
+	idx := g.Adj[lo:hi]
+	i := sort.Search(len(idx), func(i int) bool { return idx[i] >= v })
+	if i < len(idx) && idx[i] == v {
+		return g.W[lo+int64(i)], true
+	}
+	return 0, false
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int32) bool {
+	_, ok := g.weight(u, v)
+	return ok
+}
+
+// EdgeWeight returns the weight of edge {u,v}; ok is false if absent.
+func (g *Graph) EdgeWeight(u, v int32) (float64, bool) { return g.weight(u, v) }
+
+// TotalWeight returns the sum of all undirected edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, w := range g.W {
+		s += w
+	}
+	return s / 2
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{0, 1, 0.5}, {1, 2, 0.25}, {2, 3, 0.75}, {0, 3, 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Errorf("M = %d, want 4", g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 2 {
+		t.Errorf("bad degrees: %d %d", g.Degree(0), g.Degree(1))
+	}
+	if w, ok := g.EdgeWeight(3, 0); !ok || w != 1.0 {
+		t.Errorf("EdgeWeight(3,0) = %v,%v", w, ok)
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("spurious edge 0-2")
+	}
+	if got := g.TotalWeight(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("TotalWeight = %v, want 2.5", got)
+	}
+}
+
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(3, []Edge{{1, 1, 0.1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 3, 0.1}}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{0, 1, 0.1}, {1, 0, 0.2}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestGeneratorsValidateAndAreDeterministic(t *testing.T) {
+	gens := map[string]func(seed int64) *Graph{
+		"grid3d":    func(s int64) *Graph { return Grid3D(6, 5, 4, s) },
+		"geometric": func(s int64) *Graph { return Geometric(400, 6, s) },
+		"geonoise":  func(s int64) *Graph { return GeometricNoise(400, 6, 15, s) },
+		"powerlaw":  func(s int64) *Graph { return PowerLaw(300, 4, s) },
+		"er":        func(s int64) *Graph { return ErdosRenyi(200, 500, s) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			a := gen(42)
+			if err := a.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if a.M() == 0 {
+				t.Fatal("empty graph")
+			}
+			b := gen(42)
+			if a.N != b.N || a.M() != b.M() {
+				t.Fatalf("nondeterministic size: %d/%d vs %d/%d", a.N, a.M(), b.N, b.M())
+			}
+			for i := range a.Adj {
+				if a.Adj[i] != b.Adj[i] || a.W[i] != b.W[i] {
+					t.Fatalf("nondeterministic content at %d", i)
+				}
+			}
+			c := gen(43)
+			same := a.M() == c.M()
+			if same {
+				diff := false
+				for i := range a.W {
+					if i < len(c.W) && a.W[i] != c.W[i] {
+						diff = true
+						break
+					}
+				}
+				if !diff {
+					t.Error("seed has no effect")
+				}
+			}
+		})
+	}
+}
+
+func TestGrid3DStructure(t *testing.T) {
+	g := Grid3D(3, 3, 3, 1)
+	if g.N != 27 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// 3-D mesh edge count: 3 directions × 2×3×3 cuts.
+	want := int64(2*3*3) * 3
+	if g.M() != want {
+		t.Errorf("M = %d, want %d", g.M(), want)
+	}
+	// Corner vertex has degree 3, center has 6.
+	if g.Degree(0) != 3 {
+		t.Errorf("corner degree = %d, want 3", g.Degree(0))
+	}
+	center := int32(1 + 3*(1+3*1))
+	if g.Degree(center) != 6 {
+		t.Errorf("center degree = %d, want 6", g.Degree(center))
+	}
+}
+
+func TestGeometricDegreeNearTarget(t *testing.T) {
+	g := Geometric(2000, 8, 7)
+	avg := float64(len(g.Adj)) / float64(g.N)
+	if avg < 5 || avg > 11 {
+		t.Errorf("average degree %.2f far from target 8", avg)
+	}
+}
+
+func TestGeometricNoiseAddsEdges(t *testing.T) {
+	base := Geometric(500, 6, 11)
+	noisy := GeometricNoise(500, 6, 15, 11)
+	if noisy.M() <= base.M() {
+		t.Errorf("noise added no edges: %d vs %d", noisy.M(), base.M())
+	}
+	extra := noisy.M() - base.M()
+	want := base.M() * 15 / 100
+	if extra < want-2 || extra > want+2 {
+		t.Errorf("noise edges = %d, want ≈ %d", extra, want)
+	}
+}
+
+func TestPowerLawDegreeSkew(t *testing.T) {
+	g := PowerLaw(3000, 3, 5)
+	maxDeg := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(len(g.Adj)) / float64(g.N)
+	if float64(maxDeg) < 8*avg {
+		t.Errorf("max degree %d not heavy-tailed (avg %.1f)", maxDeg, avg)
+	}
+}
+
+func TestDistPartition(t *testing.T) {
+	f := func(nRaw uint16, ranksRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		ranks := int(ranksRaw)%16 + 1
+		d := NewDist(n, ranks)
+		// Every vertex owned by exactly the rank whose range contains it.
+		for trial := 0; trial < 50; trial++ {
+			v := int32(rand.Intn(n))
+			o := d.Owner(v)
+			lo, hi := d.Range(o)
+			if v < lo || v >= hi {
+				return false
+			}
+			if d.Local(v) != v-lo {
+				return false
+			}
+		}
+		// Ranges tile [0, n).
+		covered := 0
+		for r := 0; r < ranks; r++ {
+			lo, hi := d.Range(r)
+			covered += int(hi - lo)
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalityOrdering checks the property Fig. 8 relies on: the
+// generators span the locality axis in the intended order under a
+// 16-rank block distribution.
+func TestLocalityOrdering(t *testing.T) {
+	const ranks = 16
+	// Orient the mesh so block distribution cuts along the long (z)
+	// dimension, as the channel-500x100x100 input is laid out.
+	// Plane size (8×8=64) divides the 256-vertex blocks, so rank cuts
+	// align with mesh planes; at paper scale (500×100×100 over 16 ranks)
+	// the same alignment gives near-total locality.
+	grid := Grid3D(8, 8, 64, 3)
+	geo := Geometric(4000, 8, 3)
+	noise := GeometricNoise(4000, 8, 15, 3)
+	pl := PowerLaw(4000, 6, 3)
+
+	loc := func(g *Graph) float64 {
+		return MeasureLocality(g, NewDist(g.N, ranks)).SameRank
+	}
+	lg, le, ln, lp := loc(grid), loc(geo), loc(noise), loc(pl)
+	t.Logf("locality: grid=%.3f geometric=%.3f geo+noise=%.3f powerlaw=%.3f", lg, le, ln, lp)
+	if !(lg > le && le > ln && ln > lp) {
+		t.Errorf("locality ordering violated: grid=%.3f geo=%.3f noise=%.3f powerlaw=%.3f",
+			lg, le, ln, lp)
+	}
+	if lg < 0.9 {
+		t.Errorf("grid locality %.3f too low for a channel-like input", lg)
+	}
+	if lp > 0.3 {
+		t.Errorf("powerlaw locality %.3f too high for a youtube-like input", lp)
+	}
+}
+
+func TestNeighborsAndDegreeConsistency(t *testing.T) {
+	g := ErdosRenyi(60, 150, 77)
+	var total int
+	for v := int32(0); int(v) < g.N; v++ {
+		adj, ws := g.Neighbors(v)
+		if len(adj) != g.Degree(v) || len(ws) != len(adj) {
+			t.Fatalf("vertex %d: inconsistent neighbor lengths", v)
+		}
+		total += len(adj)
+		for i, u := range adj {
+			w, ok := g.EdgeWeight(v, u)
+			if !ok || w != ws[i] {
+				t.Fatalf("edge (%d,%d): weight lookup mismatch", v, u)
+			}
+		}
+	}
+	if int64(total) != 2*g.M() {
+		t.Errorf("degree sum %d != 2M %d", total, 2*g.M())
+	}
+}
+
+func TestMeasureLocalityEdgeCases(t *testing.T) {
+	empty, err := FromEdges(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc := MeasureLocality(empty, NewDist(4, 2)); loc.SameRank != 1 {
+		t.Errorf("empty graph locality = %v", loc.SameRank)
+	}
+	// Single rank: everything local.
+	g := ErdosRenyi(20, 40, 1)
+	if loc := MeasureLocality(g, NewDist(g.N, 1)); loc.SameRank != 1 || loc.CrossRank != 0 {
+		t.Errorf("single-rank locality = %+v", loc)
+	}
+}

@@ -1,0 +1,136 @@
+package gups
+
+import (
+	"strings"
+	"testing"
+
+	"gupcxx"
+)
+
+func TestVariantStringsAndList(t *testing.T) {
+	want := map[Variant]string{
+		Raw:         "raw",
+		ManualLocal: "manual-localization",
+		RMAPromise:  "rma-promises",
+		RMAFuture:   "rma-futures",
+		AMOPromise:  "amo-promises",
+		AMOFuture:   "amo-futures",
+	}
+	for v, name := range want {
+		if v.String() != name {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), name)
+		}
+	}
+	vs := Variants()
+	if len(vs) != len(want) {
+		t.Errorf("Variants() has %d entries", len(vs))
+	}
+	if !strings.Contains(Variant(99).String(), "variant(") {
+		t.Error("unknown variant string")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{LogTableSize: 10}.withDefaults(4)
+	if c.Batch != DefaultBatch {
+		t.Errorf("Batch = %d", c.Batch)
+	}
+	if c.UpdatesPerRank != 4*(1<<10)/4 {
+		t.Errorf("UpdatesPerRank = %d", c.UpdatesPerRank)
+	}
+	if c.StreamOffset != DefaultStreamOffset {
+		t.Errorf("StreamOffset = %d", c.StreamOffset)
+	}
+	// Negative offset selects the true stream origin.
+	c = Config{LogTableSize: 10, StreamOffset: -1}.withDefaults(4)
+	if c.StreamOffset != 0 {
+		t.Errorf("negative offset not mapped to origin: %d", c.StreamOffset)
+	}
+}
+
+func TestBenchAccessorsAndRescale(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 18},
+		func(r *gupcxx.Rank) {
+			b, err := New(r, Config{LogTableSize: 10, UpdatesPerRank: 100})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if b.TableWords() != 1024 {
+				t.Errorf("TableWords = %d", b.TableWords())
+			}
+			if b.Updates() != 100 {
+				t.Errorf("Updates = %d", b.Updates())
+			}
+			b.SetUpdatesPerRank(500)
+			if b.Updates() != 500 {
+				t.Errorf("after rescale Updates = %d", b.Updates())
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("SetUpdatesPerRank(0) should panic")
+					}
+				}()
+				b.SetUpdatesPerRank(0)
+			}()
+			// A rescaled run still verifies exactly for atomics.
+			r.Barrier()
+			if err := b.Run(AMOPromise); err != nil {
+				t.Error(err)
+			}
+			errs := r.SumU64(uint64(b.Verify()))
+			if errs != 0 {
+				t.Errorf("verification errors after rescale: %d", errs)
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGUPSNoAMsOnSharedMemoryPath: on a co-located world, the GUPS update
+// loops move data purely through shared memory — the only active messages
+// are collective tokens (the paper's "all communication takes place via
+// shared memory" configuration).
+func TestGUPSNoAMsOnSharedMemoryPath(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var before, after int64
+	err = w.Run(func(r *gupcxx.Rank) {
+		b, err := New(r, Config{LogTableSize: 12, UpdatesPerRank: 2048, Batch: 64})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.Barrier()
+		if r.Me() == 0 {
+			before = w.Domain().AMSends()
+		}
+		r.Barrier()
+		if err := b.Run(RMAPromise); err != nil {
+			t.Error(err)
+		}
+		if err := b.Run(AMOFuture); err != nil {
+			t.Error(err)
+		}
+		r.Barrier()
+		if r.Me() == 0 {
+			after = w.Domain().AMSends()
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two barriers inside the window cost O(n log n) tokens; the
+	// 8192 RMA + 8192 AMO updates must contribute none.
+	delta := after - before
+	if delta > 64 {
+		t.Errorf("shared-memory GUPS sent %d AMs; data path is leaking onto the conduit", delta)
+	}
+}

@@ -1,0 +1,496 @@
+// Package gups implements the HPC Challenge RandomAccess benchmark (GUPS)
+// over the gupcxx runtime, in the five variants evaluated by the paper
+// (§IV-B) plus the raw upper bound:
+//
+//   - Raw: pure Go updates through direct pointers to every co-located
+//     segment, bypassing the runtime entirely (single-node upper bound);
+//   - ManualLocal: per-update is_local check + downcast, falling back to
+//     RMA for remote targets (the §II-C manual-localization idiom);
+//   - RMAPromise / RMAFuture: straightforward RMA on every update,
+//     ignoring locality — a batch of gets, a wait, then a batch of puts —
+//     tracked by one promise or by conjoined futures;
+//   - AMOPromise / AMOFuture: one remote atomic xor per update, tracked by
+//     a promise or conjoined futures.
+//
+// The random stream and verification follow the HPCC reference: the
+// update value/index generator is the period-(2^63 − 1) LFSR over the
+// primitive polynomial x^63 + x^2 + x + 1, and correctness is checked by
+// re-applying the stream (xor is an involution) and counting table slots
+// that fail to return to their initial value; the benchmark tolerates up
+// to 1% errors for the unsynchronized variants.
+package gups
+
+import (
+	"fmt"
+
+	"gupcxx"
+)
+
+// poly is the primitive polynomial of the HPCC random stream (x^63 + x^2 +
+// x + 1), applied on sign-bit overflow.
+const poly = 0x0000000000000007
+
+// RNG is the HPCC RandomAccess number stream.
+type RNG struct {
+	state uint64
+}
+
+// Next advances the stream and returns the next value.
+func (g *RNG) Next() uint64 {
+	v := g.state
+	hi := v >> 63
+	v <<= 1
+	if hi != 0 {
+		v ^= poly
+	}
+	g.state = v
+	return v
+}
+
+// Starts returns the stream value at position n (mod 2^63 − 1), the HPCC
+// HPCC_starts function: it lets each rank jump to its slice of the global
+// update stream in O(log n) time using precomputed powers of the step
+// matrix (here, shift-and-reduce doubling).
+func Starts(n int64) uint64 {
+	const period = int64((uint64(1) << 63) - 1)
+	for n < 0 {
+		n += period
+	}
+	for n > period {
+		n -= period
+	}
+	if n == 0 {
+		return 1
+	}
+	var m2 [64]uint64
+	temp := uint64(1)
+	for i := 0; i < 64; i++ {
+		m2[i] = temp
+		temp = step(step(temp))
+	}
+	i := 62
+	for i >= 0 && n&(1<<uint(i)) == 0 {
+		i--
+	}
+	ran := uint64(2)
+	for i > 0 {
+		temp = 0
+		for j := 0; j < 64; j++ {
+			if ran&(1<<uint(j)) != 0 {
+				temp ^= m2[j]
+			}
+		}
+		ran = temp
+		i--
+		if n&(1<<uint(i)) != 0 {
+			ran = step(ran)
+		}
+	}
+	return ran
+}
+
+// step advances an LFSR value by one position.
+func step(v uint64) uint64 {
+	hi := v >> 63
+	v <<= 1
+	if hi != 0 {
+		v ^= poly
+	}
+	return v
+}
+
+// Variant names one of the benchmark implementations.
+type Variant int
+
+const (
+	// Raw bypasses the runtime with direct pointers (single node only).
+	Raw Variant = iota
+	// ManualLocal checks locality per update and downcasts when possible.
+	ManualLocal
+	// RMAPromise uses pure RMA with a promise tracking completion.
+	RMAPromise
+	// RMAFuture uses pure RMA with conjoined futures.
+	RMAFuture
+	// AMOPromise uses remote atomics with a promise.
+	AMOPromise
+	// AMOFuture uses remote atomics with conjoined futures.
+	AMOFuture
+
+	variantCount
+)
+
+// String names the variant as in the paper's figures.
+func (v Variant) String() string {
+	switch v {
+	case Raw:
+		return "raw"
+	case ManualLocal:
+		return "manual-localization"
+	case RMAPromise:
+		return "rma-promises"
+	case RMAFuture:
+		return "rma-futures"
+	case AMOPromise:
+		return "amo-promises"
+	case AMOFuture:
+		return "amo-futures"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Variants lists all implementations in presentation order.
+func Variants() []Variant {
+	return []Variant{Raw, ManualLocal, RMAPromise, RMAFuture, AMOPromise, AMOFuture}
+}
+
+// DefaultBatch is the number of in-flight updates per batch for the
+// batched variants, following the HPCC look-ahead convention.
+const DefaultBatch = 512
+
+// Config parameterizes a GUPS run.
+type Config struct {
+	// LogTableSize is log2 of the total number of table words across all
+	// ranks.
+	LogTableSize int
+	// UpdatesPerRank is the number of updates each rank performs. Zero
+	// selects the HPCC default of 4×(table words)/ranks.
+	UpdatesPerRank int64
+	// Batch is the update look-ahead depth (default DefaultBatch).
+	Batch int
+	// StreamOffset positions the job in the global HPCC stream. The LFSR
+	// state reached from seed 1 stays sparse for thousands of steps, so
+	// early indices are badly skewed at the small table sizes this
+	// reproduction uses; starting deep in the (single, well-defined) HPCC
+	// stream restores uniformity. Zero selects DefaultStreamOffset; use a
+	// negative value for the true stream origin.
+	StreamOffset int64
+}
+
+// DefaultStreamOffset positions runs deep enough in the HPCC stream that
+// the LFSR state is dense.
+const DefaultStreamOffset = int64(1) << 40
+
+func (c Config) withDefaults(ranks int) Config {
+	if c.Batch == 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.StreamOffset == 0 {
+		c.StreamOffset = DefaultStreamOffset
+	} else if c.StreamOffset < 0 {
+		c.StreamOffset = 0
+	}
+	if c.UpdatesPerRank == 0 {
+		c.UpdatesPerRank = 4 * (int64(1) << c.LogTableSize) / int64(ranks)
+	}
+	return c
+}
+
+// Bench is one rank's handle on a prepared GUPS table.
+type Bench struct {
+	r       *gupcxx.Rank
+	cfg     Config
+	tabSize int64 // total words
+	perRank int64 // words per rank
+	mask    uint64
+	tables  []gupcxx.GlobalPtr[uint64] // base pointer per rank
+	local   []uint64                   // this rank's slice (direct view)
+	ad      *gupcxx.AtomicDomain[uint64]
+
+	// rawViews are direct views of every co-located rank's slice, built
+	// once for the Raw variant — the "factored out of the update loop"
+	// amortization the paper describes.
+	rawViews [][]uint64
+}
+
+// New prepares the distributed table on the calling rank. Collective: all
+// ranks must call it together. The table size must be divisible by the
+// rank count.
+func New(r *gupcxx.Rank, cfg Config) (*Bench, error) {
+	cfg = cfg.withDefaults(r.N())
+	tabSize := int64(1) << cfg.LogTableSize
+	if tabSize%int64(r.N()) != 0 {
+		return nil, fmt.Errorf("gups: table size 2^%d not divisible by %d ranks",
+			cfg.LogTableSize, r.N())
+	}
+	perRank := tabSize / int64(r.N())
+	base, err := gupcxx.AllocArray[uint64](r, int(perRank))
+	if err != nil {
+		return nil, err
+	}
+	b := &Bench{
+		r:       r,
+		cfg:     cfg,
+		tabSize: tabSize,
+		perRank: perRank,
+		mask:    uint64(tabSize - 1),
+		tables:  gupcxx.ExchangePtr(r, base),
+		local:   base.LocalSlice(r, int(perRank)),
+		ad:      gupcxx.NewAtomicDomain[uint64](r),
+	}
+	b.Reset()
+	if allLocal(r) {
+		b.rawViews = make([][]uint64, r.N())
+		for t := 0; t < r.N(); t++ {
+			b.rawViews[t] = b.tables[t].LocalSlice(r, int(perRank))
+		}
+	}
+	r.Barrier()
+	return b, nil
+}
+
+// allLocal reports whether every rank is co-located with the caller — the
+// condition under which the benchmark's raw-C++-style bypass is legal.
+func allLocal(r *gupcxx.Rank) bool {
+	for t := 0; t < r.N(); t++ {
+		if !r.LocalTo(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset reinitializes this rank's slice to table[i] = global index i, the
+// HPCC initial condition. Collective with Run (call on all ranks, then
+// Barrier happens inside Run's harness).
+func (b *Bench) Reset() {
+	lo := int64(b.r.Me()) * b.perRank
+	for i := range b.local {
+		b.local[i] = uint64(lo + int64(i))
+	}
+}
+
+// Rank decomposition of a global index.
+func (b *Bench) owner(idx uint64) (rank int, off int64) {
+	return int(int64(idx) / b.perRank), int64(idx) % b.perRank
+}
+
+// Run performs this rank's share of the update stream using the given
+// variant. Collective: all ranks call together; internal barriers bracket
+// the timed region externally (the caller times around Run).
+func (b *Bench) Run(v Variant) error {
+	switch v {
+	case Raw:
+		return b.runRaw()
+	case ManualLocal:
+		b.runManual()
+	case RMAPromise:
+		b.runRMAPromise()
+	case RMAFuture:
+		b.runRMAFuture()
+	case AMOPromise:
+		b.runAMOPromise()
+	case AMOFuture:
+		b.runAMOFuture()
+	default:
+		return fmt.Errorf("gups: unknown variant %v", v)
+	}
+	return nil
+}
+
+// stream returns this rank's RNG positioned at the start of its share of
+// the global update stream.
+func (b *Bench) stream() RNG {
+	return RNG{state: Starts(b.cfg.StreamOffset + b.cfg.UpdatesPerRank*int64(b.r.Me()))}
+}
+
+// runRaw is the pure-Go upper bound: direct pointers to all segments,
+// plain (unsynchronized) read-xor-write updates. Only valid when all
+// ranks are co-located.
+func (b *Bench) runRaw() error {
+	if b.rawViews == nil {
+		return fmt.Errorf("gups: raw variant requires a single-node world")
+	}
+	rng := b.stream()
+	per := b.perRank
+	for i := int64(0); i < b.cfg.UpdatesPerRank; i++ {
+		ran := rng.Next()
+		idx := int64(ran & b.mask)
+		b.rawViews[idx/per][idx%per] ^= ran
+	}
+	return nil
+}
+
+// runManual performs the §II-C manual-localization idiom: one locality
+// check per update, downcast when local, RMA otherwise.
+func (b *Bench) runManual() {
+	r := b.r
+	rng := b.stream()
+	for i := int64(0); i < b.cfg.UpdatesPerRank; i++ {
+		ran := rng.Next()
+		rank, off := b.owner(ran & b.mask)
+		dest := b.tables[rank].Element(int(off))
+		if dest.IsLocal(r) {
+			p := dest.Local(r)
+			*p ^= ran
+		} else {
+			old := gupcxx.Rget(r, dest).Wait()
+			gupcxx.Rput(r, old^ran, dest).Wait()
+		}
+	}
+}
+
+// runRMAPromise is the paper's "pure RMA w/promises": for each batch,
+// launch RMA gets of all targets with one promise, wait, xor locally,
+// launch RMA puts with a second promise, wait.
+func (b *Bench) runRMAPromise() {
+	r := b.r
+	rng := b.stream()
+	batch := int64(b.cfg.Batch)
+	vals := make([]uint64, batch)
+	rans := make([]uint64, batch)
+	dests := make([]gupcxx.GlobalPtr[uint64], batch)
+	for done := int64(0); done < b.cfg.UpdatesPerRank; {
+		n := batch
+		if rem := b.cfg.UpdatesPerRank - done; rem < n {
+			n = rem
+		}
+		getP := r.NewPromise()
+		for j := int64(0); j < n; j++ {
+			ran := rng.Next()
+			rans[j] = ran
+			rank, off := b.owner(ran & b.mask)
+			dests[j] = b.tables[rank].Element(int(off))
+			gupcxx.RgetBulk(r, dests[j], vals[j:j+1], gupcxx.OpPromise(getP))
+		}
+		getP.Finalize().Wait()
+		putP := r.NewPromise()
+		for j := int64(0); j < n; j++ {
+			gupcxx.Rput(r, vals[j]^rans[j], dests[j], gupcxx.OpPromise(putP))
+		}
+		putP.Finalize().Wait()
+		done += n
+	}
+}
+
+// runRMAFuture is "pure RMA w/futures": identical data movement, but
+// completion tracked by conjoining each operation's future with when_all.
+func (b *Bench) runRMAFuture() {
+	r := b.r
+	rng := b.stream()
+	batch := int64(b.cfg.Batch)
+	vals := make([]uint64, batch)
+	rans := make([]uint64, batch)
+	dests := make([]gupcxx.GlobalPtr[uint64], batch)
+	for done := int64(0); done < b.cfg.UpdatesPerRank; {
+		n := batch
+		if rem := b.cfg.UpdatesPerRank - done; rem < n {
+			n = rem
+		}
+		f := r.MakeFuture()
+		for j := int64(0); j < n; j++ {
+			ran := rng.Next()
+			rans[j] = ran
+			rank, off := b.owner(ran & b.mask)
+			dests[j] = b.tables[rank].Element(int(off))
+			res := gupcxx.RgetBulk(r, dests[j], vals[j:j+1])
+			f = r.WhenAll(f, res.Op)
+		}
+		f.Wait()
+		f = r.MakeFuture()
+		for j := int64(0); j < n; j++ {
+			res := gupcxx.Rput(r, vals[j]^rans[j], dests[j])
+			f = r.WhenAll(f, res.Op)
+		}
+		f.Wait()
+		done += n
+	}
+}
+
+// runAMOPromise is "atomics w/promises": one atomic xor per update,
+// batched on a promise.
+func (b *Bench) runAMOPromise() {
+	r := b.r
+	rng := b.stream()
+	batch := int64(b.cfg.Batch)
+	for done := int64(0); done < b.cfg.UpdatesPerRank; {
+		n := batch
+		if rem := b.cfg.UpdatesPerRank - done; rem < n {
+			n = rem
+		}
+		p := r.NewPromise()
+		for j := int64(0); j < n; j++ {
+			ran := rng.Next()
+			rank, off := b.owner(ran & b.mask)
+			b.ad.Xor(b.tables[rank].Element(int(off)), ran, gupcxx.OpPromise(p))
+		}
+		p.Finalize().Wait()
+		done += n
+	}
+}
+
+// runAMOFuture is "atomics w/futures": one atomic xor per update, futures
+// conjoined with when_all.
+func (b *Bench) runAMOFuture() {
+	r := b.r
+	rng := b.stream()
+	batch := int64(b.cfg.Batch)
+	for done := int64(0); done < b.cfg.UpdatesPerRank; {
+		n := batch
+		if rem := b.cfg.UpdatesPerRank - done; rem < n {
+			n = rem
+		}
+		f := r.MakeFuture()
+		for j := int64(0); j < n; j++ {
+			ran := rng.Next()
+			rank, off := b.owner(ran & b.mask)
+			res := b.ad.Xor(b.tables[rank].Element(int(off)), ran)
+			f = r.WhenAll(f, res.Op)
+		}
+		f.Wait()
+		done += n
+	}
+}
+
+// Verify re-applies this rank's update stream with atomic xors (exactly
+// once semantics) and then counts local table slots that differ from the
+// initial condition, returning the local error count. Because xor is an
+// involution, a lossless first pass leaves zero errors; the unsynchronized
+// variants may show up to the HPCC-tolerated 1%. Collective: all ranks
+// call together, with barriers inside.
+func (b *Bench) Verify() int64 {
+	r := b.r
+	r.Barrier()
+	// Undo pass, applied atomically so the undo itself is lossless.
+	rng := b.stream()
+	p := r.NewPromise()
+	inFlight := 0
+	for i := int64(0); i < b.cfg.UpdatesPerRank; i++ {
+		ran := rng.Next()
+		rank, off := b.owner(ran & b.mask)
+		b.ad.Xor(b.tables[rank].Element(int(off)), ran, gupcxx.OpPromise(p))
+		if inFlight++; inFlight >= b.cfg.Batch {
+			// Bound outstanding ops without closing the promise.
+			r.Progress()
+			inFlight = 0
+		}
+	}
+	p.Finalize().Wait()
+	r.Barrier()
+	lo := int64(b.r.Me()) * b.perRank
+	var errs int64
+	for i, v := range b.local {
+		if v != uint64(lo+int64(i)) {
+			errs++
+		}
+	}
+	return errs
+}
+
+// TableWords reports the total table size in words.
+func (b *Bench) TableWords() int64 { return b.tabSize }
+
+// Updates reports the per-rank update count.
+func (b *Bench) Updates() int64 { return b.cfg.UpdatesPerRank }
+
+// SetUpdatesPerRank rescales the per-rank update count (benchmark
+// harnesses calibrate sample lengths against a probe run; GUP/s is a rate,
+// so the count does not affect comparability). Collective: every rank
+// must set the same value, since it also positions each rank's slice of
+// the global update stream.
+func (b *Bench) SetUpdatesPerRank(n int64) {
+	if n < 1 {
+		panic("gups: updates per rank must be >= 1")
+	}
+	b.cfg.UpdatesPerRank = n
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gups
+
+// RaceEnabled reports whether the race detector is active; see
+// race_enabled.go.
+const RaceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package gups
+
+// RaceEnabled reports whether the race detector is active. The Raw and
+// ManualLocal variants intentionally perform unsynchronized concurrent
+// updates (HPCC RandomAccess permits lost updates), which the detector
+// rightly flags; multi-rank tests of those variants are skipped under
+// -race.
+const RaceEnabled = true

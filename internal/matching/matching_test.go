@@ -1,0 +1,295 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gupcxx"
+	"gupcxx/internal/graph"
+)
+
+func TestGreedyTriangle(t *testing.T) {
+	// Triangle with distinct weights: greedy picks the heaviest edge only.
+	g, err := graph.FromEdges(3, []graph.Edge{
+		{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mate, w := Greedy(g)
+	if w != 3 {
+		t.Errorf("weight = %v, want 3", w)
+	}
+	if mate[0] != 1 || mate[1] != 0 || mate[2] != Unmatched {
+		t.Errorf("mate = %v", mate)
+	}
+	if _, err := VerifyMatching(g, mate); err != nil {
+		t.Error(err)
+	}
+	if err := MaximalityCheck(g, mate); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyPath(t *testing.T) {
+	// Path 0-1-2-3 with middle edge heaviest: greedy takes only it; the
+	// optimum (edges 0-1 and 2-3) is larger — half-approximation in
+	// action.
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}, {U: 2, V: 3, W: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w := Greedy(g)
+	if w != 3 {
+		t.Errorf("weight = %v, want 3", w)
+	}
+	// Half-approximation bound: 3 >= 4/2.
+	if w < 2 {
+		t.Error("below half-approximation bound")
+	}
+}
+
+func TestGreedyTieBreaking(t *testing.T) {
+	// All weights equal: the total order must still produce a valid
+	// maximal matching deterministically.
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1}, {U: 3, V: 0, W: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mate, w := Greedy(g)
+	if w != 2 {
+		t.Errorf("weight = %v, want 2", w)
+	}
+	// Smallest pair first: (0,1) then (2,3).
+	if mate[0] != 1 || mate[2] != 3 {
+		t.Errorf("mate = %v", mate)
+	}
+}
+
+// runDistributed runs the distributed matching and returns the assembled
+// global mate array plus the reported weight.
+func runDistributed(t *testing.T, g *graph.Graph, cfg gupcxx.Config) ([]int64, float64, int) {
+	t.Helper()
+	d := graph.NewDist(g.N, cfg.Ranks)
+	mate := make([]int64, g.N)
+	var weight float64
+	var rounds int
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		res, err := Run(r, g, d)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		lo, hi := d.Range(r.Me())
+		copy(mate[lo:hi], res.Mate)
+		if r.Me() == 0 {
+			weight = res.Weight
+			rounds = res.Rounds
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mate, weight, rounds
+}
+
+func graphs(t *testing.T) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"grid":     graph.Grid3D(5, 5, 8, 9),
+		"geo":      graph.Geometric(300, 6, 9),
+		"noise":    graph.GeometricNoise(300, 6, 15, 9),
+		"powerlaw": graph.PowerLaw(300, 4, 9),
+		"er":       graph.ErdosRenyi(150, 400, 9),
+	}
+}
+
+// TestDistributedEqualsGreedy is the core oracle test: for a shared edge
+// total order, the locally-dominant distributed matching must equal the
+// sequential greedy matching exactly — same mates, same weight.
+func TestDistributedEqualsGreedy(t *testing.T) {
+	for name, g := range graphs(t) {
+		for _, ranks := range []int{1, 3, 4} {
+			for _, ver := range []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6} {
+				cfg := gupcxx.Config{
+					Ranks: ranks, Conduit: gupcxx.PSHM, Version: ver,
+					SegmentBytes: 1 << 20,
+				}
+				t.Run(name+"/"+ver.Name, func(t *testing.T) {
+					wantMate, wantW := Greedy(g)
+					mate, w, rounds := runDistributed(t, g, cfg)
+					if math.Abs(w-wantW) > 1e-9 {
+						t.Errorf("ranks=%d: weight %v, greedy %v", ranks, w, wantW)
+					}
+					for v := range mate {
+						wm := wantMate[v]
+						gm := mate[v]
+						// Greedy leaves unmatchable vertices Unmatched;
+						// the distributed algorithm marks them Dead.
+						if wm < 0 && gm < 0 {
+							continue
+						}
+						if wm != gm {
+							t.Fatalf("ranks=%d: mate[%d] = %d, greedy %d", ranks, v, gm, wm)
+						}
+					}
+					if _, err := VerifyMatching(g, clampDead(mate)); err != nil {
+						t.Error(err)
+					}
+					if err := MaximalityCheck(g, clampDead(mate)); err != nil {
+						t.Error(err)
+					}
+					if rounds < 1 {
+						t.Errorf("suspicious round count %d", rounds)
+					}
+				})
+			}
+		}
+	}
+}
+
+// clampDead maps Dead to Unmatched for the validity checkers.
+func clampDead(mate []int64) []int64 {
+	out := append([]int64(nil), mate...)
+	for i, m := range out {
+		if m == Dead {
+			out[i] = Unmatched
+		}
+	}
+	return out
+}
+
+func TestDistributedCrossNode(t *testing.T) {
+	g := graph.GeometricNoise(200, 6, 15, 13)
+	wantMate, wantW := Greedy(g)
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.SIM, RanksPerNode: 2, SegmentBytes: 1 << 20}
+	mate, w, _ := runDistributed(t, g, cfg)
+	if math.Abs(w-wantW) > 1e-9 {
+		t.Errorf("weight %v, greedy %v", w, wantW)
+	}
+	for v := range mate {
+		if wantMate[v] < 0 && mate[v] < 0 {
+			continue
+		}
+		if mate[v] != wantMate[v] {
+			t.Fatalf("mate[%d] = %d, greedy %d", v, mate[v], wantMate[v])
+		}
+	}
+}
+
+func TestIsolatedAndEmpty(t *testing.T) {
+	// Graph with isolated vertices and one edge.
+	g, err := graph.FromEdges(5, []graph.Edge{{U: 1, V: 3, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mate, w, _ := runDistributed(t, g, gupcxx.Config{Ranks: 2, SegmentBytes: 1 << 16})
+	if w != 1 || mate[1] != 3 || mate[3] != 1 {
+		t.Errorf("mate=%v w=%v", mate, w)
+	}
+	for _, v := range []int{0, 2, 4} {
+		if mate[v] >= 0 {
+			t.Errorf("isolated vertex %d matched to %d", v, mate[v])
+		}
+	}
+}
+
+// TestRandomizedOracleSweep: across many random graphs and seeds, the
+// distributed matching equals the greedy oracle exactly — the randomized
+// form of TestDistributedEqualsGreedy.
+func TestRandomizedOracleSweep(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 20}
+	for seed := int64(0); seed < 8; seed++ {
+		n := 50 + int(seed)*37
+		m := n * (2 + int(seed%3))
+		g := graph.ErdosRenyi(n, m, seed)
+		wantMate, wantW := Greedy(g)
+		mate, w, _ := runDistributed(t, g, cfg)
+		if math.Abs(w-wantW) > 1e-9 {
+			t.Fatalf("seed %d: weight %v != %v", seed, w, wantW)
+		}
+		for v := range mate {
+			if wantMate[v] < 0 && mate[v] < 0 {
+				continue
+			}
+			if mate[v] != wantMate[v] {
+				t.Fatalf("seed %d: mate[%d] = %d, want %d", seed, v, mate[v], wantMate[v])
+			}
+		}
+	}
+}
+
+// TestHalfApproximationBound: greedy is a half-approximation, so its
+// weight must be at least half the weight of ANY matching — checked
+// against randomly constructed maximal matchings.
+func TestHalfApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.ErdosRenyi(80, 300, seed+50)
+		_, w := Greedy(g)
+		for trial := 0; trial < 10; trial++ {
+			// Random maximal matching: scan edges in random order.
+			type edge struct {
+				u, v int32
+				w    float64
+			}
+			var edges []edge
+			for u := int32(0); int(u) < g.N; u++ {
+				adj, ws := g.Neighbors(u)
+				for i, v := range adj {
+					if u < v {
+						edges = append(edges, edge{u, v, ws[i]})
+					}
+				}
+			}
+			rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+			used := make([]bool, g.N)
+			var mw float64
+			for _, e := range edges {
+				if !used[e.u] && !used[e.v] {
+					used[e.u], used[e.v] = true, true
+					mw += e.w
+				}
+			}
+			if w < mw/2-1e-9 {
+				t.Errorf("seed %d trial %d: greedy %v below half of matching %v", seed, trial, w, mw)
+			}
+		}
+	}
+}
+
+func TestRemoteReadsScaleWithCrossEdges(t *testing.T) {
+	// A highly non-local graph must issue more RMA reads than a local one
+	// of similar size — the structural fact behind Fig. 8.
+	grid := graph.Grid3D(8, 8, 8, 21)
+	pl := graph.PowerLaw(512, 3, 21)
+	reads := func(g *graph.Graph) int64 {
+		var total int64
+		d := graph.NewDist(g.N, 4)
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 20}, func(r *gupcxx.Rank) {
+			res, err := Run(r, g, d)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r.Me() == 0 {
+				total = int64(r.SumU64(uint64(res.RemoteReads)))
+			} else {
+				r.SumU64(uint64(res.RemoteReads))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total
+	}
+	rg, rp := reads(grid), reads(pl)
+	t.Logf("remote reads: grid=%d powerlaw=%d", rg, rp)
+	if rg >= rp {
+		t.Errorf("grid (%d) should need fewer remote reads than powerlaw (%d)", rg, rp)
+	}
+}

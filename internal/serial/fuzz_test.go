@@ -1,0 +1,63 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecoderNeverPanics feeds arbitrary bytes through a representative
+// decode sequence: the Decoder must fail gracefully (sticky error), never
+// panic, and never read out of bounds.
+func FuzzDecoderNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	e := NewEncoder(nil)
+	e.PutU8(7)
+	e.PutU64(1 << 40)
+	e.PutBytes([]byte("seed"))
+	e.PutString("s")
+	f.Add(append([]byte(nil), e.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.U8()
+		d.U16()
+		d.U32()
+		d.U64()
+		d.I64()
+		d.F64()
+		d.Bytes()
+		_ = d.String()
+		d.Raw()
+		// Finish must return nil or an error, consistently with Err.
+		if err := d.Finish(); err == nil && d.Err() != nil {
+			t.Fatal("Finish nil but Err set")
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip: any (u64, bytes, string) tuple round-trips
+// exactly.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte{}, "")
+	f.Add(uint64(1<<63), []byte{0xff, 0x00}, "héllo")
+	f.Fuzz(func(t *testing.T, v uint64, b []byte, s string) {
+		e := NewEncoder(nil)
+		e.PutU64(v)
+		e.PutBytes(b)
+		e.PutString(s)
+		d := NewDecoder(e.Bytes())
+		if got := d.U64(); got != v {
+			t.Fatalf("u64 %d != %d", got, v)
+		}
+		if got := d.Bytes(); !bytes.Equal(got, b) {
+			t.Fatalf("bytes %v != %v", got, b)
+		}
+		if got := d.String(); got != s {
+			t.Fatalf("string %q != %q", got, s)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package serial implements the compact binary wire encoding used by the
+// gasnet substrate for active-message payloads on conduits that model a real
+// network. The format is little-endian with varint-free fixed-width fields:
+// the messages exchanged by the runtime's internal RMA and atomic protocol are
+// small and latency-bound, so predictable layout beats space optimization.
+//
+// The encoder and decoder are deliberately allocation-conscious: an Encoder
+// appends into a caller-supplied buffer, and a Decoder reads from a byte slice
+// without copying. Both are safe for reuse but not for concurrent use.
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a Decoder runs out of input bytes.
+var ErrShortBuffer = errors.New("serial: short buffer")
+
+// ErrTrailingBytes is returned by Decoder.Finish when input remains.
+var ErrTrailingBytes = errors.New("serial: trailing bytes")
+
+// Encoder appends fixed-width little-endian fields to a buffer.
+// The zero value encodes into a fresh buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder that appends to buf (which may be nil).
+func NewEncoder(buf []byte) *Encoder {
+	return &Encoder{buf: buf[:0]}
+}
+
+// Reset discards encoded content, retaining the underlying buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Bytes returns the encoded message. The slice aliases the Encoder's
+// internal buffer and is invalidated by further Put calls or Reset.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len reports the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// PutU8 appends a single byte.
+func (e *Encoder) PutU8(v uint8) { e.buf = append(e.buf, v) }
+
+// PutU16 appends a 16-bit little-endian value.
+func (e *Encoder) PutU16(v uint16) {
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, v)
+}
+
+// PutU32 appends a 32-bit little-endian value.
+func (e *Encoder) PutU32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
+
+// PutU64 appends a 64-bit little-endian value.
+func (e *Encoder) PutU64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// PutI64 appends a 64-bit signed value (two's complement).
+func (e *Encoder) PutI64(v int64) { e.PutU64(uint64(v)) }
+
+// PutF64 appends an IEEE-754 binary64 value.
+func (e *Encoder) PutF64(v float64) { e.PutU64(math.Float64bits(v)) }
+
+// PutBytes appends a length-prefixed byte string (u32 length).
+func (e *Encoder) PutBytes(b []byte) {
+	e.PutU32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// PutRaw appends b verbatim with no length prefix. The decoder must know
+// the length from context (e.g. a payload that extends to end of message).
+func (e *Encoder) PutRaw(b []byte) { e.buf = append(e.buf, b...) }
+
+// PutString appends a length-prefixed UTF-8 string.
+func (e *Encoder) PutString(s string) {
+	e.PutU32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads fixed-width little-endian fields from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder over buf. The Decoder does not copy buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first decoding error encountered, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d",
+			ErrShortBuffer, n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 decodes a single byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 decodes a 16-bit little-endian value.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 decodes a 32-bit little-endian value.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 decodes a 64-bit little-endian value.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 decodes a 64-bit signed value.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// F64 decodes an IEEE-754 binary64 value.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes decodes a length-prefixed byte string. The returned slice aliases
+// the Decoder's input.
+func (d *Decoder) Bytes() []byte {
+	n := d.U32()
+	return d.take(int(n))
+}
+
+// Raw consumes all remaining bytes. The returned slice aliases the input.
+func (d *Decoder) Raw() []byte {
+	b := d.buf[d.off:]
+	d.off = len(d.buf)
+	return b
+}
+
+// String decodes a length-prefixed UTF-8 string (copying the bytes).
+func (d *Decoder) String() string {
+	return string(d.Bytes())
+}
+
+// Finish reports any decoding error, and ErrTrailingBytes if unconsumed
+// input remains.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package serial
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllFields(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutU8(7)
+	e.PutU16(0xBEEF)
+	e.PutU32(0xDEADBEEF)
+	e.PutU64(0x0123456789ABCDEF)
+	e.PutI64(-42)
+	e.PutF64(math.Pi)
+	e.PutBytes([]byte("payload"))
+	e.PutString("héllo")
+	e.PutRaw([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Bytes())
+	if v := d.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if v := d.U16(); v != 0xBEEF {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := d.U32(); v != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := d.U64(); v != 0x0123456789ABCDEF {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := d.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := d.Bytes(); string(v) != "payload" {
+		t.Errorf("Bytes = %q", v)
+	}
+	if v := d.String(); v != "héllo" {
+		t.Errorf("String = %q", v)
+	}
+	if v := d.Raw(); len(v) != 3 || v[2] != 3 {
+		t.Errorf("Raw = %v", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	d.U64()
+	if !errors.Is(d.Err(), ErrShortBuffer) {
+		t.Errorf("Err = %v", d.Err())
+	}
+	// Errors are sticky and subsequent reads return zero values.
+	if d.U8() != 0 {
+		t.Error("read after error should return zero")
+	}
+	if d.Finish() == nil {
+		t.Error("Finish should report the error")
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutU32(1)
+	e.PutU8(9)
+	d := NewDecoder(e.Bytes())
+	d.U32()
+	if err := d.Finish(); !errors.Is(err, ErrTrailingBytes) {
+		t.Errorf("Finish = %v", err)
+	}
+}
+
+func TestEncoderReuse(t *testing.T) {
+	e := NewEncoder(make([]byte, 0, 64))
+	e.PutU64(1)
+	first := e.Len()
+	e.Reset()
+	if e.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	e.PutU8(2)
+	if e.Len() >= first {
+		t.Error("reset encoder kept old content")
+	}
+}
+
+func TestBytesLengthPrefixTruncation(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutBytes([]byte{1, 2, 3, 4})
+	wire := e.Bytes()
+	d := NewDecoder(wire[:5]) // length says 4, only 1 byte present
+	if d.Bytes() != nil || d.Err() == nil {
+		t.Error("truncated length-prefixed bytes decoded")
+	}
+}
+
+func TestQuickRoundTripU64Sequences(t *testing.T) {
+	f := func(vals []uint64) bool {
+		e := NewEncoder(nil)
+		for _, v := range vals {
+			e.PutU64(v)
+		}
+		d := NewDecoder(e.Bytes())
+		for _, v := range vals {
+			if d.U64() != v {
+				return false
+			}
+		}
+		return d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripFloats(t *testing.T) {
+	f := func(vals []float64) bool {
+		e := NewEncoder(nil)
+		for _, v := range vals {
+			e.PutF64(v)
+		}
+		d := NewDecoder(e.Bytes())
+		for _, v := range vals {
+			got := d.F64()
+			if got != v && !(math.IsNaN(got) && math.IsNaN(v)) {
+				return false
+			}
+		}
+		return d.Finish() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	e := NewEncoder(nil)
+	e.PutU64(0)
+	e.PutU32(0)
+	d := NewDecoder(e.Bytes())
+	if d.Remaining() != 12 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+	d.U64()
+	if d.Remaining() != 4 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	samples := []time.Duration{40, 10, 30, 20}
+	s := Summarize(samples, 2)
+	if s.N != 4 || s.Min != 10 || s.Max != 40 {
+		t.Errorf("bad extrema: %+v", s)
+	}
+	if s.Mean != 25 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.TopKMean != 15 { // (10+20)/2
+		t.Errorf("TopKMean = %v", s.TopKMean)
+	}
+	if s.TopK != 2 {
+		t.Errorf("TopK = %d", s.TopK)
+	}
+}
+
+func TestSummarizeEmptyAndClamp(t *testing.T) {
+	if s := Summarize(nil, 10); s.N != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	s := Summarize([]time.Duration{5, 15}, 10)
+	if s.TopK != 2 || s.TopKMean != 10 {
+		t.Errorf("clamped summary %+v", s)
+	}
+	s = Summarize([]time.Duration{5, 15}, 0)
+	if s.TopK != 2 {
+		t.Errorf("topK=0 should mean all: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []time.Duration{3, 1, 2}
+	Summarize(in, 2)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+// TestTopKMeanProperty: the top-k mean is ≤ the overall mean and ≥ the
+// minimum, and equals the mean of the k smallest by construction.
+func TestTopKMeanProperty(t *testing.T) {
+	f := func(raw []uint16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			samples[i] = time.Duration(v) + 1
+		}
+		k := int(kRaw)%len(samples) + 1
+		s := Summarize(samples, k)
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum time.Duration
+		for _, d := range sorted[:k] {
+			sum += d
+		}
+		want := time.Duration(float64(sum) / float64(k))
+		diff := s.TopKMean - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1 && s.TopKMean <= s.Mean+1 && s.TopKMean >= s.Min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	i := 0
+	out := Sample(5, func() time.Duration {
+		i++
+		return time.Duration(i)
+	})
+	if len(out) != 5 || out[0] != 1 || out[4] != 5 {
+		t.Errorf("Sample = %v", out)
+	}
+}
+
+func TestPaperMethodology(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Paper(func() time.Duration {
+		return time.Duration(100 + rng.Intn(100))
+	})
+	if s.N != 20 || s.TopK != 10 {
+		t.Errorf("Paper = %+v", s)
+	}
+	if s.TopKMean > s.Mean {
+		t.Error("top-k mean above mean")
+	}
+}
+
+func TestRatioAndPercent(t *testing.T) {
+	if Ratio(200, 100) != "2.00x" {
+		t.Errorf("Ratio = %s", Ratio(200, 100))
+	}
+	if Ratio(100, 0) != "inf" {
+		t.Error("zero denominator")
+	}
+	if got := PercentFaster(150, 100); got != "+50.0%" {
+		t.Errorf("PercentFaster = %s", got)
+	}
+	if PercentFaster(0, 100) != "n/a" {
+		t.Error("zero old")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b") // short row padded
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Errorf("rule %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "alpha  1") {
+		t.Errorf("row %q", lines[2])
+	}
+}

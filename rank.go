@@ -1,0 +1,88 @@
+package gupcxx
+
+import (
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Rank is one SPMD process image: its endpoint into the substrate, its
+// progress engine, and its collective state. A Rank is confined to the
+// goroutine executing it (the one Run spawned for it, or the caller's for
+// manually driven worlds); its methods must never be called concurrently.
+type Rank struct {
+	w           *World
+	ep          *gasnet.Endpoint
+	eng         *core.Engine
+	staticLocal bool // conduit guarantees all ranks co-located (constexpr is_local)
+	coll        *collState
+	teamWorld   *Team         // cached world-team singleton
+	dist        *distRegistry // this rank's dist-object instances
+	wire        pendingWire   // outstanding wire-RPC calls
+}
+
+// Me returns this rank's index in [0, N()).
+func (r *Rank) Me() int { return r.ep.Rank() }
+
+// N returns the number of ranks in the world.
+func (r *Rank) N() int { return r.w.Ranks() }
+
+// World returns the owning World.
+func (r *Rank) World() *World { return r.w }
+
+// Version reports the emulated library version.
+func (r *Rank) Version() Version { return r.w.ver }
+
+// Engine exposes the rank's progress engine (statistics, MakeFuture,
+// WhenAll).
+func (r *Rank) Engine() *core.Engine { return r.eng }
+
+// Progress runs one step of this rank's progress engine at user level:
+// substrate poll, deferred notifications, LPCs. Returns the number of
+// events processed.
+func (r *Rank) Progress() int { return r.eng.Progress() }
+
+// ProgressInternal advances only internal-level progress (§II-B): inbound
+// remote operations targeting this rank are serviced so peers advance,
+// but no local notification — future readying, promise fulfillment, LPC,
+// RPC, or remote-completion callback — is delivered. Use it inside
+// compute loops that must not observe completion state changes.
+func (r *Rank) ProgressInternal() int { return r.ep.PollInternal() }
+
+// MakeFuture returns a ready value-less future, the seed of conjoining
+// loops.
+func (r *Rank) MakeFuture() Future { return r.eng.MakeFuture() }
+
+// WhenAll conjoins value-less futures; see core.Engine.WhenAll for the
+// short-circuit semantics.
+func (r *Rank) WhenAll(fs ...Future) Future { return r.eng.WhenAll(fs...) }
+
+// NewPromise allocates a value-less promise on this rank.
+func (r *Rank) NewPromise() *Promise { return core.NewPromise(r.eng) }
+
+// NewPromiseV allocates a value-carrying promise on rank r (a free
+// function because methods cannot introduce type parameters).
+func NewPromiseV[T any](r *Rank) *PromiseV[T] { return core.NewPromiseV[T](r.eng) }
+
+// spinWait drives progress until cond holds.
+func (r *Rank) spinWait(cond func() bool) {
+	for !cond() {
+		if r.eng.Progress() == 0 {
+			r.eng.Idle()
+		}
+	}
+}
+
+// LocalTo reports whether this rank has direct load/store access to the
+// target rank's segment (the two ranks are co-located on one node).
+func (r *Rank) LocalTo(target int) bool { return r.localTo(int32(target)) }
+
+// localTo reports whether this rank has direct load/store access to
+// target's segment. Under the ConstexprLocal optimization on the SMP
+// conduit this is a compile-time constant true; otherwise it is the
+// dynamic locality query every RMA call performs (§II-C).
+func (r *Rank) localTo(target int32) bool {
+	if r.staticLocal {
+		return true
+	}
+	return r.ep.Local(int(target))
+}

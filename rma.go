@@ -1,0 +1,183 @@
+package gupcxx
+
+import (
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// This file implements the one-sided RMA operations. Every operation
+// follows the same shape, which is the paper's §III-A in code:
+//
+//  1. perform the locality query (free under ConstexprLocal on SMP);
+//  2. if the target is directly addressable, move the data synchronously
+//     through shared memory and deliver completions via
+//     core.Engine.DeliverSync — eager requests are satisfied on the spot,
+//     deferred ones route through the progress queue;
+//  3. otherwise register the completions (core.Engine.PrepareAsync) and
+//     launch the AM protocol; the acknowledgment fires them from inside a
+//     later progress call.
+//
+// The off-node path is thus exactly one branch longer than in a runtime
+// without eager notification — the property validated by the off-node
+// microbenchmark (§IV-A and experiment E5).
+
+// defaultCx is the completion used when an operation is called without
+// any: an operation-completion future in the version's default mode.
+var defaultCx = []Cx{core.OpFuture()}
+
+func cxsOrDefault(cxs []Cx) []Cx {
+	if len(cxs) == 0 {
+		return defaultCx
+	}
+	return cxs
+}
+
+// deliverRemoteLocal delivers a remote-completion action for an operation
+// whose target is co-located: the action still runs on the target rank's
+// progress goroutine, never the initiator's, so it is shipped as an AM.
+func deliverRemoteLocal(r *Rank, target int32, cxs []Cx) {
+	if fn := core.RemoteFn(cxs); fn != nil {
+		r.ep.Send(int(target), gasnet.Msg{
+			Handler: hRPCExec,
+			Fn:      func(ep *gasnet.Endpoint) { fn(ep.Ctx) },
+		})
+	}
+}
+
+// Rput initiates a one-sided put of val to dst, returning the futures for
+// the requested completions (default: an operation-completion future).
+func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
+	cxs = cxsOrDefault(cxs)
+	if r.localTo(dst.rank) {
+		r.eng.LegacyAlloc()
+		seg := r.w.dom.Segment(int(dst.rank))
+		seg.CopyIn(dst.off, gasnet.ValueBytes(&val))
+		deliverRemoteLocal(r, dst.rank, cxs)
+		return r.eng.DeliverSync(cxs)
+	}
+	res, ac := r.eng.PrepareAsync(cxs)
+	var remoteFn func(*gasnet.Endpoint)
+	if fn := core.RemoteFn(cxs); fn != nil {
+		remoteFn = func(ep *gasnet.Endpoint) { fn(ep.Ctx) }
+	}
+	r.ep.PutRemote(int(dst.rank), dst.off, gasnet.ValueBytes(&val), remoteFn, ac.Fire)
+	return res
+}
+
+// RputBulk initiates a one-sided put of the slice src to the array headed
+// by dst. The source buffer may be reused as soon as source completion is
+// delivered (with the default completions, immediately after return: the
+// substrate copies at injection).
+func RputBulk[T any](r *Rank, src []T, dst GlobalPtr[T], cxs ...Cx) Result {
+	cxs = cxsOrDefault(cxs)
+	if r.localTo(dst.rank) {
+		r.eng.LegacyAlloc()
+		seg := r.w.dom.Segment(int(dst.rank))
+		seg.CopyIn(dst.off, gasnet.SliceBytes(src))
+		deliverRemoteLocal(r, dst.rank, cxs)
+		return r.eng.DeliverSync(cxs)
+	}
+	res, ac := r.eng.PrepareAsync(cxs)
+	var remoteFn func(*gasnet.Endpoint)
+	if fn := core.RemoteFn(cxs); fn != nil {
+		remoteFn = func(ep *gasnet.Endpoint) { fn(ep.Ctx) }
+	}
+	r.ep.PutRemote(int(dst.rank), dst.off, gasnet.SliceBytes(src), remoteFn, ac.Fire)
+	return res
+}
+
+// Rget initiates a one-sided get of the value at src, returning a future
+// that carries it. The optional mode selects eager/deferred notification
+// for the future (default: the version's default mode).
+//
+// A value-carrying ready future cannot use the shared ready cell — the
+// value must be stored somewhere — so even the eager path costs one cell
+// allocation (§III-B); compare RgetBulk, whose value-less completion is
+// allocation-free under eager notification.
+func Rget[T any](r *Rank, src GlobalPtr[T], mode ...Mode) FutureV[T] {
+	m := core.ModeDefault
+	if len(mode) > 0 {
+		m = mode[0]
+	}
+	if r.localTo(src.rank) {
+		r.eng.LegacyAlloc()
+		seg := r.w.dom.Segment(int(src.rank))
+		var val T
+		seg.CopyOut(src.off, gasnet.ValueBytes(&val))
+		if eagerMode(r, m) {
+			return core.NewReadyFutureV(r.eng, val)
+		}
+		fut, vp, h := core.NewFutureV[T](r.eng)
+		*vp = val
+		h.Defer()
+		return fut
+	}
+	fut, vp, h := core.NewFutureV[T](r.eng)
+	r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(vp), h.Fulfill)
+	return fut
+}
+
+// RgetPromise initiates a one-sided get of the value at src, delivering
+// the value through the value-carrying promise p.
+func RgetPromise[T any](r *Rank, src GlobalPtr[T], p *PromiseV[T], mode ...Mode) {
+	m := core.ModeDefault
+	if len(mode) > 0 {
+		m = mode[0]
+	}
+	p.Bind()
+	if r.localTo(src.rank) {
+		r.eng.LegacyAlloc()
+		seg := r.w.dom.Segment(int(src.rank))
+		var val T
+		seg.CopyOut(src.off, gasnet.ValueBytes(&val))
+		if eagerMode(r, m) {
+			p.Deliver(val)
+		} else {
+			p.DeliverDeferred(val)
+		}
+		return
+	}
+	buf := new(T)
+	r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(buf),
+		func() { p.Deliver(*buf) })
+}
+
+// RgetBulk initiates a one-sided get of len(dst) elements from the array
+// headed by src into the local buffer dst. Completion is value-less (the
+// data lands in memory), making it combinable on promises and cheap to
+// conjoin — the form the GUPS RMA variants use.
+func RgetBulk[T any](r *Rank, src GlobalPtr[T], dst []T, cxs ...Cx) Result {
+	cxs = cxsOrDefault(cxs)
+	rejectRemoteCx(cxs, "RgetBulk")
+	if r.localTo(src.rank) {
+		r.eng.LegacyAlloc()
+		seg := r.w.dom.Segment(int(src.rank))
+		seg.CopyOut(src.off, gasnet.SliceBytes(dst))
+		return r.eng.DeliverSync(cxs)
+	}
+	res, ac := r.eng.PrepareAsync(cxs)
+	r.ep.GetRemote(int(src.rank), src.off, len(dst)*gasnet.SizeOf[T](),
+		gasnet.SliceBytes(dst), ac.Fire)
+	return res
+}
+
+// rejectRemoteCx panics when a get-class operation is asked for remote
+// completion, which (as in UPC++) is defined only for puts — there is no
+// data arrival at the target to attach it to.
+func rejectRemoteCx(cxs []Cx, op string) {
+	if core.HasRemote(cxs) {
+		panic("gupcxx: " + op + " does not support remote completion (puts only)")
+	}
+}
+
+// eagerMode resolves a Mode against the rank's version default.
+func eagerMode(r *Rank, m Mode) bool {
+	switch m {
+	case core.ModeEager:
+		return true
+	case core.ModeDefer:
+		return false
+	default:
+		return r.w.ver.EagerDefault
+	}
+}

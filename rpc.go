@@ -1,0 +1,101 @@
+package gupcxx
+
+import (
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Runtime-level active-message handler IDs (user range of the substrate's
+// handler table).
+const (
+	hRPCExec    uint8 = gasnet.HandlerUserBase + iota // execute Msg.Fn on the target
+	hColl                                             // collective token/payload
+	hRPCWireReq                                       // wire RPC request (registered handler)
+	hRPCWireRep                                       // wire RPC reply
+)
+
+// handleRPCExec runs a shipped procedure on the receiving rank's progress
+// goroutine.
+func handleRPCExec(ep *gasnet.Endpoint, m *gasnet.Msg) {
+	m.Fn(ep)
+}
+
+// rankOf recovers the runtime Rank attached to a substrate endpoint.
+func rankOf(ep *gasnet.Endpoint) *Rank {
+	return ep.Ctx.(*Rank)
+}
+
+// RPC ships fn for execution on the target rank's progress goroutine and
+// returns a future that readies (on the initiator) once fn has executed
+// and the acknowledgment has returned — the analogue of upcxx::rpc with a
+// void-returning function.
+//
+// fn runs inside the target's progress engine and must not block; it may
+// initiate communication and use promises/LPCs for follow-up work.
+func RPC(r *Rank, target int, fn func(*Rank)) Future {
+	if target == r.Me() {
+		// Self-RPC still runs from the progress engine, not inline.
+		fut, h := r.eng.NewOpFuture()
+		r.eng.EnqueueLPC(func() {
+			fn(r)
+			h.Fulfill()
+		})
+		return fut
+	}
+	fut, h := r.eng.NewOpFuture()
+	me := r.Me()
+	r.ep.Send(target, gasnet.Msg{
+		Handler: hRPCExec,
+		Fn: func(tep *gasnet.Endpoint) {
+			fn(rankOf(tep))
+			tep.Send(me, gasnet.Msg{
+				Handler: hRPCExec,
+				Fn:      func(*gasnet.Endpoint) { h.Fulfill() },
+			})
+		},
+	})
+	return fut
+}
+
+// RPCCall ships fn for execution on the target rank and returns a future
+// carrying fn's result — the analogue of upcxx::rpc with a returning
+// function.
+func RPCCall[T any](r *Rank, target int, fn func(*Rank) T) FutureV[T] {
+	fut, vp, h := core.NewFutureV[T](r.eng)
+	if target == r.Me() {
+		r.eng.EnqueueLPC(func() {
+			*vp = fn(r)
+			h.Fulfill()
+		})
+		return fut
+	}
+	me := r.Me()
+	r.ep.Send(target, gasnet.Msg{
+		Handler: hRPCExec,
+		Fn: func(tep *gasnet.Endpoint) {
+			v := fn(rankOf(tep))
+			tep.Send(me, gasnet.Msg{
+				Handler: hRPCExec,
+				Fn: func(*gasnet.Endpoint) {
+					*vp = v
+					h.Fulfill()
+				},
+			})
+		},
+	})
+	return fut
+}
+
+// RPCFireAndForget ships fn for execution on the target rank with no
+// completion notification (the analogue of upcxx::rpc_ff). It is the
+// cheapest RPC form: no acknowledgment message is generated.
+func RPCFireAndForget(r *Rank, target int, fn func(*Rank)) {
+	if target == r.Me() {
+		r.eng.EnqueueLPC(func() { fn(r) })
+		return
+	}
+	r.ep.Send(target, gasnet.Msg{
+		Handler: hRPCExec,
+		Fn:      func(tep *gasnet.Endpoint) { fn(rankOf(tep)) },
+	})
+}

@@ -1,0 +1,112 @@
+package gupcxx
+
+import (
+	"fmt"
+
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Wire-safe RPC: procedures registered by identifier with byte-slice
+// arguments and results, so the invocation is fully serializable — the
+// form a multi-process conduit requires (closures cannot cross address
+// spaces; see DESIGN.md). On the UDP conduit, registered RPC invocations
+// travel through the kernel as datagrams end-to-end; closure RPC remains
+// available for in-memory conduits.
+//
+// Handlers must be registered on the World before Run, in the same order
+// everywhere handler IDs are used (they are matched by registration
+// index, like dist-object instances).
+
+// RPCHandler processes one wire RPC on the target rank's progress
+// goroutine: it receives the target rank and the request payload and
+// returns the reply payload. It must not block.
+type RPCHandler func(r *Rank, args []byte) []byte
+
+// RPCHandlerID names a registered wire-RPC procedure.
+type RPCHandlerID uint32
+
+// RegisterRPC registers fn and returns its identifier. Must be called
+// before Run; every rank resolves the same ID to the same procedure.
+func (w *World) RegisterRPC(fn RPCHandler) RPCHandlerID {
+	w.rpcHandlers = append(w.rpcHandlers, fn)
+	return RPCHandlerID(len(w.rpcHandlers) - 1)
+}
+
+// pendingWire tracks this rank's outstanding wire-RPC calls. Owner
+// goroutine only: replies are dispatched during this rank's progress.
+type pendingWire struct {
+	slots []*wireCall
+	free  []uint32
+}
+
+type wireCall struct {
+	vp *[]byte
+	h  core.FulfillHandle
+}
+
+func (p *pendingWire) add(c *wireCall) uint64 {
+	if len(p.free) > 0 {
+		id := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.slots[id] = c
+		return uint64(id)
+	}
+	p.slots = append(p.slots, c)
+	return uint64(len(p.slots) - 1)
+}
+
+func (p *pendingWire) take(cookie uint64) *wireCall {
+	c := p.slots[cookie]
+	if c == nil {
+		panic(fmt.Sprintf("gupcxx: wire RPC reply for unknown cookie %d", cookie))
+	}
+	p.slots[cookie] = nil
+	p.free = append(p.free, uint32(cookie))
+	return c
+}
+
+// RPCWire invokes registered procedure id on the target rank with the
+// given argument bytes, returning a future carrying the reply bytes. The
+// entire exchange is wire-encoded (request and reply both cross the
+// conduit as data, never as closures).
+func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte) FutureV[[]byte] {
+	if int(id) >= len(r.w.rpcHandlers) {
+		panic(fmt.Sprintf("gupcxx: wire RPC to unregistered handler %d", id))
+	}
+	fut, vp, h := core.NewFutureV[[]byte](r.eng)
+	cookie := r.wire.add(&wireCall{vp: vp, h: h})
+	r.ep.Send(target, gasnet.Msg{
+		Handler: hRPCWireReq,
+		A0:      cookie,
+		A1:      uint64(id),
+		Payload: args,
+	})
+	return fut
+}
+
+// handleRPCWireReq executes a registered procedure and ships the reply.
+func handleRPCWireReq(ep *gasnet.Endpoint, m *gasnet.Msg) {
+	r := rankOf(ep)
+	id := RPCHandlerID(m.A1)
+	if int(id) >= len(r.w.rpcHandlers) {
+		panic(fmt.Sprintf("gupcxx: wire RPC for unregistered handler %d on rank %d", id, r.Me()))
+	}
+	// The payload aliases conduit buffers; copy before handing to user
+	// code that may retain it.
+	args := append([]byte(nil), m.Payload...)
+	reply := r.w.rpcHandlers[id](r, args)
+	ep.Send(int(m.From), gasnet.Msg{
+		Handler: hRPCWireRep,
+		A0:      m.A0,
+		Payload: reply,
+	})
+}
+
+// handleRPCWireRep completes the initiator's pending call.
+func handleRPCWireRep(ep *gasnet.Endpoint, m *gasnet.Msg) {
+	r := rankOf(ep)
+	c := r.wire.take(m.A0)
+	*c.vp = append([]byte(nil), m.Payload...)
+	c.h.Fulfill()
+}

@@ -1,0 +1,116 @@
+package gupcxx_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gupcxx"
+)
+
+// TestSmokeRing exercises allocation, pointer exchange, put, get, atomics,
+// RPC, and barriers across ranks on every conduit and version.
+func TestSmokeRing(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.SMP, gupcxx.PSHM, gupcxx.SIM, gupcxx.UDP} {
+		for _, ver := range []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6} {
+			cfg := gupcxx.Config{
+				Ranks:        4,
+				Conduit:      conduit,
+				RanksPerNode: 2,
+				Version:      ver,
+				SegmentBytes: 1 << 16,
+			}
+			name := conduit.String() + "/" + ver.Name
+			t.Run(name, func(t *testing.T) {
+				var rpcRuns atomic.Int64
+				err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+					me, n := r.Me(), r.N()
+
+					// Each rank publishes a cell; neighbor writes into it.
+					cell := gupcxx.New[int64](r)
+					*cell.Local(r) = -1
+					ptrs := gupcxx.ExchangePtr(r, cell)
+					r.Barrier()
+
+					next := ptrs[(me+1)%n]
+					gupcxx.Rput(r, int64(me), next).Wait()
+					r.Barrier()
+
+					got := *cell.Local(r)
+					want := int64((me - 1 + n) % n)
+					if got != want {
+						t.Errorf("rank %d: cell = %d, want %d", me, got, want)
+					}
+
+					// Rget from the neighbor.
+					v := gupcxx.Rget(r, next).Wait()
+					if v != int64(me) {
+						t.Errorf("rank %d: rget = %d, want %d", me, v, me)
+					}
+
+					// Remote atomics: everyone adds into rank 0's counter.
+					ctr := gupcxx.New[int64](r)
+					*ctr.Local(r) = 0
+					ctrs := gupcxx.ExchangePtr(r, ctr)
+					r.Barrier()
+					ad := gupcxx.NewAtomicDomain[int64](r)
+					ad.Add(ctrs[0], int64(me)+1).Wait()
+					r.Barrier()
+					if me == 0 {
+						sum := ad.Load(ctrs[0]).Wait()
+						want := int64(n * (n + 1) / 2)
+						if sum != want {
+							t.Errorf("atomic sum = %d, want %d", sum, want)
+						}
+					}
+
+					// RPC round trip.
+					peer := (me + 1) % n
+					double := gupcxx.RPCCall(r, peer, func(tr *gupcxx.Rank) int {
+						rpcRuns.Add(1)
+						return tr.Me() * 2
+					}).Wait()
+					if double != peer*2 {
+						t.Errorf("rank %d: rpc = %d, want %d", me, double, peer*2)
+					}
+
+					// Reductions.
+					if s := r.SumU64(uint64(me)); s != uint64(n*(n-1)/2) {
+						t.Errorf("rank %d: sum = %d", me, s)
+					}
+					r.Barrier()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rpcRuns.Load() != int64(cfg.Ranks) {
+					t.Errorf("rpc runs = %d, want %d", rpcRuns.Load(), cfg.Ranks)
+				}
+			})
+		}
+	}
+}
+
+// TestEagerVsDeferObservable checks the semantic difference the paper
+// relaxes: under deferred notification a local put's future is not ready
+// at initiation; under eager notification it is.
+func TestEagerVsDeferObservable(t *testing.T) {
+	run := func(ver gupcxx.Version, wantReady bool) {
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 1, Version: ver, SegmentBytes: 1 << 12}, func(r *gupcxx.Rank) {
+			p := gupcxx.New[int64](r)
+			res := gupcxx.Rput(r, 7, p)
+			if res.Op.Ready() != wantReady {
+				t.Errorf("%s: put future ready = %v, want %v", ver.Name, res.Op.Ready(), wantReady)
+			}
+			res.Wait()
+			if *p.Local(r) != 7 {
+				t.Errorf("%s: value = %d", ver.Name, *p.Local(r))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(gupcxx.Eager2021_3_6, true)
+	run(gupcxx.Defer2021_3_6, false)
+	run(gupcxx.Legacy2021_3_0, false)
+}

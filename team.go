@@ -1,0 +1,234 @@
+package gupcxx
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"gupcxx/internal/gasnet"
+)
+
+// Team is an ordered subset of the world's ranks with its own collective
+// operations, the analogue of upcxx::team. The world team contains every
+// rank; Split carves sub-teams by color, MPI-communicator style.
+//
+// A Team value is rank-local (each member holds its own handle); team
+// collectives must be called by every member, in the same order.
+type Team struct {
+	r       *Rank
+	id      uint64 // identical on all members, distinct across live teams
+	members []int  // world ranks, sorted by (key, world rank)
+	myIdx   int    // position of r in members
+	splits  int    // number of Split calls performed on this team
+
+	barrierSeq uint64
+	bcastSeq   uint64
+	gatherSeq  uint64
+}
+
+// WorldTeam returns the team of all ranks. The handle is cached on the
+// Rank so repeated calls share one sequence space (the world team is a
+// singleton, as in UPC++).
+func (r *Rank) WorldTeam() *Team {
+	if r.teamWorld == nil {
+		members := make([]int, r.N())
+		for i := range members {
+			members[i] = i
+		}
+		r.teamWorld = &Team{r: r, id: 1, members: members, myIdx: r.Me()}
+	}
+	return r.teamWorld
+}
+
+// Rank returns the caller's rank within the team.
+func (t *Team) Rank() int { return t.myIdx }
+
+// N returns the team size.
+func (t *Team) N() int { return len(t.members) }
+
+// WorldRank converts a team rank to a world rank.
+func (t *Team) WorldRank(teamRank int) int { return t.members[teamRank] }
+
+// ID returns the team identity (diagnostics).
+func (t *Team) ID() uint64 { return t.id }
+
+// String formats the team for diagnostics.
+func (t *Team) String() string {
+	return fmt.Sprintf("team{id %#x, %d ranks, me %d}", t.id, len(t.members), t.myIdx)
+}
+
+// childID derives the identity of the (splits-th, color) child of team
+// id. All members of a parent have performed the same number of splits
+// on it (Split is collective), so the derivation agrees on every member.
+func childID(parent uint64, splits int, color int) uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put(0, parent)
+	put(8, uint64(splits))
+	put(16, uint64(int64(color)))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// Split partitions the team: members passing the same color form a new
+// team, ordered by (key, world rank). Collective over the team. A
+// negative color opts the caller out, returning nil.
+func (t *Team) Split(color, key int) *Team {
+	type entry struct {
+		color, key, world int
+	}
+	// Allgather (color, key) over the current team.
+	packed := uint64(uint32(color))<<32 | uint64(uint32(key))
+	words := t.exchange(packed)
+	entries := make([]entry, len(words))
+	for i, w := range words {
+		entries[i] = entry{
+			color: int(int32(w >> 32)),
+			key:   int(int32(w)),
+			world: t.members[i],
+		}
+	}
+	splits := t.splits
+	t.splits++
+	if color < 0 {
+		return nil
+	}
+	var mine []entry
+	for _, e := range entries {
+		if e.color == color {
+			mine = append(mine, e)
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].world < mine[j].world
+	})
+	child := &Team{
+		r:  t.r,
+		id: childID(t.id, splits, color),
+	}
+	for i, e := range mine {
+		child.members = append(child.members, e.world)
+		if e.world == t.r.Me() {
+			child.myIdx = i
+		}
+	}
+	return child
+}
+
+// --- team collectives ---
+// These mirror the world collectives in collectives.go but key their
+// matching state by team identity, so collectives on different teams
+// never cross-match.
+
+// key builds the collective matching key for this team. Team kinds live
+// at 8k+3..8k+5 in the kind space, so they can never collide with the
+// world collectives in collectives.go (kinds 0–2) regardless of team id.
+func (t *Team) key(kind uint64, seq uint64, round uint32) collKey {
+	return collKey{kind: t.id*8 + 3 + kind, seq: seq, round: round}
+}
+
+// send ships a collective token to a team-rank peer.
+func (t *Team) send(teamRank int, kind uint64, seq uint64, round uint32, a0 uint64, payload []byte) {
+	t.r.ep.Send(t.members[teamRank], gasnet.Msg{
+		Handler: hColl,
+		A1:      t.id*8 + 3 + kind,
+		A2:      seq,
+		A3:      uint64(round),
+		A0:      a0,
+		Payload: payload,
+	})
+}
+
+// Barrier blocks until every team member has entered (dissemination over
+// the team).
+func (t *Team) Barrier() {
+	n := t.N()
+	seq := t.barrierSeq
+	t.barrierSeq++
+	if n == 1 {
+		return
+	}
+	me := t.myIdx
+	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
+		t.send((me+dist)%n, collBarrier, seq, uint32(k), 0, nil)
+		t.r.waitColl(t.key(collBarrier, seq, uint32(k)), 1)
+	}
+}
+
+// BroadcastU64 distributes one word from the team-rank root to all
+// members.
+func (t *Team) BroadcastU64(root int, v uint64) uint64 {
+	seq := t.bcastSeq
+	t.bcastSeq++
+	if t.N() == 1 {
+		return v
+	}
+	if t.myIdx == root {
+		for i := 0; i < t.N(); i++ {
+			if i != root {
+				t.send(i, collBcast, seq, 0, v, nil)
+			}
+		}
+		return v
+	}
+	msgs := t.r.waitColl(t.key(collBcast, seq, 0), 1)
+	return msgs[0].A0
+}
+
+// exchange allgathers one word per member, indexed by team rank.
+func (t *Team) exchange(v uint64) []uint64 {
+	n := t.N()
+	seq := t.gatherSeq
+	t.gatherSeq++
+	out := make([]uint64, n)
+	out[t.myIdx] = v
+	if n == 1 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		if i != t.myIdx {
+			t.send(i, collGather, seq, 0, v, nil)
+		}
+	}
+	msgs := t.r.waitColl(t.key(collGather, seq, 0), n-1)
+	worldToTeam := make(map[int32]int, n)
+	for i, wr := range t.members {
+		worldToTeam[int32(wr)] = i
+	}
+	for _, m := range msgs {
+		idx, ok := worldToTeam[m.From]
+		if !ok {
+			panic(fmt.Sprintf("gupcxx: allgather contribution from non-member rank %d", m.From))
+		}
+		out[idx] = m.A0
+	}
+	return out
+}
+
+// ExchangeU64 allgathers one word per member; the i'th element is team
+// rank i's contribution.
+func (t *Team) ExchangeU64(v uint64) []uint64 { return t.exchange(v) }
+
+// ReduceU64 combines one word from every member with op (associative and
+// commutative) and returns the result on every member.
+func (t *Team) ReduceU64(v uint64, op func(a, b uint64) uint64) uint64 {
+	words := t.exchange(v)
+	acc := words[0]
+	for _, w := range words[1:] {
+		acc = op(acc, w)
+	}
+	return acc
+}
+
+// SumU64 returns the team-wide sum of v.
+func (t *Team) SumU64(v uint64) uint64 {
+	return t.ReduceU64(v, func(a, b uint64) uint64 { return a + b })
+}

@@ -1,0 +1,277 @@
+package gupcxx_test
+
+import (
+	"testing"
+
+	"gupcxx"
+)
+
+func TestWorldTeamSingleton(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 3, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			a := r.WorldTeam()
+			b := r.WorldTeam()
+			if a != b {
+				t.Error("WorldTeam not cached")
+			}
+			if a.N() != r.N() || a.Rank() != r.Me() {
+				t.Errorf("world team shape: N=%d rank=%d", a.N(), a.Rank())
+			}
+			a.Barrier()
+			b.Barrier() // same seq space — must still match across ranks
+			if got := a.SumU64(1); got != uint64(r.N()) {
+				t.Errorf("team sum = %d", got)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamSplitEvenOdd(t *testing.T) {
+	const ranks = 6
+	err := gupcxx.Launch(gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			world := r.WorldTeam()
+			color := r.Me() % 2
+			sub := world.Split(color, r.Me())
+			if sub == nil {
+				t.Error("nil subteam for non-negative color")
+				return
+			}
+			if sub.N() != ranks/2 {
+				t.Errorf("subteam size %d", sub.N())
+			}
+			if sub.WorldRank(sub.Rank()) != r.Me() {
+				t.Error("WorldRank inverse broken")
+			}
+			// Members ordered by key = world rank.
+			for i := 0; i < sub.N(); i++ {
+				if want := 2*i + color; sub.WorldRank(i) != want {
+					t.Errorf("member %d = %d, want %d", i, sub.WorldRank(i), want)
+				}
+			}
+			// Team collectives stay within the team.
+			sum := sub.SumU64(uint64(r.Me()))
+			want := uint64(0)
+			for i := color; i < ranks; i += 2 {
+				want += uint64(i)
+			}
+			if sum != want {
+				t.Errorf("team sum = %d, want %d", sum, want)
+			}
+			// Broadcast from team rank 0.
+			v := sub.BroadcastU64(0, uint64(100+sub.WorldRank(0)))
+			if v != uint64(100+color) {
+				t.Errorf("team bcast = %d", v)
+			}
+			sub.Barrier()
+			world.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamSplitReverseKeyOrder(t *testing.T) {
+	const ranks = 4
+	err := gupcxx.Launch(gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			sub := r.WorldTeam().Split(0, -r.Me())
+			// Keys are negated world ranks: order reverses.
+			if sub.WorldRank(sub.Rank()) != r.Me() {
+				t.Error("self lookup broken")
+			}
+			if sub.Rank() != ranks-1-r.Me() {
+				t.Errorf("team rank %d, want %d", sub.Rank(), ranks-1-r.Me())
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeamSplitOptOut(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 4, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			color := 0
+			if r.Me() == 3 {
+				color = -1 // opt out
+			}
+			sub := r.WorldTeam().Split(color, 0)
+			if r.Me() == 3 {
+				if sub != nil {
+					t.Error("opted-out rank got a team")
+				}
+				return
+			}
+			if sub.N() != 3 {
+				t.Errorf("team size %d", sub.N())
+			}
+			sub.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSplits(t *testing.T) {
+	const ranks = 8
+	err := gupcxx.Launch(gupcxx.Config{Ranks: ranks, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			world := r.WorldTeam()
+			half := world.Split(r.Me()/4, r.Me()) // two teams of 4
+			quarter := half.Split(half.Rank()/2, half.Rank())
+			if quarter.N() != 2 {
+				t.Errorf("quarter size %d", quarter.N())
+			}
+			// Concurrent collectives on sibling teams must not
+			// cross-match: every quarter sums its members.
+			sum := quarter.SumU64(uint64(r.Me()))
+			base := (r.Me() / 2) * 2
+			if sum != uint64(base+base+1) {
+				t.Errorf("quarter sum = %d (me %d)", sum, r.Me())
+			}
+			// Distinct sibling teams have distinct ids; parent/child too.
+			if quarter.ID() == half.ID() || half.ID() == world.ID() {
+				t.Error("team ids collide")
+			}
+			world.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistObject(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 4, Conduit: conduit, SegmentBytes: 1 << 12},
+			func(r *gupcxx.Rank) {
+				type payload struct {
+					Rank  int
+					Words []string
+				}
+				d := gupcxx.NewDistObject(r, payload{
+					Rank:  r.Me(),
+					Words: []string{"hello", "from"},
+				})
+				r.Barrier()
+				for tgt := 0; tgt < r.N(); tgt++ {
+					got := d.Fetch(tgt).Wait()
+					if got.Rank != tgt || len(got.Words) != 2 {
+						t.Errorf("fetch(%d) = %+v", tgt, got)
+					}
+				}
+				if d.Local().Rank != r.Me() {
+					t.Error("Local wrong")
+				}
+				r.Barrier()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDistObjectMultipleInstancesMatchByOrder(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 3, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12},
+		func(r *gupcxx.Rank) {
+			a := gupcxx.NewDistObject(r, 10+r.Me())
+			b := gupcxx.NewDistObject(r, 100+r.Me())
+			r.Barrier()
+			next := (r.Me() + 1) % r.N()
+			if got := a.Fetch(next).Wait(); got != 10+next {
+				t.Errorf("a.Fetch = %d", got)
+			}
+			if got := b.Fetch(next).Wait(); got != 100+next {
+				t.Errorf("b.Fetch = %d", got)
+			}
+			r.Barrier() // all first-round fetches done before mutation
+			b.SetLocal(999)
+			r.Barrier()
+			if got := a.Fetch(next).Wait(); got != 10+next {
+				t.Errorf("a.Fetch after SetLocal = %d", got)
+			}
+			if got := b.Fetch(next).Wait(); got != 999 {
+				t.Errorf("b.Fetch after SetLocal = %d", got)
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThenFChaining(t *testing.T) {
+	// The §II chaining example: rget → then(callback initiating rput) →
+	// wait on the chained future.
+	for _, ver := range []gupcxx.Version{gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6} {
+		err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 14},
+			func(r *gupcxx.Rank) {
+				p := gupcxx.New[int64](r)
+				*p.Local(r) = int64(r.Me() * 10)
+				ptrs := gupcxx.ExchangePtr(r, p)
+				r.Barrier()
+				if r.Me() == 0 {
+					tgt := ptrs[1]
+					done := gupcxx.Rget(r, tgt).ThenF(func(val int64) gupcxx.Future {
+						return gupcxx.Rput(r, val+1, tgt).Op
+					})
+					done.Wait()
+					if got := gupcxx.Rget(r, tgt).Wait(); got != 11 {
+						t.Errorf("%s: chained value = %d", ver.Name, got)
+					}
+				}
+				r.Barrier()
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTeamsAcrossNodes: team collectives work over the SIM conduit, where
+// members span simulated nodes (tokens are wire messages).
+func TestTeamsAcrossNodes(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 6, Conduit: gupcxx.SIM, RanksPerNode: 2, SegmentBytes: 1 << 12}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		// Teams by node parity: members on different nodes.
+		sub := r.WorldTeam().Split(r.Me()%2, r.Me())
+		sub.Barrier()
+		sum := sub.SumU64(uint64(r.Me()))
+		want := uint64(0)
+		for i := r.Me() % 2; i < 6; i += 2 {
+			want += uint64(i)
+		}
+		if sum != want {
+			t.Errorf("rank %d: team sum = %d, want %d", r.Me(), sum, want)
+		}
+		if v := sub.BroadcastU64(0, 7); v != 7 {
+			t.Errorf("bcast = %d", v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivesOverUDP: world collectives ride datagrams on the UDP
+// conduit.
+func TestCollectivesOverUDP(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 4, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		for i := 0; i < 5; i++ {
+			r.Barrier()
+			if s := r.SumU64(1); s != uint64(r.N()) {
+				t.Errorf("sum = %d", s)
+			}
+			data := r.BroadcastBytes(i%r.N(), []byte("udp payload"))
+			if string(data) != "udp payload" {
+				t.Errorf("bcast bytes %q", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package gupcxx_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gupcxx"
+)
+
+// visWorld runs fn on rank 0 with a 256-element array on rank 1.
+func visWorld(t *testing.T, conduit gupcxx.Conduit, ver gupcxx.Version,
+	fn func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64])) {
+	t.Helper()
+	cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, Version: ver, SegmentBytes: 1 << 16}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		arr := gupcxx.NewArray[int64](r, 256)
+		for i, s := 0, arr.LocalSlice(r, 256); i < 256; i++ {
+			s[i] = -1
+		}
+		arrs := gupcxx.ExchangePtr(r, arr)
+		r.Barrier()
+		if r.Me() == 0 {
+			fn(r, arrs[1])
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStridedPutGetRoundTrip(t *testing.T) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		for _, ver := range []gupcxx.Version{gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6} {
+			visWorld(t, conduit, ver, func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64]) {
+				sec := gupcxx.Strided2D{Rows: 4, RunLen: 3, Stride: 10}
+				src := make([]int64, sec.Elems())
+				for i := range src {
+					src[i] = int64(100 + i)
+				}
+				gupcxx.RputStrided(r, src, arr, sec).Wait()
+
+				// Full readback: strided slots set, gaps untouched.
+				full := make([]int64, 256)
+				gupcxx.RgetBulk(r, arr, full).Wait()
+				for row := 0; row < sec.Rows; row++ {
+					for j := 0; j < sec.RunLen; j++ {
+						want := int64(100 + row*sec.RunLen + j)
+						if got := full[row*sec.Stride+j]; got != want {
+							t.Fatalf("%v/%s: slot [%d,%d] = %d, want %d", conduit, ver.Name, row, j, got, want)
+						}
+					}
+					for j := sec.RunLen; j < sec.Stride && row*sec.Stride+j < 256; j++ {
+						if full[row*sec.Stride+j] != -1 {
+							t.Fatalf("%v/%s: gap [%d,%d] clobbered", conduit, ver.Name, row, j)
+						}
+					}
+				}
+
+				// Strided get returns exactly what was put.
+				back := make([]int64, sec.Elems())
+				gupcxx.RgetStrided(r, arr, sec, back).Wait()
+				for i := range back {
+					if back[i] != src[i] {
+						t.Fatalf("%v/%s: strided get [%d] = %d", conduit, ver.Name, i, back[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestStridedEagerReadiness(t *testing.T) {
+	visWorld(t, gupcxx.PSHM, gupcxx.Eager2021_3_6, func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64]) {
+		sec := gupcxx.Strided2D{Rows: 2, RunLen: 2, Stride: 4}
+		res := gupcxx.RputStrided(r, make([]int64, 4), arr, sec)
+		if !res.Op.Ready() {
+			t.Error("co-located strided put should complete eagerly")
+		}
+	})
+	visWorld(t, gupcxx.SIM, gupcxx.Eager2021_3_6, func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64]) {
+		sec := gupcxx.Strided2D{Rows: 2, RunLen: 2, Stride: 4}
+		res := gupcxx.RputStrided(r, make([]int64, 4), arr, sec)
+		if res.Op.Ready() {
+			t.Error("cross-node strided put cannot be ready at initiation")
+		}
+		res.Wait()
+	})
+}
+
+func TestStridedRemoteCompletionFiresOnce(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 2, Conduit: gupcxx.SIM, SegmentBytes: 1 << 16}
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		arr := gupcxx.NewArray[int64](r, 64)
+		count := gupcxx.New[int64](r)
+		*count.Local(r) = 0
+		arrs := gupcxx.ExchangePtr(r, arr)
+		counts := gupcxx.ExchangePtr(r, count)
+		r.Barrier()
+		if r.Me() == 0 {
+			sec := gupcxx.Strided2D{Rows: 5, RunLen: 2, Stride: 8}
+			gupcxx.RputStrided(r, make([]int64, 10), arrs[1], sec,
+				gupcxx.OpFuture(),
+				gupcxx.RemoteRPCOn(func(tr *gupcxx.Rank) {
+					*counts[1].Local(tr)++
+				}),
+			).Wait()
+			// Give the remote completion a moment (it may trail the ack).
+			got := gupcxx.RPCCall(r, 1, func(tr *gupcxx.Rank) int64 {
+				return *counts[1].Local(tr)
+			}).Wait()
+			if got != 1 {
+				t.Errorf("remote completion ran %d times, want 1", got)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedScatterGather(t *testing.T) {
+	// Indexed puts/gets across BOTH ranks (mixed locality from rank 0's
+	// perspective under SIM).
+	for _, conduit := range []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM} {
+		cfg := gupcxx.Config{Ranks: 2, Conduit: conduit, SegmentBytes: 1 << 16}
+		err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+			arr := gupcxx.NewArray[int64](r, 32)
+			arrs := gupcxx.ExchangePtr(r, arr)
+			r.Barrier()
+			if r.Me() == 0 {
+				var dsts []gupcxx.GlobalPtr[int64]
+				var vals []int64
+				for i := 0; i < 16; i++ {
+					dsts = append(dsts, arrs[i%2].Element(i))
+					vals = append(vals, int64(1000+i))
+				}
+				gupcxx.RputIndexed(r, vals, dsts).Wait()
+				out := make([]int64, 16)
+				gupcxx.RgetIndexed(r, dsts, out).Wait()
+				for i, v := range out {
+					if v != int64(1000+i) {
+						t.Fatalf("%v: out[%d] = %d", conduit, i, v)
+					}
+				}
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIndexedEmptyAndValidation(t *testing.T) {
+	visWorld(t, gupcxx.PSHM, gupcxx.Eager2021_3_6, func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64]) {
+		res := gupcxx.RputIndexed[int64](r, nil, nil)
+		if !res.Op.Ready() {
+			t.Error("empty indexed put should be eagerly complete")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch should panic")
+				}
+			}()
+			gupcxx.RputIndexed(r, []int64{1}, nil)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("remote cx on indexed op should panic")
+				}
+			}()
+			gupcxx.RputIndexed(r, []int64{1}, []gupcxx.GlobalPtr[int64]{arr},
+				gupcxx.RemoteRPC(func() {}))
+		}()
+	})
+}
+
+// TestStridedPropertyRoundTrip: random sections round-trip through
+// put-strided/get-strided on a co-located target.
+func TestStridedPropertyRoundTrip(t *testing.T) {
+	visWorld(t, gupcxx.PSHM, gupcxx.Eager2021_3_6, func(r *gupcxx.Rank, arr gupcxx.GlobalPtr[int64]) {
+		f := func(rowsRaw, runRaw, strideRaw uint8, seed int64) bool {
+			rows := int(rowsRaw)%5 + 1
+			runLen := int(runRaw)%4 + 1
+			stride := runLen + int(strideRaw)%4
+			if (rows-1)*stride+runLen > 256 {
+				return true
+			}
+			sec := gupcxx.Strided2D{Rows: rows, RunLen: runLen, Stride: stride}
+			src := make([]int64, sec.Elems())
+			for i := range src {
+				src[i] = seed + int64(i)
+			}
+			gupcxx.RputStrided(r, src, arr, sec).Wait()
+			back := make([]int64, sec.Elems())
+			gupcxx.RgetStrided(r, arr, sec, back).Wait()
+			for i := range back {
+				if back[i] != src[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	})
+}

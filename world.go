@@ -1,0 +1,284 @@
+// Package gupcxx is a Go library implementing the Asynchronous Partitioned
+// Global Address Space (APGAS) programming model of UPC++, built to
+// reproduce the SC'21 paper "Optimization of Asynchronous Communication
+// Operations through Eager Notifications" (Kamil & Bonachea).
+//
+// A job is a World of SPMD ranks, each with a private memory plus a shared
+// segment; the union of the segments forms the global address space.
+// Ranks address each other's segments through typed global pointers
+// (GlobalPtr) and communicate with one-sided RMA (Rput/Rget), remote
+// atomics (AtomicDomain), and remote procedure calls (RPC). Asynchronous
+// operations notify completion through futures, promises, and callbacks,
+// composed via the completion factories re-exported from internal/core.
+//
+// The headline feature is the eager-notification completion mode: under
+// Eager2021_3_6 (the default version), an operation that completes its
+// data movement synchronously — because the target is co-located and
+// reached by shared-memory bypass — may return an already-ready future
+// (with no heap allocation) or skip fulfilling a registered promise
+// entirely, removing the progress-queue round trip that the legacy
+// deferred semantics impose. See DESIGN.md for the full mapping to the
+// paper.
+//
+// A minimal program:
+//
+//	cfg := gupcxx.Config{Ranks: 4}
+//	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+//		ptr := gupcxx.New[int64](r)            // allocate in my segment
+//		ptrs := gupcxx.ExchangePtr(r, ptr)     // allgather the pointers
+//		next := ptrs[(r.Me()+1)%r.N()]
+//		gupcxx.Rput(r, int64(r.Me()), next).Wait()
+//		r.Barrier()
+//		fmt.Println(r.Me(), *ptr.Local(r))
+//	})
+package gupcxx
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Version selects which of the paper's three library behaviours the
+// runtime emulates; see internal/core.Version.
+type Version = core.Version
+
+// The three library versions evaluated in the paper (§IV).
+var (
+	Legacy2021_3_0 = core.Legacy2021_3_0
+	Defer2021_3_6  = core.Defer2021_3_6
+	Eager2021_3_6  = core.Eager2021_3_6
+)
+
+// Conduit selects the communication substrate; see internal/gasnet.
+type Conduit = gasnet.Conduit
+
+// Available conduits.
+const (
+	SMP  = gasnet.SMP
+	PSHM = gasnet.PSHM
+	SIM  = gasnet.SIM
+	UDP  = gasnet.UDP
+)
+
+// ParseConduit converts a conduit name ("smp", "pshm", "sim", "udp") to a
+// Conduit.
+func ParseConduit(s string) (Conduit, error) { return gasnet.ParseConduit(s) }
+
+// Completion type and factory re-exports: completions are composed by
+// passing several Cx values to an operation, the analogue of UPC++'s
+// `operation_cx::as_future() | remote_cx::as_rpc(...)`.
+type (
+	// Cx is a single completion request.
+	Cx = core.Cx
+	// Future is a value-less asynchronous result.
+	Future = core.Future
+	// FutureV is an asynchronous result carrying a value.
+	FutureV[T any] = core.FutureV[T]
+	// Promise tracks completion of any number of value-less operations.
+	Promise = core.Promise
+	// PromiseV tracks a single value-producing operation.
+	PromiseV[T any] = core.PromiseV[T]
+	// Result carries the futures produced by an operation.
+	Result = core.Result
+	// Mode selects eager/deferred/default notification.
+	Mode = core.Mode
+)
+
+// Completion factory re-exports (§III-A).
+var (
+	OpFuture       = core.OpFuture
+	OpEagerFuture  = core.OpEagerFuture
+	OpDeferFuture  = core.OpDeferFuture
+	OpPromise      = core.OpPromise
+	OpEagerPromise = core.OpEagerPromise
+	OpDeferPromise = core.OpDeferPromise
+	OpLPC          = core.OpLPC
+
+	SourceFuture      = core.SourceFuture
+	SourceEagerFuture = core.SourceEagerFuture
+	SourceDeferFuture = core.SourceDeferFuture
+	SourcePromise     = core.SourcePromise
+	SourceLPC         = core.SourceLPC
+
+	RemoteRPC = core.RemoteRPC
+)
+
+// RemoteRPCOn requests remote completion with the target Rank handle:
+// fn runs on the target rank's progress goroutine after data arrival,
+// with full access to target-side state.
+func RemoteRPCOn(fn func(*Rank)) Cx {
+	return core.RemoteRPCCtx(func(ctx any) { fn(ctx.(*Rank)) })
+}
+
+// Notification modes for the value-producing operations (Rget, fetching
+// atomics), which cannot take a Cx list because their future carries the
+// value.
+const (
+	ModeDefault = core.ModeDefault
+	ModeEager   = core.ModeEager
+	ModeDefer   = core.ModeDefer
+)
+
+// Config describes a World.
+type Config struct {
+	// Ranks is the number of SPMD ranks. Must be >= 1.
+	Ranks int
+
+	// Conduit selects the substrate; the zero value is SMP (single node,
+	// static locality). Use PSHM for the paper's dynamic-locality
+	// single-node runs and SIM for multi-node simulations.
+	Conduit Conduit
+
+	// RanksPerNode groups ranks into nodes under the SIM conduit
+	// (default 1). Ignored by SMP and PSHM, which are single-node.
+	RanksPerNode int
+
+	// SegmentBytes sizes each rank's shared segment
+	// (default gasnet.DefaultSegmentBytes).
+	SegmentBytes int
+
+	// SimLatency is the one-way cross-node latency injected by the SIM
+	// conduit (default 1µs).
+	SimLatency time.Duration
+
+	// Version selects the emulated library behaviour. The zero value
+	// selects Eager2021_3_6, the paper's proposed default.
+	Version Version
+}
+
+// World is one job instance: the substrate domain plus per-rank runtime
+// state. Create it with NewWorld and drive it with Run, or use Launch.
+type World struct {
+	dom   *gasnet.Domain
+	ranks []*Rank
+	ver   Version
+
+	// rpcHandlers is the registry of wire-safe RPC procedures (see
+	// rpcwire.go); append-only, fixed before Run.
+	rpcHandlers []RPCHandler
+}
+
+// NewWorld validates cfg and constructs the job.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Version.Name == "" {
+		cfg.Version = Eager2021_3_6
+	}
+	dom, err := gasnet.NewDomain(gasnet.Config{
+		Ranks:        cfg.Ranks,
+		Conduit:      cfg.Conduit,
+		RanksPerNode: cfg.RanksPerNode,
+		SegmentBytes: cfg.SegmentBytes,
+		SimLatency:   cfg.SimLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &World{dom: dom, ver: cfg.Version}
+	dom.RegisterHandler(hRPCExec, handleRPCExec)
+	dom.RegisterHandler(hColl, handleColl)
+	dom.RegisterHandler(hRPCWireReq, handleRPCWireReq)
+	dom.RegisterHandler(hRPCWireRep, handleRPCWireRep)
+	w.ranks = make([]*Rank, cfg.Ranks)
+	staticLocal := dom.Config().StaticLocal() && cfg.Version.ConstexprLocal
+	for i := 0; i < cfg.Ranks; i++ {
+		ep := dom.Endpoint(i)
+		r := &Rank{
+			w:           w,
+			ep:          ep,
+			eng:         core.NewEngine(i, cfg.Version),
+			staticLocal: staticLocal,
+			coll:        newCollState(),
+		}
+		r.eng.SetPoller(ep.Poll)
+		r.eng.SetParker(ep.Park)
+		ep.Ctx = r
+		w.ranks[i] = r
+	}
+	return w, nil
+}
+
+// Ranks reports the number of ranks in the world.
+func (w *World) Ranks() int { return w.dom.Ranks() }
+
+// Version reports the emulated library version.
+func (w *World) Version() Version { return w.ver }
+
+// Rank returns rank i's handle. Outside of Run, a Rank may be driven
+// manually from a single goroutine (used by tests and single-rank tools);
+// concurrent use of one Rank is not allowed.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Domain exposes the underlying substrate domain (instrumentation and
+// tests).
+func (w *World) Domain() *gasnet.Domain { return w.dom }
+
+// Run executes fn once per rank, each on its own goroutine, SPMD-style,
+// and returns after all ranks complete. A panic on any rank is captured
+// and returned as an error after the surviving ranks are abandoned (the
+// World must not be reused after a panic).
+func (w *World) Run(fn func(*Rank)) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.ranks))
+	for i, r := range w.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					buf := make([]byte, 16<<10)
+					buf = buf[:runtime.Stack(buf, false)]
+					errs[i] = fmt.Errorf("rank %d panicked: %v\n%s", i, p, buf)
+				}
+			}()
+			fn(r)
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the completion-machinery statistics of every rank's
+// progress engine. Call it only when no rank is actively running (after
+// Run returns) — the counters are owned by the rank goroutines.
+func (w *World) Stats() core.Stats {
+	var total core.Stats
+	for _, r := range w.ranks {
+		s := r.eng.Stats
+		total.CellAllocs += s.CellAllocs
+		total.DeferQPushes += s.DeferQPushes
+		total.LPCRuns += s.LPCRuns
+		total.ProgressCalls += s.ProgressCalls
+		total.WhenAllBuilt += s.WhenAllBuilt
+		total.WhenAllElided += s.WhenAllElided
+		total.ReadyHits += s.ReadyHits
+		total.LegacyAllocs += s.LegacyAllocs
+		total.EagerDeliveries += s.EagerDeliveries
+	}
+	return total
+}
+
+// Close releases substrate resources (the UDP conduit's sockets and
+// reader goroutines); it is idempotent and a no-op for in-memory
+// conduits. Ranks must not be driven after Close.
+func (w *World) Close() { w.dom.Close() }
+
+// Launch is the one-call entry point: construct a World from cfg, Run fn
+// on every rank, and Close the world.
+func Launch(cfg Config, fn func(*Rank)) error {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	return w.Run(fn)
+}
