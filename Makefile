@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet bench bench-json
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 race coverage: the substrate (MPSC inbox, UDP conduit) plus the
+# runtime facade.
+race:
+	$(GO) test -race ./internal/gasnet/ .
+
+vet:
+	$(GO) vet ./...
+
+# Substrate fast-path microbenchmarks (ring vs seed mutex queue, wire
+# coalescing, collective exchange). The full paper-figure suite lives in
+# cmd/benchall.
+BENCH_PATTERN = BenchmarkAMInjection|BenchmarkUDPCoalesce
+bench:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count 3 ./internal/gasnet/
+	$(GO) test -run XXX -bench BenchmarkCollectiveExchange -benchmem -count 3 .
+
+# Re-record the benchmark baseline (BENCH_1.json holds the checked-in one).
+bench-json:
+	{ $(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count 3 ./internal/gasnet/ ; \
+	  $(GO) test -run XXX -bench BenchmarkCollectiveExchange -benchmem -count 3 . ; } \
+	| ./scripts/bench2json.sh > BENCH_1.json

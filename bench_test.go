@@ -452,3 +452,30 @@ func BenchmarkFloatAtomicAdd(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCollectiveExchange measures a full 8-rank allgather
+// (binomial-tree gather with coalesced up-forwarding, then a broadcast)
+// per conduit. On UDP this is the end-to-end payoff of sender-side
+// coalescing: interior tree vertices ship whole subtrees as one datagram.
+func BenchmarkCollectiveExchange(b *testing.B) {
+	for _, conduit := range []gupcxx.Conduit{gupcxx.SMP, gupcxx.PSHM, gupcxx.UDP} {
+		b.Run(conduit.String(), func(b *testing.B) {
+			w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 8, Conduit: conduit, SegmentBytes: 1 << 12})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			err = w.Run(func(r *gupcxx.Rank) {
+				if r.Me() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					r.ExchangeU64(uint64(r.Me() + i))
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

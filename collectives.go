@@ -1,6 +1,7 @@
 package gupcxx
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"gupcxx/internal/gasnet"
@@ -44,6 +45,13 @@ func newCollState() *collState {
 func handleColl(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	r := rankOf(ep)
 	k := collKey{kind: m.A1, seq: m.A2, round: uint32(m.A3)}
+	if m.A1 == collGather {
+		// World-gather messages carry the contribution's origin rank in
+		// A3, not a round number; they all match under round 0. Team
+		// collectives use disjoint kinds (team.key), so this cannot
+		// misfile a team message.
+		k.round = 0
+	}
 	// Payload slices from cross-node delivery alias the wire buffer, which
 	// the queue owns only until the next drain; copy for safekeeping.
 	if len(m.Payload) > 0 {
@@ -135,34 +143,89 @@ func (r *Rank) BroadcastU64(root int, v uint64) uint64 {
 // ExchangeU64 performs an allgather of one word per rank: the result's
 // i'th element is rank i's contribution. Every rank receives the full
 // vector.
+//
+// Contributions climb a binomial tree rooted at rank 0 (each message
+// carries its origin rank in A3); an interior vertex forwards its whole
+// subtree to its parent inside one injection burst, so on the UDP conduit
+// the fan-in coalesces into O(log N) datagrams per vertex instead of one
+// per contribution. The root then broadcasts the packed vector. Versus the
+// previous all-to-all this is O(N log N) messages rather than O(N²), and
+// it is the substrate's showcase for sender-side coalescing (the burst to
+// a common parent is exactly the pattern coalescing accelerates).
 func (r *Rank) ExchangeU64(v uint64) []uint64 {
 	n := r.N()
 	seq := r.coll.gatherSeq
 	r.coll.gatherSeq++
 	out := make([]uint64, n)
-	out[r.Me()] = v
+	me := r.Me()
+	out[me] = v
 	if n == 1 {
 		return out
 	}
-	for t := 0; t < n; t++ {
-		if t == r.Me() {
-			continue
-		}
-		r.ep.Send(t, gasnet.Msg{
-			Handler: hColl,
-			A1:      collGather,
-			A2:      seq,
-			A0:      v,
-		})
+
+	// span is the width of me's subtree: ranks [me, me+span) ∩ [0, n).
+	// For the root it is n; otherwise the lowest set bit of me.
+	span := n
+	if me != 0 {
+		span = me & -me
 	}
-	msgs := r.waitColl(collKey{collGather, seq, 0}, n-1)
-	seen := make(map[int32]bool, len(msgs))
-	for _, m := range msgs {
-		if seen[m.From] {
-			panic(fmt.Sprintf("gupcxx: duplicate allgather contribution from rank %d", m.From))
+	expect := min(me+span, n) - me - 1
+
+	// Gather the subtree's contributions (origin, value), own first.
+	origins := make([]int, 1, expect+1)
+	values := make([]uint64, 1, expect+1)
+	origins[0], values[0] = me, v
+	if expect > 0 {
+		msgs := r.waitColl(collKey{collGather, seq, 0}, expect)
+		seen := make(map[uint64]bool, len(msgs))
+		for _, m := range msgs {
+			origin := m.A3
+			if int(origin) >= n {
+				panic(fmt.Sprintf("gupcxx: allgather contribution from out-of-range rank %d", origin))
+			}
+			if seen[origin] {
+				panic(fmt.Sprintf("gupcxx: duplicate allgather contribution from rank %d", origin))
+			}
+			seen[origin] = true
+			origins = append(origins, int(origin))
+			values = append(values, m.A0)
 		}
-		seen[m.From] = true
-		out[m.From] = m.A0
+	}
+
+	if me != 0 {
+		// Forward the whole subtree to the parent in one burst: on the
+		// UDP conduit these pack into a single datagram.
+		parent := me - span
+		r.ep.BeginBurst()
+		for i := range origins {
+			r.ep.Send(parent, gasnet.Msg{
+				Handler: hColl,
+				A1:      collGather,
+				A2:      seq,
+				A0:      values[i],
+				A3:      uint64(origins[i]),
+			})
+		}
+		r.ep.EndBurst()
+	} else {
+		for i := range origins {
+			out[origins[i]] = values[i]
+		}
+	}
+
+	// Root broadcasts the packed vector; everyone decodes it.
+	var packed []byte
+	if me == 0 {
+		packed = make([]byte, 8*n)
+		for i, w := range out {
+			binary.LittleEndian.PutUint64(packed[8*i:], w)
+		}
+	}
+	packed = r.BroadcastBytes(0, packed)
+	if me != 0 {
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(packed[8*i:])
+		}
 	}
 	return out
 }

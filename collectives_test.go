@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gupcxx"
+	"gupcxx/internal/gasnet"
 )
 
 func TestBarrierOrdering(t *testing.T) {
@@ -147,5 +148,40 @@ func TestRunPanicCaptured(t *testing.T) {
 func TestConfigValidation(t *testing.T) {
 	if _, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 0}); err == nil {
 		t.Error("0 ranks accepted")
+	}
+}
+
+// TestExchangeCoalescesOnUDP pins the datagram economics of the
+// binomial-tree allgather on the UDP conduit with 8 ranks. The tree's
+// interior vertices (2, 4, 6) forward their subtrees inside one send
+// burst each, so exactly three coalesced batch datagrams carry eight of
+// the contributions; the all-to-all it replaced needed 56 datagrams for
+// the gather phase alone.
+func TestExchangeCoalescesOnUDP(t *testing.T) {
+	cfg := gupcxx.Config{Ranks: 8, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12}
+	var captured gasnet.Stats
+	err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+		vec := r.ExchangeU64(uint64(100 + r.Me()))
+		for i, v := range vec {
+			if v != uint64(100+i) {
+				t.Errorf("rank %d: vec[%d] = %d", r.Me(), i, v)
+			}
+		}
+		r.Barrier() // every rank's sends are on the wire and counted
+		if r.Me() == 0 {
+			captured = r.World().Domain().Stats()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if captured.CoalescedBatches != 3 {
+		t.Errorf("CoalescedBatches = %d, want 3 (vertices 2, 4, 6)", captured.CoalescedBatches)
+	}
+	if captured.CoalescedMsgs != 8 {
+		t.Errorf("CoalescedMsgs = %d, want 8 (2+4+2 forwarded contributions)", captured.CoalescedMsgs)
+	}
+	if saved := captured.CoalescedMsgs - captured.CoalescedBatches; saved < 5 {
+		t.Errorf("coalescing saved only %d datagrams", saved)
 	}
 }

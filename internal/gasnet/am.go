@@ -1,6 +1,7 @@
 package gasnet
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"gupcxx/internal/serial"
@@ -42,6 +43,20 @@ type Msg struct {
 	Fn      func(*Endpoint) // closure payload; nil for wire messages
 
 	readyAt int64 // SIM conduit release time (0 = immediately deliverable)
+
+	// buf, when set, is the pooled wire buffer Payload aliases; the Msg
+	// owns one reference on it, dropped by release after dispatch. See
+	// pool.go for the ownership rules.
+	buf *wireBuf
+}
+
+// release drops the message's reference on its pooled wire buffer, if any.
+// After release, Payload must not be read.
+func (m *Msg) release() {
+	if wb := m.buf; wb != nil {
+		m.buf = nil
+		wb.release()
+	}
 }
 
 // HandlerFunc processes one delivered active message on the receiving
@@ -60,6 +75,22 @@ func encodeMsg(buf []byte, m *Msg) []byte {
 	e.PutU64(m.A3)
 	e.PutRaw(m.Payload) // extends to end of message
 	return e.Bytes()
+}
+
+// wireHeaderLen is the encoded size of a wire message's fixed fields
+// (handler, from, A0..A3); the payload follows to the end of the frame.
+const wireHeaderLen = 1 + 4 + 4*8
+
+// appendMsg appends m's wire encoding to dst (which, unlike encodeMsg, is
+// not reset first) — the building block of coalesced datagrams.
+func appendMsg(dst []byte, m *Msg) []byte {
+	dst = append(dst, m.Handler)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.From))
+	dst = binary.LittleEndian.AppendUint64(dst, m.A0)
+	dst = binary.LittleEndian.AppendUint64(dst, m.A1)
+	dst = binary.LittleEndian.AppendUint64(dst, m.A2)
+	dst = binary.LittleEndian.AppendUint64(dst, m.A3)
+	return append(dst, m.Payload...)
 }
 
 // decodeMsg parses a wire message produced by encodeMsg. The returned

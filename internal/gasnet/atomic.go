@@ -97,19 +97,11 @@ func ApplyAmo(seg *Segment, off uint32, op AmoOp, operand1, operand2 uint64) uin
 			}
 		}
 	case AmoAnd:
-		for {
-			old := atomic.LoadUint64(w)
-			if atomic.CompareAndSwapUint64(w, old, old&operand1) {
-				return old
-			}
-		}
+		// Single hardware instruction on targets with LSE/x86 lock-prefixed
+		// ops, rather than a CAS retry loop.
+		return atomic.AndUint64(w, operand1)
 	case AmoOr:
-		for {
-			old := atomic.LoadUint64(w)
-			if atomic.CompareAndSwapUint64(w, old, old|operand1) {
-				return old
-			}
-		}
+		return atomic.OrUint64(w, operand1)
 	case AmoCAS:
 		for {
 			old := atomic.LoadUint64(w)

@@ -20,8 +20,56 @@ type Domain struct {
 	// instrumentation.
 	amSends atomic.Int64
 
+	// arena is the domain's wire-buffer pool (pool.go): encode staging,
+	// received datagrams, and RMA payload staging all draw from it.
+	arena bufArena
+
+	// Fast-path instrumentation (see Stats).
+	datagramsSent    atomic.Int64
+	coalescedBatches atomic.Int64
+	coalescedMsgs    atomic.Int64
+
 	// udp is the socket transport, present only on the UDP conduit.
 	udp *udpTransport
+}
+
+// Stats is a snapshot of the substrate's fast-path counters, the wire/queue
+// analogue of core.Stats: tests assert the cost model (lock-free pushes,
+// zero-allocation buffer recycling, datagram coalescing) against it.
+type Stats struct {
+	// RingPushes counts inbox messages that took the lock-free MPSC ring
+	// (tallied at delivery, so the producer path stays contention-free).
+	RingPushes int64
+	// BacklogSpills counts inbox messages that overflowed into the
+	// mutex-guarded backlog.
+	BacklogSpills int64
+	// PoolHits / PoolMisses count wire-buffer arena requests served from
+	// the pool vs. freshly allocated.
+	PoolHits   int64
+	PoolMisses int64
+	// DatagramsSent counts UDP datagrams written (after coalescing).
+	DatagramsSent int64
+	// CoalescedBatches counts datagrams that carried more than one packed
+	// message; CoalescedMsgs counts the messages inside them.
+	CoalescedBatches int64
+	CoalescedMsgs    int64
+}
+
+// Stats returns a snapshot of the substrate fast-path counters, aggregated
+// over all endpoints.
+func (d *Domain) Stats() Stats {
+	s := Stats{
+		PoolHits:         d.arena.hits.Load(),
+		PoolMisses:       d.arena.misses.Load(),
+		DatagramsSent:    d.datagramsSent.Load(),
+		CoalescedBatches: d.coalescedBatches.Load(),
+		CoalescedMsgs:    d.coalescedMsgs.Load(),
+	}
+	for _, ep := range d.eps {
+		s.RingPushes += ep.inbox.fastPushes.Load()
+		s.BacklogSpills += ep.inbox.spills.Load()
+	}
+	return s
 }
 
 // NewDomain validates cfg and constructs the job: one segment and one
@@ -51,6 +99,9 @@ func NewDomain(cfg Config) (*Domain, error) {
 	d.handlers[hAmoReq] = handleAmoReq
 	d.handlers[hAmoRep] = handleAck
 	d.handlers[hHeldFn] = func(ep *Endpoint, m *Msg) { m.Fn(ep) }
+	// Seed the cached clock so the first SIM release time is stamped from
+	// a fresh value (drains keep it fresh from then on).
+	clockRefresh()
 	if cfg.Conduit == UDP {
 		if err := d.initUDP(); err != nil {
 			return nil, err
@@ -106,6 +157,12 @@ type Endpoint struct {
 
 	wirebuf []byte // reused encode buffer for SIM sends
 
+	// burst and co implement sender-side coalescing on the UDP conduit
+	// (see udp.go): while burst > 0, wire messages are packed per
+	// destination instead of shipped one datagram each.
+	burst int
+	co    *coalescer
+
 	// wake is signaled (coalescing) whenever a message is delivered to
 	// this endpoint, so an idle waiter can park instead of spinning — a
 	// large win when ranks outnumber cores.
@@ -147,17 +204,27 @@ func (ep *Endpoint) LocalSegment(target int) *Segment {
 // targets (SIM conduit) receive a copy that was round-tripped through the
 // wire encoding and released only after the configured latency; closure
 // messages (Fn != nil) cannot cross nodes.
+// A Msg whose buf field is set (pooled payload staging, rma.go) is
+// consumed by Send: ownership of the buffer reference transfers to the
+// receiver on in-memory delivery, or is released here once the bytes are
+// on the wire.
 func (ep *Endpoint) Send(to int, m Msg) {
 	m.From = int32(ep.rank)
 	dst := ep.dom.eps[to]
 	ep.dom.amSends.Add(1)
 	if ep.dom.cfg.Conduit == UDP && m.Fn == nil {
-		// Wire-encodable message on the UDP conduit: through the kernel.
-		ep.dom.sendUDP(ep.rank, to, &m)
+		// Wire-encodable message on the UDP conduit: through the kernel,
+		// packed with its burst-mates when a burst is open.
+		if ep.burst > 0 {
+			ep.coalesce(to, &m)
+		} else {
+			ep.dom.sendUDP(ep.rank, to, &m)
+		}
+		m.release()
 		return
 	}
 	if ep.node == dst.node {
-		dst.inbox.push(m)
+		dst.inbox.push(m) // buffer reference (if any) travels with m
 		dst.notify()
 		return
 	}
@@ -169,14 +236,22 @@ func (ep *Endpoint) Send(to int, m Msg) {
 	fn := m.Fn
 	m.Fn = nil
 	ep.wirebuf = encodeMsg(ep.wirebuf[:0], &m)
-	wire := make([]byte, len(ep.wirebuf))
-	copy(wire, ep.wirebuf)
-	dm, err := decodeMsg(wire)
+	m.release() // staged payload is encoded; drop our reference
+	wb := ep.dom.arena.get(len(ep.wirebuf))
+	copy(wb.b, ep.wirebuf)
+	dm, err := decodeMsg(wb.b)
 	if err != nil {
 		panic(err) // encode/decode are inverses; this is a runtime bug
 	}
+	dm.buf = wb
 	dm.Fn = fn
-	dm.readyAt = nanotime() + int64(ep.dom.cfg.SimLatency)
+	// Stamp from a freshly advanced clock: a stale stamp would release the
+	// message early and under-simulate the wire latency. The refresh also
+	// keeps the shared cache warm for the receiver's drain gating. (The
+	// clock reads the fast path avoids are the per-push and per-untimed-
+	// drain ones; one read per simulated cross-node send is the simulation
+	// itself.)
+	dm.readyAt = clockRefresh() + int64(ep.dom.cfg.SimLatency)
 	dst.inbox.push(dm)
 	dst.notify()
 }
@@ -187,18 +262,25 @@ func (ep *Endpoint) Send(to int, m Msg) {
 // progress engine. Messages held back by a preceding PollInternal are
 // dispatched first, preserving their arrival order.
 func (ep *Endpoint) Poll() int {
+	if ep.co != nil && ep.burst == 0 && ep.co.pending() {
+		// Safety net: a burst left unflushed (a bug in the caller) must
+		// not stall peers forever.
+		ep.flushSends()
+	}
 	n := 0
 	if len(ep.held) > 0 {
 		held := ep.held
 		ep.held = nil
 		for i := range held {
 			ep.dispatch(&held[i])
+			held[i].release()
 		}
 		n += len(held)
 	}
-	msgs := ep.inbox.drain(nanotime())
+	msgs := ep.inbox.drainNow()
 	for i := range msgs {
 		ep.dispatch(&msgs[i])
+		msgs[i].release()
 	}
 	return n + len(msgs)
 }
@@ -223,7 +305,7 @@ func (ep *Endpoint) dispatch(m *Msg) {
 // callback waits for user-level progress, as remote_cx::as_rpc does in
 // UPC++.
 func (ep *Endpoint) PollInternal() int {
-	msgs := ep.inbox.drain(nanotime())
+	msgs := ep.inbox.drainNow()
 	n := 0
 	for i := range msgs {
 		m := &msgs[i]
@@ -235,19 +317,24 @@ func (ep *Endpoint) PollInternal() int {
 				fn := m.Fn
 				ep.Segment().CopyIn(uint32(m.A1), m.Payload)
 				ep.Send(int(m.From), Msg{Handler: hPutAck, A0: m.A0})
+				m.release() // payload consumed by CopyIn
 				ep.held = append(ep.held, Msg{Handler: hHeldFn, Fn: fn})
 				n++
 				continue
 			}
 			ep.dispatch(m)
+			m.release()
 			n++
 		case hGetReq, hAmoReq:
 			ep.dispatch(m)
+			m.release()
 			n++
 		default:
 			// Acks, replies, and user-level messages wait for Poll. Copy:
-			// the drain buffer is reused.
+			// the drain buffer is reused. The copy takes over the buffer
+			// reference; the scratch entry must not release it.
 			ep.held = append(ep.held, *m)
+			m.buf = nil
 		}
 	}
 	return n
@@ -282,6 +369,10 @@ func (ep *Endpoint) Park() {
 		runtime.Gosched()
 		return
 	}
+	// A parked rank is as good a clock keeper as any: refreshing here
+	// bounds the cached clock's staleness for SIM release stamping even
+	// when every rank is idle.
+	clockRefresh()
 	if ep.parkTimer == nil {
 		ep.parkTimer = time.NewTimer(parkTimeout)
 	} else {

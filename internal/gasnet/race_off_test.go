@@ -1,0 +1,5 @@
+//go:build !race
+
+package gasnet
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package gasnet
+
+// raceEnabled reports that this binary was built with -race, under which
+// sync.Pool deliberately drops items at random — pool-identity tests must
+// skip.
+const raceEnabled = true

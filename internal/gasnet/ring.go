@@ -1,0 +1,164 @@
+package gasnet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// mpscRing is a bounded lock-free multi-producer single-consumer ring of
+// active messages — the fast path of an endpoint's inbox. The design is the
+// classic bounded MPMC queue of Dmitry Vyukov, restricted to one consumer:
+// every cell carries a sequence number that encodes, relative to the
+// producers' reservation counter (tail) and the consumer's position (head),
+// whether the cell is free, published, or still being written. Producers
+// reserve a cell with one CAS on tail and publish with one release-store of
+// the cell's sequence; the consumer needs no atomics beyond loads and its
+// own head store. Neither side ever blocks, allocates, or touches a mutex.
+//
+// The ring is intentionally small relative to the messages a run can have
+// in flight: when it is full, push fails and the caller (amQueue) spills to
+// a mutex-guarded backlog, so the lock-free structure bounds memory without
+// ever changing delivery semantics.
+
+// ringBits fixes the ring capacity at 1<<ringBits cells. 512 messages is
+// far beyond any in-flight window the internal protocol produces (the op
+// table throttles initiators), so spills only happen when a consumer stalls
+// under a genuine many-producer burst.
+const (
+	ringBits = 9
+	ringCap  = 1 << ringBits
+	ringMask = ringCap - 1
+)
+
+// ringCell is one slot: its sequence number and the message payload.
+type ringCell struct {
+	seq atomic.Uint64
+	msg Msg
+}
+
+// mpscRing's zero value is not ready for use: cell sequence numbers must be
+// initialised to their index. amQueue lazily runs init (via sync.Once) so
+// that the enclosing queue keeps a usable zero value.
+type mpscRing struct {
+	tail atomic.Uint64 // next cell producers will reserve
+	_    [56]byte      // keep producers' tail off the consumer's line
+	head uint64        // next cell the consumer will inspect; consumer-owned,
+	//                    never read by producers (cell seq carries the
+	//                    cross-thread ordering), so it needs no atomics
+	_     [56]byte
+	cells [ringCap]ringCell
+}
+
+// init seeds the cell sequence numbers. Must run before first use.
+func (r *mpscRing) init() {
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+}
+
+// push publishes m, reporting false when the ring is full (or transiently
+// contended to the point of looking full, which the caller treats the same
+// way: spill). It never blocks.
+func (r *mpscRing) push(m Msg) bool {
+	pos := r.tail.Load()
+	for {
+		cell := &r.cells[pos&ringMask]
+		seq := cell.seq.Load()
+		switch dif := int64(seq) - int64(pos); {
+		case dif == 0:
+			// Cell free at our position: try to reserve it.
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				cell.msg = m
+				cell.seq.Store(pos + 1) // publish
+				return true
+			}
+			pos = r.tail.Load()
+		case dif < 0:
+			// Cell still holds the entry from one lap ago: full.
+			return false
+		default:
+			// Another producer advanced tail past us; chase it.
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// pop consumes the message at the head, honouring its release time:
+// a published head entry with readyAt > now is left in place and reported
+// as blocked, so the FIFO prefix contract of drain holds. The second
+// result is true when a message was consumed; the third is true when the
+// head holds a published-but-not-yet-deliverable message (the caller must
+// not fall through to the backlog's timestamps in that case — but see
+// amQueue.drain for why doing so would still be FIFO-safe per producer).
+func (r *mpscRing) pop(now int64) (Msg, bool, bool) {
+	head := r.head
+	cell := &r.cells[head&ringMask]
+	seq := cell.seq.Load()
+	if seq != head+1 {
+		// Empty, or a producer reserved the cell but has not yet
+		// published it; either way nothing is consumable at the head.
+		return Msg{}, false, false
+	}
+	if cell.msg.readyAt > now {
+		return Msg{}, false, true
+	}
+	m := cell.msg
+	cell.clear()
+	cell.seq.Store(head + ringCap)
+	r.head = head + 1
+	return m, true, false
+}
+
+// drainInto appends every deliverable message at the head of the ring to
+// dst (at most one full lap) and reports whether it stopped at a
+// published-but-not-yet-deliverable entry. It batches the consumer-side
+// bookkeeping — one head writeback for the whole sweep — which is what
+// makes the per-message delivery cost competitive with a bulk copy out of
+// a mutexed slice.
+func (r *mpscRing) drainInto(dst []Msg, now int64) ([]Msg, bool) {
+	head := r.head
+	for n := 0; n < ringCap; n++ {
+		cell := &r.cells[head&ringMask]
+		if cell.seq.Load() != head+1 {
+			break
+		}
+		if cell.msg.readyAt > now {
+			r.head = head
+			return dst, true
+		}
+		dst = append(dst, cell.msg)
+		cell.clear()
+		cell.seq.Store(head + ringCap)
+		head++
+	}
+	r.head = head
+	return dst, false
+}
+
+// clear drops the slot's references so the ring never pins payload
+// buffers or closures for a full lap. Only the pointer-carrying fields
+// need zeroing; the scalars are overwritten by the next push.
+func (c *ringCell) clear() {
+	c.msg.Payload = nil
+	c.msg.Fn = nil
+	c.msg.buf = nil
+}
+
+// empty reports whether no entries are reserved or published. Consumer
+// goroutine only (it reads the plain head), which matches its callers:
+// Park and InboxEmpty run on the endpoint's owner.
+func (r *mpscRing) empty() bool {
+	return r.tail.Load() == r.head
+}
+
+// onceRing couples the ring with its lazy initialiser so amQueue's zero
+// value stays usable, matching the old mutex queue.
+type onceRing struct {
+	once sync.Once
+	ring mpscRing
+}
+
+func (o *onceRing) get() *mpscRing {
+	o.once.Do(o.ring.init)
+	return &o.ring
+}

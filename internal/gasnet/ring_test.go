@@ -1,0 +1,70 @@
+package gasnet
+
+import "testing"
+
+func TestRingFillAndDrain(t *testing.T) {
+	var r onceRing
+	q := r.get()
+	for i := 0; i < ringCap; i++ {
+		if !q.push(Msg{A0: uint64(i)}) {
+			t.Fatalf("push %d rejected before capacity", i)
+		}
+	}
+	if q.push(Msg{A0: 999}) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	for i := 0; i < ringCap; i++ {
+		m, ok, _ := q.pop(0)
+		if !ok || m.A0 != uint64(i) {
+			t.Fatalf("pop %d = (%v, %v)", i, m.A0, ok)
+		}
+	}
+	if _, ok, _ := q.pop(0); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	if !q.empty() {
+		t.Fatal("drained ring not empty")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	var r onceRing
+	q := r.get()
+	// Cycle far more messages than the capacity through the ring to
+	// exercise the sequence-number wraparound logic.
+	next := uint64(0)
+	for i := 0; i < 10*ringCap; i++ {
+		if !q.push(Msg{A0: uint64(i)}) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+		if i%3 == 2 { // drain in small batches to slide head and tail
+			for j := 0; j < 3; j++ {
+				m, ok, _ := q.pop(0)
+				if !ok || m.A0 != next {
+					t.Fatalf("pop = (%v, %v), want %d", m.A0, ok, next)
+				}
+				next++
+			}
+		}
+	}
+}
+
+func TestRingReadyAtBlocksHead(t *testing.T) {
+	var r onceRing
+	q := r.get()
+	q.push(Msg{A0: 1, readyAt: 100})
+	q.push(Msg{A0: 2, readyAt: 200})
+	if _, ok, blocked := q.pop(50); ok || !blocked {
+		t.Fatal("future message must block, not deliver")
+	}
+	m, ok, _ := q.pop(150)
+	if !ok || m.A0 != 1 {
+		t.Fatalf("pop at 150 = (%v, %v)", m.A0, ok)
+	}
+	if _, ok, blocked := q.pop(150); ok || !blocked {
+		t.Fatal("second message not yet due")
+	}
+	if m, ok, _ := q.pop(250); !ok || m.A0 != 2 {
+		t.Fatal("second message lost")
+	}
+}

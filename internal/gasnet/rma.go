@@ -25,14 +25,19 @@ func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*En
 		cb = func(*Msg) { onDone() }
 	}
 	cookie := ep.ops.add(cb)
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	// Stage the payload in a pooled buffer: Send consumes the reference
+	// (transferring it to the receiver in-memory, or dropping it once the
+	// bytes are encoded for the wire), so steady-state puts allocate
+	// nothing.
+	wb := ep.dom.arena.get(len(data))
+	copy(wb.b, data)
 	ep.Send(to, Msg{
 		Handler: hPutReq,
 		A0:      cookie,
 		A1:      uint64(off),
-		Payload: buf,
+		Payload: wb.b,
 		Fn:      remoteFn,
+		buf:     wb,
 	})
 }
 
@@ -66,9 +71,9 @@ func (ep *Endpoint) GetRemote(to int, off uint32, n int, dst []byte, onDone func
 
 func handleGetReq(ep *Endpoint, m *Msg) {
 	n := int(m.A2)
-	data := make([]byte, n)
-	ep.Segment().CopyOut(uint32(m.A1), data)
-	ep.Send(int(m.From), Msg{Handler: hGetRep, A0: m.A0, Payload: data})
+	wb := ep.dom.arena.get(n)
+	ep.Segment().CopyOut(uint32(m.A1), wb.b)
+	ep.Send(int(m.From), Msg{Handler: hGetRep, A0: m.A0, Payload: wb.b, buf: wb})
 }
 
 // AmoRemote initiates an atomic op on the 8-byte word at off in the target

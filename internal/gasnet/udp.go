@@ -1,9 +1,12 @@
 package gasnet
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"net"
+	"net/netip"
 	"sync"
 )
 
@@ -22,17 +25,44 @@ import (
 // jobs are single-address-space by construction, exactly like the paper's
 // single-node UDP runs; wire-encodable messages genuinely round-trip
 // through the kernel.
+//
+// Every datagram starts with a one-byte frame tag. frameSingle carries one
+// wire message; frameBatch carries several small messages coalesced by the
+// sender (see Endpoint.BeginBurst), packed as:
+//
+//	[frameBatch u8] [count u16 LE] count × { [len u32 LE] [encodeMsg bytes] }
+//
+// The receiver unpacks a batch into individual inbox messages that all
+// share (and reference-count) the datagram's pooled buffer.
 
-// maxUDPPayload bounds the wire size of one active message. Collective
-// tokens and protocol messages are far below this; oversized payloads are
-// a programming error on this conduit.
+// maxUDPPayload bounds the wire size of one datagram. Collective tokens
+// and protocol messages are far below this; oversized payloads are a
+// programming error on this conduit.
 const maxUDPPayload = 60 << 10
+
+// Datagram frame tags.
+const (
+	frameSingle = 0x01
+	frameBatch  = 0x02
+)
+
+// batchHeaderLen is the fixed prefix of a frameBatch datagram; each packed
+// message adds a 4-byte length prefix on top of its encoding.
+const batchHeaderLen = 1 + 2
 
 // udpTransport is the per-domain socket state for the UDP conduit.
 type udpTransport struct {
 	conns []*net.UDPConn
-	addrs []*net.UDPAddr
+	// addrs holds each rank's socket address as a value type so the send
+	// path (WriteToUDPAddrPort) performs no per-datagram allocation.
+	addrs []netip.AddrPort
 	wg    sync.WaitGroup
+
+	// rbufErr records the first SetReadBuffer failure (logged once at
+	// init): without the enlarged kernel buffer, loopback bursts drop
+	// datagrams, and this is the breadcrumb that makes such environments
+	// diagnosable.
+	rbufErr error
 
 	mu     sync.Mutex
 	closed bool
@@ -50,9 +80,13 @@ func (d *Domain) initUDP() error {
 		}
 		// A generous receive buffer: collective fan-ins burst many small
 		// datagrams at one socket, and loopback UDP drops on overflow.
-		_ = conn.SetReadBuffer(4 << 20)
+		if err := conn.SetReadBuffer(4 << 20); err != nil && tr.rbufErr == nil {
+			tr.rbufErr = err
+			log.Printf("gasnet: udp conduit: SetReadBuffer(4MiB) failed (%v); "+
+				"bursty collectives may drop datagrams on this host", err)
+		}
 		tr.conns = append(tr.conns, conn)
-		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr))
+		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr).AddrPort())
 	}
 	for r := 0; r < d.cfg.Ranks; r++ {
 		ep := d.eps[r]
@@ -60,10 +94,14 @@ func (d *Domain) initUDP() error {
 		tr.wg.Add(1)
 		go func() {
 			defer tr.wg.Done()
-			buf := make([]byte, maxUDPPayload+128)
 			for {
-				n, _, err := conn.ReadFromUDP(buf)
+				// Read straight into a pooled buffer: the decoded
+				// messages alias it and release it after dispatch, so
+				// the steady-state receive path allocates nothing.
+				wb := d.arena.get(bufClassLarge)
+				n, _, err := conn.ReadFromUDPAddrPort(wb.b)
 				if err != nil {
+					wb.release()
 					if errors.Is(err, net.ErrClosed) {
 						return
 					}
@@ -71,14 +109,7 @@ func (d *Domain) initUDP() error {
 					// not fatal; keep serving.
 					continue
 				}
-				wire := make([]byte, n)
-				copy(wire, buf[:n])
-				m, err := decodeMsg(wire)
-				if err != nil {
-					panic(fmt.Sprintf("gasnet: udp conduit received undecodable datagram: %v", err))
-				}
-				ep.inbox.push(m)
-				ep.notify()
+				d.deliverDatagram(ep, wb, n)
 			}
 		}()
 	}
@@ -86,19 +117,194 @@ func (d *Domain) initUDP() error {
 	return nil
 }
 
-// sendUDP ships a wire message to the target rank's socket.
+// deliverDatagram parses one received datagram (whose bytes live in wb)
+// and pushes its message(s) into ep's inbox. Ownership of wb transfers to
+// the pushed messages.
+func (d *Domain) deliverDatagram(ep *Endpoint, wb *wireBuf, n int) {
+	if n < 1 {
+		wb.release()
+		panic("gasnet: udp conduit received empty datagram")
+	}
+	b := wb.b[:n]
+	switch b[0] {
+	case frameSingle:
+		m, err := decodeMsg(b[1:])
+		if err != nil {
+			panic(fmt.Sprintf("gasnet: udp conduit received undecodable datagram: %v", err))
+		}
+		m.buf = wb
+		ep.inbox.push(m)
+	case frameBatch:
+		if len(b) < batchHeaderLen {
+			panic("gasnet: udp conduit received truncated batch datagram")
+		}
+		count := int(binary.LittleEndian.Uint16(b[1:3]))
+		if count == 0 {
+			panic("gasnet: udp conduit received empty batch datagram")
+		}
+		// One reference per packed message (we hold one already).
+		wb.retain(int32(count) - 1)
+		off := batchHeaderLen
+		for i := 0; i < count; i++ {
+			if off+4 > len(b) {
+				panic("gasnet: udp conduit received truncated batch datagram")
+			}
+			l := int(binary.LittleEndian.Uint32(b[off : off+4]))
+			off += 4
+			if off+l > len(b) {
+				panic("gasnet: udp conduit received truncated batch datagram")
+			}
+			m, err := decodeMsg(b[off : off+l])
+			if err != nil {
+				panic(fmt.Sprintf("gasnet: udp conduit received undecodable batch entry: %v", err))
+			}
+			off += l
+			m.buf = wb
+			ep.inbox.push(m)
+		}
+	default:
+		panic(fmt.Sprintf("gasnet: udp conduit received unknown frame tag %#x", b[0]))
+	}
+	ep.notify()
+}
+
+// sendUDP ships one wire message to the target rank's socket as a
+// frameSingle datagram, staging the encoding in a pooled buffer.
 func (d *Domain) sendUDP(from, to int, m *Msg) {
-	wire := encodeMsg(nil, m)
-	if len(wire) > maxUDPPayload {
+	need := 1 + wireHeaderLen + len(m.Payload)
+	if need > maxUDPPayload {
 		panic(fmt.Sprintf("gasnet: AM payload %d bytes exceeds UDP conduit limit %d",
 			len(m.Payload), maxUDPPayload))
 	}
+	wb := d.arena.get(need)
+	wire := append(wb.b[:0], frameSingle)
+	wire = appendMsg(wire, m)
+	d.writeDatagram(from, to, wire)
+	wb.release()
+}
+
+// writeDatagram puts one frame on the wire and counts it.
+func (d *Domain) writeDatagram(from, to int, frame []byte) {
+	d.datagramsSent.Add(1)
 	conn := d.udp.conns[from]
-	if _, err := conn.WriteToUDP(wire, d.udp.addrs[to]); err != nil {
+	if _, err := conn.WriteToUDPAddrPort(frame, d.udp.addrs[to]); err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return // racing shutdown; message loss is fine post-Close
 		}
 		panic(fmt.Sprintf("gasnet: udp send failed: %v", err))
+	}
+}
+
+// --- sender-side coalescing ---
+
+// coalescer accumulates small wire messages per destination rank during a
+// send burst (Endpoint.BeginBurst/EndBurst), packing them into frameBatch
+// datagrams so a fan-in of k tokens costs one syscall instead of k. State
+// is owned by the endpoint's goroutine, like the rest of the send path.
+type coalescer struct {
+	bufs   []*wireBuf // per destination; nil when no pending batch
+	counts []int      // messages packed per destination
+	dirty  []int      // destinations with pending data, in first-use order
+}
+
+func newCoalescer(ranks int) *coalescer {
+	return &coalescer{
+		bufs:   make([]*wireBuf, ranks),
+		counts: make([]int, ranks),
+	}
+}
+
+// pending reports whether any destination has unflushed messages.
+func (c *coalescer) pending() bool { return len(c.dirty) > 0 }
+
+// add packs m for destination to, flushing the destination first if the
+// message would overflow the datagram. Oversized single messages panic,
+// matching the non-coalesced path.
+func (ep *Endpoint) coalesce(to int, m *Msg) {
+	c := ep.co
+	need := 4 + wireHeaderLen + len(m.Payload)
+	if batchHeaderLen+need > maxUDPPayload {
+		panic(fmt.Sprintf("gasnet: AM payload %d bytes exceeds UDP conduit limit %d",
+			len(m.Payload), maxUDPPayload))
+	}
+	wb := c.bufs[to]
+	if wb != nil && (len(wb.b)+need > maxUDPPayload || c.counts[to] == 1<<16-1) {
+		ep.flushDest(to)
+		wb = nil
+	}
+	if wb == nil {
+		wb = ep.dom.arena.get(bufClassLarge)
+		wb.b = append(wb.b[:0], frameBatch, 0, 0) // count patched at flush
+		c.bufs[to] = wb
+		c.dirty = append(c.dirty, to)
+	}
+	lenOff := len(wb.b)
+	wb.b = append(wb.b, 0, 0, 0, 0)
+	wb.b = appendMsg(wb.b, m)
+	binary.LittleEndian.PutUint32(wb.b[lenOff:], uint32(len(wb.b)-lenOff-4))
+	c.counts[to]++
+}
+
+// flushDest ships destination to's pending batch, if any.
+func (ep *Endpoint) flushDest(to int) {
+	c := ep.co
+	wb := c.bufs[to]
+	if wb == nil {
+		return
+	}
+	count := c.counts[to]
+	c.bufs[to] = nil
+	c.counts[to] = 0
+	binary.LittleEndian.PutUint16(wb.b[1:3], uint16(count))
+	if count > 1 {
+		ep.dom.coalescedBatches.Add(1)
+		ep.dom.coalescedMsgs.Add(int64(count))
+	}
+	ep.dom.writeDatagram(ep.rank, to, wb.b)
+	wb.release()
+}
+
+// flushSends ships every pending coalesced batch.
+func (ep *Endpoint) flushSends() {
+	c := ep.co
+	if c == nil {
+		return
+	}
+	for _, to := range c.dirty {
+		ep.flushDest(to)
+	}
+	c.dirty = c.dirty[:0]
+}
+
+// BeginBurst opens an injection burst: until the matching EndBurst, small
+// wire messages to a common destination are coalesced into one datagram on
+// the UDP conduit. Bursts nest; delivery of the buffered messages happens
+// at the outermost EndBurst (in-memory conduits deliver immediately, so
+// bursts are free no-ops there). Bursts must not contain polls or blocking
+// waits — they bracket pure injection loops, e.g. a collective's fan-out
+// of tokens.
+func (ep *Endpoint) BeginBurst() {
+	if ep.dom.cfg.Conduit != UDP {
+		return
+	}
+	if ep.co == nil {
+		ep.co = newCoalescer(ep.dom.cfg.Ranks)
+	}
+	ep.burst++
+}
+
+// EndBurst closes an injection burst, flushing all coalesced messages when
+// the outermost burst ends.
+func (ep *Endpoint) EndBurst() {
+	if ep.dom.cfg.Conduit != UDP {
+		return
+	}
+	if ep.burst == 0 {
+		panic("gasnet: EndBurst without matching BeginBurst")
+	}
+	ep.burst--
+	if ep.burst == 0 {
+		ep.flushSends()
 	}
 }
 

@@ -21,6 +21,10 @@ import (
 // RPCHandler processes one wire RPC on the target rank's progress
 // goroutine: it receives the target rank and the request payload and
 // returns the reply payload. It must not block.
+//
+// args is valid only for the duration of the call and must be treated as
+// read-only: it aliases a pooled conduit buffer that is recycled after the
+// handler returns. A handler that retains the bytes must copy them.
 type RPCHandler func(r *Rank, args []byte) []byte
 
 // RPCHandlerID names a registered wire-RPC procedure.
@@ -92,10 +96,10 @@ func handleRPCWireReq(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	if int(id) >= len(r.w.rpcHandlers) {
 		panic(fmt.Sprintf("gupcxx: wire RPC for unregistered handler %d on rank %d", id, r.Me()))
 	}
-	// The payload aliases conduit buffers; copy before handing to user
-	// code that may retain it.
-	args := append([]byte(nil), m.Payload...)
-	reply := r.w.rpcHandlers[id](r, args)
+	// Zero-copy: the payload is handed to the handler directly under the
+	// RPCHandler contract (read-only, call duration only) — the pooled
+	// buffer it aliases is recycled after dispatch.
+	reply := r.w.rpcHandlers[id](r, m.Payload)
 	ep.Send(int(m.From), gasnet.Msg{
 		Handler: hRPCWireRep,
 		A0:      m.A0,

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Convert `go test -bench` output on stdin into a JSON array of samples.
+exec awk '
+BEGIN { print "["; first = 1 }
+/^(goos|goarch|pkg|cpu):/ {
+    key = substr($1, 1, length($1) - 1)
+    $1 = ""; sub(/^ /, "")
+    meta[key] = $0
+    next
+}
+/^Benchmark/ {
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", meta["pkg"], $1, $2, $3
+    for (i = 5; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+'
