@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json
+.PHONY: build test race vet bench bench-json test-loss bench-reliable
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,16 @@ bench-json:
 	{ $(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count 3 ./internal/gasnet/ ; \
 	  $(GO) test -run XXX -bench BenchmarkCollectiveExchange -benchmem -count 3 . ; } \
 	| ./scripts/bench2json.sh > BENCH_1.json
+
+# Run the UDP-touching test packages with deterministic fault injection on
+# every domain: 25% drop + duplication + reordering from a fixed seed. The
+# reliability layer (DESIGN.md §8) must make every test pass regardless.
+test-loss:
+	GUPCXX_UDP_FAULT="drop=0.25,dup=0.05,reorder=0.10,seed=7" \
+		$(GO) test -count 1 ./internal/gasnet/ .
+
+# Reliability-layer overhead: sequenced vs raw datagrams on a clean wire,
+# plus recovery cost at 10% drop. BENCH_2.json holds the checked-in record.
+bench-reliable:
+	$(GO) test -run XXX -bench BenchmarkReliableOverhead -benchmem -count 3 ./internal/gasnet/ \
+		| ./scripts/bench2json.sh > BENCH_2.json

@@ -101,6 +101,22 @@ type Config struct {
 	// SimLatency is the one-way wire latency injected by the SIM conduit
 	// for cross-node messages. Zero selects 1µs. Ignored by other conduits.
 	SimLatency time.Duration
+
+	// Fault, when non-nil on the UDP conduit, interposes a deterministic
+	// fault-injection shim on the send path: datagrams are dropped,
+	// duplicated, and reordered from a seeded PRNG (see FaultConfig), so
+	// the reliability layer is testable in-process without real packet
+	// loss. When nil, the GUPCXX_UDP_FAULT environment variable is
+	// consulted (see fault.go), letting whole suites run under loss.
+	// Ignored by other conduits.
+	Fault *FaultConfig
+
+	// UDPUnreliable disables the UDP conduit's reliability layer
+	// (sequencing, acks, retransmission — see reliable.go), restoring the
+	// raw-datagram behaviour that assumes a lossless, ordered loopback.
+	// Only sensible for overhead measurement; combined with Fault,
+	// messages are genuinely lost. Ignored by other conduits.
+	UDPUnreliable bool
 }
 
 // normalized returns a copy of c with defaults filled in, or an error if the
@@ -112,6 +128,22 @@ func (c Config) normalized() (Config, error) {
 	switch c.Conduit {
 	case SMP, PSHM, UDP:
 		c.RanksPerNode = c.Ranks
+		if c.Conduit == UDP {
+			if c.Fault == nil && !c.UDPUnreliable {
+				f, err := faultFromEnv()
+				if err != nil {
+					return c, err
+				}
+				c.Fault = f
+			}
+			if c.Fault != nil {
+				f := *c.Fault // detach from the caller's struct
+				if err := f.validate(); err != nil {
+					return c, err
+				}
+				c.Fault = &f
+			}
+		}
 	case SIM:
 		if c.RanksPerNode == 0 {
 			c.RanksPerNode = 1
@@ -131,6 +163,10 @@ func (c Config) normalized() (Config, error) {
 	c.SegmentBytes = (c.SegmentBytes + 7) &^ 7
 	if c.Conduit == SIM && c.SimLatency == 0 {
 		c.SimLatency = time.Microsecond
+	}
+	if c.Conduit != UDP {
+		c.Fault = nil
+		c.UDPUnreliable = false
 	}
 	return c, nil
 }

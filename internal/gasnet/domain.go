@@ -29,8 +29,19 @@ type Domain struct {
 	coalescedBatches atomic.Int64
 	coalescedMsgs    atomic.Int64
 
-	// udp is the socket transport, present only on the UDP conduit.
+	// Reliability-layer instrumentation (see Stats and reliable.go).
+	retransmits      atomic.Int64
+	dupsDropped      atomic.Int64
+	acksPiggybacked  atomic.Int64
+	acksStandalone   atomic.Int64
+	outOfWindowDrops atomic.Int64
+	faultsInjected   atomic.Int64
+	decodeErrors     atomic.Int64
+
+	// udp is the socket transport, present only on the UDP conduit; rel is
+	// its reliability layer, absent under Config.UDPUnreliable.
 	udp *udpTransport
+	rel *reliability
 }
 
 // Stats is a snapshot of the substrate's fast-path counters, the wire/queue
@@ -47,12 +58,35 @@ type Stats struct {
 	// the pool vs. freshly allocated.
 	PoolHits   int64
 	PoolMisses int64
-	// DatagramsSent counts UDP datagrams written (after coalescing).
+	// DatagramsSent counts logical UDP datagrams written (after
+	// coalescing, excluding retransmissions and standalone acks, which
+	// have their own counters below) — the protocol's decision count, so
+	// coalescing economics stay assertable under injected loss.
 	DatagramsSent int64
 	// CoalescedBatches counts datagrams that carried more than one packed
 	// message; CoalescedMsgs counts the messages inside them.
 	CoalescedBatches int64
 	CoalescedMsgs    int64
+	// Retransmits counts datagrams re-sent by the reliability layer after
+	// an ack deadline expired.
+	Retransmits int64
+	// DupsDropped counts received datagrams suppressed as duplicates
+	// (already delivered, or already parked in the reorder buffer).
+	DupsDropped int64
+	// AcksPiggybacked counts pending acknowledgments that rode on an
+	// outgoing payload datagram; AcksStandalone counts dedicated ack
+	// datagrams (idle-timeout, ack-every, or duplicate-triggered).
+	AcksPiggybacked int64
+	AcksStandalone  int64
+	// OutOfWindowDrops counts received datagrams discarded because their
+	// sequence lies beyond the receive window.
+	OutOfWindowDrops int64
+	// FaultsInjected counts datagrams dropped, duplicated, or reordered by
+	// the fault-injection shim (Config.Fault).
+	FaultsInjected int64
+	// DecodeErrors counts received datagrams (or packed batch entries)
+	// dropped as truncated or corrupt.
+	DecodeErrors int64
 }
 
 // Stats returns a snapshot of the substrate fast-path counters, aggregated
@@ -64,6 +98,13 @@ func (d *Domain) Stats() Stats {
 		DatagramsSent:    d.datagramsSent.Load(),
 		CoalescedBatches: d.coalescedBatches.Load(),
 		CoalescedMsgs:    d.coalescedMsgs.Load(),
+		Retransmits:      d.retransmits.Load(),
+		DupsDropped:      d.dupsDropped.Load(),
+		AcksPiggybacked:  d.acksPiggybacked.Load(),
+		AcksStandalone:   d.acksStandalone.Load(),
+		OutOfWindowDrops: d.outOfWindowDrops.Load(),
+		FaultsInjected:   d.faultsInjected.Load(),
+		DecodeErrors:     d.decodeErrors.Load(),
 	}
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
@@ -139,6 +180,19 @@ func (d *Domain) RegisterHandler(id uint8, fn HandlerFunc) {
 // AMSends reports the total number of cross-endpoint active messages sent
 // so far in this Domain.
 func (d *Domain) AMSends() int64 { return d.amSends.Load() }
+
+// RbufErr reports the first failure to enlarge a UDP socket's kernel
+// receive buffer at init, or nil when every socket was configured (or the
+// conduit has no sockets). A non-nil value means bursty collectives may
+// drop datagrams on this host — survivable under the reliability layer,
+// but worth surfacing to operators and tests programmatically rather than
+// only as a one-shot log line.
+func (d *Domain) RbufErr() error {
+	if d.udp == nil {
+		return nil
+	}
+	return d.udp.rbufErr
+}
 
 // Endpoint is one rank's attachment to the Domain: its inbound AM queue and
 // its table of outstanding remote operations. All methods except the

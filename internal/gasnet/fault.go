@@ -1,0 +1,211 @@
+package gasnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Deterministic fault injection for the UDP conduit. The reliability layer
+// (reliable.go) only earns its keep if it can be exercised without real
+// packet loss, so every socket's send path goes through a packetConn; when
+// Config.Fault is set, the real *net.UDPConn is wrapped in a faultConn
+// that drops, duplicates, and reorders outgoing datagrams from a seeded
+// PRNG. Faults are injected on the send side only — the receive path sees
+// exactly the loss pattern a real network would present — and everything a
+// faultConn does is driven by the wrapped socket's own writes, so runs are
+// reproducible up to goroutine interleaving.
+
+// packetConn is the slice of *net.UDPConn the send path needs; faultConn
+// implements it by interposing on a real socket.
+type packetConn interface {
+	WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error)
+}
+
+// faultEnvVar names the environment variable consulted by UDP-conduit
+// domains whose Config.Fault is nil, so an entire test suite can run under
+// injected loss (make test-loss) without per-callsite plumbing. The value
+// is a fault spec, e.g. "drop=0.25,dup=0.05,reorder=0.10,seed=7".
+const faultEnvVar = "GUPCXX_UDP_FAULT"
+
+// FaultConfig enables deterministic fault injection on the UDP conduit's
+// send path. Probabilities are evaluated independently per datagram in the
+// order drop, duplicate, reorder; their sum must not exceed 1.
+type FaultConfig struct {
+	// Seed seeds the per-socket PRNGs (each socket derives its stream from
+	// Seed and its rank), making injected fault patterns reproducible.
+	Seed int64
+
+	// Drop is the probability that a datagram is silently discarded.
+	Drop float64
+
+	// Dup is the probability that a datagram is transmitted twice.
+	Dup float64
+
+	// Reorder is the probability that a datagram is held back and released
+	// only after a later write on the same socket, delaying and reordering
+	// it past its successors.
+	Reorder float64
+}
+
+// validate reports whether the probabilities form a sensible distribution.
+func (f *FaultConfig) validate() error {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{{"Drop", f.Drop}, {"Dup", f.Dup}, {"Reorder", f.Reorder}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("gasnet: fault %s probability %g outside [0,1]", p.name, p.v)
+		}
+	}
+	if sum := f.Drop + f.Dup + f.Reorder; sum > 1 {
+		return fmt.Errorf("gasnet: fault probabilities sum to %g > 1", sum)
+	}
+	return nil
+}
+
+// parseFaultSpec parses a "drop=0.25,dup=0.05,reorder=0.10,seed=7" spec.
+func parseFaultSpec(spec string) (*FaultConfig, error) {
+	f := &FaultConfig{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("gasnet: fault spec field %q is not key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gasnet: fault spec seed %q: %w", val, err)
+			}
+			f.Seed = n
+		case "drop", "dup", "reorder":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("gasnet: fault spec %s %q: %w", key, val, err)
+			}
+			switch key {
+			case "drop":
+				f.Drop = p
+			case "dup":
+				f.Dup = p
+			case "reorder":
+				f.Reorder = p
+			}
+		default:
+			return nil, fmt.Errorf("gasnet: fault spec has unknown key %q", key)
+		}
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// faultFromEnv returns the FaultConfig described by GUPCXX_UDP_FAULT, or
+// nil when the variable is unset or empty.
+func faultFromEnv() (*FaultConfig, error) {
+	spec := os.Getenv(faultEnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	f, err := parseFaultSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %s)", err, faultEnvVar)
+	}
+	return f, nil
+}
+
+// faultMaxHeld bounds the reorder holdback queue so a run of reorder
+// verdicts cannot strand unbounded copies; beyond it, datagrams pass
+// through untouched.
+const faultMaxHeld = 8
+
+// heldPkt is one datagram awaiting delayed release. The bytes are copied:
+// the caller's buffer is pooled and reused immediately after the write.
+type heldPkt struct {
+	b    []byte
+	addr netip.AddrPort
+}
+
+// faultConn interposes deterministic faults on one socket's send path.
+// Held (reordered) datagrams are flushed after the next non-held write, so
+// they arrive behind datagrams sent after them; if traffic stops, the
+// reliability layer's retransmissions provide the flushing writes.
+type faultConn struct {
+	conn     *net.UDPConn
+	cfg      FaultConfig
+	injected *atomic.Int64 // Domain.faultsInjected
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	held []heldPkt
+}
+
+func newFaultConn(conn *net.UDPConn, cfg FaultConfig, rank int, injected *atomic.Int64) *faultConn {
+	return &faultConn{
+		conn:     conn,
+		cfg:      cfg,
+		injected: injected,
+		// Derive a distinct, reproducible stream per socket.
+		rng: rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(rank)+0x9e3779b97f4a7c15)),
+	}
+}
+
+// takeHeld removes and returns the holdback queue. Caller holds f.mu.
+func (f *faultConn) takeHeld() []heldPkt {
+	held := f.held
+	f.held = nil
+	return held
+}
+
+// flush transmits previously held datagrams. Write errors are ignored:
+// a held packet racing socket close is exactly a lost datagram, which is
+// the contract of this type.
+func (f *faultConn) flush(held []heldPkt) {
+	for _, p := range held {
+		f.conn.WriteToUDPAddrPort(p.b, p.addr)
+	}
+}
+
+func (f *faultConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	f.mu.Lock()
+	r := f.rng.Float64()
+	switch {
+	case r < f.cfg.Drop:
+		f.mu.Unlock()
+		f.injected.Add(1)
+		return len(b), nil // swallowed; the wire reports success
+	case r < f.cfg.Drop+f.cfg.Dup:
+		held := f.takeHeld()
+		f.mu.Unlock()
+		f.injected.Add(1)
+		if _, err := f.conn.WriteToUDPAddrPort(b, addr); err != nil {
+			return 0, err
+		}
+		n, err := f.conn.WriteToUDPAddrPort(b, addr)
+		f.flush(held)
+		return n, err
+	case r < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder && len(f.held) < faultMaxHeld:
+		f.held = append(f.held, heldPkt{b: append([]byte(nil), b...), addr: addr})
+		f.mu.Unlock()
+		f.injected.Add(1)
+		return len(b), nil
+	default:
+		held := f.takeHeld()
+		f.mu.Unlock()
+		n, err := f.conn.WriteToUDPAddrPort(b, addr)
+		f.flush(held) // held datagrams now arrive after this one: reordered
+		return n, err
+	}
+}

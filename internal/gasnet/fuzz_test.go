@@ -22,3 +22,53 @@ func FuzzDecodeMsg(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDatagram: arbitrary whole datagrams — any framing tag,
+// sequenced or not, truncated anywhere — must be parsed to completion or
+// rejected with an error, never panic. This is the exact code path the UDP
+// reader goroutine runs on kernel-delivered bytes.
+func FuzzDecodeDatagram(f *testing.F) {
+	m := Msg{Handler: HandlerUserBase, From: 0, A0: 42, Payload: []byte("fuzz")}
+
+	single := append([]byte{frameSingle}, encodeMsg(nil, &m)...)
+	f.Add(append([]byte(nil), single...))
+
+	batch := []byte{frameBatch, 2, 0}
+	for i := 0; i < 2; i++ {
+		enc := encodeMsg(nil, &m)
+		batch = append(batch, byte(len(enc)), byte(len(enc)>>8), byte(len(enc)>>16), byte(len(enc)>>24))
+		batch = append(batch, enc...)
+	}
+	f.Add(append([]byte(nil), batch...))
+
+	seq := make([]byte, relHeaderLen)
+	seq[0] = frameSeq
+	seq[3] = 1 // seq = 1
+	f.Add(append(seq, single...))
+
+	f.Add([]byte{})
+	f.Add([]byte{0xEE, 1, 2, 3})          // unknown tag
+	f.Add([]byte{frameBatch, 9, 0, 1})    // count overruns frame
+	f.Add(append([]byte(nil), single[:5]...)) // truncated message
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame := data
+		if len(frame) > 0 && frame[0] == frameSeq {
+			if _, _, _, err := parseRelHeader(frame); err != nil {
+				return
+			}
+			frame = frame[relHeaderLen:]
+		}
+		it := parseDatagram(frame)
+		n := 0
+		for {
+			if _, ok := it.next(); !ok {
+				break
+			}
+			if n++; n > 1<<16 {
+				t.Fatal("iterator failed to terminate")
+			}
+		}
+		_ = it.err // decode errors are reported, not panicked
+	})
+}

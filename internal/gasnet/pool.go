@@ -19,6 +19,11 @@ import (
 //     message (the dispatch loop, after the handler returns) releases it.
 //   - Handlers therefore may read Msg.Payload for the duration of the call
 //     only; retaining the bytes requires a copy.
+//   - The reliability layer's retransmission queue (reliable.go) holds one
+//     reference on every sequenced datagram it may need to re-send,
+//     released when the peer's cumulative ack covers it; the receive-side
+//     reorder buffer likewise holds its parked datagrams' references until
+//     delivery or duplicate/out-of-window drop.
 //   - A buffer reaching zero references returns to its pool; its bytes may
 //     be reused by any later get, on any goroutine.
 

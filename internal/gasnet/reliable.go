@@ -1,0 +1,417 @@
+package gasnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The reliability layer gives the UDP conduit the delivery guarantees the
+// rest of the runtime assumes, the way GASNet-EX's UDP conduit implements
+// its own acks, retransmission, and duplicate suppression on top of raw
+// datagrams. Without it, the conduit is only sound on a lossless, ordered
+// loopback; with it, datagrams may be dropped, duplicated, or reordered
+// (see fault.go) and every active message is still delivered exactly once,
+// in per-peer FIFO order.
+//
+// Wire format: every payload datagram is wrapped in a sequenced frame
+//
+//	[frameSeq u8] [sender rank u16 LE] [seq u32 LE] [ack u32 LE] [inner]
+//
+// where inner is a complete frameSingle or frameBatch frame — a coalesced
+// burst rides inside one sequenced frame and is retransmitted as a unit.
+// seq numbers one sender→receiver stream, starting at 1; seq 0 marks a
+// standalone acknowledgment carrying no inner frame. ack cumulatively
+// acknowledges the reverse stream: every outgoing datagram piggybacks the
+// highest contiguously received sequence number from its destination, and
+// a domain-level ticker ships a standalone ack when a receiver has sat on
+// a pending ack for longer than relAckDelay with nothing to piggyback it
+// on.
+//
+// Sender side, per (sender, peer) pair: datagrams are stamped with the
+// next sequence number and retained in a retransmission queue (one buffer
+// reference each — see pool.go) until acknowledged; the ticker retransmits
+// entries whose deadline passed, doubling the timeout up to relRTOMax. The
+// queue is bounded by relWindow: a send beyond the window blocks until the
+// oldest datagram is acked, so a dead peer stalls its senders instead of
+// exhausting the buffer arena, and relMaxAttempts fruitless retransmits
+// abort the job (GASNet's UDP conduit likewise aborts on requester
+// timeout).
+//
+// Receiver side, per pair: the next-expected frame is delivered
+// immediately and drains any buffered successors; frames at or below the
+// cumulative sequence are duplicates, dropped with an immediate re-ack
+// (the sender is clearly retransmitting, so its ack got lost); frames
+// beyond the window are dropped (the sender will retransmit once the
+// window opens); everything else parks in a bounded reorder buffer.
+//
+// Sequence numbers are 32-bit and do not wrap: at the conduit's datagram
+// rates, exhausting them would take years of continuous traffic.
+
+const (
+	// relHeaderLen is the sequenced-frame prefix: tag, sender rank, seq, ack.
+	relHeaderLen = 1 + 2 + 4 + 4
+
+	// relWindow bounds both the per-pair in-flight (unacked) datagrams and
+	// the receive-side reorder buffer.
+	relWindow = 256
+
+	// relRTO is the initial retransmission timeout — comfortably above a
+	// loopback round trip plus the receiver's worst-case ack delay, so a
+	// healthy run retransmits (almost) nothing. Backoff doubles it per
+	// attempt up to relRTOMax.
+	relRTO    = int64(5 * time.Millisecond)
+	relRTOMax = int64(100 * time.Millisecond)
+
+	// relMaxAttempts retransmissions without an ack abort the job: the
+	// peer is dead or the network is partitioned, and blocking forever
+	// would hide it.
+	relMaxAttempts = 64
+
+	// relAckDelay is how long a receiver sits on a pending ack hoping to
+	// piggyback it on an outgoing datagram before the ticker ships a
+	// standalone one.
+	relAckDelay = int64(time.Millisecond)
+
+	// relAckEvery forces a standalone ack after this many deliveries since
+	// the last shipped ack, so a one-way stream keeps the sender's window
+	// open without waiting out relAckDelay each time.
+	relAckEvery = 32
+
+	// relTickInterval is the retransmit/standalone-ack ticker period.
+	relTickInterval = time.Millisecond
+)
+
+// relEntry is one unacknowledged datagram in a pair's retransmission
+// queue. The queue holds its own reference on wb (released when the
+// cumulative ack covers seq), and after the initial transmission the
+// ticker is the only writer of the buffered bytes (it refreshes the
+// piggybacked ack before each retransmit).
+type relEntry struct {
+	seq      uint32
+	attempts int
+	rto      int64
+	deadline int64 // cached-clock time of the next retransmission
+	wb       *wireBuf
+}
+
+// relPair is the reliability state rank `local` keeps about rank `peer`:
+// the send stream local→peer (sequence counter and retransmission queue)
+// and the receive stream peer→local (cumulative sequence, reorder buffer,
+// and pending-ack bookkeeping). One mutex covers both halves; it is taken
+// by the local rank's send path, by the reader goroutine of local's
+// socket, and by the ticker.
+type relPair struct {
+	mu sync.Mutex
+
+	// Send stream local→peer.
+	nextSeq  uint32 // last assigned sequence number (first assigned is 1)
+	inflight []relEntry
+
+	// Receive stream peer→local.
+	cumSeq     uint32              // highest contiguously received
+	lastAck    uint32              // last cumulative ack shipped to peer
+	reorder    map[uint32]*wireBuf // buffered out-of-order frames
+	ackPending bool
+	ackSince   int64 // cached-clock time ackPending was set
+}
+
+// reliability is the per-domain instance: the pair grid plus the ticker
+// goroutine that drives retransmissions and overdue standalone acks.
+type reliability struct {
+	d     *Domain
+	ranks int
+	pairs []relPair // [local*ranks + peer]
+
+	closed   atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newReliability(d *Domain) *reliability {
+	r := &reliability{
+		d:     d,
+		ranks: d.cfg.Ranks,
+		pairs: make([]relPair, d.cfg.Ranks*d.cfg.Ranks),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+func (r *reliability) pair(local, peer int) *relPair {
+	return &r.pairs[local*r.ranks+peer]
+}
+
+// parseRelHeader validates a sequenced frame's fixed prefix. The inner
+// frame, if any, starts at relHeaderLen.
+func parseRelHeader(b []byte) (from uint16, seq, ack uint32, err error) {
+	if len(b) < relHeaderLen {
+		return 0, 0, 0, fmt.Errorf("gasnet: truncated sequenced frame (%d bytes)", len(b))
+	}
+	if b[0] != frameSeq {
+		return 0, 0, 0, fmt.Errorf("gasnet: sequenced frame has tag %#x", b[0])
+	}
+	from = binary.LittleEndian.Uint16(b[1:3])
+	seq = binary.LittleEndian.Uint32(b[3:7])
+	ack = binary.LittleEndian.Uint32(b[7:11])
+	return from, seq, ack, nil
+}
+
+// send stamps wb (whose first relHeaderLen bytes were reserved by the
+// caller) with the next sequence number for from→to and the piggybacked
+// cumulative ack for to→from, retains it in the retransmission queue, and
+// ships it. It blocks while the in-flight window is full.
+func (r *reliability) send(from, to int, wb *wireBuf) {
+	p := r.pair(from, to)
+	for {
+		p.mu.Lock()
+		if r.closed.Load() {
+			// Racing shutdown: post-Close sends may be dropped (matching
+			// writeDatagram's ErrClosed tolerance).
+			p.mu.Unlock()
+			return
+		}
+		if len(p.inflight) < relWindow {
+			break
+		}
+		p.mu.Unlock()
+		runtime.Gosched()
+	}
+	p.nextSeq++
+	seq := p.nextSeq
+	ack := p.cumSeq
+	if p.ackPending {
+		p.ackPending = false
+		r.d.acksPiggybacked.Add(1)
+	}
+	p.lastAck = ack
+	b := wb.b
+	b[0] = frameSeq
+	binary.LittleEndian.PutUint16(b[1:3], uint16(from))
+	binary.LittleEndian.PutUint32(b[3:7], seq)
+	binary.LittleEndian.PutUint32(b[7:11], ack)
+	wb.retain(1) // the retransmission queue's reference; released on ack
+	p.inflight = append(p.inflight, relEntry{
+		seq:      seq,
+		rto:      relRTO,
+		deadline: clockNow() + relRTO,
+		wb:       wb,
+	})
+	p.mu.Unlock()
+	r.d.writeDatagram(from, to, b)
+}
+
+// receive processes one sequenced frame addressed to ep, taking ownership
+// of wb: the ack half completes our own send stream toward the frame's
+// sender, the seq half delivers, buffers, or drops the inner frame.
+// It runs on ep's socket reader goroutine.
+func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
+	d := r.d
+	from, seq, ack, err := parseRelHeader(wb.b)
+	if err != nil || int(from) >= d.cfg.Ranks {
+		d.decodeErrors.Add(1)
+		wb.release()
+		return
+	}
+	p := r.pair(ep.rank, int(from))
+	var ackNow bool
+	var ackVal uint32
+
+	p.mu.Lock()
+	// Ack half: release every in-flight datagram the peer has cumulatively
+	// acknowledged (entries are in sequence order; numbers do not wrap).
+	n := 0
+	for n < len(p.inflight) && p.inflight[n].seq <= ack {
+		p.inflight[n].wb.release()
+		n++
+	}
+	if n > 0 {
+		rem := copy(p.inflight, p.inflight[n:])
+		for i := rem; i < len(p.inflight); i++ {
+			p.inflight[i] = relEntry{}
+		}
+		p.inflight = p.inflight[:rem]
+	}
+
+	switch {
+	case seq == 0:
+		// Standalone ack: nothing to deliver.
+		p.mu.Unlock()
+		wb.release()
+		return
+	case seq <= p.cumSeq:
+		// Duplicate of something already delivered — the peer is
+		// retransmitting, so our ack was lost or late. Re-ack immediately
+		// to stop the storm.
+		d.dupsDropped.Add(1)
+		ackNow, ackVal = true, p.cumSeq
+		p.lastAck = p.cumSeq
+		p.ackPending = false
+		p.mu.Unlock()
+		wb.release()
+	case seq == p.cumSeq+1:
+		// In order: deliver, then drain any buffered successors.
+		p.cumSeq = seq
+		d.deliverParsed(ep, wb, wb.b[relHeaderLen:])
+		for len(p.reorder) > 0 {
+			next, ok := p.reorder[p.cumSeq+1]
+			if !ok {
+				break
+			}
+			delete(p.reorder, p.cumSeq+1)
+			p.cumSeq++
+			d.deliverParsed(ep, next, next.b[relHeaderLen:])
+		}
+		if !p.ackPending {
+			p.ackPending = true
+			p.ackSince = clockNow()
+		}
+		if p.cumSeq-p.lastAck >= relAckEvery {
+			ackNow, ackVal = true, p.cumSeq
+			p.lastAck = p.cumSeq
+			p.ackPending = false
+		}
+		p.mu.Unlock()
+	default:
+		// Future sequence: a gap the sender will retransmit into.
+		switch {
+		case seq-p.cumSeq > relWindow:
+			// Beyond anything a well-behaved sender has in flight.
+			d.outOfWindowDrops.Add(1)
+			p.mu.Unlock()
+			wb.release()
+		default:
+			if p.reorder == nil {
+				p.reorder = make(map[uint32]*wireBuf)
+			}
+			if _, dup := p.reorder[seq]; dup {
+				d.dupsDropped.Add(1)
+				p.mu.Unlock()
+				wb.release()
+			} else {
+				p.reorder[seq] = wb
+				p.mu.Unlock()
+			}
+		}
+	}
+	if ackNow {
+		r.sendAck(ep.rank, int(from), ackVal)
+	}
+}
+
+// sendAck ships a standalone cumulative acknowledgment (seq 0, no inner
+// frame) from→to. Standalone acks are unsequenced and unreliable: a lost
+// ack is repaired by the next ack or by the sender's retransmission.
+func (r *reliability) sendAck(from, to int, ack uint32) {
+	d := r.d
+	wb := d.arena.get(relHeaderLen)
+	b := wb.b
+	b[0] = frameSeq
+	binary.LittleEndian.PutUint16(b[1:3], uint16(from))
+	binary.LittleEndian.PutUint32(b[3:7], 0)
+	binary.LittleEndian.PutUint32(b[7:11], ack)
+	d.acksStandalone.Add(1)
+	d.writeFrame(from, to, b)
+	wb.release()
+}
+
+// run is the ticker goroutine: it keeps the cached clock fresh and sweeps
+// the pair grid for expired retransmissions and overdue standalone acks.
+func (r *reliability) run() {
+	defer close(r.done)
+	t := time.NewTicker(relTickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.sweep(clockRefresh())
+		}
+	}
+}
+
+// sweep retransmits every in-flight datagram whose deadline passed and
+// flushes pending acks older than relAckDelay.
+func (r *reliability) sweep(now int64) {
+	d := r.d
+	for from := 0; from < r.ranks; from++ {
+		for to := 0; to < r.ranks; to++ {
+			p := r.pair(from, to)
+			p.mu.Lock()
+			// Deadlines are not sorted once backoff diverges, so scan the
+			// whole (window-bounded) queue.
+			for i := range p.inflight {
+				e := &p.inflight[i]
+				if e.deadline > now {
+					continue
+				}
+				e.attempts++
+				if e.attempts > relMaxAttempts {
+					p.mu.Unlock()
+					panic(fmt.Sprintf(
+						"gasnet: reliable UDP: rank %d got no ack from rank %d for seq %d after %d retransmits (peer dead or network partitioned)",
+						from, to, e.seq, relMaxAttempts))
+				}
+				e.rto *= 2
+				if e.rto > relRTOMax {
+					e.rto = relRTOMax
+				}
+				e.deadline = now + e.rto
+				// Refresh the piggybacked ack in place: the queue holds
+				// the only live reference to these bytes after the
+				// initial transmission.
+				binary.LittleEndian.PutUint32(e.wb.b[7:11], p.cumSeq)
+				p.lastAck = p.cumSeq
+				p.ackPending = false
+				d.retransmits.Add(1)
+				d.writeFrame(from, to, e.wb.b)
+			}
+			if p.ackPending && now-p.ackSince >= relAckDelay {
+				ack := p.cumSeq
+				p.ackPending = false
+				p.lastAck = ack
+				p.mu.Unlock()
+				r.sendAck(from, to, ack)
+				continue
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// shutdown stops the ticker (idempotent) and marks the layer closed so
+// window-blocked senders drain out.
+func (r *reliability) shutdown() {
+	r.stopOnce.Do(func() {
+		r.closed.Store(true)
+		close(r.stop)
+	})
+	<-r.done
+}
+
+// drainState releases every buffer still held by retransmission queues and
+// reorder buffers. Called after the ticker and the socket readers have
+// stopped, so no concurrent access remains.
+func (r *reliability) drainState() {
+	for i := range r.pairs {
+		p := &r.pairs[i]
+		p.mu.Lock()
+		for j := range p.inflight {
+			p.inflight[j].wb.release()
+			p.inflight[j] = relEntry{}
+		}
+		p.inflight = p.inflight[:0]
+		for seq, wb := range p.reorder {
+			wb.release()
+			delete(p.reorder, seq)
+		}
+		p.mu.Unlock()
+	}
+}

@@ -32,8 +32,15 @@ import (
 //
 //	[frameBatch u8] [count u16 LE] count × { [len u32 LE] [encodeMsg bytes] }
 //
-// The receiver unpacks a batch into individual inbox messages that all
-// share (and reference-count) the datagram's pooled buffer.
+// frameSeq wraps either of the above in the reliability layer's sequenced
+// header (see reliable.go) — the default on this conduit; raw frames are
+// only emitted under Config.UDPUnreliable. The receiver unpacks a batch
+// into individual inbox messages that all share (and reference-count) the
+// datagram's pooled buffer.
+//
+// The receive path never trusts the kernel-delivered bytes: truncated or
+// corrupt frames of any kind are counted (Stats.DecodeErrors) and dropped,
+// exercised by FuzzDecodeDatagram.
 
 // maxUDPPayload bounds the wire size of one datagram. Collective tokens
 // and protocol messages are far below this; oversized payloads are a
@@ -44,6 +51,7 @@ const maxUDPPayload = 60 << 10
 const (
 	frameSingle = 0x01
 	frameBatch  = 0x02
+	frameSeq    = 0x03 // reliability framing; see reliable.go
 )
 
 // batchHeaderLen is the fixed prefix of a frameBatch datagram; each packed
@@ -53,15 +61,18 @@ const batchHeaderLen = 1 + 2
 // udpTransport is the per-domain socket state for the UDP conduit.
 type udpTransport struct {
 	conns []*net.UDPConn
+	// send is the per-rank write path: the raw socket, or a fault-injecting
+	// wrapper around it when Config.Fault is set.
+	send []packetConn
 	// addrs holds each rank's socket address as a value type so the send
 	// path (WriteToUDPAddrPort) performs no per-datagram allocation.
 	addrs []netip.AddrPort
 	wg    sync.WaitGroup
 
 	// rbufErr records the first SetReadBuffer failure (logged once at
-	// init): without the enlarged kernel buffer, loopback bursts drop
-	// datagrams, and this is the breadcrumb that makes such environments
-	// diagnosable.
+	// init, surfaced via Domain.RbufErr): without the enlarged kernel
+	// buffer, loopback bursts drop datagrams, and this is the breadcrumb
+	// that makes such environments diagnosable.
 	rbufErr error
 
 	mu     sync.Mutex
@@ -86,7 +97,16 @@ func (d *Domain) initUDP() error {
 				"bursty collectives may drop datagrams on this host", err)
 		}
 		tr.conns = append(tr.conns, conn)
+		var pc packetConn = conn
+		if d.cfg.Fault != nil {
+			pc = newFaultConn(conn, *d.cfg.Fault, r, &d.faultsInjected)
+		}
+		tr.send = append(tr.send, pc)
 		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr).AddrPort())
+	}
+	d.udp = tr
+	if !d.cfg.UDPUnreliable {
+		d.rel = newReliability(d)
 	}
 	for r := 0; r < d.cfg.Ranks; r++ {
 		ep := d.eps[r]
@@ -109,84 +129,162 @@ func (d *Domain) initUDP() error {
 					// not fatal; keep serving.
 					continue
 				}
-				d.deliverDatagram(ep, wb, n)
+				wb.b = wb.b[:n]
+				d.receiveDatagram(ep, wb)
 			}
 		}()
 	}
-	d.udp = tr
 	return nil
 }
 
-// deliverDatagram parses one received datagram (whose bytes live in wb)
-// and pushes its message(s) into ep's inbox. Ownership of wb transfers to
-// the pushed messages.
-func (d *Domain) deliverDatagram(ep *Endpoint, wb *wireBuf, n int) {
-	if n < 1 {
-		wb.release()
-		panic("gasnet: udp conduit received empty datagram")
+// receiveDatagram routes one received datagram (whose bytes are wb.b) to
+// the reliability layer or straight to frame delivery, taking ownership
+// of wb.
+func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
+	if len(wb.b) >= 1 && wb.b[0] == frameSeq && d.rel != nil {
+		d.rel.receive(ep, wb)
+		return
 	}
-	b := wb.b[:n]
-	switch b[0] {
+	d.deliverParsed(ep, wb, wb.b)
+}
+
+// datagramIter walks the wire messages packed in one frameSingle or
+// frameBatch frame without allocating. After next returns false, err
+// reports whether the walk ended on a corrupt frame.
+type datagramIter struct {
+	b      []byte
+	off    int
+	count  int // messages remaining
+	single bool
+	err    error
+}
+
+// parseDatagram validates a frame header and returns an iterator over its
+// messages. It accepts exactly the frames the senders in this file emit
+// (after reliability unwrapping); anything else yields an error.
+func parseDatagram(frame []byte) datagramIter {
+	if len(frame) < 1 {
+		return datagramIter{err: errors.New("gasnet: empty datagram")}
+	}
+	switch frame[0] {
 	case frameSingle:
-		m, err := decodeMsg(b[1:])
-		if err != nil {
-			panic(fmt.Sprintf("gasnet: udp conduit received undecodable datagram: %v", err))
+		return datagramIter{b: frame, off: 1, count: 1, single: true}
+	case frameBatch:
+		if len(frame) < batchHeaderLen {
+			return datagramIter{err: errors.New("gasnet: truncated batch datagram")}
+		}
+		count := int(binary.LittleEndian.Uint16(frame[1:3]))
+		if count == 0 {
+			return datagramIter{err: errors.New("gasnet: empty batch datagram")}
+		}
+		return datagramIter{b: frame, off: batchHeaderLen, count: count}
+	default:
+		return datagramIter{err: fmt.Errorf("gasnet: unknown frame tag %#x", frame[0])}
+	}
+}
+
+// next decodes the next packed message. The returned message's Payload
+// aliases the frame bytes.
+func (it *datagramIter) next() (Msg, bool) {
+	if it.err != nil || it.count == 0 {
+		return Msg{}, false
+	}
+	var body []byte
+	if it.single {
+		body = it.b[it.off:]
+		it.off = len(it.b)
+	} else {
+		if it.off+4 > len(it.b) {
+			it.err = errors.New("gasnet: truncated batch datagram")
+			return Msg{}, false
+		}
+		l := int(binary.LittleEndian.Uint32(it.b[it.off:]))
+		it.off += 4
+		if l > len(it.b)-it.off {
+			it.err = errors.New("gasnet: truncated batch entry")
+			return Msg{}, false
+		}
+		body = it.b[it.off : it.off+l]
+		it.off += l
+	}
+	m, err := decodeMsg(body)
+	if err != nil {
+		it.err = err
+		return Msg{}, false
+	}
+	it.count--
+	return m, true
+}
+
+// deliverParsed decodes one frameSingle/frameBatch frame (whose bytes live
+// in wb) and pushes its message(s) into ep's inbox, taking ownership of
+// wb. Corrupt frames are counted and dropped — a valid prefix of a batch
+// is still delivered; the datagram is already past the kernel, so partial
+// delivery is indistinguishable from partial loss, which the reliability
+// layer never produces and raw mode never promised against.
+func (d *Domain) deliverParsed(ep *Endpoint, wb *wireBuf, frame []byte) {
+	it := parseDatagram(frame)
+	pushed := 0
+	for {
+		m, ok := it.next()
+		if !ok {
+			break
+		}
+		if pushed > 0 {
+			wb.retain(1) // one reference per packed message
 		}
 		m.buf = wb
 		ep.inbox.push(m)
-	case frameBatch:
-		if len(b) < batchHeaderLen {
-			panic("gasnet: udp conduit received truncated batch datagram")
-		}
-		count := int(binary.LittleEndian.Uint16(b[1:3]))
-		if count == 0 {
-			panic("gasnet: udp conduit received empty batch datagram")
-		}
-		// One reference per packed message (we hold one already).
-		wb.retain(int32(count) - 1)
-		off := batchHeaderLen
-		for i := 0; i < count; i++ {
-			if off+4 > len(b) {
-				panic("gasnet: udp conduit received truncated batch datagram")
-			}
-			l := int(binary.LittleEndian.Uint32(b[off : off+4]))
-			off += 4
-			if off+l > len(b) {
-				panic("gasnet: udp conduit received truncated batch datagram")
-			}
-			m, err := decodeMsg(b[off : off+l])
-			if err != nil {
-				panic(fmt.Sprintf("gasnet: udp conduit received undecodable batch entry: %v", err))
-			}
-			off += l
-			m.buf = wb
-			ep.inbox.push(m)
-		}
-	default:
-		panic(fmt.Sprintf("gasnet: udp conduit received unknown frame tag %#x", b[0]))
+		pushed++
+	}
+	if it.err != nil {
+		d.decodeErrors.Add(1)
+	}
+	if pushed == 0 {
+		wb.release()
+		return
 	}
 	ep.notify()
 }
 
 // sendUDP ships one wire message to the target rank's socket as a
-// frameSingle datagram, staging the encoding in a pooled buffer.
+// frameSingle datagram (sequenced under the reliability layer), staging
+// the encoding in a pooled buffer.
 func (d *Domain) sendUDP(from, to int, m *Msg) {
-	need := 1 + wireHeaderLen + len(m.Payload)
+	hdr := 0
+	if d.rel != nil {
+		hdr = relHeaderLen
+	}
+	need := hdr + 1 + wireHeaderLen + len(m.Payload)
 	if need > maxUDPPayload {
 		panic(fmt.Sprintf("gasnet: AM payload %d bytes exceeds UDP conduit limit %d",
 			len(m.Payload), maxUDPPayload))
 	}
 	wb := d.arena.get(need)
-	wire := append(wb.b[:0], frameSingle)
+	wire := append(wb.b[:hdr], frameSingle)
 	wire = appendMsg(wire, m)
-	d.writeDatagram(from, to, wire)
+	wb.b = wire
+	if d.rel != nil {
+		d.rel.send(from, to, wb)
+	} else {
+		d.writeDatagram(from, to, wire)
+	}
 	wb.release()
 }
 
-// writeDatagram puts one frame on the wire and counts it.
+// writeDatagram counts and ships one logical datagram (a first
+// transmission). Retransmissions and standalone acks go through writeFrame
+// directly and keep their own counters, so DatagramsSent stays the
+// coalescing cost model (datagrams the protocol decided to send) rather
+// than a wire-traffic tally.
 func (d *Domain) writeDatagram(from, to int, frame []byte) {
 	d.datagramsSent.Add(1)
-	conn := d.udp.conns[from]
+	d.writeFrame(from, to, frame)
+}
+
+// writeFrame puts one frame on the wire.
+func (d *Domain) writeFrame(from, to int, frame []byte) {
+	conn := d.udp.send[from]
 	if _, err := conn.WriteToUDPAddrPort(frame, d.udp.addrs[to]); err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return // racing shutdown; message loss is fine post-Close
@@ -201,6 +299,8 @@ func (d *Domain) writeDatagram(from, to int, frame []byte) {
 // send burst (Endpoint.BeginBurst/EndBurst), packing them into frameBatch
 // datagrams so a fan-in of k tokens costs one syscall instead of k. State
 // is owned by the endpoint's goroutine, like the rest of the send path.
+// Under the reliability layer the whole batch rides inside one sequenced
+// frame and is retransmitted as a unit.
 type coalescer struct {
 	bufs   []*wireBuf // per destination; nil when no pending batch
 	counts []int      // messages packed per destination
@@ -217,13 +317,23 @@ func newCoalescer(ranks int) *coalescer {
 // pending reports whether any destination has unflushed messages.
 func (c *coalescer) pending() bool { return len(c.dirty) > 0 }
 
+// relHdrLen is the per-datagram framing overhead of the reliability layer
+// for this domain (zero in raw mode).
+func (d *Domain) relHdrLen() int {
+	if d.rel != nil {
+		return relHeaderLen
+	}
+	return 0
+}
+
 // add packs m for destination to, flushing the destination first if the
 // message would overflow the datagram. Oversized single messages panic,
 // matching the non-coalesced path.
 func (ep *Endpoint) coalesce(to int, m *Msg) {
 	c := ep.co
+	hdr := ep.dom.relHdrLen()
 	need := 4 + wireHeaderLen + len(m.Payload)
-	if batchHeaderLen+need > maxUDPPayload {
+	if hdr+batchHeaderLen+need > maxUDPPayload {
 		panic(fmt.Sprintf("gasnet: AM payload %d bytes exceeds UDP conduit limit %d",
 			len(m.Payload), maxUDPPayload))
 	}
@@ -234,7 +344,9 @@ func (ep *Endpoint) coalesce(to int, m *Msg) {
 	}
 	if wb == nil {
 		wb = ep.dom.arena.get(bufClassLarge)
-		wb.b = append(wb.b[:0], frameBatch, 0, 0) // count patched at flush
+		// Reserve the (garbage for now) reliability header; the batch
+		// count is patched at flush, the header at seqSend.
+		wb.b = append(wb.b[:hdr], frameBatch, 0, 0)
 		c.bufs[to] = wb
 		c.dirty = append(c.dirty, to)
 	}
@@ -252,15 +364,21 @@ func (ep *Endpoint) flushDest(to int) {
 	if wb == nil {
 		return
 	}
+	d := ep.dom
+	hdr := d.relHdrLen()
 	count := c.counts[to]
 	c.bufs[to] = nil
 	c.counts[to] = 0
-	binary.LittleEndian.PutUint16(wb.b[1:3], uint16(count))
+	binary.LittleEndian.PutUint16(wb.b[hdr+1:hdr+3], uint16(count))
 	if count > 1 {
-		ep.dom.coalescedBatches.Add(1)
-		ep.dom.coalescedMsgs.Add(int64(count))
+		d.coalescedBatches.Add(1)
+		d.coalescedMsgs.Add(int64(count))
 	}
-	ep.dom.writeDatagram(ep.rank, to, wb.b)
+	if d.rel != nil {
+		d.rel.send(ep.rank, to, wb)
+	} else {
+		d.writeDatagram(ep.rank, to, wb.b)
+	}
 	wb.release()
 }
 
@@ -325,11 +443,18 @@ func (tr *udpTransport) close() {
 	tr.wg.Wait()
 }
 
-// Close releases conduit resources (UDP sockets and reader goroutines).
-// It is idempotent and a no-op for the in-memory conduits. Endpoints must
-// not be driven after Close.
+// Close releases conduit resources: the reliability ticker, the UDP
+// sockets and reader goroutines, and any buffers still parked in
+// retransmission or reorder queues. It is idempotent and a no-op for the
+// in-memory conduits. Endpoints must not be driven after Close.
 func (d *Domain) Close() {
+	if d.rel != nil {
+		d.rel.shutdown()
+	}
 	if d.udp != nil {
 		d.udp.close()
+	}
+	if d.rel != nil {
+		d.rel.drainState()
 	}
 }

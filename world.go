@@ -69,6 +69,10 @@ const (
 // Conduit.
 func ParseConduit(s string) (Conduit, error) { return gasnet.ParseConduit(s) }
 
+// FaultConfig configures the UDP conduit's deterministic fault-injection
+// shim; see internal/gasnet/fault.go.
+type FaultConfig = gasnet.FaultConfig
+
 // Completion type and factory re-exports: completions are composed by
 // passing several Cx values to an operation, the analogue of UPC++'s
 // `operation_cx::as_future() | remote_cx::as_rpc(...)`.
@@ -146,6 +150,15 @@ type Config struct {
 	// conduit (default 1µs).
 	SimLatency time.Duration
 
+	// Fault, when non-nil on the UDP conduit, injects deterministic
+	// datagram drop/duplication/reordering from a seeded PRNG on the send
+	// path, exercising the conduit's reliability layer (sequencing, acks,
+	// retransmission). Collectives and RPCs still complete — slower, with
+	// Stats.Retransmits counting the recoveries. Ignored by other
+	// conduits. When nil, the GUPCXX_UDP_FAULT environment variable
+	// ("drop=0.25,dup=0.05,reorder=0.10,seed=7") is consulted instead.
+	Fault *FaultConfig
+
 	// Version selects the emulated library behaviour. The zero value
 	// selects Eager2021_3_6, the paper's proposed default.
 	Version Version
@@ -174,6 +187,7 @@ func NewWorld(cfg Config) (*World, error) {
 		RanksPerNode: cfg.RanksPerNode,
 		SegmentBytes: cfg.SegmentBytes,
 		SimLatency:   cfg.SimLatency,
+		Fault:        cfg.Fault,
 	})
 	if err != nil {
 		return nil, err
