@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json test-loss bench-reliable
+.PHONY: build test race vet bench bench-json test-loss bench-reliable bench-pipeline ci
 
 build:
 	$(GO) build ./...
@@ -42,3 +42,14 @@ test-loss:
 bench-reliable:
 	$(GO) test -run XXX -bench BenchmarkReliableOverhead -benchmem -count 3 ./internal/gasnet/ \
 		| ./scripts/bench2json.sh > BENCH_2.json
+
+# Unified-pipeline op latency/allocs per version (put/get/fetchadd/rpc).
+# BENCH_3.json holds the checked-in record; check_bench3.sh fails the
+# target if any eager-version row regressed to allocating.
+bench-pipeline:
+	$(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . \
+		| ./scripts/bench2json.sh > BENCH_3.json
+	./scripts/check_bench3.sh BENCH_3.json
+
+# Everything CI runs, in CI's order.
+ci: build test race vet test-loss

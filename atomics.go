@@ -39,18 +39,25 @@ func NewAtomicDomain[T Word](r *Rank) *AtomicDomain[T] {
 	return &AtomicDomain[T]{r: r}
 }
 
-// apply runs a value-less atomic op.
+// apply runs a value-less atomic op through the unified pipeline.
 func (ad *AtomicDomain[T]) apply(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, cxs []Cx) Result {
 	r := ad.r
 	cxs = cxsOrDefault(cxs)
 	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2))
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpAtomic,
+			Local: true,
+			Move: func() {
+				gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2))
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(uint64) { ac.Fire() })
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpAtomic,
+		Inject: func(_ func(ctx any), done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(uint64) { done() })
+		},
+	}, cxs)
 }
 
 // fetch runs a fetching atomic op, producing the old value via a future.
@@ -60,23 +67,20 @@ func (ad *AtomicDomain[T]) fetch(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, mode
 	if len(mode) > 0 {
 		m = mode[0]
 	}
-	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		old := T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
-		if eagerMode(r, m) {
-			return core.NewReadyFutureV(r.eng, old)
-		}
-		fut, vp, h := core.NewFutureV[T](r.eng)
-		*vp = old
-		h.Defer()
-		return fut
-	}
-	fut, vp, h := core.NewFutureV[T](r.eng)
-	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-		*vp = T(old)
-		h.Fulfill()
+	return core.InitiateV(r.eng, core.OpDescV[T]{
+		Kind:  core.OpAtomic,
+		Local: r.localTo(p.rank),
+		Mode:  m,
+		MoveV: func() T {
+			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
+		},
+		Inject: func(slot *T, done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+				*slot = T(old)
+				done()
+			})
+		},
 	})
-	return fut
 }
 
 // fetchInto runs a fetching atomic op that writes the old value to the
@@ -87,40 +91,48 @@ func (ad *AtomicDomain[T]) fetchInto(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, 
 	r := ad.r
 	cxs = cxsOrDefault(cxs)
 	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		*dst = T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpAtomic,
+			Local: true,
+			Move: func() {
+				*dst = T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-		*dst = T(old)
-		ac.Fire()
-	})
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpAtomic,
+		Inject: func(_ func(ctx any), done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+				*dst = T(old)
+				done()
+			})
+		},
+	}, cxs)
 }
 
 // fetchPromise runs a fetching atomic op delivering the old value through
-// a value-carrying promise.
+// a value-carrying promise; off-node, the substrate writes the old value
+// straight into the promise's value slot.
 func (ad *AtomicDomain[T]) fetchPromise(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, pv *PromiseV[T], mode []Mode) {
 	r := ad.r
 	m := core.ModeDefault
 	if len(mode) > 0 {
 		m = mode[0]
 	}
-	pv.Bind()
-	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		old := T(gasnet.ApplyAmo(seg, p.off, op, uint64(o1), uint64(o2)))
-		if eagerMode(r, m) {
-			pv.Deliver(old)
-		} else {
-			pv.DeliverDeferred(old)
-		}
-		return
-	}
-	r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-		pv.Deliver(T(old))
-	})
+	core.InitiateVPromise(r.eng, core.OpDescV[T]{
+		Kind:  core.OpAtomic,
+		Local: r.localTo(p.rank),
+		Mode:  m,
+		MoveV: func() T {
+			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
+		},
+		Inject: func(slot *T, done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
+				*slot = T(old)
+				done()
+			})
+		},
+	}, pv)
 }
 
 // Load atomically reads the value at p.

@@ -24,19 +24,26 @@ func NewAtomicDomainF64(r *Rank) *AtomicDomainF64 {
 	return &AtomicDomainF64{r: r}
 }
 
-// applyF runs a value-less float atomic op.
+// applyF runs a value-less float atomic op through the unified pipeline.
 func (ad *AtomicDomainF64) applyF(p GlobalPtr[float64], op gasnet.AmoOp, v float64, cxs []Cx) Result {
 	r := ad.r
 	cxs = cxsOrDefault(cxs)
 	bits := math.Float64bits(v)
 	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		gasnet.ApplyAmo(seg, p.off, op, bits, 0)
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpAtomic,
+			Local: true,
+			Move: func() {
+				gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, bits, 0)
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(uint64) { ac.Fire() })
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpAtomic,
+		Inject: func(_ func(ctx any), done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(uint64) { done() })
+		},
+	}, cxs)
 }
 
 // fetchF runs a fetching float atomic op, producing the old value.
@@ -47,23 +54,20 @@ func (ad *AtomicDomainF64) fetchF(p GlobalPtr[float64], op gasnet.AmoOp, v float
 		m = mode[0]
 	}
 	bits := math.Float64bits(v)
-	if r.localTo(p.rank) {
-		seg := r.w.dom.Segment(int(p.rank))
-		old := math.Float64frombits(gasnet.ApplyAmo(seg, p.off, op, bits, 0))
-		if eagerMode(r, m) {
-			return core.NewReadyFutureV(r.eng, old)
-		}
-		fut, vp, h := core.NewFutureV[float64](r.eng)
-		*vp = old
-		h.Defer()
-		return fut
-	}
-	fut, vp, h := core.NewFutureV[float64](r.eng)
-	r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(old uint64) {
-		*vp = math.Float64frombits(old)
-		h.Fulfill()
+	return core.InitiateV(r.eng, core.OpDescV[float64]{
+		Kind:  core.OpAtomic,
+		Local: r.localTo(p.rank),
+		Mode:  m,
+		MoveV: func() float64 {
+			return math.Float64frombits(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, bits, 0))
+		},
+		Inject: func(slot *float64, done func()) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(old uint64) {
+				*slot = math.Float64frombits(old)
+				done()
+			})
+		},
 	})
-	return fut
 }
 
 // Load atomically reads the value at p.

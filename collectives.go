@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"gupcxx/internal/core"
 	"gupcxx/internal/gasnet"
 )
 
@@ -13,6 +14,20 @@ import (
 // usual single-phase matching rule). They are not on the paper's measured
 // paths — the applications use them for setup — so the implementation
 // favours clarity: a dissemination barrier and linear broadcast/gather.
+//
+// Each primitive collective (barrier, broadcast, exchange — world and
+// team) runs through the unified pipeline as one OpColl operation whose
+// data movement is the blocking protocol itself: no completion requests,
+// so the pipeline books it as initiated and eagerly completed, and the
+// per-family counters surface collective activity alongside the other
+// families. Composed collectives (reductions, ExchangePtr) count through
+// the primitives they invoke.
+
+// collOp runs one blocking collective protocol through the unified
+// pipeline.
+func collOp(r *Rank, protocol func()) {
+	r.eng.Initiate(core.OpDesc{Kind: core.OpColl, Local: true, Move: protocol}, nil)
+}
 
 // collective op kinds, carried in Msg.A1.
 const (
@@ -75,6 +90,10 @@ func (r *Rank) waitColl(k collKey, n int) []gasnet.Msg {
 // progress engine while waiting (a dissemination barrier: ceil(log2 N)
 // rounds of token exchange).
 func (r *Rank) Barrier() {
+	collOp(r, r.barrier)
+}
+
+func (r *Rank) barrier() {
 	n := r.N()
 	seq := r.coll.barrierSeq
 	r.coll.barrierSeq++
@@ -97,6 +116,12 @@ func (r *Rank) Barrier() {
 // BroadcastBytes distributes data from the root rank to all ranks,
 // returning each rank's copy. Non-root ranks ignore their data argument.
 func (r *Rank) BroadcastBytes(root int, data []byte) []byte {
+	var out []byte
+	collOp(r, func() { out = r.broadcastBytes(root, data) })
+	return out
+}
+
+func (r *Rank) broadcastBytes(root int, data []byte) []byte {
 	seq := r.coll.bcastSeq
 	r.coll.bcastSeq++
 	if r.N() == 1 {
@@ -122,6 +147,12 @@ func (r *Rank) BroadcastBytes(root int, data []byte) []byte {
 
 // BroadcastU64 distributes one word from the root rank to all ranks.
 func (r *Rank) BroadcastU64(root int, v uint64) uint64 {
+	var out uint64
+	collOp(r, func() { out = r.broadcastU64(root, v) })
+	return out
+}
+
+func (r *Rank) broadcastU64(root int, v uint64) uint64 {
 	seq := r.coll.bcastSeq
 	r.coll.bcastSeq++
 	if r.N() == 1 {
@@ -153,6 +184,12 @@ func (r *Rank) BroadcastU64(root int, v uint64) uint64 {
 // it is the substrate's showcase for sender-side coalescing (the burst to
 // a common parent is exactly the pattern coalescing accelerates).
 func (r *Rank) ExchangeU64(v uint64) []uint64 {
+	var out []uint64
+	collOp(r, func() { out = r.exchangeU64(v) })
+	return out
+}
+
+func (r *Rank) exchangeU64(v uint64) []uint64 {
 	n := r.N()
 	seq := r.coll.gatherSeq
 	r.coll.gatherSeq++
@@ -221,7 +258,9 @@ func (r *Rank) ExchangeU64(v uint64) []uint64 {
 			binary.LittleEndian.PutUint64(packed[8*i:], w)
 		}
 	}
-	packed = r.BroadcastBytes(0, packed)
+	// Call the protocol directly: the broadcast leg is part of this one
+	// allgather operation, not a second OpColl initiation.
+	packed = r.broadcastBytes(0, packed)
 	if me != 0 {
 		for i := range out {
 			out[i] = binary.LittleEndian.Uint64(packed[8*i:])

@@ -139,6 +139,123 @@ func runProgram(t *testing.T, ver gupcxx.Version, conduit gupcxx.Conduit, ops []
 	return out
 }
 
+// phaseDelta is the observed phase-count change for one op family.
+type phaseDelta struct {
+	init, eager, deferred, acked int64
+}
+
+// TestModeResolutionMatrix pins the eager-vs-deferred resolution for
+// every operation family under every library version, observed through
+// the pipeline's phase counters: one co-located operation per subtest,
+// and the phase row for its family must move exactly as the version's
+// default (or the request's explicit mode) dictates. This is the
+// table-driven proof that the three versions are knobs on one pipeline —
+// the resolution happens in core.Engine.eager and nowhere else.
+func TestModeResolutionMatrix(t *testing.T) {
+	versions := []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6}
+
+	// byDefault is the expected delta for a co-located op with one
+	// default-mode completion request.
+	byDefault := func(eagerDefault bool) phaseDelta {
+		if eagerDefault {
+			return phaseDelta{init: 1, eager: 1}
+		}
+		return phaseDelta{init: 1, deferred: 1}
+	}
+	always := func(d phaseDelta) func(bool) phaseDelta {
+		return func(bool) phaseDelta { return d }
+	}
+
+	families := []struct {
+		name  string
+		kind  gupcxx.OpKind
+		issue func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64])
+		want  func(eagerDefault bool) phaseDelta
+	}{
+		{"rma-put", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) { gupcxx.Rput(r, 7, dst).Wait() },
+			byDefault},
+		{"rma-put-eager-cx", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.Rput(r, 7, dst, gupcxx.OpEagerFuture()).Wait()
+			},
+			always(phaseDelta{init: 1, eager: 1})},
+		{"rma-put-defer-cx", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.Rput(r, 7, dst, gupcxx.OpDeferFuture()).Wait()
+			},
+			always(phaseDelta{init: 1, deferred: 1})},
+		{"rma-get", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) { gupcxx.Rget(r, dst).Wait() },
+			byDefault},
+		{"rma-get-mode-eager", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.Rget(r, dst, gupcxx.ModeEager).Wait()
+			},
+			always(phaseDelta{init: 1, eager: 1})},
+		{"rma-get-mode-defer", gupcxx.OpRMA,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.Rget(r, dst, gupcxx.ModeDefer).Wait()
+			},
+			always(phaseDelta{init: 1, deferred: 1})},
+		{"atomic-add", gupcxx.OpAtomic,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.NewAtomicDomain[uint64](r).Add(dst, 3).Wait()
+			},
+			byDefault},
+		{"atomic-fetchadd", gupcxx.OpAtomic,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.NewAtomicDomain[uint64](r).FetchAdd(dst, 3).Wait()
+			},
+			byDefault},
+		{"vis-put-strided", gupcxx.OpVIS,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				sec := gupcxx.Strided2D{Rows: 2, RunLen: 1, Stride: 2}
+				gupcxx.RputStrided(r, []uint64{1, 2}, dst, sec).Wait()
+			},
+			byDefault},
+		// An RPC is never co-located in the pipeline's sense: even a
+		// self-RPC executes from the progress engine, so its completion is
+		// always asynchronous — wire-acked, never eager or deferred.
+		{"rpc-self", gupcxx.OpRPC,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) {
+				gupcxx.RPC(r, r.Me(), func(*gupcxx.Rank) {}).Wait()
+			},
+			always(phaseDelta{init: 1, acked: 1})},
+		// A blocking collective requests no completions: it books
+		// initiation and eager completion under every version.
+		{"coll-barrier", gupcxx.OpColl,
+			func(r *gupcxx.Rank, dst gupcxx.GlobalPtr[uint64]) { r.Barrier() },
+			always(phaseDelta{init: 1, eager: 1})},
+	}
+
+	for _, ver := range versions {
+		for _, fam := range families {
+			t.Run(ver.Name+"/"+fam.name, func(t *testing.T) {
+				cfg := gupcxx.Config{Ranks: 1, Conduit: gupcxx.PSHM, Version: ver, SegmentBytes: 1 << 14}
+				err := gupcxx.Launch(cfg, func(r *gupcxx.Rank) {
+					dst := gupcxx.New[uint64](r)
+					before := r.OpStats().Ops
+					fam.issue(r, dst)
+					after := r.OpStats().Ops
+					got := phaseDelta{
+						init:     after.Of(fam.kind, gupcxx.PhaseInitiated) - before.Of(fam.kind, gupcxx.PhaseInitiated),
+						eager:    after.Of(fam.kind, gupcxx.PhaseEagerCompleted) - before.Of(fam.kind, gupcxx.PhaseEagerCompleted),
+						deferred: after.Of(fam.kind, gupcxx.PhaseDeferredQueued) - before.Of(fam.kind, gupcxx.PhaseDeferredQueued),
+						acked:    after.Of(fam.kind, gupcxx.PhaseWireAcked) - before.Of(fam.kind, gupcxx.PhaseWireAcked),
+					}
+					if want := fam.want(ver.EagerDefault); got != want {
+						t.Errorf("%s under %s: phase delta %+v, want %+v", fam.name, ver.Name, got, want)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 func TestVersionEquivalenceProperty(t *testing.T) {
 	versions := []gupcxx.Version{gupcxx.Legacy2021_3_0, gupcxx.Defer2021_3_6, gupcxx.Eager2021_3_6}
 	conduits := []gupcxx.Conduit{gupcxx.PSHM, gupcxx.SIM}

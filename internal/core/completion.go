@@ -137,7 +137,10 @@ func RemoteRPC(fn func()) Cx { return Cx{Ev: EvRemote, Kind: KRPC, Fn: fn} }
 func RemoteRPCCtx(fn func(ctx any)) Cx { return Cx{Ev: EvRemote, Kind: KRPC, CtxFn: fn} }
 
 // eager decides whether a request with the given mode is delivered eagerly
-// under this engine's version.
+// under this engine's version. This is the single eager-vs-deferred branch
+// in the codebase: every operation family reaches it through the unified
+// pipeline (op.go), so the paper's three versions are knobs on one code
+// path rather than scattered conditionals.
 func (e *Engine) eager(m Mode) bool {
 	switch m {
 	case ModeEager:
@@ -179,7 +182,12 @@ func (r Result) Wait() { r.Op.Wait() }
 //
 // Both source and operation events fire, since the data movement is fully
 // complete.
-func (e *Engine) DeliverSync(cxs []Cx) Result {
+//
+// DeliverSync is the compatibility entry point (it books the phases under
+// OpRMA); the pipeline routes through the kind-aware deliverSync.
+func (e *Engine) DeliverSync(cxs []Cx) Result { return e.deliverSync(OpRMA, cxs) }
+
+func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 	var res Result
 	for _, cx := range cxs {
 		if cx.Ev == EvRemote {
@@ -190,8 +198,10 @@ func (e *Engine) DeliverSync(cxs []Cx) Result {
 			var f Future
 			if e.eager(cx.Mode) {
 				e.Stats.EagerDeliveries++
+				e.phase(k, PhaseEagerCompleted)
 				f = e.ReadyFuture()
 			} else {
+				e.phase(k, PhaseDeferredQueued)
 				c := e.newCell()
 				e.deferFulfill(c)
 				f = Future{c}
@@ -200,12 +210,16 @@ func (e *Engine) DeliverSync(cxs []Cx) Result {
 		case KPromise:
 			if e.eager(cx.Mode) {
 				e.Stats.EagerDeliveries++
+				e.phase(k, PhaseEagerCompleted)
 				// Elided entirely: the promise is never touched.
 			} else {
+				e.phase(k, PhaseDeferredQueued)
 				cx.Prom.Require(1)
 				e.deferFulfill(cx.Prom.c)
 			}
 		case KLPC:
+			// LPCs are by definition queued for the next progress call.
+			e.phase(k, PhaseDeferredQueued)
 			e.EnqueueLPC(cx.Fn)
 		default:
 			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
@@ -232,12 +246,44 @@ func (r *Result) set(ev Event, f Future) {
 
 // AsyncCompletion is the initiator-side state for an operation that did
 // not complete synchronously: the notifications to deliver when the
-// substrate reports source and operation completion.
+// substrate reports source and operation completion. Records are recycled
+// through the engine's freelist — taken at initiation, returned by the
+// final Fire — so steady-state off-node traffic allocates no completion
+// state.
 type AsyncCompletion struct {
-	eng     *Engine
+	eng  *Engine
+	kind OpKind
+
+	// frags is the number of outstanding substrate acknowledgments (VIS
+	// operations fan one operation out into several transfers); the last
+	// one fires the notifications.
+	frags int
+
+	// fire caches the Fire method value so per-fragment completion
+	// callbacks hand the same func() to the substrate without allocating a
+	// fresh closure per operation.
+	fire func()
+
 	opCells []FulfillHandle
 	opProms []*Promise
 	opLPCs  []func()
+}
+
+// getAC takes an AsyncCompletion record from the freelist (or allocates
+// the freelist's steady-state population on first use).
+func (e *Engine) getAC(k OpKind) *AsyncCompletion {
+	var ac *AsyncCompletion
+	if n := len(e.acFree); n > 0 {
+		ac = e.acFree[n-1]
+		e.acFree[n-1] = nil
+		e.acFree = e.acFree[:n-1]
+	} else {
+		ac = &AsyncCompletion{eng: e}
+		ac.fire = ac.Fire
+	}
+	ac.kind = k
+	ac.frags = 1
+	return ac
 }
 
 // PrepareAsync builds the completion state for an asynchronous (remote)
@@ -248,15 +294,22 @@ type AsyncCompletion struct {
 // notification). Operation-event completions are registered to fire when
 // the substrate acknowledges, which always happens inside the progress
 // engine, trivially satisfying both eager and deferred semantics.
+//
+// PrepareAsync is the compatibility entry point (phases booked under
+// OpRMA); the pipeline routes through the kind-aware prepareAsync.
 func (e *Engine) PrepareAsync(cxs []Cx) (Result, *AsyncCompletion) {
+	return e.prepareAsync(OpRMA, cxs)
+}
+
+func (e *Engine) prepareAsync(k OpKind, cxs []Cx) (Result, *AsyncCompletion) {
 	var res Result
-	ac := &AsyncCompletion{eng: e}
+	ac := e.getAC(k)
 	for _, cx := range cxs {
 		switch cx.Ev {
 		case EvRemote:
 			continue // delivered at the target by the substrate
 		case EvSource:
-			sub := e.DeliverSync([]Cx{cx})
+			sub := e.deliverSync(k, []Cx{cx})
 			if sub.Source.Valid() {
 				res.set(EvSource, sub.Source)
 			}
@@ -279,10 +332,17 @@ func (e *Engine) PrepareAsync(cxs []Cx) (Result, *AsyncCompletion) {
 	return res, ac
 }
 
-// Fire delivers the operation-completion notifications. It must be called
-// on the initiating rank's goroutine from within the progress engine (the
-// substrate's acknowledgment handler).
+// Fire consumes one substrate acknowledgment; the final one delivers the
+// operation-completion notifications and recycles the record. It must be
+// called on the initiating rank's goroutine from within the progress
+// engine (the substrate's acknowledgment handler).
 func (ac *AsyncCompletion) Fire() {
+	ac.frags--
+	if ac.frags > 0 {
+		return
+	}
+	e := ac.eng
+	e.phase(ac.kind, PhaseWireAcked)
 	for _, h := range ac.opCells {
 		h.Fulfill()
 	}
@@ -290,8 +350,23 @@ func (ac *AsyncCompletion) Fire() {
 		p.Fulfill(1)
 	}
 	for _, fn := range ac.opLPCs {
-		ac.eng.EnqueueLPC(fn)
+		e.EnqueueLPC(fn)
 	}
+	// Recycle only after delivery: fulfillment cascades may initiate new
+	// operations, and a record still being walked must not be handed out.
+	for i := range ac.opCells {
+		ac.opCells[i] = FulfillHandle{}
+	}
+	for i := range ac.opProms {
+		ac.opProms[i] = nil
+	}
+	for i := range ac.opLPCs {
+		ac.opLPCs[i] = nil
+	}
+	ac.opCells = ac.opCells[:0]
+	ac.opProms = ac.opProms[:0]
+	ac.opLPCs = ac.opLPCs[:0]
+	e.acFree = append(e.acFree, ac)
 }
 
 // RemoteFn extracts the composed remote-completion action from cxs, or nil

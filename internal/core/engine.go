@@ -29,6 +29,16 @@ type Engine struct {
 	// LegacyExtraAlloc allocation.
 	legacyScratch *legacyOpState
 
+	// ops is the unified pipeline's per-family × per-phase counter matrix
+	// and hook the optional per-phase observer (op.go).
+	ops  OpStats
+	hook PhaseHook
+
+	// acFree recycles AsyncCompletion records: an async operation takes one
+	// at initiation and its final substrate acknowledgment returns it, so
+	// steady-state off-node traffic allocates no completion state.
+	acFree []*AsyncCompletion
+
 	// Stats counts allocation- and queue-level events, so tests can assert
 	// the cost model the paper describes (e.g. an eager on-node put
 	// allocates no cells and touches no queues).
@@ -185,7 +195,7 @@ func (e *Engine) MakeFuture() Future { return e.ReadyFuture() }
 // and returns it with its fulfillment handle.
 func (e *Engine) NewOpFuture() (Future, FulfillHandle) {
 	c := e.newCell()
-	return Future{c}, FulfillHandle{c}
+	return Future{c}, FulfillHandle{c: c}
 }
 
 // legacyOpState stands in for the operation-state object that UPC++

@@ -150,8 +150,10 @@ func (f Future) ThenF(fn func() Future) Future {
 
 // cellV is a cell carrying a single value of type T. Ready value-carrying
 // futures cannot use the shared singleton — the value must live somewhere —
-// so they always cost an allocation (§III-B), which is what motivates the
-// paper's fetch-to-memory atomics.
+// so a cell-backed one always costs an allocation (§III-B), which is what
+// motivates the paper's fetch-to-memory atomics. The unified pipeline
+// additionally sidesteps the cell for eagerly-completed operations by
+// storing the value inline in the FutureV struct (ValueInline knob).
 type cellV[T any] struct {
 	cell
 	v T
@@ -159,21 +161,35 @@ type cellV[T any] struct {
 
 // FutureV is the consumer side of an asynchronous result carrying one value
 // of type T.
+//
+// A FutureV has two representations. The cell-backed one (c != nil) is the
+// general case: the value lives in a heap cellV that the producer fills.
+// The inline one carries an already-available value in the future struct
+// itself — produced by the unified pipeline for eagerly-completed
+// value-producing operations under the ValueInline version knob, removing
+// the per-call heap cell that §III-B says a ready value future must
+// otherwise pay for.
 type FutureV[T any] struct {
 	c *cellV[T]
+
+	// Inline representation: e is the owning engine (for Then/Drop
+	// derivations), v the ready value.
+	e      *Engine
+	v      T
+	inline bool
 }
 
 // Valid reports whether the future was produced by an operation.
-func (f FutureV[T]) Valid() bool { return f.c != nil }
+func (f FutureV[T]) Valid() bool { return f.c != nil || f.inline }
 
 // Ready reports whether the value is available.
 func (f FutureV[T]) Ready() bool {
 	f.check()
-	return f.c.ready
+	return f.inline || f.c.ready
 }
 
 func (f FutureV[T]) check() {
-	if f.c == nil {
+	if f.c == nil && !f.inline {
 		panic("gupcxx: use of invalid FutureV (completion was not requested)")
 	}
 }
@@ -182,6 +198,9 @@ func (f FutureV[T]) check() {
 // it.
 func (f FutureV[T]) Wait() T {
 	f.check()
+	if f.inline {
+		return f.v
+	}
 	c := f.c
 	for !c.ready {
 		if c.eng.Progress() == 0 {
@@ -195,6 +214,9 @@ func (f FutureV[T]) Wait() T {
 // not ready.
 func (f FutureV[T]) Value() T {
 	f.check()
+	if f.inline {
+		return f.v
+	}
 	if !f.c.ready {
 		panic("gupcxx: Value on non-ready future")
 	}
@@ -206,6 +228,10 @@ func (f FutureV[T]) Value() T {
 // semantics).
 func (f FutureV[T]) Then(fn func(T)) Future {
 	f.check()
+	if f.inline {
+		fn(f.v)
+		return f.e.ReadyFuture()
+	}
 	if f.c.ready {
 		fn(f.c.v)
 		return f.c.eng.ReadyFuture()
@@ -223,6 +249,11 @@ func (f FutureV[T]) Then(fn func(T)) Future {
 // result readies when the future fn returns does. See Future.ThenF.
 func (f FutureV[T]) ThenF(fn func(T) Future) Future {
 	f.check()
+	if f.inline {
+		inner := fn(f.v)
+		inner.check()
+		return inner
+	}
 	if f.c.ready {
 		inner := fn(f.c.v)
 		inner.check()
@@ -242,6 +273,9 @@ func (f FutureV[T]) ThenF(fn func(T) Future) Future {
 // Future shares the receiver's readiness.
 func (f FutureV[T]) Drop() Future {
 	f.check()
+	if f.inline {
+		return f.e.ReadyFuture()
+	}
 	if f.c.ready {
 		return f.c.eng.ReadyFuture()
 	}
@@ -257,20 +291,24 @@ func (f FutureV[T]) Drop() Future {
 func NewFutureV[T any](e *Engine) (FutureV[T], *T, FulfillHandle) {
 	e.Stats.CellAllocs++
 	c := &cellV[T]{cell: cell{eng: e, deps: 1}}
-	return FutureV[T]{c}, &c.v, FulfillHandle{&c.cell}
+	return FutureV[T]{c: c}, &c.v, FulfillHandle{c: &c.cell}
 }
 
 // NewReadyFutureV allocates an already-ready future carrying v.
 func NewReadyFutureV[T any](e *Engine, v T) FutureV[T] {
 	e.Stats.CellAllocs++
 	c := &cellV[T]{cell: cell{eng: e, ready: true}, v: v}
-	return FutureV[T]{c}
+	return FutureV[T]{c: c}
 }
 
 // FulfillHandle lets the runtime layer resolve a dependency on an internal
 // cell without exposing the cell type.
 type FulfillHandle struct {
 	c *cell
+
+	// kind attributes the wire-acked phase when the handle completes an
+	// asynchronous pipeline operation (set by InitiateV).
+	kind OpKind
 }
 
 // Valid reports whether the handle references a cell.
@@ -280,6 +318,14 @@ func (h FulfillHandle) Valid() bool { return h.c != nil }
 // owning rank's goroutine, inside the progress engine or at an eager
 // initiation point.
 func (h FulfillHandle) Fulfill() { h.c.fulfill(1) }
+
+// FulfillAcked is the pipeline's substrate-acknowledgment completion: it
+// books the wire-acked phase for the operation's family, then resolves the
+// dependency. Like Fulfill, it must run inside the progress engine.
+func (h FulfillHandle) FulfillAcked() {
+	h.c.eng.phase(h.kind, PhaseWireAcked)
+	h.c.fulfill(1)
+}
 
 // Defer enqueues the resolution on the owning engine's deferred-
 // notification queue, to fire at the next progress call.

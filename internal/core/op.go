@@ -1,0 +1,338 @@
+package core
+
+// This file is the unified operation-lifecycle pipeline (one
+// initiation→completion path for every operation family). Before it, each
+// family — RMA, atomics, RPC, VIS, collectives — re-implemented the
+// paper's §III-A protocol by hand: perform the locality query, branch on
+// eager vs deferred notification, wire the substrate acknowledgment back
+// into futures/promises. Now a family describes one operation as an
+// OpDesc (or OpDescV for value-producing forms) and hands it to
+// Engine.Initiate / InitiateV: the pipeline makes the eager-vs-deferred
+// decision in exactly one place (Engine.eager), drives data movement
+// through conduit-agnostic callbacks, and routes notification to the
+// future / promise / callback / into-memory sinks uniformly.
+//
+// Every phase transition is counted per operation family (OpStats) and
+// optionally observed by a PhaseHook — the runtime's op-level
+// observability. The counters are plain array increments and the hook is
+// nil by default, so the instrumentation adds no allocation and no
+// indirect call to the eager fast path.
+
+// OpKind identifies an operation family in the unified pipeline.
+type OpKind uint8
+
+const (
+	// OpRMA is contiguous one-sided RMA (Rput/Rget and the bulk forms).
+	OpRMA OpKind = iota
+	// OpAtomic is the remote atomic family (apply, fetch, fetch-into,
+	// fetch-promise, in every atomic domain).
+	OpAtomic
+	// OpRPC is the remote-procedure family (closure RPC, wire RPC,
+	// fire-and-forget).
+	OpRPC
+	// OpVIS is vector/indexed/strided RMA (multi-fragment operations).
+	OpVIS
+	// OpColl is the collective family (barrier, broadcast, exchange —
+	// world and team).
+	OpColl
+
+	// NumOpKinds bounds the OpKind space.
+	NumOpKinds
+)
+
+// String names the operation family.
+func (k OpKind) String() string {
+	switch k {
+	case OpRMA:
+		return "rma"
+	case OpAtomic:
+		return "atomic"
+	case OpRPC:
+		return "rpc"
+	case OpVIS:
+		return "vis"
+	case OpColl:
+		return "coll"
+	default:
+		return "op(?)"
+	}
+}
+
+// Phase identifies one stage of an operation's lifecycle.
+type Phase uint8
+
+const (
+	// PhaseInitiated counts every operation entering the pipeline.
+	PhaseInitiated Phase = iota
+	// PhaseEagerCompleted counts notifications delivered eagerly at
+	// initiation (data movement completed synchronously). An operation
+	// with no completion requests counts one eager completion for the
+	// operation itself.
+	PhaseEagerCompleted
+	// PhaseDeferredQueued counts notifications routed through the
+	// deferred-notification (or LPC) queue at initiation.
+	PhaseDeferredQueued
+	// PhaseWireAcked counts asynchronous operations whose completion was
+	// fired by the substrate acknowledgment from inside the progress
+	// engine (the off-node path; self-RPCs count here too, their
+	// completion being likewise delivered by the progress engine).
+	PhaseWireAcked
+
+	// NumPhases bounds the Phase space.
+	NumPhases
+)
+
+// String names the phase as in the design document's phase diagram.
+func (p Phase) String() string {
+	switch p {
+	case PhaseInitiated:
+		return "initiated"
+	case PhaseEagerCompleted:
+		return "eager-completed"
+	case PhaseDeferredQueued:
+		return "deferred-queued"
+	case PhaseWireAcked:
+		return "wire-acked"
+	default:
+		return "phase(?)"
+	}
+}
+
+// OpStats is the per-family × per-phase counter matrix maintained by the
+// pipeline. Index as stats[kind][phase].
+type OpStats [NumOpKinds][NumPhases]int64
+
+// Of returns the counter for one family and phase.
+func (s *OpStats) Of(k OpKind, p Phase) int64 { return s[k][p] }
+
+// Add accumulates o into s (aggregation across ranks).
+func (s *OpStats) Add(o *OpStats) {
+	for k := range s {
+		for p := range s[k] {
+			s[k][p] += o[k][p]
+		}
+	}
+}
+
+// PhaseHook observes pipeline phase transitions. Installed via
+// Engine.SetPhaseHook; nil (the default) disables the callback entirely.
+// The hook runs on the engine's goroutine and must not block.
+type PhaseHook func(k OpKind, p Phase)
+
+// SetPhaseHook installs (or, with nil, removes) the per-phase
+// instrumentation hook.
+func (e *Engine) SetPhaseHook(fn PhaseHook) { e.hook = fn }
+
+// OpStats returns a snapshot of the pipeline's per-family phase counters.
+func (e *Engine) OpStats() OpStats { return e.ops }
+
+// phase records one phase transition: a counter bump, plus the hook when
+// one is installed.
+func (e *Engine) phase(k OpKind, p Phase) {
+	e.ops[k][p]++
+	if e.hook != nil {
+		e.hook(k, p)
+	}
+}
+
+// OpDesc describes one value-less operation to the pipeline: which family
+// it belongs to, whether its data movement can complete synchronously at
+// initiation (the locality query's answer), and the data-movement
+// callbacks — exactly one of which the pipeline invokes.
+//
+// The completion-request set is passed to Initiate separately rather than
+// carried in the descriptor: escape analysis is not field-sensitive for
+// structs, and the cx set's content genuinely escapes on the deferred
+// path, so a Cxs field would drag every closure in the descriptor (and
+// their by-reference captures) to the heap — one allocation per eager op.
+// Keeping the descriptor closures-and-scalars-only keeps the eager fast
+// path allocation-free.
+type OpDesc struct {
+	// Kind is the operation family (counter bucket, policy selector).
+	Kind OpKind
+
+	// Local reports that the target is directly addressable, so Move can
+	// complete the data movement synchronously during Initiate. This is
+	// the outcome of the caller's locality query (free under
+	// ConstexprLocal).
+	Local bool
+
+	// Frags is the number of asynchronous substrate transfers a remote
+	// operation fans out into (VIS operations move one fragment per
+	// transfer). The pipeline fires completion after the last fragment's
+	// acknowledgment. Zero is treated as one.
+	Frags int
+
+	// Move performs the synchronous data movement; invoked iff Local.
+	Move func()
+
+	// ShipRemote delivers the composed remote-completion action for a
+	// co-located target (the action must still run on the target rank's
+	// progress goroutine, so the runtime layer ships it as an active
+	// message). Invoked iff Local and a remote completion was requested.
+	ShipRemote func(rfn func(ctx any))
+
+	// Inject launches the asynchronous data movement; invoked iff !Local.
+	// rfn is the composed remote-completion action (nil if none), to be
+	// delivered at the target after the data is applied. done must be
+	// invoked once per fragment, on the initiating rank's goroutine from
+	// inside the progress engine (the substrate acknowledgment path).
+	Inject func(rfn func(ctx any), done func())
+}
+
+// Initiate runs one value-less operation through the unified pipeline and
+// returns the futures its completion requests produced. cxs is the
+// completion-request set; empty means the operation delivers no
+// notifications (blocking collectives, fire-and-forget RPC).
+//
+// Synchronous (Local) operations deliver completions on the spot: eager
+// requests are satisfied immediately (zero allocation — the crux of the
+// paper), deferred ones are queued for the next progress call. The
+// eager-vs-deferred resolution for every request happens in Engine.eager,
+// the single such branch in the codebase. Asynchronous operations
+// register their completion state and launch the substrate transfer(s);
+// the last acknowledgment fires notification from inside the progress
+// engine.
+// Initiate destructures the descriptor into the multi-parameter initiate;
+// the wrapper is small enough to inline, and the split keeps the
+// data-movement closures out of the descriptor's escape class (initiate
+// only ever calls them), so the eager fast path allocates nothing.
+func (e *Engine) Initiate(d OpDesc, cxs []Cx) Result {
+	return e.initiate(d.Kind, d.Local, cxs, d.Frags, d.Move, d.ShipRemote, d.Inject)
+}
+
+func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int,
+	move func(), ship func(rfn func(ctx any)), inject func(rfn func(ctx any), done func())) Result {
+	e.phase(k, PhaseInitiated)
+	if local {
+		if kindLegacyAlloc(k) {
+			e.LegacyAlloc()
+		}
+		if move != nil {
+			move()
+		}
+		if ship != nil {
+			if rfn := RemoteFn(cxs); rfn != nil {
+				ship(rfn)
+			}
+		}
+		if len(cxs) == 0 {
+			// Nothing to notify: the operation itself completed eagerly.
+			e.phase(k, PhaseEagerCompleted)
+			return Result{}
+		}
+		return e.deliverSync(k, cxs)
+	}
+	if len(cxs) == 0 {
+		// Fire-and-forget: no completion state at all.
+		inject(nil, nil)
+		return Result{}
+	}
+	res, ac := e.prepareAsync(k, cxs)
+	if frags > 1 {
+		ac.frags = frags
+	}
+	inject(RemoteFn(cxs), ac.fire)
+	return res
+}
+
+// OpDescV describes one value-producing operation (get-class RMA,
+// fetching atomics, returning RPC). Its notification discipline is a
+// single Mode rather than a Cx list — the value-carrying future or
+// promise is the only sink.
+type OpDescV[T any] struct {
+	// Kind is the operation family.
+	Kind OpKind
+
+	// Local reports that MoveV can produce the value synchronously.
+	Local bool
+
+	// Mode selects eager/deferred/default notification.
+	Mode Mode
+
+	// MoveV performs the synchronous operation and returns the produced
+	// value; invoked iff Local.
+	MoveV func() T
+
+	// Inject launches the asynchronous operation; invoked iff !Local. The
+	// produced value must be written through slot before done is invoked
+	// (once, from inside the progress engine).
+	Inject func(slot *T, done func())
+}
+
+// InitiateV runs one value-producing operation through the unified
+// pipeline, delivering the value through the returned future.
+//
+// The eager local path is allocation-free under the ValueInline version
+// knob: the already-available value is carried inline in the returned
+// future instead of in a heap cell — the pipeline's answer to §III-B's
+// "a ready value future must still allocate".
+func InitiateV[T any](e *Engine, d OpDescV[T]) FutureV[T] {
+	return initiateV(e, d.Kind, d.Local, d.Mode, d.MoveV, d.Inject)
+}
+
+func initiateV[T any](e *Engine, k OpKind, local bool, m Mode,
+	moveV func() T, inject func(slot *T, done func())) FutureV[T] {
+	e.phase(k, PhaseInitiated)
+	if local {
+		if kindLegacyAlloc(k) {
+			e.LegacyAlloc()
+		}
+		v := moveV()
+		if e.eager(m) {
+			// Value-producing eager completions are booked in the phase
+			// matrix only; Stats.EagerDeliveries tracks the cx-based
+			// notifications of DeliverSync, as it always has.
+			e.phase(k, PhaseEagerCompleted)
+			if e.ver.ValueInline {
+				return FutureV[T]{e: e, v: v, inline: true}
+			}
+			return NewReadyFutureV(e, v)
+		}
+		e.phase(k, PhaseDeferredQueued)
+		fut, vp, h := NewFutureV[T](e)
+		*vp = v
+		h.Defer()
+		return fut
+	}
+	fut, vp, h := NewFutureV[T](e)
+	h.kind = k
+	inject(vp, h.FulfillAcked)
+	return fut
+}
+
+// InitiateVPromise runs one value-producing operation through the unified
+// pipeline, delivering the value through the registered promise p.
+func InitiateVPromise[T any](e *Engine, d OpDescV[T], p *PromiseV[T]) {
+	initiateVPromise(e, d.Kind, d.Local, d.Mode, d.MoveV, d.Inject, p)
+}
+
+func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode,
+	moveV func() T, inject func(slot *T, done func()), p *PromiseV[T]) {
+	e.phase(k, PhaseInitiated)
+	p.Bind()
+	if local {
+		if kindLegacyAlloc(k) {
+			e.LegacyAlloc()
+		}
+		v := moveV()
+		if e.eager(m) {
+			e.phase(k, PhaseEagerCompleted)
+			p.Deliver(v)
+			return
+		}
+		e.phase(k, PhaseDeferredQueued)
+		p.DeliverDeferred(v)
+		return
+	}
+	inject(p.ValueSlot(), func() {
+		e.phase(k, PhaseWireAcked)
+		p.DeliverInPlace()
+	})
+}
+
+// kindLegacyAlloc reports whether the 2021.3.0 extra operation-state
+// allocation applies to this family: the paper attributes it to RMA on
+// directly-addressable global pointers (§IV-A), which covers the
+// contiguous and VIS forms but not atomics, RPC, or collectives.
+func kindLegacyAlloc(k OpKind) bool { return k == OpRMA || k == OpVIS }

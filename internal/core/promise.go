@@ -100,13 +100,23 @@ func (p *PromiseV[T]) DeliverDeferred(v T) {
 	p.c.eng.deferFulfill(&p.c.cell)
 }
 
+// ValueSlot exposes the promise's value storage so an asynchronous
+// operation can have the substrate write the arriving value in place (no
+// intermediate per-call cell); pair with DeliverInPlace.
+func (p *PromiseV[T]) ValueSlot() *T { return &p.c.v }
+
+// DeliverInPlace resolves the bound operation's dependency for a value
+// already written through ValueSlot. It must run on the owning rank's
+// goroutine inside the progress engine.
+func (p *PromiseV[T]) DeliverInPlace() { p.c.fulfill(1) }
+
 // Finalize closes registration and returns the value future.
 func (p *PromiseV[T]) Finalize() FutureV[T] {
 	if !p.finalized {
 		p.finalized = true
 		p.c.fulfill(1)
 	}
-	return FutureV[T]{p.c}
+	return FutureV[T]{c: p.c}
 }
 
 // Finalized reports whether Finalize has been called.

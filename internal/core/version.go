@@ -49,6 +49,14 @@ type Version struct {
 	// compile time on conduits where every rank is co-located (the SMP
 	// conduit optimization of §IV-B, new in the 2021.3.6 snapshot).
 	ConstexprLocal bool
+
+	// ValueInline lets an eagerly-completed value-producing operation
+	// (Rget, fetching atomics) return its value inline in the FutureV
+	// struct instead of a heap cell. This is the pipeline's
+	// allocation-elision extension of §III-B, where the paper observes a
+	// ready value future must otherwise still allocate; it rides the same
+	// 2021.3.6 machinery as ReadySingleton.
+	ValueInline bool
 }
 
 // The three library versions evaluated in the paper.
@@ -61,6 +69,7 @@ var (
 		WhenAllShortCircuit: true,
 		ReadySingleton:      true,
 		ConstexprLocal:      true,
+		ValueInline:         true,
 	}
 	Eager2021_3_6 = Version{
 		Name:                "2021.3.6-eager",
@@ -68,6 +77,7 @@ var (
 		WhenAllShortCircuit: true,
 		ReadySingleton:      true,
 		ConstexprLocal:      true,
+		ValueInline:         true,
 	}
 )
 

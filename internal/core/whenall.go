@@ -75,13 +75,18 @@ func WhenAllV[T any](e *Engine, fv FutureV[T], fs ...Future) FutureV[T] {
 	e.Stats.WhenAllBuilt++
 	e.Stats.CellAllocs++
 	conj := &cellV[T]{cell: cell{eng: e, deps: int32(1 + len(fs))}}
-	src := fv.c
-	fv.c.onReady(func() {
-		conj.v = src.v
+	if fv.inline {
+		conj.v = fv.v
 		conj.fulfill(1)
-	})
+	} else {
+		src := fv.c
+		fv.c.onReady(func() {
+			conj.v = src.v
+			conj.fulfill(1)
+		})
+	}
 	for _, f := range fs {
 		f.c.onReady(func() { conj.fulfill(1) })
 	}
-	return FutureV[T]{conj}
+	return FutureV[T]{c: conj}
 }

@@ -87,6 +87,13 @@ type Stats struct {
 	// DecodeErrors counts received datagrams (or packed batch entries)
 	// dropped as truncated or corrupt.
 	DecodeErrors int64
+	// RemoteOpsStarted / RemoteOpsAcked count remote operations
+	// registered in the endpoints' completion tables and the
+	// acknowledgments that retired them — the substrate half of the
+	// runtime's op-lifecycle instrumentation. Started minus acked is the
+	// number of operations still in flight.
+	RemoteOpsStarted int64
+	RemoteOpsAcked   int64
 }
 
 // Stats returns a snapshot of the substrate fast-path counters, aggregated
@@ -109,6 +116,8 @@ func (d *Domain) Stats() Stats {
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
 		s.BacklogSpills += ep.inbox.spills.Load()
+		s.RemoteOpsStarted += ep.ops.started
+		s.RemoteOpsAcked += ep.ops.acked
 	}
 	return s
 }
@@ -448,35 +457,63 @@ func (ep *Endpoint) PendingOps() int { return ep.ops.live() }
 // opTable tracks outstanding remote operations by cookie. It is only
 // touched by the owning rank's goroutine (initiation and the ack handler
 // both run there), so it needs no locking.
-type opTable struct {
-	slots []func(*Msg)
-	free  []uint32
-	n     int
+// opSlot is one outstanding operation's completion callback. Exactly one
+// of the two fields is set: msg consumes the reply message (gets and
+// atomics, whose acknowledgment carries data), done is a bare
+// acknowledgment (puts). Storing the bare form directly — instead of
+// wrapping it in a func(*Msg) closure — keeps the put injection path
+// allocation-free.
+type opSlot struct {
+	msg  func(*Msg)
+	done func()
 }
 
-// add registers a completion callback and returns its cookie.
-func (t *opTable) add(cb func(*Msg)) uint64 {
+type opTable struct {
+	slots []opSlot
+	free  []uint32
+	n     int
+
+	// Lifetime tallies, surfaced through Stats: started counts every
+	// registered remote operation, acked every acknowledgment consumed.
+	// They are the substrate leg of the runtime's op-lifecycle phase
+	// instrumentation (started pairs with initiation, acked with the
+	// wire-acked phase).
+	started int64
+	acked   int64
+}
+
+// add registers a reply-consuming completion callback and returns its
+// cookie.
+func (t *opTable) add(cb func(*Msg)) uint64 { return t.register(opSlot{msg: cb}) }
+
+// addDone registers a bare acknowledgment callback and returns its
+// cookie.
+func (t *opTable) addDone(done func()) uint64 { return t.register(opSlot{done: done}) }
+
+func (t *opTable) register(s opSlot) uint64 {
 	t.n++
+	t.started++
 	if len(t.free) > 0 {
 		id := t.free[len(t.free)-1]
 		t.free = t.free[:len(t.free)-1]
-		t.slots[id] = cb
+		t.slots[id] = s
 		return uint64(id)
 	}
-	t.slots = append(t.slots, cb)
+	t.slots = append(t.slots, s)
 	return uint64(len(t.slots) - 1)
 }
 
-// take removes and returns the callback for cookie.
-func (t *opTable) take(cookie uint64) func(*Msg) {
-	cb := t.slots[cookie]
-	if cb == nil {
+// take removes and returns the callback slot for cookie.
+func (t *opTable) take(cookie uint64) opSlot {
+	s := t.slots[cookie]
+	if s.msg == nil && s.done == nil {
 		panic(fmt.Sprintf("gasnet: completion for unknown cookie %d", cookie))
 	}
-	t.slots[cookie] = nil
+	t.slots[cookie] = opSlot{}
 	t.free = append(t.free, uint32(cookie))
 	t.n--
-	return cb
+	t.acked++
+	return s
 }
 
 // live reports the number of registered, uncompleted operations.
@@ -486,6 +523,10 @@ func (t *opTable) live() int { return t.n }
 // cookie. Shared by put acks, get replies, and atomic replies; the
 // registered callback interprets the rest of the message.
 func handleAck(ep *Endpoint, m *Msg) {
-	cb := ep.ops.take(m.A0)
-	cb(m)
+	s := ep.ops.take(m.A0)
+	if s.msg != nil {
+		s.msg(m)
+	} else {
+		s.done()
+	}
 }

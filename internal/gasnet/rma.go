@@ -12,6 +12,9 @@ package gasnet
 // nopDone is installed when the caller passes a nil completion callback.
 func nopDone(*Msg) {}
 
+// nopAck is the bare-acknowledgment equivalent.
+func nopAck() {}
+
 // PutRemote initiates a put of data into the target rank's segment at byte
 // offset off. remoteFn, if non-nil, is executed on the target's progress
 // goroutine after the data is applied (the paper's remote completion /
@@ -20,11 +23,12 @@ func nopDone(*Msg) {}
 // (operation completion). data is copied at injection time, so the caller
 // may reuse the buffer immediately (source completion is synchronous).
 func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*Endpoint), onDone func()) {
-	cb := nopDone
-	if onDone != nil {
-		cb = func(*Msg) { onDone() }
+	// Registered in its bare form: a func(*Msg) wrapper here would cost
+	// one closure allocation per put.
+	if onDone == nil {
+		onDone = nopAck
 	}
-	cookie := ep.ops.add(cb)
+	cookie := ep.ops.addDone(onDone)
 	// Stage the payload in a pooled buffer: Send consumes the reference
 	// (transferring it to the receiver in-memory, or dropping it once the
 	// bytes are encoded for the wire), so steady-state puts allocate

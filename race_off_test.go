@@ -1,0 +1,8 @@
+//go:build !race
+
+package gupcxx_test
+
+// raceEnabled reports whether the race detector is active; allocation-
+// count guards skip under it (instrumentation heap-allocates closures
+// the plain build keeps on the stack).
+const raceEnabled = false

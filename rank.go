@@ -36,6 +36,39 @@ func (r *Rank) Version() Version { return r.w.ver }
 // WhenAll).
 func (r *Rank) Engine() *core.Engine { return r.eng }
 
+// OpStats is the op-level observability snapshot returned by
+// Rank.OpStats and World.OpStats: the unified pipeline's per-family ×
+// per-phase counter matrix, together with the completion-machinery and
+// substrate counters it is naturally read alongside.
+type OpStats struct {
+	// Ops counts pipeline phase transitions per operation family; index
+	// as Ops[OpRMA][PhaseEagerCompleted] or via Ops.Of.
+	Ops core.OpStats
+	// Engine is the completion-machinery statistics (cell allocations,
+	// defer-queue pushes, eager deliveries, ...).
+	Engine core.Stats
+	// Substrate is the wire/queue counter snapshot. It is domain-wide
+	// (shared by all ranks of the process), not per-rank.
+	Substrate gasnet.Stats
+}
+
+// OpStats returns this rank's op-lifecycle counters. Like Engine
+// statistics, the counters are owned by the rank's goroutine: read them
+// from that goroutine, or only after Run returns.
+func (r *Rank) OpStats() OpStats {
+	return OpStats{
+		Ops:       r.eng.OpStats(),
+		Engine:    r.eng.Stats,
+		Substrate: r.w.dom.Stats(),
+	}
+}
+
+// SetPhaseHook installs fn as this rank's pipeline phase observer (nil
+// removes it). The hook runs on the rank's goroutine during initiation
+// and progress and must not block; a nil hook costs nothing on the op
+// fast path.
+func (r *Rank) SetPhaseHook(fn core.PhaseHook) { r.eng.SetPhaseHook(fn) }
+
 // Progress runs one step of this rank's progress engine at user level:
 // substrate poll, deferred notifications, LPCs. Returns the number of
 // events processed.

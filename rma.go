@@ -5,17 +5,14 @@ import (
 	"gupcxx/internal/gasnet"
 )
 
-// This file implements the one-sided RMA operations. Every operation
-// follows the same shape, which is the paper's §III-A in code:
-//
-//  1. perform the locality query (free under ConstexprLocal on SMP);
-//  2. if the target is directly addressable, move the data synchronously
-//     through shared memory and deliver completions via
-//     core.Engine.DeliverSync — eager requests are satisfied on the spot,
-//     deferred ones route through the progress queue;
-//  3. otherwise register the completions (core.Engine.PrepareAsync) and
-//     launch the AM protocol; the acknowledgment fires them from inside a
-//     later progress call.
+// This file implements the one-sided RMA operations as thin typed shims
+// over the unified operation-lifecycle pipeline (internal/core/op.go).
+// Each operation performs the locality query (free under ConstexprLocal on
+// SMP), then describes itself to core.Engine.Initiate — the pipeline owns
+// the eager-vs-deferred decision, the completion-state bookkeeping, and
+// the per-phase instrumentation; the shim contributes only the family's
+// data movement: a synchronous segment copy (Move/MoveV) or a substrate
+// injection (Inject).
 //
 // The off-node path is thus exactly one branch longer than in a runtime
 // without eager notification — the property validated by the off-node
@@ -32,16 +29,23 @@ func cxsOrDefault(cxs []Cx) []Cx {
 	return cxs
 }
 
-// deliverRemoteLocal delivers a remote-completion action for an operation
-// whose target is co-located: the action still runs on the target rank's
+// shipRemote delivers a remote-completion action for an operation whose
+// target is co-located: the action still runs on the target rank's
 // progress goroutine, never the initiator's, so it is shipped as an AM.
-func deliverRemoteLocal(r *Rank, target int32, cxs []Cx) {
-	if fn := core.RemoteFn(cxs); fn != nil {
-		r.ep.Send(int(target), gasnet.Msg{
-			Handler: hRPCExec,
-			Fn:      func(ep *gasnet.Endpoint) { fn(ep.Ctx) },
-		})
+func (r *Rank) shipRemote(target int32, rfn func(ctx any)) {
+	r.ep.Send(int(target), gasnet.Msg{
+		Handler: hRPCExec,
+		Fn:      func(ep *gasnet.Endpoint) { rfn(ep.Ctx) },
+	})
+}
+
+// wrapRemote adapts the pipeline's composed remote-completion action to
+// the substrate's endpoint-callback shape.
+func wrapRemote(rfn func(ctx any)) func(*gasnet.Endpoint) {
+	if rfn == nil {
+		return nil
 	}
+	return func(ep *gasnet.Endpoint) { rfn(ep.Ctx) }
 }
 
 // Rput initiates a one-sided put of val to dst, returning the futures for
@@ -49,19 +53,21 @@ func deliverRemoteLocal(r *Rank, target int32, cxs []Cx) {
 func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
 	cxs = cxsOrDefault(cxs)
 	if r.localTo(dst.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(dst.rank))
-		seg.CopyIn(dst.off, gasnet.ValueBytes(&val))
-		deliverRemoteLocal(r, dst.rank, cxs)
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpRMA,
+			Local: true,
+			Move: func() {
+				r.w.dom.Segment(int(dst.rank)).CopyIn(dst.off, gasnet.ValueBytes(&val))
+			},
+			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	var remoteFn func(*gasnet.Endpoint)
-	if fn := core.RemoteFn(cxs); fn != nil {
-		remoteFn = func(ep *gasnet.Endpoint) { fn(ep.Ctx) }
-	}
-	r.ep.PutRemote(int(dst.rank), dst.off, gasnet.ValueBytes(&val), remoteFn, ac.Fire)
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpRMA,
+		Inject: func(rfn func(ctx any), done func()) {
+			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.ValueBytes(&val), wrapRemote(rfn), done)
+		},
+	}, cxs)
 }
 
 // RputBulk initiates a one-sided put of the slice src to the array headed
@@ -71,75 +77,77 @@ func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
 func RputBulk[T any](r *Rank, src []T, dst GlobalPtr[T], cxs ...Cx) Result {
 	cxs = cxsOrDefault(cxs)
 	if r.localTo(dst.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(dst.rank))
-		seg.CopyIn(dst.off, gasnet.SliceBytes(src))
-		deliverRemoteLocal(r, dst.rank, cxs)
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpRMA,
+			Local: true,
+			Move: func() {
+				r.w.dom.Segment(int(dst.rank)).CopyIn(dst.off, gasnet.SliceBytes(src))
+			},
+			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	var remoteFn func(*gasnet.Endpoint)
-	if fn := core.RemoteFn(cxs); fn != nil {
-		remoteFn = func(ep *gasnet.Endpoint) { fn(ep.Ctx) }
-	}
-	r.ep.PutRemote(int(dst.rank), dst.off, gasnet.SliceBytes(src), remoteFn, ac.Fire)
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpRMA,
+		Inject: func(rfn func(ctx any), done func()) {
+			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.SliceBytes(src), wrapRemote(rfn), done)
+		},
+	}, cxs)
 }
 
 // Rget initiates a one-sided get of the value at src, returning a future
 // that carries it. The optional mode selects eager/deferred notification
 // for the future (default: the version's default mode).
 //
-// A value-carrying ready future cannot use the shared ready cell — the
-// value must be stored somewhere — so even the eager path costs one cell
-// allocation (§III-B); compare RgetBulk, whose value-less completion is
-// allocation-free under eager notification.
+// Under the ValueInline version knob the eager path is allocation-free:
+// the pipeline returns the value inline in the FutureV struct instead of
+// a heap cell (the §III-B cost the paper could not remove).
 func Rget[T any](r *Rank, src GlobalPtr[T], mode ...Mode) FutureV[T] {
 	m := core.ModeDefault
 	if len(mode) > 0 {
 		m = mode[0]
 	}
 	if r.localTo(src.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(src.rank))
-		var val T
-		seg.CopyOut(src.off, gasnet.ValueBytes(&val))
-		if eagerMode(r, m) {
-			return core.NewReadyFutureV(r.eng, val)
-		}
-		fut, vp, h := core.NewFutureV[T](r.eng)
-		*vp = val
-		h.Defer()
-		return fut
+		return core.InitiateV(r.eng, core.OpDescV[T]{
+			Kind:  core.OpRMA,
+			Local: true,
+			Mode:  m,
+			MoveV: func() T {
+				var val T
+				r.w.dom.Segment(int(src.rank)).CopyOut(src.off, gasnet.ValueBytes(&val))
+				return val
+			},
+		})
 	}
-	fut, vp, h := core.NewFutureV[T](r.eng)
-	r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(vp), h.Fulfill)
-	return fut
+	return core.InitiateV(r.eng, core.OpDescV[T]{
+		Kind: core.OpRMA,
+		Inject: func(slot *T, done func()) {
+			r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(slot), done)
+		},
+	})
 }
 
 // RgetPromise initiates a one-sided get of the value at src, delivering
-// the value through the value-carrying promise p.
+// the value through the value-carrying promise p. The substrate writes the
+// arriving value directly into the promise's value slot — no intermediate
+// per-call buffer.
 func RgetPromise[T any](r *Rank, src GlobalPtr[T], p *PromiseV[T], mode ...Mode) {
 	m := core.ModeDefault
 	if len(mode) > 0 {
 		m = mode[0]
 	}
-	p.Bind()
-	if r.localTo(src.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(src.rank))
-		var val T
-		seg.CopyOut(src.off, gasnet.ValueBytes(&val))
-		if eagerMode(r, m) {
-			p.Deliver(val)
-		} else {
-			p.DeliverDeferred(val)
-		}
-		return
-	}
-	buf := new(T)
-	r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(buf),
-		func() { p.Deliver(*buf) })
+	core.InitiateVPromise(r.eng, core.OpDescV[T]{
+		Kind:  core.OpRMA,
+		Local: r.localTo(src.rank),
+		Mode:  m,
+		MoveV: func() T {
+			var val T
+			r.w.dom.Segment(int(src.rank)).CopyOut(src.off, gasnet.ValueBytes(&val))
+			return val
+		},
+		Inject: func(slot *T, done func()) {
+			r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(slot), done)
+		},
+	}, p)
 }
 
 // RgetBulk initiates a one-sided get of len(dst) elements from the array
@@ -150,15 +158,21 @@ func RgetBulk[T any](r *Rank, src GlobalPtr[T], dst []T, cxs ...Cx) Result {
 	cxs = cxsOrDefault(cxs)
 	rejectRemoteCx(cxs, "RgetBulk")
 	if r.localTo(src.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(src.rank))
-		seg.CopyOut(src.off, gasnet.SliceBytes(dst))
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpRMA,
+			Local: true,
+			Move: func() {
+				r.w.dom.Segment(int(src.rank)).CopyOut(src.off, gasnet.SliceBytes(dst))
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	r.ep.GetRemote(int(src.rank), src.off, len(dst)*gasnet.SizeOf[T](),
-		gasnet.SliceBytes(dst), ac.Fire)
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpRMA,
+		Inject: func(_ func(ctx any), done func()) {
+			r.ep.GetRemote(int(src.rank), src.off, len(dst)*gasnet.SizeOf[T](),
+				gasnet.SliceBytes(dst), done)
+		},
+	}, cxs)
 }
 
 // rejectRemoteCx panics when a get-class operation is asked for remote
@@ -167,17 +181,5 @@ func RgetBulk[T any](r *Rank, src GlobalPtr[T], dst []T, cxs ...Cx) Result {
 func rejectRemoteCx(cxs []Cx, op string) {
 	if core.HasRemote(cxs) {
 		panic("gupcxx: " + op + " does not support remote completion (puts only)")
-	}
-}
-
-// eagerMode resolves a Mode against the rank's version default.
-func eagerMode(r *Rank, m Mode) bool {
-	switch m {
-	case core.ModeEager:
-		return true
-	case core.ModeDefer:
-		return false
-	default:
-		return r.w.ver.EagerDefault
 	}
 }

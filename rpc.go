@@ -32,70 +32,98 @@ func rankOf(ep *gasnet.Endpoint) *Rank {
 //
 // fn runs inside the target's progress engine and must not block; it may
 // initiate communication and use promises/LPCs for follow-up work.
+//
+// An RPC is never Local in the pipeline's sense: even a self-RPC runs fn
+// from the progress engine, not inline at initiation, so its completion is
+// always asynchronous.
 func RPC(r *Rank, target int, fn func(*Rank)) Future {
 	if target == r.Me() {
-		// Self-RPC still runs from the progress engine, not inline.
-		fut, h := r.eng.NewOpFuture()
-		r.eng.EnqueueLPC(func() {
-			fn(r)
-			h.Fulfill()
-		})
-		return fut
+		return r.eng.Initiate(core.OpDesc{
+			Kind: core.OpRPC,
+			Inject: func(_ func(ctx any), done func()) {
+				r.eng.EnqueueLPC(func() {
+					fn(r)
+					done()
+				})
+			},
+		}, defaultCx).Op
 	}
-	fut, h := r.eng.NewOpFuture()
 	me := r.Me()
-	r.ep.Send(target, gasnet.Msg{
-		Handler: hRPCExec,
-		Fn: func(tep *gasnet.Endpoint) {
-			fn(rankOf(tep))
-			tep.Send(me, gasnet.Msg{
+	return r.eng.Initiate(core.OpDesc{
+		Kind: core.OpRPC,
+		Inject: func(_ func(ctx any), done func()) {
+			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
-				Fn:      func(*gasnet.Endpoint) { h.Fulfill() },
+				Fn: func(tep *gasnet.Endpoint) {
+					fn(rankOf(tep))
+					tep.Send(me, gasnet.Msg{
+						Handler: hRPCExec,
+						Fn:      func(*gasnet.Endpoint) { done() },
+					})
+				},
 			})
 		},
-	})
-	return fut
+	}, defaultCx).Op
 }
 
 // RPCCall ships fn for execution on the target rank and returns a future
 // carrying fn's result — the analogue of upcxx::rpc with a returning
-// function.
+// function. The result is written straight into the future's value slot by
+// the acknowledgment handler.
 func RPCCall[T any](r *Rank, target int, fn func(*Rank) T) FutureV[T] {
-	fut, vp, h := core.NewFutureV[T](r.eng)
 	if target == r.Me() {
-		r.eng.EnqueueLPC(func() {
-			*vp = fn(r)
-			h.Fulfill()
+		return core.InitiateV(r.eng, core.OpDescV[T]{
+			Kind: core.OpRPC,
+			Inject: func(slot *T, done func()) {
+				r.eng.EnqueueLPC(func() {
+					*slot = fn(r)
+					done()
+				})
+			},
 		})
-		return fut
 	}
 	me := r.Me()
-	r.ep.Send(target, gasnet.Msg{
-		Handler: hRPCExec,
-		Fn: func(tep *gasnet.Endpoint) {
-			v := fn(rankOf(tep))
-			tep.Send(me, gasnet.Msg{
+	return core.InitiateV(r.eng, core.OpDescV[T]{
+		Kind: core.OpRPC,
+		Inject: func(slot *T, done func()) {
+			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
-				Fn: func(*gasnet.Endpoint) {
-					*vp = v
-					h.Fulfill()
+				Fn: func(tep *gasnet.Endpoint) {
+					v := fn(rankOf(tep))
+					tep.Send(me, gasnet.Msg{
+						Handler: hRPCExec,
+						Fn: func(*gasnet.Endpoint) {
+							*slot = v
+							done()
+						},
+					})
 				},
 			})
 		},
 	})
-	return fut
 }
 
 // RPCFireAndForget ships fn for execution on the target rank with no
 // completion notification (the analogue of upcxx::rpc_ff). It is the
-// cheapest RPC form: no acknowledgment message is generated.
+// cheapest RPC form: no acknowledgment message is generated and the
+// pipeline registers no completion state.
 func RPCFireAndForget(r *Rank, target int, fn func(*Rank)) {
 	if target == r.Me() {
-		r.eng.EnqueueLPC(func() { fn(r) })
+		r.eng.Initiate(core.OpDesc{
+			Kind: core.OpRPC,
+			Inject: func(_ func(ctx any), _ func()) {
+				r.eng.EnqueueLPC(func() { fn(r) })
+			},
+		}, nil)
 		return
 	}
-	r.ep.Send(target, gasnet.Msg{
-		Handler: hRPCExec,
-		Fn:      func(tep *gasnet.Endpoint) { fn(rankOf(tep)) },
-	})
+	r.eng.Initiate(core.OpDesc{
+		Kind: core.OpRPC,
+		Inject: func(_ func(ctx any), _ func()) {
+			r.ep.Send(target, gasnet.Msg{
+				Handler: hRPCExec,
+				Fn:      func(tep *gasnet.Endpoint) { fn(rankOf(tep)) },
+			})
+		},
+	}, nil)
 }

@@ -45,8 +45,8 @@ type pendingWire struct {
 }
 
 type wireCall struct {
-	vp *[]byte
-	h  core.FulfillHandle
+	vp   *[]byte
+	done func()
 }
 
 func (p *pendingWire) add(c *wireCall) uint64 {
@@ -78,15 +78,18 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte) FutureV[[]byte] 
 	if int(id) >= len(r.w.rpcHandlers) {
 		panic(fmt.Sprintf("gupcxx: wire RPC to unregistered handler %d", id))
 	}
-	fut, vp, h := core.NewFutureV[[]byte](r.eng)
-	cookie := r.wire.add(&wireCall{vp: vp, h: h})
-	r.ep.Send(target, gasnet.Msg{
-		Handler: hRPCWireReq,
-		A0:      cookie,
-		A1:      uint64(id),
-		Payload: args,
+	return core.InitiateV(r.eng, core.OpDescV[[]byte]{
+		Kind: core.OpRPC,
+		Inject: func(slot *[]byte, done func()) {
+			cookie := r.wire.add(&wireCall{vp: slot, done: done})
+			r.ep.Send(target, gasnet.Msg{
+				Handler: hRPCWireReq,
+				A0:      cookie,
+				A1:      uint64(id),
+				Payload: args,
+			})
+		},
 	})
-	return fut
 }
 
 // handleRPCWireReq executes a registered procedure and ships the reply.
@@ -112,5 +115,5 @@ func handleRPCWireRep(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	r := rankOf(ep)
 	c := r.wire.take(m.A0)
 	*c.vp = append([]byte(nil), m.Payload...)
-	c.h.Fulfill()
+	c.done()
 }

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Assert the pipeline benchmark record preserves the allocation claims:
+# under the eager version, value-less ops (put, getbulk) and inline-value
+# ops (get, fetchadd) must report 0 allocs/op — the BENCH_1-era guarantee
+# the unified pipeline must not regress.
+set -e
+rec="${1:-BENCH_3.json}"
+bad=$(awk '
+/"name": "BenchmarkOpPipeline\/(put|get|getbulk|fetchadd)\/2021.3.6-eager/ {
+    if (match($0, /"allocs_per_op": [0-9]+/)) {
+        n = substr($0, RSTART + 17, RLENGTH - 17)
+        if (n + 0 != 0) print
+    }
+}' "$rec")
+if [ -n "$bad" ]; then
+    echo "check_bench3: eager rows regressed to allocating:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "check_bench3: $rec ok (eager rows allocation-free)"

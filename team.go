@@ -150,6 +150,10 @@ func (t *Team) send(teamRank int, kind uint64, seq uint64, round uint32, a0 uint
 // Barrier blocks until every team member has entered (dissemination over
 // the team).
 func (t *Team) Barrier() {
+	collOp(t.r, t.barrier)
+}
+
+func (t *Team) barrier() {
 	n := t.N()
 	seq := t.barrierSeq
 	t.barrierSeq++
@@ -166,6 +170,12 @@ func (t *Team) Barrier() {
 // BroadcastU64 distributes one word from the team-rank root to all
 // members.
 func (t *Team) BroadcastU64(root int, v uint64) uint64 {
+	var out uint64
+	collOp(t.r, func() { out = t.broadcastU64(root, v) })
+	return out
+}
+
+func (t *Team) broadcastU64(root int, v uint64) uint64 {
 	seq := t.bcastSeq
 	t.bcastSeq++
 	if t.N() == 1 {
@@ -183,8 +193,16 @@ func (t *Team) BroadcastU64(root int, v uint64) uint64 {
 	return msgs[0].A0
 }
 
-// exchange allgathers one word per member, indexed by team rank.
+// exchange allgathers one word per member, indexed by team rank. It is
+// the pipeline entry for every team allgather-shaped collective
+// (ExchangeU64, ReduceU64, Split all funnel through it).
 func (t *Team) exchange(v uint64) []uint64 {
+	var out []uint64
+	collOp(t.r, func() { out = t.exchangeProtocol(v) })
+	return out
+}
+
+func (t *Team) exchangeProtocol(v uint64) []uint64 {
 	n := t.N()
 	seq := t.gatherSeq
 	t.gatherSeq++

@@ -12,8 +12,9 @@ import (
 // non-contiguous set of elements, with a single set of completion
 // notifications. The fragments of a co-located transfer all move
 // synchronously, so the whole operation is eager-eligible exactly like a
-// contiguous one; remote fragments become individual substrate transfers
-// whose last acknowledgment fires the operation completion.
+// contiguous one; remote fragments become individual substrate transfers,
+// described to the pipeline via OpDesc.Frags — the last acknowledgment
+// fires the operation completion.
 
 // Strided2D describes a 2-D regular section: Rows runs of RunLen
 // consecutive elements each, with runs starting Stride elements apart.
@@ -49,36 +50,43 @@ func RputStrided[T any](r *Rank, src []T, dst GlobalPtr[T], sec Strided2D, cxs .
 	}
 	cxs = cxsOrDefault(cxs)
 	if sec.Elems() == 0 || r.localTo(dst.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(dst.rank))
-		for row := 0; row < sec.Rows && sec.RunLen > 0; row++ {
-			run := src[row*sec.RunLen : (row+1)*sec.RunLen]
-			seg.CopyIn(dst.Element(row*sec.Stride).off, gasnet.SliceBytes(run))
-		}
-		deliverRemoteLocal(r, dst.rank, cxs)
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpVIS,
+			Local: true,
+			Move: func() {
+				seg := r.w.dom.Segment(int(dst.rank))
+				for row := 0; row < sec.Rows && sec.RunLen > 0; row++ {
+					run := src[row*sec.RunLen : (row+1)*sec.RunLen]
+					seg.CopyIn(dst.Element(row*sec.Stride).off, gasnet.SliceBytes(run))
+				}
+			},
+			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	fireLast := lastOf(sec.Rows, ac)
-	var remoteFn func(*gasnet.Endpoint)
-	if fn := core.RemoteFn(cxs); fn != nil {
-		// Remote completion fires once, after the last fragment lands.
-		// Every fragment targets the same rank, so the counter is only
-		// touched by that rank's progress goroutine.
-		remaining := sec.Rows
-		remoteFn = func(ep *gasnet.Endpoint) {
-			remaining--
-			if remaining == 0 {
-				fn(ep.Ctx)
+	return r.eng.Initiate(core.OpDesc{
+		Kind:  core.OpVIS,
+		Frags: sec.Rows,
+		Inject: func(rfn func(ctx any), done func()) {
+			var remoteFn func(*gasnet.Endpoint)
+			if rfn != nil {
+				// Remote completion fires once, after the last fragment
+				// lands. Every fragment targets the same rank, so the
+				// counter is only touched by that rank's progress goroutine.
+				remaining := sec.Rows
+				remoteFn = func(ep *gasnet.Endpoint) {
+					remaining--
+					if remaining == 0 {
+						rfn(ep.Ctx)
+					}
+				}
 			}
-		}
-	}
-	for row := 0; row < sec.Rows; row++ {
-		run := src[row*sec.RunLen : (row+1)*sec.RunLen]
-		r.ep.PutRemote(int(dst.rank), dst.Element(row*sec.Stride).off,
-			gasnet.SliceBytes(run), remoteFn, fireLast)
-	}
-	return res
+			for row := 0; row < sec.Rows; row++ {
+				run := src[row*sec.RunLen : (row+1)*sec.RunLen]
+				r.ep.PutRemote(int(dst.rank), dst.Element(row*sec.Stride).off,
+					gasnet.SliceBytes(run), remoteFn, done)
+			}
+		},
+	}, cxs)
 }
 
 // RgetStrided reads the strided section anchored at src into dst
@@ -91,23 +99,30 @@ func RgetStrided[T any](r *Rank, src GlobalPtr[T], sec Strided2D, dst []T, cxs .
 	cxs = cxsOrDefault(cxs)
 	rejectRemoteCx(cxs, "RgetStrided")
 	if sec.Elems() == 0 || r.localTo(src.rank) {
-		r.eng.LegacyAlloc()
-		seg := r.w.dom.Segment(int(src.rank))
-		for row := 0; row < sec.Rows && sec.RunLen > 0; row++ {
-			run := dst[row*sec.RunLen : (row+1)*sec.RunLen]
-			seg.CopyOut(src.Element(row*sec.Stride).off, gasnet.SliceBytes(run))
-		}
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpVIS,
+			Local: true,
+			Move: func() {
+				seg := r.w.dom.Segment(int(src.rank))
+				for row := 0; row < sec.Rows && sec.RunLen > 0; row++ {
+					run := dst[row*sec.RunLen : (row+1)*sec.RunLen]
+					seg.CopyOut(src.Element(row*sec.Stride).off, gasnet.SliceBytes(run))
+				}
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	fireLast := lastOf(sec.Rows, ac)
-	elemSize := gasnet.SizeOf[T]()
-	for row := 0; row < sec.Rows; row++ {
-		run := dst[row*sec.RunLen : (row+1)*sec.RunLen]
-		r.ep.GetRemote(int(src.rank), src.Element(row*sec.Stride).off,
-			sec.RunLen*elemSize, gasnet.SliceBytes(run), fireLast)
-	}
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind:  core.OpVIS,
+		Frags: sec.Rows,
+		Inject: func(_ func(ctx any), done func()) {
+			elemSize := gasnet.SizeOf[T]()
+			for row := 0; row < sec.Rows; row++ {
+				run := dst[row*sec.RunLen : (row+1)*sec.RunLen]
+				r.ep.GetRemote(int(src.rank), src.Element(row*sec.Stride).off,
+					sec.RunLen*elemSize, gasnet.SliceBytes(run), done)
+			}
+		},
+	}, cxs)
 }
 
 // RputIndexed writes vals[i] to dsts[i] for each i, as one logical
@@ -124,9 +139,6 @@ func RputIndexed[T any](r *Rank, vals []T, dsts []GlobalPtr[T], cxs ...Cx) Resul
 		// restriction in spirit (its fragments share one affinity).
 		panic("gupcxx: remote completion is not supported for indexed operations")
 	}
-	if len(dsts) == 0 {
-		return r.eng.DeliverSync(cxs)
-	}
 	// Count asynchronous fragments first: if every destination is
 	// co-located the whole operation is synchronous and eager-eligible.
 	remote := 0
@@ -136,22 +148,29 @@ func RputIndexed[T any](r *Rank, vals []T, dsts []GlobalPtr[T], cxs ...Cx) Resul
 		}
 	}
 	if remote == 0 {
-		r.eng.LegacyAlloc()
-		for i, d := range dsts {
-			r.w.dom.Segment(int(d.rank)).CopyIn(d.off, gasnet.ValueBytes(&vals[i]))
-		}
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpVIS,
+			Local: true,
+			Move: func() {
+				for i, d := range dsts {
+					r.w.dom.Segment(int(d.rank)).CopyIn(d.off, gasnet.ValueBytes(&vals[i]))
+				}
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	fireLast := lastOf(remote, ac)
-	for i, d := range dsts {
-		if r.localTo(d.rank) {
-			r.w.dom.Segment(int(d.rank)).CopyIn(d.off, gasnet.ValueBytes(&vals[i]))
-			continue
-		}
-		r.ep.PutRemote(int(d.rank), d.off, gasnet.ValueBytes(&vals[i]), nil, fireLast)
-	}
-	return res
+	return r.eng.Initiate(core.OpDesc{
+		Kind:  core.OpVIS,
+		Frags: remote,
+		Inject: func(_ func(ctx any), done func()) {
+			for i, d := range dsts {
+				if r.localTo(d.rank) {
+					r.w.dom.Segment(int(d.rank)).CopyIn(d.off, gasnet.ValueBytes(&vals[i]))
+					continue
+				}
+				r.ep.PutRemote(int(d.rank), d.off, gasnet.ValueBytes(&vals[i]), nil, done)
+			}
+		},
+	}, cxs)
 }
 
 // RgetIndexed reads srcs[i] into out[i] for each i as one logical
@@ -162,9 +181,6 @@ func RgetIndexed[T any](r *Rank, srcs []GlobalPtr[T], out []T, cxs ...Cx) Result
 	}
 	cxs = cxsOrDefault(cxs)
 	rejectRemoteCx(cxs, "RgetIndexed")
-	if len(srcs) == 0 {
-		return r.eng.DeliverSync(cxs)
-	}
 	remote := 0
 	for _, s := range srcs {
 		if !r.localTo(s.rank) {
@@ -172,38 +188,28 @@ func RgetIndexed[T any](r *Rank, srcs []GlobalPtr[T], out []T, cxs ...Cx) Result
 		}
 	}
 	if remote == 0 {
-		r.eng.LegacyAlloc()
-		for i, s := range srcs {
-			r.w.dom.Segment(int(s.rank)).CopyOut(s.off, gasnet.ValueBytes(&out[i]))
-		}
-		return r.eng.DeliverSync(cxs)
+		return r.eng.Initiate(core.OpDesc{
+			Kind:  core.OpVIS,
+			Local: true,
+			Move: func() {
+				for i, s := range srcs {
+					r.w.dom.Segment(int(s.rank)).CopyOut(s.off, gasnet.ValueBytes(&out[i]))
+				}
+			},
+		}, cxs)
 	}
-	res, ac := r.eng.PrepareAsync(cxs)
-	fireLast := lastOf(remote, ac)
-	elemSize := gasnet.SizeOf[T]()
-	for i, s := range srcs {
-		if r.localTo(s.rank) {
-			r.w.dom.Segment(int(s.rank)).CopyOut(s.off, gasnet.ValueBytes(&out[i]))
-			continue
-		}
-		r.ep.GetRemote(int(s.rank), s.off, elemSize, gasnet.ValueBytes(&out[i]), fireLast)
-	}
-	return res
-}
-
-// lastOf returns a callback that fires ac after being invoked n times —
-// the per-fragment completion aggregator. n == 0 fires immediately (the
-// operation had no asynchronous fragments).
-func lastOf(n int, ac *core.AsyncCompletion) func() {
-	if n == 0 {
-		ac.Fire()
-		return func() {}
-	}
-	remaining := n
-	return func() {
-		remaining--
-		if remaining == 0 {
-			ac.Fire()
-		}
-	}
+	return r.eng.Initiate(core.OpDesc{
+		Kind:  core.OpVIS,
+		Frags: remote,
+		Inject: func(_ func(ctx any), done func()) {
+			elemSize := gasnet.SizeOf[T]()
+			for i, s := range srcs {
+				if r.localTo(s.rank) {
+					r.w.dom.Segment(int(s.rank)).CopyOut(s.off, gasnet.ValueBytes(&out[i]))
+					continue
+				}
+				r.ep.GetRemote(int(s.rank), s.off, elemSize, gasnet.ValueBytes(&out[i]), done)
+			}
+		},
+	}, cxs)
 }

@@ -128,6 +128,26 @@ const (
 	ModeDefer   = core.ModeDefer
 )
 
+// Op-lifecycle instrumentation re-exports: the operation families and
+// pipeline phases indexing the Rank.OpStats counter matrix.
+type (
+	OpKind = core.OpKind
+	Phase  = core.Phase
+)
+
+const (
+	OpRMA    = core.OpRMA
+	OpAtomic = core.OpAtomic
+	OpRPC    = core.OpRPC
+	OpVIS    = core.OpVIS
+	OpColl   = core.OpColl
+
+	PhaseInitiated      = core.PhaseInitiated
+	PhaseEagerCompleted = core.PhaseEagerCompleted
+	PhaseDeferredQueued = core.PhaseDeferredQueued
+	PhaseWireAcked      = core.PhaseWireAcked
+)
+
 // Config describes a World.
 type Config struct {
 	// Ranks is the number of SPMD ranks. Must be >= 1.
@@ -278,6 +298,21 @@ func (w *World) Stats() core.Stats {
 		total.LegacyAllocs += s.LegacyAllocs
 		total.EagerDeliveries += s.EagerDeliveries
 	}
+	return total
+}
+
+// OpStats aggregates the op-lifecycle counters of every rank: the phase
+// matrices and engine statistics sum across ranks, and the substrate
+// snapshot (domain-wide already) is included once. Call it only when no
+// rank is actively running.
+func (w *World) OpStats() OpStats {
+	var total OpStats
+	for _, r := range w.ranks {
+		ops := r.eng.OpStats()
+		total.Ops.Add(&ops)
+	}
+	total.Engine = w.Stats()
+	total.Substrate = w.dom.Stats()
 	return total
 }
 
