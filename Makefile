@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json test-loss bench-reliable bench-pipeline ci
+.PHONY: build test race vet bench bench-json test-loss test-fault bench-reliable bench-pipeline ci
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,19 @@ test-loss:
 	GUPCXX_UDP_FAULT="drop=0.25,dup=0.05,reorder=0.10,seed=7" \
 		$(GO) test -count 1 ./internal/gasnet/ .
 
+# Failure-path suite under adversarial wire presets (DESIGN.md §10):
+# heavy loss, then a duplication/reordering storm. Exercises the liveness
+# detector (no false peer-down under loss), retransmit exhaustion,
+# deadline expiry, panic containment, and collective abort. Tests that
+# arm an explicit FaultConfig keep their deterministic faults; every
+# other UDP domain inherits the preset from the environment.
+FAULT_TESTS = 'TestPeerKilledMidRun|TestBarrierAbortsOnPeerDeath|TestWireRPCHandlerPanicContained|TestClosureRPCPanicContained|TestOpDeadlineOnSlowWire|TestRPCWireUnregisteredFails|TestRetransmitExhaustionMarksPeerDown|TestHeartbeat'
+test-fault:
+	GUPCXX_UDP_FAULT="drop=0.40,seed=11" \
+		$(GO) test -count 1 -run $(FAULT_TESTS) ./internal/gasnet/ .
+	GUPCXX_UDP_FAULT="drop=0.10,dup=0.20,reorder=0.25,seed=23" \
+		$(GO) test -count 1 -run $(FAULT_TESTS) ./internal/gasnet/ .
+
 # Reliability-layer overhead: sequenced vs raw datagrams on a clean wire,
 # plus recovery cost at 10% drop. BENCH_2.json holds the checked-in record.
 bench-reliable:
@@ -52,4 +65,4 @@ bench-pipeline:
 	./scripts/check_bench3.sh BENCH_3.json
 
 # Everything CI runs, in CI's order.
-ci: build test race vet test-loss
+ci: build test race vet test-loss test-fault

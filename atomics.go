@@ -54,8 +54,8 @@ func (ad *AtomicDomain[T]) apply(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, cxs 
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpAtomic,
-		Inject: func(_ func(ctx any), done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(uint64) { done() })
+		Inject: func(_ func(ctx any), done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(_ uint64, err error) { done(err) })
 		},
 	}, cxs)
 }
@@ -74,10 +74,12 @@ func (ad *AtomicDomain[T]) fetch(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, mode
 		MoveV: func() T {
 			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
 		},
-		Inject: func(slot *T, done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-				*slot = T(old)
-				done()
+		Inject: func(slot *T, done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64, err error) {
+				if err == nil {
+					*slot = T(old)
+				}
+				done(err)
 			})
 		},
 	})
@@ -101,10 +103,12 @@ func (ad *AtomicDomain[T]) fetchInto(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, 
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpAtomic,
-		Inject: func(_ func(ctx any), done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-				*dst = T(old)
-				done()
+		Inject: func(_ func(ctx any), done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64, err error) {
+				if err == nil {
+					*dst = T(old)
+				}
+				done(err)
 			})
 		},
 	}, cxs)
@@ -126,10 +130,12 @@ func (ad *AtomicDomain[T]) fetchPromise(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 
 		MoveV: func() T {
 			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
 		},
-		Inject: func(slot *T, done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64) {
-				*slot = T(old)
-				done()
+		Inject: func(slot *T, done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64, err error) {
+				if err == nil {
+					*slot = T(old)
+				}
+				done(err)
 			})
 		},
 	}, pv)

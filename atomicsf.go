@@ -40,8 +40,8 @@ func (ad *AtomicDomainF64) applyF(p GlobalPtr[float64], op gasnet.AmoOp, v float
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpAtomic,
-		Inject: func(_ func(ctx any), done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(uint64) { done() })
+		Inject: func(_ func(ctx any), done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(_ uint64, err error) { done(err) })
 		},
 	}, cxs)
 }
@@ -61,10 +61,12 @@ func (ad *AtomicDomainF64) fetchF(p GlobalPtr[float64], op gasnet.AmoOp, v float
 		MoveV: func() float64 {
 			return math.Float64frombits(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, bits, 0))
 		},
-		Inject: func(slot *float64, done func()) {
-			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(old uint64) {
-				*slot = math.Float64frombits(old)
-				done()
+		Inject: func(slot *float64, done func(error)) {
+			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(old uint64, err error) {
+				if err == nil {
+					*slot = math.Float64frombits(old)
+				}
+				done(err)
 			})
 		},
 	})

@@ -78,9 +78,22 @@ func handleColl(ep *gasnet.Endpoint, m *gasnet.Msg) {
 }
 
 // waitColl spins progress until at least n messages are filed under k,
-// then removes and returns them.
+// then removes and returns them. A collective cannot outlive its
+// participants: if any peer is declared down while waiting, the rank
+// aborts (unwound by Run into an error wrapping ErrPeerUnreachable)
+// instead of spinning forever on tokens that will never arrive.
 func (r *Rank) waitColl(k collKey, n int) []gasnet.Msg {
-	r.spinWait(func() bool { return len(r.coll.inbox[k]) >= n })
+	r.spinWait(func() bool {
+		if len(r.coll.inbox[k]) >= n {
+			return true
+		}
+		if r.ep.AnyPeerDown() {
+			down := r.ep.DownPeers()
+			abortRank(fmt.Errorf("collective aborted, rank(s) %v unreachable: %w",
+				down, ErrPeerUnreachable))
+		}
+		return false
+	})
 	msgs := r.coll.inbox[k]
 	delete(r.coll.inbox, k)
 	return msgs

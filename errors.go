@@ -1,0 +1,67 @@
+package gupcxx
+
+import (
+	"fmt"
+
+	"gupcxx/internal/core"
+	"gupcxx/internal/gasnet"
+)
+
+// Failure is a value in this runtime, not a control-flow event: an
+// asynchronous operation that cannot complete resolves its futures and
+// promises with an error instead of hanging or crashing the process.
+// Wait() still returns the value (zero on failure) for compatibility;
+// callers that care inspect Future.Err / WaitErr, or receive the error
+// through their promise.
+
+// Sentinel errors surfaced by the operation pipeline. Both originate in
+// the internal layers, so errors.Is works across the API boundary.
+var (
+	// ErrPeerUnreachable resolves operations targeting a rank the
+	// substrate's liveness detector has declared down (UDP conduit):
+	// retransmission exhaustion or heartbeat silence beyond DownAfter.
+	ErrPeerUnreachable = gasnet.ErrPeerUnreachable
+
+	// ErrDeadlineExceeded resolves operations whose OpDeadline (or
+	// descriptor deadline) elapsed before the substrate acknowledgment.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+)
+
+// RemoteError reports that a remotely-executed procedure (wire RPC
+// handler or shipped closure) panicked on the target rank. The panic is
+// recovered there — the target keeps running — and its text travels back
+// in the reply frame to resolve the initiator's future.
+type RemoteError struct {
+	// Rank is the rank on which the procedure panicked.
+	Rank int
+	// Msg is the serialized panic value.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("gupcxx: remote procedure panicked on rank %d: %s", e.Rank, e.Msg)
+}
+
+// contain runs fn, converting a panic into a *RemoteError attributed to
+// rank. This is the containment boundary for user code executed from a
+// progress engine: the panic must not unwind into the Poll loop.
+func contain(rank int, fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &RemoteError{Rank: rank, Msg: fmt.Sprint(p)}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// rankAbort carries an error out of a blocking protocol that cannot
+// return one (collectives, spin-waits): the rank's SPMD function is
+// unwound via panic and Run converts the abort into an ordinary error,
+// preserving errors.Is/As chains.
+type rankAbort struct{ err error }
+
+// abortRank unwinds the current rank with err; recovered by Run.
+func abortRank(err error) {
+	panic(rankAbort{err: err})
+}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Event identifies which stage of a communication operation a completion
 // notification is attached to (§II-A).
@@ -62,6 +65,10 @@ const (
 	// KRPC notifies by running a procedure on the target after data
 	// arrival (remote completion only).
 	KRPC
+	// KDeadline is not a notification sink: it bounds the operation's
+	// completion time (Cx.Dl). It composes with the real sinks and is
+	// skipped by the delivery paths.
+	KDeadline
 )
 
 // Cx is a single completion request: an event, a mechanism, and a mode.
@@ -77,6 +84,8 @@ type Cx struct {
 	// (the *Rank, passed as the substrate endpoint's Ctx) — the analogue
 	// of a remote_cx::as_rpc body observing rank_me() == target.
 	CtxFn func(ctx any)
+	// Dl is the completion-time bound for KDeadline requests.
+	Dl time.Duration
 }
 
 // Completion factories, mirroring the paper's §III-A API.
@@ -135,6 +144,26 @@ func RemoteRPC(fn func()) Cx { return Cx{Ev: EvRemote, Kind: KRPC, Fn: fn} }
 // RemoteRPCCtx requests remote completion with access to the target
 // rank's runtime context; the runtime layer supplies the context value.
 func RemoteRPCCtx(fn func(ctx any)) Cx { return Cx{Ev: EvRemote, Kind: KRPC, CtxFn: fn} }
+
+// OpDeadline bounds the operation's completion time: if the substrate has
+// not acknowledged within d, the operation's notifications resolve with
+// ErrDeadlineExceeded. It is not a notification sink — compose it with the
+// real sinks (e.g. OpFuture(), OpDeadline(d)). Deadlines apply only to
+// genuinely asynchronous operations; a synchronous (local) completion
+// trivially beats any positive bound.
+func OpDeadline(d time.Duration) Cx { return Cx{Ev: EvOp, Kind: KDeadline, Dl: d} }
+
+// DeadlineOf extracts the effective deadline from a completion-request
+// set: the smallest positive bound requested, or zero if none.
+func DeadlineOf(cxs []Cx) time.Duration {
+	var d time.Duration
+	for _, cx := range cxs {
+		if cx.Kind == KDeadline && cx.Dl > 0 && (d == 0 || cx.Dl < d) {
+			d = cx.Dl
+		}
+	}
+	return d
+}
 
 // eager decides whether a request with the given mode is delivered eagerly
 // under this engine's version. This is the single eager-vs-deferred branch
@@ -221,6 +250,8 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 			// LPCs are by definition queued for the next progress call.
 			e.phase(k, PhaseDeferredQueued)
 			e.EnqueueLPC(cx.Fn)
+		case KDeadline:
+			// A synchronous completion trivially beats any bound.
 		default:
 			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
 		}
@@ -248,8 +279,8 @@ func (r *Result) set(ev Event, f Future) {
 // not complete synchronously: the notifications to deliver when the
 // substrate reports source and operation completion. Records are recycled
 // through the engine's freelist — taken at initiation, returned by the
-// final Fire — so steady-state off-node traffic allocates no completion
-// state.
+// final successful Done — so steady-state off-node traffic allocates no
+// completion state.
 type AsyncCompletion struct {
 	eng  *Engine
 	kind OpKind
@@ -259,10 +290,22 @@ type AsyncCompletion struct {
 	// one fires the notifications.
 	frags int
 
-	// fire caches the Fire method value so per-fragment completion
-	// callbacks hand the same func() to the substrate without allocating a
-	// fresh closure per operation.
-	fire func()
+	// gen increments each time the record is recycled; armed deadlines
+	// capture the generation they observed, so a stale deadline entry
+	// (record reused by a later operation) is recognized and dropped.
+	gen uint32
+
+	// failed marks a record whose notifications were already resolved with
+	// an error (deadline expiry, peer death). Late substrate
+	// acknowledgments for a failed record are absorbed; the record is
+	// recycled by the last one so it cannot be reused while
+	// acknowledgments are still in flight.
+	failed bool
+
+	// doneFn caches the Done method value so per-fragment completion
+	// callbacks hand the same func(error) to the substrate without
+	// allocating a fresh closure per operation.
+	doneFn func(error)
 
 	opCells []FulfillHandle
 	opProms []*Promise
@@ -279,10 +322,11 @@ func (e *Engine) getAC(k OpKind) *AsyncCompletion {
 		e.acFree = e.acFree[:n-1]
 	} else {
 		ac = &AsyncCompletion{eng: e}
-		ac.fire = ac.Fire
+		ac.doneFn = ac.Done
 	}
 	ac.kind = k
 	ac.frags = 1
+	ac.failed = false
 	return ac
 }
 
@@ -325,6 +369,8 @@ func (e *Engine) prepareAsync(k OpKind, cxs []Cx) (Result, *AsyncCompletion) {
 			ac.opProms = append(ac.opProms, cx.Prom)
 		case KLPC:
 			ac.opLPCs = append(ac.opLPCs, cx.Fn)
+		case KDeadline:
+			// Not a sink; Initiate arms the deadline after registering.
 		default:
 			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
 		}
@@ -332,28 +378,76 @@ func (e *Engine) prepareAsync(k OpKind, cxs []Cx) (Result, *AsyncCompletion) {
 	return res, ac
 }
 
-// Fire consumes one substrate acknowledgment; the final one delivers the
-// operation-completion notifications and recycles the record. It must be
-// called on the initiating rank's goroutine from within the progress
+// Fire consumes one successful substrate acknowledgment (the historical
+// entry point; equivalent to Done(nil)).
+func (ac *AsyncCompletion) Fire() { ac.Done(nil) }
+
+// Done consumes one substrate acknowledgment; the final one delivers the
+// operation-completion notifications and recycles the record. A non-nil
+// err fails the notifications immediately — remaining fragments are still
+// awaited before recycling, but their outcomes no longer matter. It must
+// be called on the initiating rank's goroutine from within the progress
 // engine (the substrate's acknowledgment handler).
-func (ac *AsyncCompletion) Fire() {
+func (ac *AsyncCompletion) Done(err error) {
+	if err != nil && !ac.failed {
+		ac.failDeliver(err)
+	}
 	ac.frags--
 	if ac.frags > 0 {
 		return
 	}
 	e := ac.eng
-	e.phase(ac.kind, PhaseWireAcked)
+	if !ac.failed {
+		e.phase(ac.kind, PhaseWireAcked)
+		for _, h := range ac.opCells {
+			h.Fulfill()
+		}
+		for _, p := range ac.opProms {
+			p.Fulfill(1)
+		}
+		for _, fn := range ac.opLPCs {
+			e.EnqueueLPC(fn)
+		}
+	}
+	ac.recycle()
+}
+
+// failDeliver resolves every registered notification with err and books
+// the failure: futures fail (short-circuit), promises record the error
+// while keeping their counter discipline, LPCs still run (the operation
+// is over, just not successfully).
+func (ac *AsyncCompletion) failDeliver(err error) {
+	e := ac.eng
+	ac.failed = true
+	e.Stats.OpsFailed++
+	e.phase(ac.kind, PhaseFailed)
 	for _, h := range ac.opCells {
-		h.Fulfill()
+		h.Fail(err)
 	}
 	for _, p := range ac.opProms {
-		p.Fulfill(1)
+		p.FulfillError(err)
 	}
 	for _, fn := range ac.opLPCs {
 		e.EnqueueLPC(fn)
 	}
-	// Recycle only after delivery: fulfillment cascades may initiate new
-	// operations, and a record still being walked must not be handed out.
+}
+
+// expire fails the record's notifications without consuming a fragment —
+// the deadline-expiry path. The record stays out of the freelist until the
+// substrate's outstanding acknowledgments drain through Done, which
+// absorbs them against the failed flag.
+func (ac *AsyncCompletion) expire(err error) {
+	if ac.failed {
+		return
+	}
+	ac.failDeliver(err)
+}
+
+// recycle clears the record and returns it to the freelist. Only after
+// delivery: fulfillment cascades may initiate new operations, and a record
+// still being walked must not be handed out. The generation bump
+// invalidates any deadline entry still pointing here.
+func (ac *AsyncCompletion) recycle() {
 	for i := range ac.opCells {
 		ac.opCells[i] = FulfillHandle{}
 	}
@@ -366,7 +460,9 @@ func (ac *AsyncCompletion) Fire() {
 	ac.opCells = ac.opCells[:0]
 	ac.opProms = ac.opProms[:0]
 	ac.opLPCs = ac.opLPCs[:0]
-	e.acFree = append(e.acFree, ac)
+	ac.failed = false
+	ac.gen++
+	ac.eng.acFree = append(ac.eng.acFree, ac)
 }
 
 // RemoteFn extracts the composed remote-completion action from cxs, or nil

@@ -1,6 +1,9 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // Engine is one rank's progress engine: the deferred-notification queue,
 // the local-procedure-call queue, the substrate poll hook, and the shared
@@ -39,6 +42,12 @@ type Engine struct {
 	// steady-state off-node traffic allocates no completion state.
 	acFree []*AsyncCompletion
 
+	// deadlines holds the armed per-op deadlines, swept by Progress. The
+	// list is empty unless an operation requested a deadline, so the
+	// common case costs one length check per progress step (no clock
+	// read).
+	deadlines []dlEntry
+
 	// Stats counts allocation- and queue-level events, so tests can assert
 	// the cost model the paper describes (e.g. an eager on-node put
 	// allocates no cells and touches no queues).
@@ -56,6 +65,10 @@ type Stats struct {
 	ReadyHits       int64 // ready futures served from the shared cell
 	LegacyAllocs    int64 // extra 2021.3.0-style operation-state allocations
 	EagerDeliveries int64 // completions delivered eagerly at initiation
+
+	OpsFailed        int64 // operations resolved with an error
+	DeadlinesArmed   int64 // per-op deadlines registered
+	DeadlinesExpired int64 // deadlines that fired before completion
 }
 
 // NewEngine constructs rank's progress engine under the given library
@@ -122,6 +135,10 @@ func (e *Engine) Progress() int {
 	e.inProgress = true
 	defer func() { e.inProgress = false }()
 
+	if len(e.deadlines) > 0 {
+		n += e.sweepDeadlines()
+	}
+
 	// Drain the deferred-notification queue. Firing a notification runs
 	// user callbacks, which may initiate new operations and push new
 	// deferred notifications; those fire in the same call (they are being
@@ -161,6 +178,85 @@ func clearFns(q []func()) {
 	for i := range q {
 		q[i] = nil
 	}
+}
+
+// dlEntry is one armed per-op deadline: the absolute expiry instant plus
+// the completion state it guards — a cell (value-producing and promise
+// forms) or an AsyncCompletion record (cx-based forms). AC records are
+// recycled, so the entry captures the generation it armed against and is
+// dropped on mismatch.
+type dlEntry struct {
+	at   int64 // expiry, UnixNano
+	kind OpKind
+	c    *cell
+	ac   *AsyncCompletion
+	gen  uint32
+}
+
+// armCellDeadline registers a deadline that fails c with
+// ErrDeadlineExceeded if it has not resolved within d.
+func (e *Engine) armCellDeadline(d time.Duration, k OpKind, c *cell) {
+	if d <= 0 {
+		return
+	}
+	e.Stats.DeadlinesArmed++
+	e.deadlines = append(e.deadlines, dlEntry{at: time.Now().Add(d).UnixNano(), kind: k, c: c})
+}
+
+// armACDeadline registers a deadline that fails ac's notifications if the
+// final substrate acknowledgment has not arrived within d.
+func (e *Engine) armACDeadline(d time.Duration, ac *AsyncCompletion) {
+	if d <= 0 {
+		return
+	}
+	e.Stats.DeadlinesArmed++
+	e.deadlines = append(e.deadlines, dlEntry{
+		at: time.Now().Add(d).UnixNano(), kind: ac.kind, ac: ac, gen: ac.gen,
+	})
+}
+
+// sweepDeadlines expires overdue deadlines and compacts the list,
+// returning the number fired. Entries whose operation already completed
+// (ready cell, recycled or failed AC record) are dropped for free.
+func (e *Engine) sweepDeadlines() int {
+	now := time.Now().UnixNano()
+	n := 0
+	kept := e.deadlines[:0]
+	for _, dl := range e.deadlines {
+		switch {
+		case dl.c != nil && dl.c.ready:
+			// Resolved (either way) before the deadline: drop.
+		case dl.ac != nil && (dl.ac.gen != dl.gen || dl.ac.failed):
+			// Record recycled (op completed) or already failed: drop.
+		case dl.at <= now:
+			e.Stats.DeadlinesExpired++
+			n++
+			if dl.c != nil {
+				e.Stats.OpsFailed++
+				e.phase(dl.kind, PhaseFailed)
+				dl.c.fail(ErrDeadlineExceeded)
+			} else {
+				dl.ac.expire(ErrDeadlineExceeded)
+			}
+		default:
+			kept = append(kept, dl)
+		}
+	}
+	for i := len(kept); i < len(e.deadlines); i++ {
+		e.deadlines[i] = dlEntry{}
+	}
+	e.deadlines = kept
+	return n
+}
+
+// FailedFuture returns a ready value-less future carrying err — the eager
+// form of failure notification.
+func (e *Engine) FailedFuture(err error) Future {
+	c := e.newCell()
+	c.deps = 0
+	c.ready = true
+	c.err = err
+	return Future{c}
 }
 
 // deferFulfill schedules one dependency resolution of c for the next

@@ -1,0 +1,8 @@
+package core
+
+import "errors"
+
+// ErrDeadlineExceeded is the failure recorded on an operation whose per-op
+// deadline (OpDesc.Deadline / OpDeadline completion) expired before the
+// substrate acknowledged it. Test with errors.Is.
+var ErrDeadlineExceeded = errors.New("gupcxx: operation deadline exceeded")

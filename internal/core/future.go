@@ -15,7 +15,12 @@ type cell struct {
 	eng   *Engine
 	deps  int32
 	ready bool
-	cbs   []func()
+	// err is the failure-as-a-value slot: a cell that readies through fail
+	// carries the operation's error instead of a successful completion.
+	// Once a cell is ready the err is immutable, so consumers (Err, Then
+	// chains, WhenAll) read it without further bookkeeping.
+	err error
+	cbs []func()
 }
 
 // newCell allocates a cell with one outstanding dependency.
@@ -37,6 +42,12 @@ func (e *Engine) newReadyCell() *cell {
 // initiation point).
 func (c *cell) fulfill(n int32) {
 	if c.ready {
+		if c.err != nil {
+			// The cell was short-circuited by fail (deadline expiry, peer
+			// death): the substrate's late acknowledgment is expected and
+			// must be dropped, not treated as over-fulfillment.
+			return
+		}
 		panic("gupcxx: fulfill on ready future/promise cell")
 	}
 	c.deps -= n
@@ -47,6 +58,26 @@ func (c *cell) fulfill(n int32) {
 		return
 	}
 	c.ready = true
+	cbs := c.cbs
+	c.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// fail resolves the cell immediately with err, regardless of outstanding
+// dependencies: the cell becomes ready carrying the error and its
+// callbacks run (each callback decides whether to propagate or act). A
+// second fail, or a fail after successful fulfillment, is a no-op — the
+// first resolution wins. Like fulfill, it must run on the owning rank's
+// goroutine.
+func (c *cell) fail(err error) {
+	if c.ready {
+		return
+	}
+	c.err = err
+	c.ready = true
+	c.deps = 0
 	cbs := c.cbs
 	c.cbs = nil
 	for _, cb := range cbs {
@@ -97,7 +128,17 @@ func (f Future) check() {
 	}
 }
 
+// Err returns the failure the future resolved with, or nil while the
+// future is pending or after a successful completion. A non-nil Err
+// implies Ready.
+func (f Future) Err() error {
+	f.check()
+	return f.c.err
+}
+
 // Wait spins the owning rank's progress engine until the future is ready.
+// A future that resolves with a failure is ready too; use WaitErr (or Err
+// after Wait) to observe it.
 func (f Future) Wait() {
 	f.check()
 	c := f.c
@@ -108,19 +149,37 @@ func (f Future) Wait() {
 	}
 }
 
+// WaitErr waits for the future to resolve and returns its failure, or nil
+// on success.
+func (f Future) WaitErr() error {
+	f.Wait()
+	return f.c.err
+}
+
 // Then registers fn to run when the future becomes ready and returns a
 // future representing fn's completion. If the receiver is already ready —
 // which can only happen through eager notification or explicit ready-future
 // construction — fn runs synchronously during Then, per the paper's relaxed
 // semantics.
+// A failed receiver skips fn and propagates the error to the returned
+// future, so a Then chain behaves like sequential code after a thrown
+// error.
 func (f Future) Then(fn func()) Future {
 	f.check()
-	if f.c.ready {
+	c := f.c
+	if c.ready {
+		if c.err != nil {
+			return Future{c}
+		}
 		fn()
-		return f.c.eng.ReadyFuture()
+		return c.eng.ReadyFuture()
 	}
-	child := f.c.eng.newCell()
-	f.c.cbs = append(f.c.cbs, func() {
+	child := c.eng.newCell()
+	c.cbs = append(c.cbs, func() {
+		if c.err != nil {
+			child.fail(c.err)
+			return
+		}
 		fn()
 		child.fulfill(1)
 	})
@@ -134,16 +193,30 @@ func (f Future) Then(fn func()) Future {
 // synchronously and returns fn's future directly.
 func (f Future) ThenF(fn func() Future) Future {
 	f.check()
-	if f.c.ready {
+	c := f.c
+	if c.ready {
+		if c.err != nil {
+			return Future{c}
+		}
 		inner := fn()
 		inner.check()
 		return inner
 	}
-	child := f.c.eng.newCell()
-	f.c.cbs = append(f.c.cbs, func() {
+	child := c.eng.newCell()
+	c.cbs = append(c.cbs, func() {
+		if c.err != nil {
+			child.fail(c.err)
+			return
+		}
 		inner := fn()
 		inner.check()
-		inner.c.onReady(func() { child.fulfill(1) })
+		inner.c.onReady(func() {
+			if inner.c.err != nil {
+				child.fail(inner.c.err)
+				return
+			}
+			child.fulfill(1)
+		})
 	})
 	return Future{child}
 }
@@ -194,8 +267,19 @@ func (f FutureV[T]) check() {
 	}
 }
 
+// Err returns the failure the future resolved with, or nil while pending
+// or after success. Inline futures are by construction successful.
+func (f FutureV[T]) Err() error {
+	f.check()
+	if f.inline {
+		return nil
+	}
+	return f.c.err
+}
+
 // Wait spins the progress engine until the value is available and returns
-// it.
+// it. A failed future is ready with the zero value; use WaitErr to
+// distinguish.
 func (f FutureV[T]) Wait() T {
 	f.check()
 	if f.inline {
@@ -208,6 +292,16 @@ func (f FutureV[T]) Wait() T {
 		}
 	}
 	return c.v
+}
+
+// WaitErr waits for the future to resolve and returns the value together
+// with the failure (zero value and non-nil error if the operation failed).
+func (f FutureV[T]) WaitErr() (T, error) {
+	v := f.Wait()
+	if f.inline {
+		return v, nil
+	}
+	return v, f.c.err
 }
 
 // Value returns the result of a ready future; it panics if the future is
@@ -226,19 +320,27 @@ func (f FutureV[T]) Value() T {
 // Then registers fn to receive the value when ready, returning a future for
 // fn's completion. A ready receiver runs fn synchronously (eager
 // semantics).
+// A failed receiver skips fn and propagates the error.
 func (f FutureV[T]) Then(fn func(T)) Future {
 	f.check()
 	if f.inline {
 		fn(f.v)
 		return f.e.ReadyFuture()
 	}
-	if f.c.ready {
-		fn(f.c.v)
-		return f.c.eng.ReadyFuture()
-	}
-	child := f.c.eng.newCell()
 	c := f.c
+	if c.ready {
+		if c.err != nil {
+			return Future{&c.cell}
+		}
+		fn(c.v)
+		return c.eng.ReadyFuture()
+	}
+	child := c.eng.newCell()
 	c.cbs = append(c.cbs, func() {
+		if c.err != nil {
+			child.fail(c.err)
+			return
+		}
 		fn(c.v)
 		child.fulfill(1)
 	})
@@ -255,6 +357,9 @@ func (f FutureV[T]) ThenF(fn func(T) Future) Future {
 		return inner
 	}
 	if f.c.ready {
+		if f.c.err != nil {
+			return Future{&f.c.cell}
+		}
 		inner := fn(f.c.v)
 		inner.check()
 		return inner
@@ -262,25 +367,45 @@ func (f FutureV[T]) ThenF(fn func(T) Future) Future {
 	child := f.c.eng.newCell()
 	c := f.c
 	c.cbs = append(c.cbs, func() {
+		if c.err != nil {
+			child.fail(c.err)
+			return
+		}
 		inner := fn(c.v)
 		inner.check()
-		inner.c.onReady(func() { child.fulfill(1) })
+		inner.c.onReady(func() {
+			if inner.c.err != nil {
+				child.fail(inner.c.err)
+				return
+			}
+			child.fulfill(1)
+		})
 	})
 	return Future{child}
 }
 
 // Drop discards the value, viewing the future as value-less. The returned
-// Future shares the receiver's readiness.
+// Future shares the receiver's readiness (and propagates its failure).
 func (f FutureV[T]) Drop() Future {
 	f.check()
 	if f.inline {
 		return f.e.ReadyFuture()
 	}
-	if f.c.ready {
-		return f.c.eng.ReadyFuture()
+	c := f.c
+	if c.ready {
+		if c.err != nil {
+			return Future{&c.cell}
+		}
+		return c.eng.ReadyFuture()
 	}
-	child := f.c.eng.newCell()
-	f.c.cbs = append(f.c.cbs, func() { child.fulfill(1) })
+	child := c.eng.newCell()
+	c.cbs = append(c.cbs, func() {
+		if c.err != nil {
+			child.fail(c.err)
+			return
+		}
+		child.fulfill(1)
+	})
 	return Future{child}
 }
 
@@ -298,6 +423,15 @@ func NewFutureV[T any](e *Engine) (FutureV[T], *T, FulfillHandle) {
 func NewReadyFutureV[T any](e *Engine, v T) FutureV[T] {
 	e.Stats.CellAllocs++
 	c := &cellV[T]{cell: cell{eng: e, ready: true}, v: v}
+	return FutureV[T]{c: c}
+}
+
+// FailedFutureV allocates an already-resolved future carrying err — the
+// eager form of failure notification, used when an operation is rejected
+// at initiation (e.g. targeting a peer already declared down).
+func FailedFutureV[T any](e *Engine, err error) FutureV[T] {
+	e.Stats.CellAllocs++
+	c := &cellV[T]{cell: cell{eng: e, ready: true, err: err}}
 	return FutureV[T]{c: c}
 }
 
@@ -319,12 +453,38 @@ func (h FulfillHandle) Valid() bool { return h.c != nil }
 // initiation point.
 func (h FulfillHandle) Fulfill() { h.c.fulfill(1) }
 
+// Fail resolves the cell immediately with err (a no-op if the cell is
+// already resolved).
+func (h FulfillHandle) Fail(err error) { h.c.fail(err) }
+
 // FulfillAcked is the pipeline's substrate-acknowledgment completion: it
 // books the wire-acked phase for the operation's family, then resolves the
 // dependency. Like Fulfill, it must run inside the progress engine.
 func (h FulfillHandle) FulfillAcked() {
 	h.c.eng.phase(h.kind, PhaseWireAcked)
 	h.c.fulfill(1)
+}
+
+// CompleteAcked is the error-carrying form of FulfillAcked, the done
+// callback the pipeline hands the substrate for value-producing
+/// operations: a nil err books the wire-acked phase and fulfills; a non-nil
+// err books the failed phase and fails the cell. A cell that was already
+// resolved (deadline expiry, peer death) absorbs the late acknowledgment
+// without further accounting.
+func (h FulfillHandle) CompleteAcked(err error) {
+	c := h.c
+	if c.ready {
+		return
+	}
+	e := c.eng
+	if err != nil {
+		e.phase(h.kind, PhaseFailed)
+		e.Stats.OpsFailed++
+		c.fail(err)
+		return
+	}
+	e.phase(h.kind, PhaseWireAcked)
+	c.fulfill(1)
 }
 
 // Defer enqueues the resolution on the owning engine's deferred-

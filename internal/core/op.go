@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // This file is the unified operation-lifecycle pipeline (one
 // initiation→completion path for every operation family). Before it, each
 // family — RMA, atomics, RPC, VIS, collectives — re-implemented the
@@ -77,6 +79,11 @@ const (
 	// engine (the off-node path; self-RPCs count here too, their
 	// completion being likewise delivered by the progress engine).
 	PhaseWireAcked
+	// PhaseFailed counts operations whose notifications resolved with an
+	// error instead of a value: deadline expiry, peer death, remote
+	// handler panic. An operation books either wire-acked or failed, never
+	// both.
+	PhaseFailed
 
 	// NumPhases bounds the Phase space.
 	NumPhases
@@ -93,6 +100,8 @@ func (p Phase) String() string {
 		return "deferred-queued"
 	case PhaseWireAcked:
 		return "wire-acked"
+	case PhaseFailed:
+		return "failed"
 	default:
 		return "phase(?)"
 	}
@@ -176,8 +185,17 @@ type OpDesc struct {
 	// rfn is the composed remote-completion action (nil if none), to be
 	// delivered at the target after the data is applied. done must be
 	// invoked once per fragment, on the initiating rank's goroutine from
-	// inside the progress engine (the substrate acknowledgment path).
-	Inject func(rfn func(ctx any), done func())
+	// inside the progress engine (the substrate acknowledgment path); a
+	// non-nil error reports that the fragment will never complete (peer
+	// unreachable, remote failure), resolving the operation's
+	// notifications with that error.
+	Inject func(rfn func(ctx any), done func(error))
+
+	// Deadline, when positive, bounds the asynchronous operation's
+	// completion time: if the substrate has not acknowledged within it,
+	// the notifications resolve with ErrDeadlineExceeded. OpDeadline
+	// completion requests compose with it (smallest bound wins).
+	Deadline time.Duration
 }
 
 // Initiate runs one value-less operation through the unified pipeline and
@@ -198,11 +216,11 @@ type OpDesc struct {
 // data-movement closures out of the descriptor's escape class (initiate
 // only ever calls them), so the eager fast path allocates nothing.
 func (e *Engine) Initiate(d OpDesc, cxs []Cx) Result {
-	return e.initiate(d.Kind, d.Local, cxs, d.Frags, d.Move, d.ShipRemote, d.Inject)
+	return e.initiate(d.Kind, d.Local, cxs, d.Frags, d.Deadline, d.Move, d.ShipRemote, d.Inject)
 }
 
-func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int,
-	move func(), ship func(rfn func(ctx any)), inject func(rfn func(ctx any), done func())) Result {
+func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Duration,
+	move func(), ship func(rfn func(ctx any)), inject func(rfn func(ctx any), done func(error))) Result {
 	e.phase(k, PhaseInitiated)
 	if local {
 		if kindLegacyAlloc(k) {
@@ -232,8 +250,23 @@ func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int,
 	if frags > 1 {
 		ac.frags = frags
 	}
-	inject(RemoteFn(cxs), ac.fire)
+	// Arm the deadline before injecting: injection may complete the record
+	// synchronously (loopback conduits), but then recycle bumps ac.gen and
+	// the armed entry is dropped on the next sweep.
+	if d := effectiveDeadline(dl, cxs); d > 0 {
+		e.armACDeadline(d, ac)
+	}
+	inject(RemoteFn(cxs), ac.doneFn)
 	return res
+}
+
+// effectiveDeadline combines the descriptor's bound with any OpDeadline
+// completion requests: the smallest positive one wins.
+func effectiveDeadline(dl time.Duration, cxs []Cx) time.Duration {
+	if d := DeadlineOf(cxs); d > 0 && (dl <= 0 || d < dl) {
+		return d
+	}
+	return dl
 }
 
 // OpDescV describes one value-producing operation (get-class RMA,
@@ -256,8 +289,13 @@ type OpDescV[T any] struct {
 
 	// Inject launches the asynchronous operation; invoked iff !Local. The
 	// produced value must be written through slot before done is invoked
-	// (once, from inside the progress engine).
-	Inject func(slot *T, done func())
+	// (once, from inside the progress engine); a non-nil error reports
+	// that the value will never arrive, failing the future/promise.
+	Inject func(slot *T, done func(error))
+
+	// Deadline, when positive, bounds the asynchronous operation's
+	// completion time (ErrDeadlineExceeded on expiry).
+	Deadline time.Duration
 }
 
 // InitiateV runs one value-producing operation through the unified
@@ -268,11 +306,11 @@ type OpDescV[T any] struct {
 // future instead of in a heap cell — the pipeline's answer to §III-B's
 // "a ready value future must still allocate".
 func InitiateV[T any](e *Engine, d OpDescV[T]) FutureV[T] {
-	return initiateV(e, d.Kind, d.Local, d.Mode, d.MoveV, d.Inject)
+	return initiateV(e, d.Kind, d.Local, d.Mode, d.Deadline, d.MoveV, d.Inject)
 }
 
-func initiateV[T any](e *Engine, k OpKind, local bool, m Mode,
-	moveV func() T, inject func(slot *T, done func())) FutureV[T] {
+func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
+	moveV func() T, inject func(slot *T, done func(error))) FutureV[T] {
 	e.phase(k, PhaseInitiated)
 	if local {
 		if kindLegacyAlloc(k) {
@@ -297,7 +335,10 @@ func initiateV[T any](e *Engine, k OpKind, local bool, m Mode,
 	}
 	fut, vp, h := NewFutureV[T](e)
 	h.kind = k
-	inject(vp, h.FulfillAcked)
+	if dl > 0 {
+		e.armCellDeadline(dl, k, h.c)
+	}
+	inject(vp, h.CompleteAcked)
 	return fut
 }
 
@@ -308,7 +349,7 @@ func InitiateVPromise[T any](e *Engine, d OpDescV[T], p *PromiseV[T]) {
 }
 
 func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode,
-	moveV func() T, inject func(slot *T, done func()), p *PromiseV[T]) {
+	moveV func() T, inject func(slot *T, done func(error)), p *PromiseV[T]) {
 	e.phase(k, PhaseInitiated)
 	p.Bind()
 	if local {
@@ -325,7 +366,13 @@ func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode,
 		p.DeliverDeferred(v)
 		return
 	}
-	inject(p.ValueSlot(), func() {
+	inject(p.ValueSlot(), func(err error) {
+		if err != nil {
+			e.Stats.OpsFailed++
+			e.phase(k, PhaseFailed)
+			p.DeliverError(err)
+			return
+		}
 		e.phase(k, PhaseWireAcked)
 		p.DeliverInPlace()
 	})

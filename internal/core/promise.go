@@ -39,6 +39,27 @@ func (p *Promise) Fulfill(n int) {
 	p.c.fulfill(int32(n))
 }
 
+// FulfillError resolves one previously-required completion as a failure:
+// the dependency is consumed like Fulfill(1), and the first error recorded
+// this way is carried by the promise's future (Future.Err) once the count
+// drains. The promise therefore still waits for its other registered
+// operations — "everything finished, at least one failed" — unlike a
+// future's fail, which short-circuits.
+func (p *Promise) FulfillError(err error) {
+	if err == nil {
+		p.Fulfill(1)
+		return
+	}
+	if !p.c.ready && p.c.err == nil {
+		p.c.err = err
+	}
+	p.c.fulfill(1)
+}
+
+// Err returns the first failure recorded on the promise (via
+// FulfillError), or nil. It may be non-nil before the future readies.
+func (p *Promise) Err() error { return p.c.err }
+
 // Finalize closes registration and returns the promise's future, resolving
 // the implicit construction dependency. Finalize is idempotent.
 func (p *Promise) Finalize() Future {
@@ -109,6 +130,18 @@ func (p *PromiseV[T]) ValueSlot() *T { return &p.c.v }
 // already written through ValueSlot. It must run on the owning rank's
 // goroutine inside the progress engine.
 func (p *PromiseV[T]) DeliverInPlace() { p.c.fulfill(1) }
+
+// DeliverError resolves the bound operation's dependency as a failure; the
+// promise's future carries err once finalized (FutureV.Err).
+func (p *PromiseV[T]) DeliverError(err error) {
+	if !p.c.ready && p.c.err == nil {
+		p.c.err = err
+	}
+	p.c.fulfill(1)
+}
+
+// Err returns the failure recorded on the promise, or nil.
+func (p *PromiseV[T]) Err() error { return p.c.err }
 
 // Finalize closes registration and returns the value future.
 func (p *PromiseV[T]) Finalize() FutureV[T] {

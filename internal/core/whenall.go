@@ -14,9 +14,17 @@ package core
 // Without the optimization (legacy behaviour) every call constructs a
 // graph node, which is what makes future-conjoining loops so expensive
 // under deferred notification (Fig. 1 of the paper).
+// Error propagation short-circuits in every version: an already-failed
+// input yields its failure immediately (no graph node), and a pending
+// input that later fails fails the conjunction on the spot — the when_all
+// analogue of first-error-wins. Remaining inputs resolving afterwards are
+// absorbed silently.
 func (e *Engine) WhenAll(fs ...Future) Future {
 	for _, f := range fs {
 		f.check()
+		if f.c.ready && f.c.err != nil {
+			return Future{f.c}
+		}
 	}
 	if e.ver.WhenAllShortCircuit {
 		nonReady := -1
@@ -44,7 +52,14 @@ func (e *Engine) WhenAll(fs ...Future) Future {
 		return Future{conj}
 	}
 	for _, f := range fs {
-		f.c.onReady(func() { conj.fulfill(1) })
+		src := f.c
+		src.onReady(func() {
+			if src.err != nil {
+				conj.fail(src.err)
+				return
+			}
+			conj.fulfill(1)
+		})
 	}
 	return Future{conj}
 }
@@ -56,8 +71,14 @@ func (e *Engine) WhenAll(fs ...Future) Future {
 // value-carrying input is returned unchanged (no allocation, no graph).
 func WhenAllV[T any](e *Engine, fv FutureV[T], fs ...Future) FutureV[T] {
 	fv.check()
+	if !fv.inline && fv.c.ready && fv.c.err != nil {
+		return fv
+	}
 	for _, f := range fs {
 		f.check()
+		if f.c.ready && f.c.err != nil {
+			return FailedFutureV[T](e, f.c.err)
+		}
 	}
 	if e.ver.WhenAllShortCircuit {
 		allReady := true
@@ -81,12 +102,23 @@ func WhenAllV[T any](e *Engine, fv FutureV[T], fs ...Future) FutureV[T] {
 	} else {
 		src := fv.c
 		fv.c.onReady(func() {
+			if src.err != nil {
+				conj.fail(src.err)
+				return
+			}
 			conj.v = src.v
 			conj.fulfill(1)
 		})
 	}
 	for _, f := range fs {
-		f.c.onReady(func() { conj.fulfill(1) })
+		src := f.c
+		src.onReady(func() {
+			if src.err != nil {
+				conj.fail(src.err)
+				return
+			}
+			conj.fulfill(1)
+		})
 	}
 	return FutureV[T]{c: conj}
 }

@@ -117,6 +117,40 @@ type Config struct {
 	// Only sensible for overhead measurement; combined with Fault,
 	// messages are genuinely lost. Ignored by other conduits.
 	UDPUnreliable bool
+
+	// RelWindow bounds the reliability layer's per-pair in-flight
+	// (unacked) datagrams and receive-side reorder buffer. Zero selects
+	// the default (256). Reliable UDP only.
+	RelWindow int
+
+	// RelMaxAttempts is the retransmission budget: this many fruitless
+	// retransmits of one datagram exhaust the attempt budget and the
+	// destination is declared down (ErrPeerUnreachable for its pending
+	// operations) instead of retrying forever. Zero selects the default
+	// (64). Reliable UDP only.
+	RelMaxAttempts int
+
+	// HeartbeatEvery is the liveness heartbeat period: the reliability
+	// ticker ships one small unsequenced heartbeat per rank pair each
+	// period, so silence is measurable even on idle ranks. Zero selects
+	// 5ms. Reliable UDP only.
+	HeartbeatEvery time.Duration
+
+	// SuspectAfter is how long a peer may stay silent before it is marked
+	// Suspect (recoverable — any received traffic restores it). Zero
+	// selects 10×HeartbeatEvery.
+	SuspectAfter time.Duration
+
+	// DownAfter is how long a peer may stay silent before it is declared
+	// Down (sticky): its pending operations fail with ErrPeerUnreachable
+	// and new operations targeting it fail at injection. Zero selects
+	// 40×HeartbeatEvery.
+	DownAfter time.Duration
+
+	// DisableLiveness turns the heartbeat/failure-detection machinery off
+	// entirely (retransmission exhaustion then aborts the job, the
+	// pre-liveness behaviour).
+	DisableLiveness bool
 }
 
 // normalized returns a copy of c with defaults filled in, or an error if the
@@ -142,6 +176,28 @@ func (c Config) normalized() (Config, error) {
 					return c, err
 				}
 				c.Fault = &f
+			}
+			if c.RelWindow < 0 || c.RelMaxAttempts < 0 {
+				return c, fmt.Errorf("gasnet: RelWindow and RelMaxAttempts must be >= 0")
+			}
+			if c.RelWindow == 0 {
+				c.RelWindow = relWindow
+			}
+			if c.RelMaxAttempts == 0 {
+				c.RelMaxAttempts = relMaxAttempts
+			}
+			if c.HeartbeatEvery <= 0 {
+				c.HeartbeatEvery = 5 * time.Millisecond
+			}
+			if c.SuspectAfter <= 0 {
+				c.SuspectAfter = 10 * c.HeartbeatEvery
+			}
+			if c.DownAfter <= 0 {
+				c.DownAfter = 40 * c.HeartbeatEvery
+			}
+			if c.DownAfter < c.SuspectAfter {
+				return c, fmt.Errorf("gasnet: DownAfter (%v) must be >= SuspectAfter (%v)",
+					c.DownAfter, c.SuspectAfter)
 			}
 		}
 	case SIM:

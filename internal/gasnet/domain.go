@@ -38,10 +38,23 @@ type Domain struct {
 	faultsInjected   atomic.Int64
 	decodeErrors     atomic.Int64
 
+	// Liveness / failure-path instrumentation (see Stats, liveness.go).
+	heartbeatsSent      atomic.Int64
+	peersSuspected      atomic.Int64
+	peersDown           atomic.Int64
+	retransmitExhausted atomic.Int64
+	downPeerFails       atomic.Int64
+	badCookieDrops      atomic.Int64
+	badHandlerDrops     atomic.Int64
+	handlerPanics       atomic.Int64
+
 	// udp is the socket transport, present only on the UDP conduit; rel is
-	// its reliability layer, absent under Config.UDPUnreliable.
+	// its reliability layer, absent under Config.UDPUnreliable; lv is the
+	// peer-failure detector riding rel's ticker, absent under
+	// Config.DisableLiveness.
 	udp *udpTransport
 	rel *reliability
+	lv  *liveness
 }
 
 // Stats is a snapshot of the substrate's fast-path counters, the wire/queue
@@ -90,10 +103,46 @@ type Stats struct {
 	// RemoteOpsStarted / RemoteOpsAcked count remote operations
 	// registered in the endpoints' completion tables and the
 	// acknowledgments that retired them — the substrate half of the
-	// runtime's op-lifecycle instrumentation. Started minus acked is the
-	// number of operations still in flight.
+	// runtime's op-lifecycle instrumentation. Started minus acked minus
+	// failed is the number of operations still in flight.
 	RemoteOpsStarted int64
 	RemoteOpsAcked   int64
+	// RemoteOpsFailed counts completion-table entries retired with an
+	// error instead of an acknowledgment (peer declared down).
+	RemoteOpsFailed int64
+	// HeartbeatsSent counts liveness heartbeat frames shipped by the
+	// detector's ticker (liveness.go).
+	HeartbeatsSent int64
+	// PeersSuspected / PeersDown count pairwise liveness transitions: a
+	// peer falling silent past SuspectAfter, and a peer declared dead
+	// (silence past DownAfter or retransmission-budget exhaustion).
+	PeersSuspected int64
+	PeersDown      int64
+	// RetransmitExhausted counts send streams whose retransmission budget
+	// (Config.RelMaxAttempts) ran out, each declaring its peer down.
+	RetransmitExhausted int64
+	// DownPeerFails counts operations failed with ErrPeerUnreachable —
+	// completion-table sweeps plus injections refused because the target
+	// was already down.
+	DownPeerFails int64
+	// BadCookieDrops counts acknowledgments discarded because their
+	// cookie matched no outstanding operation (stale replies from a
+	// declared-dead peer, or corrupt frames); BadHandlerDrops counts
+	// messages discarded for an unregistered handler id. Both were fatal
+	// before the failure path existed; inbound datagrams are not trusted
+	// to crash the job.
+	BadCookieDrops  int64
+	BadHandlerDrops int64
+	// HandlerPanics counts RPC handler panics contained by the runtime
+	// layer and serialized into error replies (NoteHandlerPanic).
+	HandlerPanics int64
+	// RelInflightHighWater / RelReorderHighWater are the maxima, over all
+	// rank pairs, of the reliability layer's in-flight retransmission
+	// queue and receive-side reorder buffer — both bounded by
+	// Config.RelWindow; the high-water marks make capacity pressure
+	// observable.
+	RelInflightHighWater int64
+	RelReorderHighWater  int64
 }
 
 // Stats returns a snapshot of the substrate fast-path counters, aggregated
@@ -112,15 +161,48 @@ func (d *Domain) Stats() Stats {
 		OutOfWindowDrops: d.outOfWindowDrops.Load(),
 		FaultsInjected:   d.faultsInjected.Load(),
 		DecodeErrors:     d.decodeErrors.Load(),
+
+		HeartbeatsSent:      d.heartbeatsSent.Load(),
+		PeersSuspected:      d.peersSuspected.Load(),
+		PeersDown:           d.peersDown.Load(),
+		RetransmitExhausted: d.retransmitExhausted.Load(),
+		DownPeerFails:       d.downPeerFails.Load(),
+		BadCookieDrops:      d.badCookieDrops.Load(),
+		BadHandlerDrops:     d.badHandlerDrops.Load(),
+		HandlerPanics:       d.handlerPanics.Load(),
 	}
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
 		s.BacklogSpills += ep.inbox.spills.Load()
 		s.RemoteOpsStarted += ep.ops.started
 		s.RemoteOpsAcked += ep.ops.acked
+		s.RemoteOpsFailed += ep.ops.failed
+	}
+	if d.rel != nil {
+		for i := range d.rel.pairs {
+			p := &d.rel.pairs[i]
+			p.mu.Lock()
+			if int64(p.inflightHW) > s.RelInflightHighWater {
+				s.RelInflightHighWater = int64(p.inflightHW)
+			}
+			if int64(p.reorderHW) > s.RelReorderHighWater {
+				s.RelReorderHighWater = int64(p.reorderHW)
+			}
+			p.mu.Unlock()
+		}
 	}
 	return s
 }
+
+// NoteBadCookie counts one acknowledgment dropped for an unknown cookie
+// (exposed for the runtime layer's own completion tables, which face the
+// same stale-reply hazard as the substrate's).
+func (d *Domain) NoteBadCookie() { d.badCookieDrops.Add(1) }
+
+// NoteHandlerPanic counts one contained RPC handler panic (the runtime
+// layer recovers the panic and serializes it into an error reply; this is
+// the substrate-visible tally).
+func (d *Domain) NoteHandlerPanic() { d.handlerPanics.Add(1) }
 
 // NewDomain validates cfg and constructs the job: one segment and one
 // endpoint per rank, with the internal RMA/atomic protocol handlers
@@ -235,6 +317,15 @@ type Endpoint struct {
 	// held carries messages deferred by PollInternal until the next
 	// user-level Poll.
 	held []Msg
+
+	// lvSeen is the liveness epoch this rank last swept against;
+	// downSwept marks the peers whose pending operations it has already
+	// failed; onPeerDown is the runtime layer's hook, invoked once per
+	// newly-down peer on the owner goroutine during Poll. All three are
+	// owner-goroutine state.
+	lvSeen     uint32
+	downSwept  []bool
+	onPeerDown func(peer int, err error)
 }
 
 // Rank returns this endpoint's rank index.
@@ -330,6 +421,12 @@ func (ep *Endpoint) Poll() int {
 		// not stall peers forever.
 		ep.flushSends()
 	}
+	if lv := ep.dom.lv; lv != nil && lv.epochOf(ep.rank) != ep.lvSeen {
+		// A peer of this rank was declared down since the last poll: fail
+		// its pending operations here, on the owner goroutine, preserving
+		// the op table's no-locking confinement.
+		ep.sweepDown(lv)
+	}
 	n := 0
 	if len(ep.held) > 0 {
 		held := ep.held
@@ -348,13 +445,75 @@ func (ep *Endpoint) Poll() int {
 	return n + len(msgs)
 }
 
-// dispatch routes one message to its handler.
+// dispatch routes one message to its handler. A message bearing an
+// unregistered handler id is counted and dropped, not trusted to crash
+// the job: on the UDP conduit it came off a socket.
 func (ep *Endpoint) dispatch(m *Msg) {
 	h := ep.dom.handlers[m.Handler]
 	if h == nil {
-		panic(fmt.Sprintf("gasnet: no handler registered for id %d", m.Handler))
+		ep.dom.badHandlerDrops.Add(1)
+		return
 	}
 	h(ep, m)
+}
+
+// sweepDown fails the pending operations of every newly-down peer with
+// ErrPeerUnreachable and runs the runtime layer's peer-down hook. Owner
+// goroutine only (called from Poll).
+func (ep *Endpoint) sweepDown(lv *liveness) {
+	ep.lvSeen = lv.epochOf(ep.rank)
+	if ep.downSwept == nil {
+		ep.downSwept = make([]bool, ep.dom.cfg.Ranks)
+	}
+	for peer := range ep.downSwept {
+		if ep.downSwept[peer] || peer == ep.rank || !lv.down(ep.rank, peer) {
+			continue
+		}
+		ep.downSwept[peer] = true
+		n := ep.ops.failPeer(int32(peer), ErrPeerUnreachable)
+		ep.dom.downPeerFails.Add(int64(n))
+		if ep.onPeerDown != nil {
+			ep.onPeerDown(peer, ErrPeerUnreachable)
+		}
+	}
+}
+
+// SetPeerDownHook installs the runtime layer's peer-death notification,
+// invoked on the owner goroutine during Poll, once per declared-dead peer,
+// after the endpoint's own pending operations have been failed. Must be
+// installed before the endpoint is driven.
+func (ep *Endpoint) SetPeerDownHook(fn func(peer int, err error)) { ep.onPeerDown = fn }
+
+// PeerDown reports whether this rank has declared peer down (always false
+// without the liveness detector). Operations targeting a down peer fail at
+// injection with ErrPeerUnreachable rather than waiting out a deadline.
+func (ep *Endpoint) PeerDown(peer int) bool {
+	lv := ep.dom.lv
+	return lv != nil && lv.down(ep.rank, peer)
+}
+
+// AnyPeerDown cheaply reports whether this rank has declared any peer
+// down (one atomic load — the per-rank down epoch is bumped on each
+// declaration), so blocking protocols can test it every spin iteration.
+func (ep *Endpoint) AnyPeerDown() bool {
+	lv := ep.dom.lv
+	return lv != nil && lv.epochOf(ep.rank) != 0
+}
+
+// DownPeers returns the ranks this endpoint has declared down, in rank
+// order (nil when none).
+func (ep *Endpoint) DownPeers() []int {
+	lv := ep.dom.lv
+	if lv == nil {
+		return nil
+	}
+	var down []int
+	for peer := 0; peer < ep.dom.cfg.Ranks; peer++ {
+		if peer != ep.rank && lv.down(ep.rank, peer) {
+			down = append(down, peer)
+		}
+	}
+	return down
 }
 
 // PollInternal performs internal-level progress (the GASNet/UPC++ level
@@ -455,17 +614,20 @@ func (ep *Endpoint) Park() {
 func (ep *Endpoint) PendingOps() int { return ep.ops.live() }
 
 // opTable tracks outstanding remote operations by cookie. It is only
-// touched by the owning rank's goroutine (initiation and the ack handler
-// both run there), so it needs no locking.
-// opSlot is one outstanding operation's completion callback. Exactly one
-// of the two fields is set: msg consumes the reply message (gets and
-// atomics, whose acknowledgment carries data), done is a bare
-// acknowledgment (puts). Storing the bare form directly — instead of
-// wrapping it in a func(*Msg) closure — keeps the put injection path
-// allocation-free.
+// touched by the owning rank's goroutine (initiation, the ack handler,
+// and the liveness sweep all run there), so it needs no locking.
+// opSlot is one outstanding operation's completion callback plus the rank
+// it targets (so a peer-death sweep can find it). Exactly one of the two
+// callback fields is set: msg consumes the reply message (gets and
+// atomics, whose acknowledgment carries data; a nil Msg with non-nil
+// error reports the reply will never come), done is a bare acknowledgment
+// (puts). Storing the bare form directly — instead of wrapping it in a
+// closure — keeps the put injection path allocation-free: done's
+// signature matches the pipeline's cached completion callback.
 type opSlot struct {
-	msg  func(*Msg)
-	done func()
+	msg  func(*Msg, error)
+	done func(error)
+	peer int32
 }
 
 type opTable struct {
@@ -474,21 +636,27 @@ type opTable struct {
 	n     int
 
 	// Lifetime tallies, surfaced through Stats: started counts every
-	// registered remote operation, acked every acknowledgment consumed.
-	// They are the substrate leg of the runtime's op-lifecycle phase
+	// registered remote operation, acked every acknowledgment consumed,
+	// failed every entry retired with an error (peer declared down). They
+	// are the substrate leg of the runtime's op-lifecycle phase
 	// instrumentation (started pairs with initiation, acked with the
-	// wire-acked phase).
+	// wire-acked phase, failed with the failed phase).
 	started int64
 	acked   int64
+	failed  int64
 }
 
 // add registers a reply-consuming completion callback and returns its
 // cookie.
-func (t *opTable) add(cb func(*Msg)) uint64 { return t.register(opSlot{msg: cb}) }
+func (t *opTable) add(peer int, cb func(*Msg, error)) uint64 {
+	return t.register(opSlot{msg: cb, peer: int32(peer)})
+}
 
 // addDone registers a bare acknowledgment callback and returns its
 // cookie.
-func (t *opTable) addDone(done func()) uint64 { return t.register(opSlot{done: done}) }
+func (t *opTable) addDone(peer int, done func(error)) uint64 {
+	return t.register(opSlot{done: done, peer: int32(peer)})
+}
 
 func (t *opTable) register(s opSlot) uint64 {
 	t.n++
@@ -503,17 +671,47 @@ func (t *opTable) register(s opSlot) uint64 {
 	return uint64(len(t.slots) - 1)
 }
 
-// take removes and returns the callback slot for cookie.
-func (t *opTable) take(cookie uint64) opSlot {
+// take removes and returns the callback slot for cookie. An unknown
+// cookie — out of range, or already retired (a stale reply from a peer
+// whose operations were failed by the liveness sweep) — yields an empty
+// slot; the caller must check and drop. Crashing was only acceptable
+// while cookies could not outlive their entries.
+func (t *opTable) take(cookie uint64) (opSlot, bool) {
+	if cookie >= uint64(len(t.slots)) {
+		return opSlot{}, false
+	}
 	s := t.slots[cookie]
 	if s.msg == nil && s.done == nil {
-		panic(fmt.Sprintf("gasnet: completion for unknown cookie %d", cookie))
+		return opSlot{}, false
 	}
 	t.slots[cookie] = opSlot{}
 	t.free = append(t.free, uint32(cookie))
 	t.n--
 	t.acked++
-	return s
+	return s, true
+}
+
+// failPeer retires every entry targeting peer, invoking its callback with
+// err (nil Msg), and returns the number failed. Owner goroutine only.
+func (t *opTable) failPeer(peer int32, err error) int {
+	n := 0
+	for id := range t.slots {
+		s := t.slots[id]
+		if (s.msg == nil && s.done == nil) || s.peer != peer {
+			continue
+		}
+		t.slots[id] = opSlot{}
+		t.free = append(t.free, uint32(id))
+		t.n--
+		t.failed++
+		n++
+		if s.msg != nil {
+			s.msg(nil, err)
+		} else {
+			s.done(err)
+		}
+	}
+	return n
 }
 
 // live reports the number of registered, uncompleted operations.
@@ -521,12 +719,17 @@ func (t *opTable) live() int { return t.n }
 
 // handleAck completes an outstanding operation: the reply's A0 carries the
 // cookie. Shared by put acks, get replies, and atomic replies; the
-// registered callback interprets the rest of the message.
+// registered callback interprets the rest of the message. Unknown cookies
+// are counted and dropped (stale replies outliving a peer-death sweep).
 func handleAck(ep *Endpoint, m *Msg) {
-	s := ep.ops.take(m.A0)
+	s, ok := ep.ops.take(m.A0)
+	if !ok {
+		ep.dom.badCookieDrops.Add(1)
+		return
+	}
 	if s.msg != nil {
-		s.msg(m)
+		s.msg(m, nil)
 	} else {
-		s.done()
+		s.done(nil)
 	}
 }

@@ -164,15 +164,13 @@ func TestCrossNodeClosureReattached(t *testing.T) {
 	}
 }
 
-func TestUnknownHandlerPanics(t *testing.T) {
+func TestUnknownHandlerCountedDrop(t *testing.T) {
 	d := newTestDomain(t, Config{Ranks: 2})
 	d.Endpoint(0).Send(1, Msg{Handler: HandlerUserBase + 7})
-	defer func() {
-		if recover() == nil {
-			t.Error("unregistered handler should panic")
-		}
-	}()
 	d.Endpoint(1).Poll()
+	if got := d.Stats().BadHandlerDrops; got != 1 {
+		t.Errorf("BadHandlerDrops = %d, want 1", got)
+	}
 }
 
 func TestPutGetAmoRemote(t *testing.T) {
@@ -184,7 +182,7 @@ func TestPutGetAmoRemote(t *testing.T) {
 	// Put with remote completion and op completion.
 	putDone, remoteRan := false, false
 	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
-	ep0.PutRemote(1, off, data, func(*Endpoint) { remoteRan = true }, func() { putDone = true })
+	ep0.PutRemote(1, off, data, func(*Endpoint) { remoteRan = true }, func(error) { putDone = true })
 	spinBoth(t, d, func() bool { return putDone })
 	if !remoteRan {
 		t.Error("remote completion did not run")
@@ -201,7 +199,7 @@ func TestPutGetAmoRemote(t *testing.T) {
 	// Get.
 	dst := make([]byte, 8)
 	getDone := false
-	ep0.GetRemote(1, off, 8, dst, func() { getDone = true })
+	ep0.GetRemote(1, off, 8, dst, func(error) { getDone = true })
 	spinBoth(t, d, func() bool { return getDone })
 	if string(dst) != string(data) {
 		t.Errorf("get data %v", dst)
@@ -210,7 +208,7 @@ func TestPutGetAmoRemote(t *testing.T) {
 	// Atomic fetch-add.
 	var old uint64
 	amoDone := false
-	ep0.AmoRemote(1, off, AmoAdd, 10, 0, func(o uint64) { old = o; amoDone = true })
+	ep0.AmoRemote(1, off, AmoAdd, 10, 0, func(o uint64, _ error) { old = o; amoDone = true })
 	spinBoth(t, d, func() bool { return amoDone })
 	want := leU64(data)
 	if old != want {
@@ -241,7 +239,7 @@ func TestPutSourceBufferReusableImmediately(t *testing.T) {
 	off, _ := seg1.Alloc(8)
 	buf := []byte{9, 9, 9, 9, 9, 9, 9, 9}
 	done := false
-	d.Endpoint(0).PutRemote(1, off, buf, nil, func() { done = true })
+	d.Endpoint(0).PutRemote(1, off, buf, nil, func(error) { done = true })
 	// Clobber the source immediately: injection must have copied.
 	for i := range buf {
 		buf[i] = 0
@@ -263,7 +261,7 @@ func TestOpTableRecycling(t *testing.T) {
 	off, _ := seg1.Alloc(8)
 	for i := 0; i < 100; i++ {
 		done := false
-		ep0.AmoRemote(1, off, AmoAdd, 1, 0, func(uint64) { done = true })
+		ep0.AmoRemote(1, off, AmoAdd, 1, 0, func(uint64, error) { done = true })
 		spinBoth(t, d, func() bool { return done })
 	}
 	if ep0.PendingOps() != 0 {

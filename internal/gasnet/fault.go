@@ -162,6 +162,37 @@ func newFaultConn(conn *net.UDPConn, cfg FaultConfig, rank int, injected *atomic
 	}
 }
 
+// setConfig swaps the fault distribution mid-run; the write path reads the
+// config under f.mu, so in-flight sends see either the old or the new one.
+func (f *faultConn) setConfig(cfg FaultConfig) {
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// SetFault replaces rank's send-path fault distribution mid-run (e.g.
+// Drop:1 to simulate killing the rank after a healthy start). The shim
+// must have been armed at construction by a non-nil Config.Fault — pass
+// &FaultConfig{} for a fault-free start; it cannot be interposed later,
+// because the reader goroutines already hold the raw sockets.
+func (d *Domain) SetFault(rank int, cfg FaultConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if d.udp == nil {
+		return fmt.Errorf("gasnet: SetFault: not a UDP-conduit domain")
+	}
+	if rank < 0 || rank >= len(d.udp.send) {
+		return fmt.Errorf("gasnet: SetFault: rank %d out of range", rank)
+	}
+	fc, ok := d.udp.send[rank].(*faultConn)
+	if !ok {
+		return fmt.Errorf("gasnet: SetFault: fault injection not armed (Config.Fault was nil)")
+	}
+	fc.setConfig(cfg)
+	return nil
+}
+
 // takeHeld removes and returns the holdback queue. Caller holds f.mu.
 func (f *faultConn) takeHeld() []heldPkt {
 	held := f.held

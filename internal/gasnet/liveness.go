@@ -1,0 +1,217 @@
+package gasnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrPeerUnreachable is the failure delivered to every operation whose
+// target rank has been declared down by the liveness machinery: the
+// retransmission budget was exhausted, or the peer fell silent past
+// Config.DownAfter. Test with errors.Is.
+var ErrPeerUnreachable = errors.New("gasnet: peer unreachable")
+
+// Per-peer liveness states. Alive is the zero value; Suspect is a peer
+// that has fallen silent past Config.SuspectAfter (recoverable — hearing
+// from it restores Alive); Down is terminal (sticky): silence past
+// Config.DownAfter or an exhausted retransmission budget. Once a peer is
+// Down every operation targeting it fails with ErrPeerUnreachable instead
+// of hanging.
+const (
+	peerAlive int32 = iota
+	peerSuspect
+	peerDown
+)
+
+// liveness is the per-domain peer-failure detector, present only on the
+// reliable UDP conduit. Detection is pairwise and one-directional: rank
+// local tracks what it has heard from rank peer, so an asymmetric fault
+// (one rank's sends all dropped) is observed by everyone else while the
+// faulty rank still sees its peers as alive.
+//
+// It is driven entirely by the reliability ticker (reliable.go, 1ms): the
+// ticker broadcasts small unsequenced heartbeat frames on behalf of every
+// rank each HeartbeatEvery, and sweeps the heardRound grid against the
+// suspect/down thresholds. Any received traffic counts as hearing from the
+// peer — heartbeats only carry the idle case.
+//
+// Silence is measured in heartbeat ROUNDS (broadcast opportunities the
+// detector itself executed), not wall-clock time. The distinction matters
+// under scheduler starvation: on a loaded or single-CPU machine a
+// hot-spinning rank can delay the ticker goroutine arbitrarily, and a
+// wall-clock detector would then count its own inability to send
+// heartbeats as peer silence and declare healthy peers down. Counting
+// rounds makes the two clocks cancel — if the ticker cannot run, no
+// heartbeats go out, but no silence accrues either; detection latency
+// degrades gracefully (rounds × actual tick spacing) instead of going
+// false-positive.
+//
+// All state is atomics: writers are the ticker goroutine (staleness
+// transitions, exhaustion-driven markDown via the same goroutine) and the
+// per-rank socket reader goroutines (heard); readers are the rank
+// goroutines (eager-fail checks, epoch polls).
+type liveness struct {
+	d     *Domain
+	ranks int
+
+	hbEvery       int64 // heartbeat period, ns (gates broadcast rounds)
+	suspectRounds int64 // silent rounds before Suspect
+	downRounds    int64 // silent rounds before Down
+
+	// round is the number of completed heartbeat broadcast rounds; it is
+	// the detector's logical clock. heardRound[local*ranks+peer] is the
+	// round during which local last received anything from peer; state is
+	// the corresponding peer state.
+	round      atomic.Int64
+	heardRound []atomic.Int64
+	state      []atomic.Int32
+
+	// epoch[local] increments whenever some peer of local goes down; rank
+	// goroutines compare it against their last-seen value in Poll and
+	// sweep their op tables on change (domain.go).
+	epoch []atomic.Uint32
+
+	lastHB int64 // ticker-local: cached-clock time of the last heartbeat round
+}
+
+func newLiveness(d *Domain, now int64) *liveness {
+	hb := int64(d.cfg.HeartbeatEvery)
+	lv := &liveness{
+		d:             d,
+		ranks:         d.cfg.Ranks,
+		hbEvery:       hb,
+		suspectRounds: roundsFor(int64(d.cfg.SuspectAfter), hb),
+		downRounds:    roundsFor(int64(d.cfg.DownAfter), hb),
+		heardRound:    make([]atomic.Int64, d.cfg.Ranks*d.cfg.Ranks),
+		state:         make([]atomic.Int32, d.cfg.Ranks*d.cfg.Ranks),
+		epoch:         make([]atomic.Uint32, d.cfg.Ranks),
+	}
+	if lv.downRounds <= lv.suspectRounds {
+		lv.downRounds = lv.suspectRounds + 1
+	}
+	lv.lastHB = now
+	return lv
+}
+
+// roundsFor converts a silence duration into heartbeat rounds, rounding
+// up; a peer must miss at least two consecutive rounds before any state
+// transition so one delayed loopback delivery cannot trip the detector.
+func roundsFor(silence, hbEvery int64) int64 {
+	r := (silence + hbEvery - 1) / hbEvery
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
+func (lv *liveness) idx(local, peer int) int { return local*lv.ranks + peer }
+
+// heard records that local received traffic from peer, stamping the
+// detector's current round. A Suspect peer recovers to Alive; Down is
+// sticky — a late datagram from a declared-dead peer must not resurrect
+// it after its operations were failed.
+func (lv *liveness) heard(local, peer int) {
+	if peer < 0 || peer >= lv.ranks || peer == local {
+		return
+	}
+	i := lv.idx(local, peer)
+	lv.heardRound[i].Store(lv.round.Load())
+	lv.state[i].CompareAndSwap(peerSuspect, peerAlive)
+}
+
+// stateOf returns local's current view of peer.
+func (lv *liveness) stateOf(local, peer int) int32 {
+	return lv.state[lv.idx(local, peer)].Load()
+}
+
+// down reports whether local has declared peer down.
+func (lv *liveness) down(local, peer int) bool {
+	return lv.stateOf(local, peer) == peerDown
+}
+
+// epochOf returns local's down-event counter.
+func (lv *liveness) epochOf(local int) uint32 { return lv.epoch[local].Load() }
+
+// markDown transitions local's view of peer to Down (idempotent) and bumps
+// local's epoch so the rank goroutine sweeps its op table at the next
+// Poll. Callable from any goroutine.
+func (lv *liveness) markDown(local, peer int) {
+	i := lv.idx(local, peer)
+	for {
+		s := lv.state[i].Load()
+		if s == peerDown {
+			return
+		}
+		if lv.state[i].CompareAndSwap(s, peerDown) {
+			break
+		}
+	}
+	lv.d.peersDown.Add(1)
+	lv.epoch[local].Add(1)
+	if r := lv.d.rel; r != nil {
+		r.releasePair(local, peer)
+	}
+	// Wake the rank so a parked waiter re-polls and observes the epoch
+	// change promptly instead of waiting out parkTimeout.
+	lv.d.eps[local].notify()
+}
+
+// tick runs one detector step on the reliability ticker. When a heartbeat
+// period has elapsed it broadcasts a round, advances the logical clock,
+// and sweeps the grid; ticks between rounds (and ticks delayed by the
+// scheduler) neither send nor accrue silence — see the type comment.
+func (lv *liveness) tick(now int64) {
+	if now-lv.lastHB < lv.hbEvery {
+		return
+	}
+	lv.lastHB = now
+	lv.broadcast()
+	round := lv.round.Add(1)
+	for local := 0; local < lv.ranks; local++ {
+		for peer := 0; peer < lv.ranks; peer++ {
+			if peer == local {
+				continue
+			}
+			i := lv.idx(local, peer)
+			silent := round - lv.heardRound[i].Load()
+			switch lv.state[i].Load() {
+			case peerAlive:
+				if silent >= lv.downRounds {
+					lv.markDown(local, peer)
+				} else if silent >= lv.suspectRounds {
+					if lv.state[i].CompareAndSwap(peerAlive, peerSuspect) {
+						lv.d.peersSuspected.Add(1)
+					}
+				}
+			case peerSuspect:
+				if silent >= lv.downRounds {
+					lv.markDown(local, peer)
+				}
+			}
+		}
+	}
+}
+
+// hbFrameLen is the heartbeat frame: [frameHB u8] [sender rank u16 LE].
+const hbFrameLen = 3
+
+// broadcast ships one heartbeat from every rank to every non-down peer.
+// Heartbeats are unsequenced and unreliable — losing one is exactly the
+// signal the detector measures — and they traverse each sender's real
+// send path, including the fault-injection shim, so a rank whose sends
+// are all dropped goes silent for everyone else.
+func (lv *liveness) broadcast() {
+	var frame [hbFrameLen]byte
+	frame[0] = frameHB
+	for from := 0; from < lv.ranks; from++ {
+		binary.LittleEndian.PutUint16(frame[1:3], uint16(from))
+		for to := 0; to < lv.ranks; to++ {
+			if to == from || lv.down(from, to) {
+				continue
+			}
+			lv.d.heartbeatsSent.Add(1)
+			lv.d.writeFrame(from, to, frame[:])
+		}
+	}
+}

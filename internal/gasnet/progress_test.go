@@ -15,7 +15,7 @@ func TestPollInternalServicesRequests(t *testing.T) {
 
 	dst := make([]byte, 8)
 	done := false
-	d.Endpoint(0).GetRemote(1, off, 8, dst, func() { done = true })
+	d.Endpoint(0).GetRemote(1, off, 8, dst, func(error) { done = true })
 	deadline := time.Now().Add(2 * time.Second)
 	for !done {
 		if time.Now().After(deadline) {
@@ -38,7 +38,7 @@ func TestPollInternalHoldsAcks(t *testing.T) {
 
 	done := false
 	ep0 := d.Endpoint(0)
-	ep0.PutRemote(1, off, []byte{1, 0, 0, 0, 0, 0, 0, 0}, nil, func() { done = true })
+	ep0.PutRemote(1, off, []byte{1, 0, 0, 0, 0, 0, 0, 0}, nil, func(error) { done = true })
 	// Let the target service the request and the ack arrive.
 	deadline := time.Now().Add(time.Second)
 	for ep0.InboxEmpty() && time.Now().Before(deadline) {
@@ -74,7 +74,7 @@ func TestPollInternalHoldsRemoteCompletion(t *testing.T) {
 	ep0, ep1 := d.Endpoint(0), d.Endpoint(1)
 	ep0.PutRemote(1, off, []byte{7, 0, 0, 0, 0, 0, 0, 0},
 		func(*Endpoint) { remoteRan = true },
-		func() { acked = true })
+		func(error) { acked = true })
 
 	deadline := time.Now().Add(time.Second)
 	for !acked {

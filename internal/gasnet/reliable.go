@@ -35,11 +35,15 @@ import (
 // next sequence number and retained in a retransmission queue (one buffer
 // reference each — see pool.go) until acknowledged; the ticker retransmits
 // entries whose deadline passed, doubling the timeout up to relRTOMax. The
-// queue is bounded by relWindow: a send beyond the window blocks until the
-// oldest datagram is acked, so a dead peer stalls its senders instead of
-// exhausting the buffer arena, and relMaxAttempts fruitless retransmits
-// abort the job (GASNet's UDP conduit likewise aborts on requester
-// timeout).
+// queue is bounded by the configured window (Config.RelWindow, default
+// relWindow): a send beyond the window blocks until the oldest datagram is
+// acked, so a dead peer stalls its senders instead of exhausting the
+// buffer arena. Exhausting the retransmission budget
+// (Config.RelMaxAttempts, default relMaxAttempts) declares the
+// destination down via the liveness detector (liveness.go): its queue is
+// released, its pending operations fail with ErrPeerUnreachable, and the
+// job keeps running. Under Config.DisableLiveness the budget instead
+// aborts the job, as GASNet's UDP conduit does on requester timeout.
 //
 // Receiver side, per pair: the next-expected frame is delivered
 // immediately and drains any buffered successors; frames at or below the
@@ -117,6 +121,15 @@ type relPair struct {
 	reorder    map[uint32]*wireBuf // buffered out-of-order frames
 	ackPending bool
 	ackSince   int64 // cached-clock time ackPending was set
+
+	// High-water marks of the window-bounded queues, surfaced through
+	// Stats so capacity pressure is observable rather than inferred.
+	inflightHW int
+	reorderHW  int
+
+	// down marks the send stream as targeting a declared-dead peer: sends
+	// are dropped instead of queued, and window-blocked senders drain out.
+	down bool
 }
 
 // reliability is the per-domain instance: the pair grid plus the ticker
@@ -126,6 +139,15 @@ type reliability struct {
 	ranks int
 	pairs []relPair // [local*ranks + peer]
 
+	// window and maxAttempts are the per-domain bounds (Config.RelWindow /
+	// Config.RelMaxAttempts; the package constants are their defaults).
+	window      int
+	maxAttempts int
+
+	// lv is the liveness detector driven by this layer's ticker; nil when
+	// Config.DisableLiveness is set, restoring abort-on-exhaustion.
+	lv *liveness
+
 	closed   atomic.Bool
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -134,11 +156,20 @@ type reliability struct {
 
 func newReliability(d *Domain) *reliability {
 	r := &reliability{
-		d:     d,
-		ranks: d.cfg.Ranks,
-		pairs: make([]relPair, d.cfg.Ranks*d.cfg.Ranks),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		d:           d,
+		ranks:       d.cfg.Ranks,
+		pairs:       make([]relPair, d.cfg.Ranks*d.cfg.Ranks),
+		window:      d.cfg.RelWindow,
+		maxAttempts: d.cfg.RelMaxAttempts,
+		lv:          d.lv, // constructed first (initUDP); nil if disabled
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if r.window <= 0 {
+		r.window = relWindow
+	}
+	if r.maxAttempts <= 0 {
+		r.maxAttempts = relMaxAttempts
 	}
 	go r.run()
 	return r
@@ -171,13 +202,15 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 	p := r.pair(from, to)
 	for {
 		p.mu.Lock()
-		if r.closed.Load() {
-			// Racing shutdown: post-Close sends may be dropped (matching
-			// writeDatagram's ErrClosed tolerance).
+		if r.closed.Load() || p.down {
+			// Racing shutdown, or a declared-dead destination: the datagram
+			// is dropped (the op pipeline fails down-peer operations with
+			// ErrPeerUnreachable; stalling the sender here would deadlock
+			// it against a peer that will never ack).
 			p.mu.Unlock()
 			return
 		}
-		if len(p.inflight) < relWindow {
+		if len(p.inflight) < r.window {
 			break
 		}
 		p.mu.Unlock()
@@ -203,6 +236,9 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 		deadline: clockNow() + relRTO,
 		wb:       wb,
 	})
+	if len(p.inflight) > p.inflightHW {
+		p.inflightHW = len(p.inflight)
+	}
 	p.mu.Unlock()
 	r.d.writeDatagram(from, to, b)
 }
@@ -218,6 +254,11 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 		d.decodeErrors.Add(1)
 		wb.release()
 		return
+	}
+	if r.lv != nil {
+		// Any sequenced traffic is proof of life; heartbeats only carry
+		// the idle case.
+		r.lv.heard(ep.rank, int(from))
 	}
 	p := r.pair(ep.rank, int(from))
 	var ackNow bool
@@ -281,7 +322,7 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 	default:
 		// Future sequence: a gap the sender will retransmit into.
 		switch {
-		case seq-p.cumSeq > relWindow:
+		case seq-p.cumSeq > uint32(r.window):
 			// Beyond anything a well-behaved sender has in flight.
 			d.outOfWindowDrops.Add(1)
 			p.mu.Unlock()
@@ -296,6 +337,9 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 				wb.release()
 			} else {
 				p.reorder[seq] = wb
+				if len(p.reorder) > p.reorderHW {
+					p.reorderHW = len(p.reorder)
+				}
 				p.mu.Unlock()
 			}
 		}
@@ -332,7 +376,11 @@ func (r *reliability) run() {
 		case <-r.stop:
 			return
 		case <-t.C:
-			r.sweep(clockRefresh())
+			now := clockRefresh()
+			r.sweep(now)
+			if r.lv != nil {
+				r.lv.tick(now)
+			}
 		}
 	}
 }
@@ -347,17 +395,26 @@ func (r *reliability) sweep(now int64) {
 			p.mu.Lock()
 			// Deadlines are not sorted once backoff diverges, so scan the
 			// whole (window-bounded) queue.
+			exhausted := false
 			for i := range p.inflight {
 				e := &p.inflight[i]
 				if e.deadline > now {
 					continue
 				}
 				e.attempts++
-				if e.attempts > relMaxAttempts {
-					p.mu.Unlock()
-					panic(fmt.Sprintf(
-						"gasnet: reliable UDP: rank %d got no ack from rank %d for seq %d after %d retransmits (peer dead or network partitioned)",
-						from, to, e.seq, relMaxAttempts))
+				if e.attempts > r.maxAttempts {
+					if r.lv == nil {
+						p.mu.Unlock()
+						panic(fmt.Sprintf(
+							"gasnet: reliable UDP: rank %d got no ack from rank %d for seq %d after %d retransmits (peer dead or network partitioned)",
+							from, to, e.seq, r.maxAttempts))
+					}
+					// Budget spent: the peer is dead or partitioned.
+					// Declare it down instead of aborting — pending
+					// operations fail with ErrPeerUnreachable through the
+					// liveness sweep, and the job decides what to do.
+					exhausted = true
+					break
 				}
 				e.rto *= 2
 				if e.rto > relRTOMax {
@@ -373,6 +430,12 @@ func (r *reliability) sweep(now int64) {
 				d.retransmits.Add(1)
 				d.writeFrame(from, to, e.wb.b)
 			}
+			if exhausted {
+				p.mu.Unlock()
+				d.retransmitExhausted.Add(1)
+				r.lv.markDown(from, to) // drains the queue via releasePair
+				continue
+			}
 			if p.ackPending && now-p.ackSince >= relAckDelay {
 				ack := p.cumSeq
 				p.ackPending = false
@@ -384,6 +447,21 @@ func (r *reliability) sweep(now int64) {
 			p.mu.Unlock()
 		}
 	}
+}
+
+// releasePair marks the from→to send stream down and releases its
+// retransmission queue: the peer will never ack, so retaining the buffers
+// (and the window slots) would stall senders and leak arena capacity.
+func (r *reliability) releasePair(from, to int) {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	p.down = true
+	for i := range p.inflight {
+		p.inflight[i].wb.release()
+		p.inflight[i] = relEntry{}
+	}
+	p.inflight = p.inflight[:0]
+	p.mu.Unlock()
 }
 
 // shutdown stops the ticker (idempotent) and marks the layer closed so

@@ -108,7 +108,7 @@ func TestReliablePutAckUnderLoss(t *testing.T) {
 	for i := 0; i < puts; i++ {
 		val := []byte(fmt.Sprintf("payload-%06d:x", i)) // 16 bytes
 		want = append(want, val...)
-		ep0.PutRemote(1, uint32(i*16), val, nil, func() { done++ })
+		ep0.PutRemote(1, uint32(i*16), val, nil, func(error) { done++ })
 	}
 	deadline := time.Now().Add(30 * time.Second)
 	for done < puts && time.Now().Before(deadline) {

@@ -8,31 +8,51 @@ package gasnet
 // run inside the initiator's Poll — i.e. remote operations never complete
 // synchronously, which is exactly why the paper's eager-notification
 // optimization is a no-op (one predicted-untaken branch) off-node.
+//
+// Every completion callback carries an error: nil on the reply path, or
+// ErrPeerUnreachable when the target was declared down — either at
+// injection (the peer is already down, so the request is refused on the
+// spot) or later, when the liveness sweep retires the pending entry.
 
 // nopDone is installed when the caller passes a nil completion callback.
-func nopDone(*Msg) {}
+func nopDone(*Msg, error) {}
 
 // nopAck is the bare-acknowledgment equivalent.
-func nopAck() {}
+func nopAck(error) {}
+
+// refuseDown eagerly fails an operation targeting an already-declared-dead
+// peer, reporting whether it did. Failing at injection keeps the op table
+// free of entries the (already completed) sweep would never retire.
+func (ep *Endpoint) refuseDown(to int) bool {
+	if !ep.PeerDown(to) {
+		return false
+	}
+	ep.dom.downPeerFails.Add(1)
+	return true
+}
 
 // PutRemote initiates a put of data into the target rank's segment at byte
 // offset off. remoteFn, if non-nil, is executed on the target's progress
 // goroutine after the data is applied (the paper's remote completion /
 // remote_cx::as_rpc). onDone, if non-nil, runs on the initiating rank's
-// goroutine during a later Poll once the target has acknowledged
-// (operation completion). data is copied at injection time, so the caller
-// may reuse the buffer immediately (source completion is synchronous).
-func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*Endpoint), onDone func()) {
-	// Registered in its bare form: a func(*Msg) wrapper here would cost
-	// one closure allocation per put.
+// goroutine once the target has acknowledged (operation completion, nil
+// error) or the target is declared unreachable. data is copied at
+// injection time, so the caller may reuse the buffer immediately (source
+// completion is synchronous).
+func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*Endpoint), onDone func(error)) {
+	// Registered in its bare form: a func(*Msg, error) wrapper here would
+	// cost one closure allocation per put.
 	if onDone == nil {
 		onDone = nopAck
 	}
-	cookie := ep.ops.addDone(onDone)
+	if ep.refuseDown(to) {
+		onDone(ErrPeerUnreachable)
+		return
+	}
+	cookie := ep.ops.addDone(to, onDone)
 	// Stage the payload in a pooled buffer: Send consumes the reference
 	// (transferring it to the receiver in-memory, or dropping it once the
-	// bytes are encoded for the wire), so steady-state puts allocate
-	// nothing.
+	// bytes are on the wire), so steady-state puts allocate nothing.
 	wb := ep.dom.arena.get(len(data))
 	copy(wb.b, data)
 	ep.Send(to, Msg{
@@ -56,15 +76,24 @@ func handlePutReq(ep *Endpoint, m *Msg) {
 // GetRemote initiates a get of n bytes from the target rank's segment at
 // byte offset off into dst (which must have length >= n). onDone runs on
 // the initiating rank's goroutine during a later Poll, after the data has
-// been stored into dst.
-func (ep *Endpoint) GetRemote(to int, off uint32, n int, dst []byte, onDone func()) {
-	cb := func(m *Msg) {
-		copy(dst, m.Payload)
+// been stored into dst (nil error) or the target is declared unreachable
+// (dst untouched).
+func (ep *Endpoint) GetRemote(to int, off uint32, n int, dst []byte, onDone func(error)) {
+	if ep.refuseDown(to) {
 		if onDone != nil {
-			onDone()
+			onDone(ErrPeerUnreachable)
+		}
+		return
+	}
+	cb := func(m *Msg, err error) {
+		if err == nil {
+			copy(dst, m.Payload)
+		}
+		if onDone != nil {
+			onDone(err)
 		}
 	}
-	cookie := ep.ops.add(cb)
+	cookie := ep.ops.add(to, cb)
 	ep.Send(to, Msg{
 		Handler: hGetReq,
 		A0:      cookie,
@@ -81,15 +110,29 @@ func handleGetReq(ep *Endpoint, m *Msg) {
 }
 
 // AmoRemote initiates an atomic op on the 8-byte word at off in the target
-// rank's segment. onOld, if non-nil, receives the word's previous value on
-// the initiating rank's goroutine during a later Poll. Non-fetching callers
-// pass an onOld that ignores its argument (or nil).
-func (ep *Endpoint) AmoRemote(to int, off uint32, op AmoOp, operand1, operand2 uint64, onOld func(old uint64)) {
+// rank's segment. onOld, if non-nil, receives the word's previous value
+// (and a nil error) on the initiating rank's goroutine during a later
+// Poll, or a zero value with ErrPeerUnreachable if the target is declared
+// down. Non-fetching callers pass an onOld that ignores its value (or
+// nil).
+func (ep *Endpoint) AmoRemote(to int, off uint32, op AmoOp, operand1, operand2 uint64, onOld func(old uint64, err error)) {
+	if ep.refuseDown(to) {
+		if onOld != nil {
+			onOld(0, ErrPeerUnreachable)
+		}
+		return
+	}
 	cb := nopDone
 	if onOld != nil {
-		cb = func(m *Msg) { onOld(m.A1) }
+		cb = func(m *Msg, err error) {
+			if err != nil {
+				onOld(0, err)
+				return
+			}
+			onOld(m.A1, nil)
+		}
 	}
-	cookie := ep.ops.add(cb)
+	cookie := ep.ops.add(to, cb)
 	ep.Send(to, Msg{
 		Handler: hAmoReq,
 		A0:      cookie,

@@ -52,6 +52,7 @@ const (
 	frameSingle = 0x01
 	frameBatch  = 0x02
 	frameSeq    = 0x03 // reliability framing; see reliable.go
+	frameHB     = 0x04 // liveness heartbeat; see liveness.go
 )
 
 // batchHeaderLen is the fixed prefix of a frameBatch datagram; each packed
@@ -106,6 +107,12 @@ func (d *Domain) initUDP() error {
 	}
 	d.udp = tr
 	if !d.cfg.UDPUnreliable {
+		// The detector must exist before the reliability ticker starts
+		// (newReliability captures it), so exhaustion events observed on
+		// the very first sweep already have somewhere to go.
+		if !d.cfg.DisableLiveness {
+			d.lv = newLiveness(d, clockRefresh())
+		}
 		d.rel = newReliability(d)
 	}
 	for r := 0; r < d.cfg.Ranks; r++ {
@@ -143,6 +150,16 @@ func (d *Domain) initUDP() error {
 func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
 	if len(wb.b) >= 1 && wb.b[0] == frameSeq && d.rel != nil {
 		d.rel.receive(ep, wb)
+		return
+	}
+	if len(wb.b) >= 1 && wb.b[0] == frameHB {
+		if d.lv != nil && len(wb.b) >= hbFrameLen {
+			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
+			if from < d.cfg.Ranks {
+				d.lv.heard(ep.rank, from)
+			}
+		}
+		wb.release()
 		return
 	}
 	d.deliverParsed(ep, wb, wb.b)

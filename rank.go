@@ -105,6 +105,16 @@ func (r *Rank) spinWait(cond func() bool) {
 	}
 }
 
+// PeerDown reports whether the substrate's liveness detector has declared
+// target unreachable from this rank (always false on conduits without a
+// detector). Operations targeting a down peer fail immediately with
+// ErrPeerUnreachable.
+func (r *Rank) PeerDown(target int) bool { return r.ep.PeerDown(target) }
+
+// DownPeers returns the ranks this rank has declared down, in rank order
+// (nil when none).
+func (r *Rank) DownPeers() []int { return r.ep.DownPeers() }
+
 // LocalTo reports whether this rank has direct load/store access to the
 // target rank's segment (the two ranks are co-located on one node).
 func (r *Rank) LocalTo(target int) bool { return r.localTo(int32(target)) }

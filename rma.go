@@ -64,7 +64,7 @@ func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpRMA,
-		Inject: func(rfn func(ctx any), done func()) {
+		Inject: func(rfn func(ctx any), done func(error)) {
 			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.ValueBytes(&val), wrapRemote(rfn), done)
 		},
 	}, cxs)
@@ -88,7 +88,7 @@ func RputBulk[T any](r *Rank, src []T, dst GlobalPtr[T], cxs ...Cx) Result {
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpRMA,
-		Inject: func(rfn func(ctx any), done func()) {
+		Inject: func(rfn func(ctx any), done func(error)) {
 			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.SliceBytes(src), wrapRemote(rfn), done)
 		},
 	}, cxs)
@@ -120,7 +120,7 @@ func Rget[T any](r *Rank, src GlobalPtr[T], mode ...Mode) FutureV[T] {
 	}
 	return core.InitiateV(r.eng, core.OpDescV[T]{
 		Kind: core.OpRMA,
-		Inject: func(slot *T, done func()) {
+		Inject: func(slot *T, done func(error)) {
 			r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(slot), done)
 		},
 	})
@@ -144,7 +144,7 @@ func RgetPromise[T any](r *Rank, src GlobalPtr[T], p *PromiseV[T], mode ...Mode)
 			r.w.dom.Segment(int(src.rank)).CopyOut(src.off, gasnet.ValueBytes(&val))
 			return val
 		},
-		Inject: func(slot *T, done func()) {
+		Inject: func(slot *T, done func(error)) {
 			r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(slot), done)
 		},
 	}, p)
@@ -168,7 +168,7 @@ func RgetBulk[T any](r *Rank, src GlobalPtr[T], dst []T, cxs ...Cx) Result {
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpRMA,
-		Inject: func(_ func(ctx any), done func()) {
+		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.GetRemote(int(src.rank), src.off, len(dst)*gasnet.SizeOf[T](),
 				gasnet.SliceBytes(dst), done)
 		},

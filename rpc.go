@@ -25,76 +25,102 @@ func rankOf(ep *gasnet.Endpoint) *Rank {
 	return ep.Ctx.(*Rank)
 }
 
+// runContained executes user code under the panic-containment boundary:
+// a panic is recovered (the progress engine keeps running), counted in
+// the substrate statistics, and returned as a *RemoteError.
+func (r *Rank) runContained(fn func(*Rank)) error {
+	err := contain(r.Me(), func() { fn(r) })
+	if err != nil {
+		r.w.dom.NoteHandlerPanic()
+	}
+	return err
+}
+
 // RPC ships fn for execution on the target rank's progress goroutine and
 // returns a future that readies (on the initiator) once fn has executed
 // and the acknowledgment has returned — the analogue of upcxx::rpc with a
 // void-returning function.
 //
 // fn runs inside the target's progress engine and must not block; it may
-// initiate communication and use promises/LPCs for follow-up work.
+// initiate communication and use promises/LPCs for follow-up work. If fn
+// panics, the panic is contained on the target and the future resolves
+// with a *RemoteError instead of crashing the target rank.
+//
+// cxs optionally overrides the completion-request set (default: one
+// operation future). Compose a deadline with the default sink as
+// RPC(r, t, fn, OpFuture(), OpDeadline(d)).
 //
 // An RPC is never Local in the pipeline's sense: even a self-RPC runs fn
 // from the progress engine, not inline at initiation, so its completion is
 // always asynchronous.
-func RPC(r *Rank, target int, fn func(*Rank)) Future {
+func RPC(r *Rank, target int, fn func(*Rank), cxs ...Cx) Future {
+	cxs = cxsOrDefault(cxs)
 	if target == r.Me() {
 		return r.eng.Initiate(core.OpDesc{
 			Kind: core.OpRPC,
-			Inject: func(_ func(ctx any), done func()) {
+			Inject: func(_ func(ctx any), done func(error)) {
 				r.eng.EnqueueLPC(func() {
-					fn(r)
-					done()
+					done(r.runContained(fn))
 				})
 			},
-		}, defaultCx).Op
+		}, cxs).Op
 	}
 	me := r.Me()
 	return r.eng.Initiate(core.OpDesc{
 		Kind: core.OpRPC,
-		Inject: func(_ func(ctx any), done func()) {
+		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
 				Fn: func(tep *gasnet.Endpoint) {
-					fn(rankOf(tep))
+					err := rankOf(tep).runContained(fn)
 					tep.Send(me, gasnet.Msg{
 						Handler: hRPCExec,
-						Fn:      func(*gasnet.Endpoint) { done() },
+						Fn:      func(*gasnet.Endpoint) { done(err) },
 					})
 				},
 			})
 		},
-	}, defaultCx).Op
+	}, cxs).Op
 }
 
 // RPCCall ships fn for execution on the target rank and returns a future
 // carrying fn's result — the analogue of upcxx::rpc with a returning
 // function. The result is written straight into the future's value slot by
-// the acknowledgment handler.
-func RPCCall[T any](r *Rank, target int, fn func(*Rank) T) FutureV[T] {
+// the acknowledgment handler. A panic in fn is contained on the target and
+// resolves the future with a *RemoteError (and a zero value).
+//
+// cxs may carry OpDeadline requests bounding the completion time; other
+// completion kinds are ignored (the value future is the only sink).
+func RPCCall[T any](r *Rank, target int, fn func(*Rank) T, cxs ...Cx) FutureV[T] {
+	dl := core.DeadlineOf(cxs)
 	if target == r.Me() {
 		return core.InitiateV(r.eng, core.OpDescV[T]{
-			Kind: core.OpRPC,
-			Inject: func(slot *T, done func()) {
+			Kind:     core.OpRPC,
+			Deadline: dl,
+			Inject: func(slot *T, done func(error)) {
 				r.eng.EnqueueLPC(func() {
-					*slot = fn(r)
-					done()
+					done(r.runContained(func(sr *Rank) { *slot = fn(sr) }))
 				})
 			},
 		})
 	}
 	me := r.Me()
 	return core.InitiateV(r.eng, core.OpDescV[T]{
-		Kind: core.OpRPC,
-		Inject: func(slot *T, done func()) {
+		Kind:     core.OpRPC,
+		Deadline: dl,
+		Inject: func(slot *T, done func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
 				Fn: func(tep *gasnet.Endpoint) {
-					v := fn(rankOf(tep))
+					var v T
+					err := rankOf(tep).runContained(func(tr *Rank) { v = fn(tr) })
 					tep.Send(me, gasnet.Msg{
 						Handler: hRPCExec,
 						Fn: func(*gasnet.Endpoint) {
-							*slot = v
-							done()
+							if err == nil {
+								*slot = v
+							}
+							done(err)
 						},
 					})
 				},
@@ -106,23 +132,25 @@ func RPCCall[T any](r *Rank, target int, fn func(*Rank) T) FutureV[T] {
 // RPCFireAndForget ships fn for execution on the target rank with no
 // completion notification (the analogue of upcxx::rpc_ff). It is the
 // cheapest RPC form: no acknowledgment message is generated and the
-// pipeline registers no completion state.
+// pipeline registers no completion state. A panic in fn is contained and
+// counted on the target (Stats.HandlerPanics) — with no reply path, that
+// tally is the only trace.
 func RPCFireAndForget(r *Rank, target int, fn func(*Rank)) {
 	if target == r.Me() {
 		r.eng.Initiate(core.OpDesc{
 			Kind: core.OpRPC,
-			Inject: func(_ func(ctx any), _ func()) {
-				r.eng.EnqueueLPC(func() { fn(r) })
+			Inject: func(_ func(ctx any), _ func(error)) {
+				r.eng.EnqueueLPC(func() { r.runContained(fn) })
 			},
 		}, nil)
 		return
 	}
 	r.eng.Initiate(core.OpDesc{
 		Kind: core.OpRPC,
-		Inject: func(_ func(ctx any), _ func()) {
+		Inject: func(_ func(ctx any), _ func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
-				Fn:      func(tep *gasnet.Endpoint) { fn(rankOf(tep)) },
+				Fn:      func(tep *gasnet.Endpoint) { rankOf(tep).runContained(fn) },
 			})
 		},
 	}, nil)

@@ -25,6 +25,11 @@ import (
 // args is valid only for the duration of the call and must be treated as
 // read-only: it aliases a pooled conduit buffer that is recycled after the
 // handler returns. A handler that retains the bytes must copy them.
+//
+// A panic in the handler is contained: the target recovers it, counts it
+// (Stats.HandlerPanics), and serializes the panic text into an error
+// reply frame, so the initiator's future resolves with a *RemoteError
+// while the target keeps running.
 type RPCHandler func(r *Rank, args []byte) []byte
 
 // RPCHandlerID names a registered wire-RPC procedure.
@@ -37,6 +42,13 @@ func (w *World) RegisterRPC(fn RPCHandler) RPCHandlerID {
 	return RPCHandlerID(len(w.rpcHandlers) - 1)
 }
 
+// Wire-reply status codes, carried in the reply's A1.
+const (
+	wireRepOK           uint64 = iota // payload = reply bytes
+	wireRepPanic                      // payload = serialized panic text
+	wireRepUnregistered               // handler ID unknown at the target
+)
+
 // pendingWire tracks this rank's outstanding wire-RPC calls. Owner
 // goroutine only: replies are dispatched during this rank's progress.
 type pendingWire struct {
@@ -46,7 +58,8 @@ type pendingWire struct {
 
 type wireCall struct {
 	vp   *[]byte
-	done func()
+	done func(error)
+	peer int32
 }
 
 func (p *pendingWire) add(c *wireCall) uint64 {
@@ -60,28 +73,59 @@ func (p *pendingWire) add(c *wireCall) uint64 {
 	return uint64(len(p.slots) - 1)
 }
 
-func (p *pendingWire) take(cookie uint64) *wireCall {
-	c := p.slots[cookie]
-	if c == nil {
-		panic(fmt.Sprintf("gupcxx: wire RPC reply for unknown cookie %d", cookie))
+// take removes and returns the call registered under cookie; ok is false
+// for cookies that are out of range or already retired (a duplicated or
+// straggling reply — e.g. one racing the peer-down sweep that failed the
+// call). Such replies are dropped and counted, never crash.
+func (p *pendingWire) take(cookie uint64) (*wireCall, bool) {
+	if cookie >= uint64(len(p.slots)) || p.slots[cookie] == nil {
+		return nil, false
 	}
+	c := p.slots[cookie]
 	p.slots[cookie] = nil
 	p.free = append(p.free, uint32(cookie))
-	return c
+	return c, true
+}
+
+// failPeer retires every pending call targeting peer, resolving each with
+// err. Called from the endpoint's peer-down hook (owner goroutine) when
+// the liveness detector declares the peer unreachable.
+func (p *pendingWire) failPeer(peer int, err error) int {
+	n := 0
+	for id, c := range p.slots {
+		if c != nil && int(c.peer) == peer {
+			p.slots[id] = nil
+			p.free = append(p.free, uint32(id))
+			c.done(err)
+			n++
+		}
+	}
+	return n
 }
 
 // RPCWire invokes registered procedure id on the target rank with the
 // given argument bytes, returning a future carrying the reply bytes. The
 // entire exchange is wire-encoded (request and reply both cross the
 // conduit as data, never as closures).
-func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte) FutureV[[]byte] {
+//
+// The future resolves with an error instead of reply bytes when the
+// procedure is not registered (here or at the target), the target panics
+// executing it (*RemoteError), the target is or becomes unreachable
+// (ErrPeerUnreachable), or an OpDeadline in cxs expires first.
+func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte, cxs ...Cx) FutureV[[]byte] {
 	if int(id) >= len(r.w.rpcHandlers) {
-		panic(fmt.Sprintf("gupcxx: wire RPC to unregistered handler %d", id))
+		return core.FailedFutureV[[]byte](r.eng,
+			fmt.Errorf("gupcxx: wire RPC to unregistered handler %d", id))
 	}
 	return core.InitiateV(r.eng, core.OpDescV[[]byte]{
-		Kind: core.OpRPC,
-		Inject: func(slot *[]byte, done func()) {
-			cookie := r.wire.add(&wireCall{vp: slot, done: done})
+		Kind:     core.OpRPC,
+		Deadline: core.DeadlineOf(cxs),
+		Inject: func(slot *[]byte, done func(error)) {
+			if r.ep.PeerDown(target) {
+				done(ErrPeerUnreachable)
+				return
+			}
+			cookie := r.wire.add(&wireCall{vp: slot, done: done, peer: int32(target)})
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCWireReq,
 				A0:      cookie,
@@ -92,20 +136,34 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte) FutureV[[]byte] 
 	})
 }
 
-// handleRPCWireReq executes a registered procedure and ships the reply.
+// handleRPCWireReq executes a registered procedure and ships the reply —
+// or, when the procedure is missing or panics, a status frame carrying
+// the failure.
 func handleRPCWireReq(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	r := rankOf(ep)
 	id := RPCHandlerID(m.A1)
 	if int(id) >= len(r.w.rpcHandlers) {
-		panic(fmt.Sprintf("gupcxx: wire RPC for unregistered handler %d on rank %d", id, r.Me()))
+		ep.Send(int(m.From), gasnet.Msg{Handler: hRPCWireRep, A0: m.A0, A1: wireRepUnregistered})
+		return
 	}
 	// Zero-copy: the payload is handed to the handler directly under the
 	// RPCHandler contract (read-only, call duration only) — the pooled
 	// buffer it aliases is recycled after dispatch.
-	reply := r.w.rpcHandlers[id](r, m.Payload)
+	var reply []byte
+	err := r.runContained(func(hr *Rank) { reply = r.w.rpcHandlers[id](hr, m.Payload) })
+	if err != nil {
+		ep.Send(int(m.From), gasnet.Msg{
+			Handler: hRPCWireRep,
+			A0:      m.A0,
+			A1:      wireRepPanic,
+			Payload: []byte(err.(*RemoteError).Msg),
+		})
+		return
+	}
 	ep.Send(int(m.From), gasnet.Msg{
 		Handler: hRPCWireRep,
 		A0:      m.A0,
+		A1:      wireRepOK,
 		Payload: reply,
 	})
 }
@@ -113,7 +171,18 @@ func handleRPCWireReq(ep *gasnet.Endpoint, m *gasnet.Msg) {
 // handleRPCWireRep completes the initiator's pending call.
 func handleRPCWireRep(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	r := rankOf(ep)
-	c := r.wire.take(m.A0)
-	*c.vp = append([]byte(nil), m.Payload...)
-	c.done()
+	c, ok := r.wire.take(m.A0)
+	if !ok {
+		r.w.dom.NoteBadCookie()
+		return
+	}
+	switch m.A1 {
+	case wireRepOK:
+		*c.vp = append([]byte(nil), m.Payload...)
+		c.done(nil)
+	case wireRepPanic:
+		c.done(&RemoteError{Rank: int(m.From), Msg: string(m.Payload)})
+	default:
+		c.done(&RemoteError{Rank: int(m.From), Msg: "wire RPC handler not registered at target"})
+	}
 }

@@ -84,22 +84,19 @@ func TestRPCWireSelfAndConcurrent(t *testing.T) {
 	}
 }
 
-func TestRPCWireUnregisteredPanics(t *testing.T) {
+func TestRPCWireUnregisteredFails(t *testing.T) {
 	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 1, SegmentBytes: 1 << 12})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
 	err = w.Run(func(r *gupcxx.Rank) {
-		defer func() {
-			if recover() == nil {
-				t.Error("unregistered handler id should panic")
-			}
-			panic("rethrow") // keep Run's panic accounting consistent
-		}()
-		gupcxx.RPCWire(r, 0, gupcxx.RPCHandlerID(99), nil)
+		_, werr := gupcxx.RPCWire(r, 0, gupcxx.RPCHandlerID(99), nil).WaitErr()
+		if werr == nil || !strings.Contains(werr.Error(), "unregistered") {
+			t.Errorf("unregistered handler id should fail the future, got %v", werr)
+		}
 	})
-	if err == nil || !strings.Contains(err.Error(), "rethrow") {
-		t.Fatalf("expected rank panic, got %v", err)
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -66,7 +66,7 @@ func RputStrided[T any](r *Rank, src []T, dst GlobalPtr[T], sec Strided2D, cxs .
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: sec.Rows,
-		Inject: func(rfn func(ctx any), done func()) {
+		Inject: func(rfn func(ctx any), done func(error)) {
 			var remoteFn func(*gasnet.Endpoint)
 			if rfn != nil {
 				// Remote completion fires once, after the last fragment
@@ -114,7 +114,7 @@ func RgetStrided[T any](r *Rank, src GlobalPtr[T], sec Strided2D, dst []T, cxs .
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: sec.Rows,
-		Inject: func(_ func(ctx any), done func()) {
+		Inject: func(_ func(ctx any), done func(error)) {
 			elemSize := gasnet.SizeOf[T]()
 			for row := 0; row < sec.Rows; row++ {
 				run := dst[row*sec.RunLen : (row+1)*sec.RunLen]
@@ -161,7 +161,7 @@ func RputIndexed[T any](r *Rank, vals []T, dsts []GlobalPtr[T], cxs ...Cx) Resul
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: remote,
-		Inject: func(_ func(ctx any), done func()) {
+		Inject: func(_ func(ctx any), done func(error)) {
 			for i, d := range dsts {
 				if r.localTo(d.rank) {
 					r.w.dom.Segment(int(d.rank)).CopyIn(d.off, gasnet.ValueBytes(&vals[i]))
@@ -201,7 +201,7 @@ func RgetIndexed[T any](r *Rank, srcs []GlobalPtr[T], out []T, cxs ...Cx) Result
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: remote,
-		Inject: func(_ func(ctx any), done func()) {
+		Inject: func(_ func(ctx any), done func(error)) {
 			elemSize := gasnet.SizeOf[T]()
 			for i, s := range srcs {
 				if r.localTo(s.rank) {

@@ -146,7 +146,14 @@ const (
 	PhaseEagerCompleted = core.PhaseEagerCompleted
 	PhaseDeferredQueued = core.PhaseDeferredQueued
 	PhaseWireAcked      = core.PhaseWireAcked
+	PhaseFailed         = core.PhaseFailed
 )
+
+// OpDeadline requests that an asynchronous operation's notifications
+// resolve with ErrDeadlineExceeded if the substrate has not acknowledged
+// within d. It composes with the other completion requests
+// (OpFuture() | OpDeadline(d)); the smallest positive bound wins.
+var OpDeadline = core.OpDeadline
 
 // Config describes a World.
 type Config struct {
@@ -179,6 +186,31 @@ type Config struct {
 	// ("drop=0.25,dup=0.05,reorder=0.10,seed=7") is consulted instead.
 	Fault *FaultConfig
 
+	// RelWindow bounds the UDP reliability layer's per-pair in-flight
+	// datagrams and reorder buffer (default 256).
+	RelWindow int
+
+	// RelMaxAttempts is the UDP retransmission budget per datagram;
+	// exhausting it declares the destination down instead of retrying
+	// forever (default 64).
+	RelMaxAttempts int
+
+	// HeartbeatEvery is the UDP liveness heartbeat period (default 5ms).
+	HeartbeatEvery time.Duration
+
+	// SuspectAfter is the silence bound before a peer is marked Suspect
+	// (recoverable; default 10×HeartbeatEvery).
+	SuspectAfter time.Duration
+
+	// DownAfter is the silence bound before a peer is declared Down
+	// (sticky: its pending and future operations fail with
+	// ErrPeerUnreachable; default 40×HeartbeatEvery).
+	DownAfter time.Duration
+
+	// DisableLiveness turns the UDP heartbeat/failure-detection machinery
+	// off (retransmission exhaustion then aborts the job).
+	DisableLiveness bool
+
 	// Version selects the emulated library behaviour. The zero value
 	// selects Eager2021_3_6, the paper's proposed default.
 	Version Version
@@ -202,12 +234,18 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg.Version = Eager2021_3_6
 	}
 	dom, err := gasnet.NewDomain(gasnet.Config{
-		Ranks:        cfg.Ranks,
-		Conduit:      cfg.Conduit,
-		RanksPerNode: cfg.RanksPerNode,
-		SegmentBytes: cfg.SegmentBytes,
-		SimLatency:   cfg.SimLatency,
-		Fault:        cfg.Fault,
+		Ranks:           cfg.Ranks,
+		Conduit:         cfg.Conduit,
+		RanksPerNode:    cfg.RanksPerNode,
+		SegmentBytes:    cfg.SegmentBytes,
+		SimLatency:      cfg.SimLatency,
+		Fault:           cfg.Fault,
+		RelWindow:       cfg.RelWindow,
+		RelMaxAttempts:  cfg.RelMaxAttempts,
+		HeartbeatEvery:  cfg.HeartbeatEvery,
+		SuspectAfter:    cfg.SuspectAfter,
+		DownAfter:       cfg.DownAfter,
+		DisableLiveness: cfg.DisableLiveness,
 	})
 	if err != nil {
 		return nil, err
@@ -231,6 +269,12 @@ func NewWorld(cfg Config) (*World, error) {
 		r.eng.SetPoller(ep.Poll)
 		r.eng.SetParker(ep.Park)
 		ep.Ctx = r
+		// When the substrate declares a peer dead it fails its own op-table
+		// entries; the hook extends the sweep to the runtime layer's
+		// wire-RPC calls, which track their cookies outside the op table.
+		ep.SetPeerDownHook(func(peer int, err error) {
+			r.wire.failPeer(peer, err)
+		})
 		w.ranks[i] = r
 	}
 	return w, nil
@@ -264,6 +308,13 @@ func (w *World) Run(fn func(*Rank)) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if ab, ok := p.(rankAbort); ok {
+						// A deliberate unwind out of a blocking protocol
+						// (collective abort on peer death): surface the
+						// carried error with its errors.Is chain intact.
+						errs[i] = fmt.Errorf("rank %d: %w", i, ab.err)
+						return
+					}
 					buf := make([]byte, 16<<10)
 					buf = buf[:runtime.Stack(buf, false)]
 					errs[i] = fmt.Errorf("rank %d panicked: %v\n%s", i, p, buf)
@@ -314,6 +365,14 @@ func (w *World) OpStats() OpStats {
 	total.Engine = w.Stats()
 	total.Substrate = w.dom.Stats()
 	return total
+}
+
+// SetFault replaces rank's UDP send-path fault distribution mid-run
+// (e.g. Drop:1 to simulate killing the rank after a healthy start). The
+// shim must have been armed at construction by a non-nil Config.Fault —
+// pass &FaultConfig{} for a fault-free start.
+func (w *World) SetFault(rank int, cfg FaultConfig) error {
+	return w.dom.SetFault(rank, cfg)
 }
 
 // Close releases substrate resources (the UDP conduit's sockets and
