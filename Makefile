@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json test-loss test-fault bench-reliable bench-pipeline ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Deep static analysis. Skips gracefully when the tool is not on PATH so
+# offline checkouts can still run `make ci`; CI installs it explicitly.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
 
 # Substrate fast-path microbenchmarks (ring vs seed mutex queue, wire
 # coalescing, collective exchange). The full paper-figure suite lives in
@@ -50,6 +59,16 @@ test-fault:
 	GUPCXX_UDP_FAULT="drop=0.10,dup=0.20,reorder=0.25,seed=23" \
 		$(GO) test -count 1 -run $(FAULT_TESTS) ./internal/gasnet/ .
 
+# Thirty seconds of mixed RMA/RPC/collective churn from four ranks over a
+# 25%-drop wire with a deliberately starved send window, under the race
+# detector. Exercises the flow-control machinery end to end (DESIGN.md
+# §11): RTT estimation, AIMD window moves, credit admission, bounded
+# backpressure, reorder-budget shedding. Every op must resolve with a
+# value or a typed error, and teardown must leave no goroutines behind.
+test-soak:
+	GUPCXX_SOAK_SECONDS=30 GUPCXX_UDP_FAULT="drop=0.25,seed=7" \
+		$(GO) test -count 1 -race -run TestSoakMixedChurn -timeout 10m .
+
 # Reliability-layer overhead: sequenced vs raw datagrams on a clean wire,
 # plus recovery cost at 10% drop. BENCH_2.json holds the checked-in record.
 bench-reliable:
@@ -64,5 +83,14 @@ bench-pipeline:
 		| ./scripts/bench2json.sh > BENCH_3.json
 	./scripts/check_bench3.sh BENCH_3.json
 
+# Same pipeline suite re-recorded after the flow-control work (BENCH_4.json
+# is the checked-in record): admission sits on the initiation path, so this
+# is the proof it costs nothing on-node — the eager rows must still show
+# zero allocations, enforced by the same gate as BENCH_3.
+bench-flow:
+	$(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . \
+		| ./scripts/bench2json.sh > BENCH_4.json
+	./scripts/check_bench3.sh BENCH_4.json
+
 # Everything CI runs, in CI's order.
-ci: build test race vet test-loss test-fault
+ci: build test race vet staticcheck test-loss test-fault test-soak

@@ -53,7 +53,9 @@ func (ad *AtomicDomain[T]) apply(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, cxs 
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpAtomic,
+		Kind:  core.OpAtomic,
+		Peer:  int(p.rank),
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(_ uint64, err error) { done(err) })
 		},
@@ -71,6 +73,8 @@ func (ad *AtomicDomain[T]) fetch(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, mode
 		Kind:  core.OpAtomic,
 		Local: r.localTo(p.rank),
 		Mode:  m,
+		Peer:  int(p.rank),
+		Admit: true,
 		MoveV: func() T {
 			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
 		},
@@ -102,7 +106,9 @@ func (ad *AtomicDomain[T]) fetchInto(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 T, 
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpAtomic,
+		Kind:  core.OpAtomic,
+		Peer:  int(p.rank),
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.AmoRemote(int(p.rank), p.off, op, uint64(o1), uint64(o2), func(old uint64, err error) {
 				if err == nil {
@@ -127,6 +133,8 @@ func (ad *AtomicDomain[T]) fetchPromise(p GlobalPtr[T], op gasnet.AmoOp, o1, o2 
 		Kind:  core.OpAtomic,
 		Local: r.localTo(p.rank),
 		Mode:  m,
+		Peer:  int(p.rank),
+		Admit: true,
 		MoveV: func() T {
 			return T(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, uint64(o1), uint64(o2)))
 		},

@@ -39,7 +39,9 @@ func (ad *AtomicDomainF64) applyF(p GlobalPtr[float64], op gasnet.AmoOp, v float
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpAtomic,
+		Kind:  core.OpAtomic,
+		Peer:  int(p.rank),
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.AmoRemote(int(p.rank), p.off, op, bits, 0, func(_ uint64, err error) { done(err) })
 		},
@@ -58,6 +60,8 @@ func (ad *AtomicDomainF64) fetchF(p GlobalPtr[float64], op gasnet.AmoOp, v float
 		Kind:  core.OpAtomic,
 		Local: r.localTo(p.rank),
 		Mode:  m,
+		Peer:  int(p.rank),
+		Admit: true,
 		MoveV: func() float64 {
 			return math.Float64frombits(gasnet.ApplyAmo(r.w.dom.Segment(int(p.rank)), p.off, op, bits, 0))
 		},

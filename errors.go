@@ -24,8 +24,21 @@ var (
 
 	// ErrDeadlineExceeded resolves operations whose OpDeadline (or
 	// descriptor deadline) elapsed before the substrate acknowledgment.
+	// It also matches context.DeadlineExceeded under errors.Is, so
+	// stdlib-style timeout classification works unchanged.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+
+	// ErrBackpressure resolves operations refused admission because the
+	// target rank's send window stayed full: the peer is alive but
+	// overloaded. The concrete error is a *BackpressureError carrying the
+	// peer rank; match the class with errors.Is(err, ErrBackpressure) and
+	// extract the rank with errors.As.
+	ErrBackpressure = gasnet.ErrBackpressure
 )
+
+// BackpressureError is the typed form of ErrBackpressure, recording which
+// peer's send window was full.
+type BackpressureError = gasnet.BackpressureError
 
 // RemoteError reports that a remotely-executed procedure (wire RPC
 // handler or shipped closure) panicked on the target rank. The panic is

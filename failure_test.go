@@ -15,6 +15,7 @@ import (
 // reply frame, and resolves the initiator's future as a *RemoteError; the
 // target keeps serving afterwards.
 func TestWireRPCHandlerPanicContained(t *testing.T) {
+	defer leakCheck(t)()
 	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12})
 	if err != nil {
 		t.Fatal(err)
@@ -83,6 +84,7 @@ func TestClosureRPCPanicContained(t *testing.T) {
 // acknowledgment arrives, and a when_all conjunction over a failed and a
 // pending future must short-circuit on the failure.
 func TestOpDeadlineOnSlowWire(t *testing.T) {
+	defer leakCheck(t)()
 	lat := 200 * time.Millisecond
 	w, err := gupcxx.NewWorld(gupcxx.Config{
 		Ranks: 2, Conduit: gupcxx.SIM, SimLatency: lat, SegmentBytes: 1 << 12,
@@ -132,6 +134,7 @@ func TestOpDeadlineOnSlowWire(t *testing.T) {
 // ErrPeerUnreachable within the detection budget, with zero process
 // panics.
 func TestPeerKilledMidRun(t *testing.T) {
+	defer leakCheck(t)()
 	w, err := gupcxx.NewWorld(gupcxx.Config{
 		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12,
 		Fault:          &gupcxx.FaultConfig{}, // armed, fault-free
@@ -209,6 +212,7 @@ func TestPeerKilledMidRun(t *testing.T) {
 // participant — the waiting rank unwinds and Run surfaces an error
 // wrapping ErrPeerUnreachable.
 func TestBarrierAbortsOnPeerDeath(t *testing.T) {
+	defer leakCheck(t)()
 	w, err := gupcxx.NewWorld(gupcxx.Config{
 		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12,
 		Fault:          &gupcxx.FaultConfig{},

@@ -259,6 +259,39 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 	return res
 }
 
+// deliverFailed resolves every requested completion with err at
+// initiation — the admission-refused path (ErrBackpressure, down peer):
+// the operation never entered the substrate, so its failure is delivered
+// the same way a synchronous success would be, as a value. Futures come
+// back already failed, promises record the error while keeping their
+// counter discipline, LPCs still run at the next progress call (the
+// operation is over, just not successfully). Remote and deadline
+// requests have nothing to deliver.
+func (e *Engine) deliverFailed(k OpKind, cxs []Cx, err error) Result {
+	e.Stats.OpsFailed++
+	e.phase(k, PhaseFailed)
+	var res Result
+	for _, cx := range cxs {
+		if cx.Ev == EvRemote {
+			continue
+		}
+		switch cx.Kind {
+		case KFuture:
+			res.set(cx.Ev, e.FailedFuture(err))
+		case KPromise:
+			cx.Prom.Require(1)
+			cx.Prom.FulfillError(err)
+		case KLPC:
+			e.EnqueueLPC(cx.Fn)
+		case KDeadline:
+			// Nothing to bound: the operation already resolved.
+		default:
+			panic(fmt.Sprintf("gupcxx: completion kind %d invalid for event %v", cx.Kind, cx.Ev))
+		}
+	}
+	return res
+}
+
 // set records a produced future in the Result slot for its event.
 func (r *Result) set(ev Event, f Future) {
 	switch ev {

@@ -48,6 +48,13 @@ type Engine struct {
 	// read).
 	deadlines []dlEntry
 
+	// admit is the substrate's credit-based admission hook (SetAdmitter):
+	// consulted before injecting a remote operation whose descriptor
+	// requests admission, so a full send window surfaces as a completion
+	// value (ErrBackpressure) instead of an unbounded block inside the
+	// substrate. nil means always admitted.
+	admit func(peer int, maxWait time.Duration) error
+
 	// Stats counts allocation- and queue-level events, so tests can assert
 	// the cost model the paper describes (e.g. an eager on-node put
 	// allocates no cells and touches no queues).
@@ -93,6 +100,15 @@ func (e *Engine) SetPoller(fn func() int) { e.poller = fn }
 // after an idle Progress to relinquish the CPU until new messages may
 // arrive.
 func (e *Engine) SetParker(fn func()) { e.parker = fn }
+
+// SetAdmitter installs the substrate's per-peer admission hook, consulted
+// by Initiate/InitiateV for remote descriptors that request admission
+// (OpDesc.Admit). fn receives the target rank and the operation's
+// deadline budget (zero when it has none; the substrate applies its own
+// policy bound) and returns nil to admit, or the error — typically
+// ErrBackpressure or ErrPeerUnreachable — to deliver through the
+// operation's completions. nil removes the hook.
+func (e *Engine) SetAdmitter(fn func(peer int, maxWait time.Duration) error) { e.admit = fn }
 
 // idleSpin is the number of consecutive idle progress steps a waiter
 // yields (cheap, low-latency) before parking on the substrate (cheap for

@@ -1,8 +1,26 @@
 package core
 
-import "errors"
+import "context"
+
+// deadlineError is the concrete type behind ErrDeadlineExceeded. It is a
+// distinct sentinel (so errors.Is(err, ErrDeadlineExceeded) keeps
+// working) that also matches the stdlib's context.DeadlineExceeded, so
+// code written against context-style timeouts — retry helpers, gRPC-ish
+// classifiers — recognizes a per-op deadline expiry without knowing this
+// package.
+type deadlineError struct{}
+
+func (deadlineError) Error() string { return "gupcxx: operation deadline exceeded" }
+
+// Is makes errors.Is(err, context.DeadlineExceeded) true for deadline
+// failures.
+func (deadlineError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// Timeout reports true, satisfying the net.Error-style timeout probe.
+func (deadlineError) Timeout() bool { return true }
 
 // ErrDeadlineExceeded is the failure recorded on an operation whose per-op
 // deadline (OpDesc.Deadline / OpDeadline completion) expired before the
-// substrate acknowledged it. Test with errors.Is.
-var ErrDeadlineExceeded = errors.New("gupcxx: operation deadline exceeded")
+// substrate acknowledged it. Test with errors.Is — it matches both this
+// sentinel and context.DeadlineExceeded.
+var ErrDeadlineExceeded error = deadlineError{}

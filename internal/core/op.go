@@ -196,6 +196,22 @@ type OpDesc struct {
 	// the notifications resolve with ErrDeadlineExceeded. OpDeadline
 	// completion requests compose with it (smallest bound wins).
 	Deadline time.Duration
+
+	// Peer is the target rank, consulted by the admission hook; meaningful
+	// only when Admit is set (the zero value must stay inert — rank 0 is a
+	// real rank, so a bare Peer field without the flag would make it the
+	// accidental admission target of every descriptor that leaves it
+	// unset).
+	Peer int
+
+	// Admit subjects this remote injection to the substrate's per-peer
+	// credit admission (Engine.SetAdmitter): a refused operation resolves
+	// its completions with the admission error (ErrBackpressure,
+	// ErrPeerUnreachable) instead of entering the substrate. Ignored for
+	// Local descriptors and when no admitter is installed. Both fields are
+	// scalars so the descriptor's escape class — and the eager path's
+	// zero-allocation guarantee — is unchanged.
+	Admit bool
 }
 
 // Initiate runs one value-less operation through the unified pipeline and
@@ -216,10 +232,12 @@ type OpDesc struct {
 // data-movement closures out of the descriptor's escape class (initiate
 // only ever calls them), so the eager fast path allocates nothing.
 func (e *Engine) Initiate(d OpDesc, cxs []Cx) Result {
-	return e.initiate(d.Kind, d.Local, cxs, d.Frags, d.Deadline, d.Move, d.ShipRemote, d.Inject)
+	return e.initiate(d.Kind, d.Local, cxs, d.Frags, d.Deadline, d.Peer, d.Admit,
+		d.Move, d.ShipRemote, d.Inject)
 }
 
 func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Duration,
+	peer int, admit bool,
 	move func(), ship func(rfn func(ctx any)), inject func(rfn func(ctx any), done func(error))) Result {
 	e.phase(k, PhaseInitiated)
 	if local {
@@ -242,9 +260,25 @@ func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Dur
 		return e.deliverSync(k, cxs)
 	}
 	if len(cxs) == 0 {
-		// Fire-and-forget: no completion state at all.
+		// Fire-and-forget: no completion state at all. A refused admission
+		// has no sink to deliver to — the failure is booked and the message
+		// dropped, exactly as a send toward a down peer is.
+		if admit && e.admit != nil && e.admit(peer, dl) != nil {
+			e.Stats.OpsFailed++
+			e.phase(k, PhaseFailed)
+			return Result{}
+		}
 		inject(nil, nil)
 		return Result{}
+	}
+	// Credit admission happens before any completion state is built: a
+	// refused operation never entered the substrate, so its failure is
+	// delivered eagerly as a value (the whole point of surfacing overload
+	// at initiation instead of blocking inside rel.send).
+	if admit && e.admit != nil {
+		if err := e.admit(peer, effectiveDeadline(dl, cxs)); err != nil {
+			return e.deliverFailed(k, cxs, err)
+		}
 	}
 	res, ac := e.prepareAsync(k, cxs)
 	if frags > 1 {
@@ -296,6 +330,12 @@ type OpDescV[T any] struct {
 	// Deadline, when positive, bounds the asynchronous operation's
 	// completion time (ErrDeadlineExceeded on expiry).
 	Deadline time.Duration
+
+	// Peer / Admit mirror OpDesc: with Admit set, the remote injection is
+	// subject to the substrate's per-peer credit admission, and a refusal
+	// resolves the returned future (or promise) with the admission error.
+	Peer  int
+	Admit bool
 }
 
 // InitiateV runs one value-producing operation through the unified
@@ -306,10 +346,11 @@ type OpDescV[T any] struct {
 // future instead of in a heap cell — the pipeline's answer to §III-B's
 // "a ready value future must still allocate".
 func InitiateV[T any](e *Engine, d OpDescV[T]) FutureV[T] {
-	return initiateV(e, d.Kind, d.Local, d.Mode, d.Deadline, d.MoveV, d.Inject)
+	return initiateV(e, d.Kind, d.Local, d.Mode, d.Deadline, d.Peer, d.Admit, d.MoveV, d.Inject)
 }
 
 func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
+	peer int, admit bool,
 	moveV func() T, inject func(slot *T, done func(error))) FutureV[T] {
 	e.phase(k, PhaseInitiated)
 	if local {
@@ -333,6 +374,13 @@ func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 		h.Defer()
 		return fut
 	}
+	if admit && e.admit != nil {
+		if err := e.admit(peer, dl); err != nil {
+			e.Stats.OpsFailed++
+			e.phase(k, PhaseFailed)
+			return FailedFutureV[T](e, err)
+		}
+	}
 	fut, vp, h := NewFutureV[T](e)
 	h.kind = k
 	if dl > 0 {
@@ -345,10 +393,11 @@ func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 // InitiateVPromise runs one value-producing operation through the unified
 // pipeline, delivering the value through the registered promise p.
 func InitiateVPromise[T any](e *Engine, d OpDescV[T], p *PromiseV[T]) {
-	initiateVPromise(e, d.Kind, d.Local, d.Mode, d.MoveV, d.Inject, p)
+	initiateVPromise(e, d.Kind, d.Local, d.Mode, d.Deadline, d.Peer, d.Admit, d.MoveV, d.Inject, p)
 }
 
-func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode,
+func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
+	peer int, admit bool,
 	moveV func() T, inject func(slot *T, done func(error)), p *PromiseV[T]) {
 	e.phase(k, PhaseInitiated)
 	p.Bind()
@@ -365,6 +414,14 @@ func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode,
 		e.phase(k, PhaseDeferredQueued)
 		p.DeliverDeferred(v)
 		return
+	}
+	if admit && e.admit != nil {
+		if err := e.admit(peer, dl); err != nil {
+			e.Stats.OpsFailed++
+			e.phase(k, PhaseFailed)
+			p.DeliverError(err)
+			return
+		}
 	}
 	inject(p.ValueSlot(), func(err error) {
 		if err != nil {

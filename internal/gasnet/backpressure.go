@@ -1,0 +1,138 @@
+package gasnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBackpressure is the sentinel for admission refused because the
+// target peer's send window is full: the peer is alive but cannot absorb
+// more traffic right now. Under the fail-fast policy it is returned
+// immediately; under the bounded-block policy (the default) it is
+// returned only after waiting out the admission bound without a credit.
+// The concrete error is a *BackpressureError carrying the peer rank; test
+// with errors.Is(err, ErrBackpressure).
+var ErrBackpressure = errors.New("gasnet: peer send window full (backpressure)")
+
+// BackpressureError is the typed form of ErrBackpressure: it records
+// which peer's window was full, so callers can shed or reroute per
+// destination. errors.Is(err, ErrBackpressure) matches it.
+type BackpressureError struct {
+	Peer int
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("gasnet: send window to rank %d full (backpressure)", e.Peer)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) true for every
+// *BackpressureError regardless of peer.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
+// AdmitSend is credit-based admission for one operation targeting rank
+// `to`: it answers "may this rank inject toward that peer right now?"
+// before any buffer is staged or sequence number assigned. nil means
+// admitted. A down peer yields ErrPeerUnreachable; a full congestion
+// window yields *BackpressureError — immediately under the fail-fast
+// policy, or after a bounded wait for a credit under the default
+// blocking policy (the wait is the smaller of Config.BackpressureWait
+// and the caller's own deadline budget, passed as maxWait; maxWait <= 0
+// means no caller bound).
+//
+// Admission is an occupancy check, not a reservation: coalescing can pack
+// several admitted messages into one datagram, so a reserved-credit
+// scheme would leak credits. The residual over-admission is bounded by
+// rel.send's own (liveness-aware) window block.
+//
+// Conduits without a reliability layer (SMP, PSHM, SIM, unreliable UDP)
+// and self-sends have no window to fill and are always admitted.
+func (ep *Endpoint) AdmitSend(to int, maxWait time.Duration) error {
+	d := ep.dom
+	if d.rel == nil || to == ep.rank || to < 0 || to >= d.cfg.Ranks {
+		return nil
+	}
+	if ep.PeerDown(to) {
+		d.downPeerFails.Add(1)
+		return ErrPeerUnreachable
+	}
+	return d.rel.admit(ep.rank, to, maxWait)
+}
+
+// admit implements AdmitSend's window check against the from→to pair.
+func (r *reliability) admit(from, to int, maxWait time.Duration) error {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	if len(p.inflight) < p.cwnd {
+		p.mu.Unlock()
+		return nil
+	}
+	if r.bpFailFast {
+		p.mu.Unlock()
+		r.d.backpressureFails.Add(1)
+		return &BackpressureError{Peer: to}
+	}
+	// Bounded block: wait for a credit, a Down transition, or the bound.
+	// Acks are processed on the socket reader goroutines, so credits free
+	// even though this goroutine is parked — the wait cannot deadlock the
+	// pair against itself. Deadlines use the real clock: this path is
+	// already off the fast path by definition.
+	wait := r.bpWait
+	if maxWait > 0 && maxWait < wait {
+		wait = maxWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		if r.closed.Load() {
+			// Racing shutdown: admit; send will drop the datagram.
+			p.mu.Unlock()
+			return nil
+		}
+		if p.down {
+			p.mu.Unlock()
+			r.d.downPeerFails.Add(1)
+			return ErrPeerUnreachable
+		}
+		if len(p.inflight) < p.cwnd {
+			p.mu.Unlock()
+			return nil
+		}
+		p.mu.Unlock()
+		if time.Now().After(deadline) {
+			r.d.backpressureFails.Add(1)
+			return &BackpressureError{Peer: to}
+		}
+		time.Sleep(50 * time.Microsecond)
+		p.mu.Lock()
+	}
+}
+
+// FlowState is a snapshot of one pair's congestion-control state, for
+// observability and tests: the smoothed RTT estimate, the current
+// retransmission timeout, the adaptive window, and its occupancy.
+type FlowState struct {
+	SRTT     time.Duration
+	RTO      time.Duration
+	Window   int
+	InFlight int
+}
+
+// FlowState reports rank local's congestion state toward peer. The zero
+// FlowState is returned for conduits without a reliability layer, for
+// self-queries, and for out-of-range ranks (there is no flow to report).
+func (d *Domain) FlowState(local, peer int) FlowState {
+	if d.rel == nil || local == peer ||
+		local < 0 || local >= d.cfg.Ranks || peer < 0 || peer >= d.cfg.Ranks {
+		return FlowState{}
+	}
+	p := d.rel.pair(local, peer)
+	p.mu.Lock()
+	fs := FlowState{
+		SRTT:     time.Duration(p.srtt),
+		RTO:      time.Duration(p.rto),
+		Window:   p.cwnd,
+		InFlight: len(p.inflight),
+	}
+	p.mu.Unlock()
+	return fs
+}

@@ -80,6 +80,20 @@ func ParseConduit(s string) (Conduit, error) {
 // Config.SegmentBytes is zero.
 const DefaultSegmentBytes = 16 << 20
 
+// BackpressurePolicy selects how admission reacts to a full send window
+// (see Config.Backpressure).
+type BackpressurePolicy int
+
+const (
+	// BackpressureBlock (the default) waits — bounded by
+	// Config.BackpressureWait and the operation's deadline — for a window
+	// credit before failing the operation with ErrBackpressure.
+	BackpressureBlock BackpressurePolicy = iota
+	// BackpressureFailFast fails the operation with ErrBackpressure
+	// immediately when the window is full.
+	BackpressureFailFast
+)
+
 // Config describes a gasnet job: the number of ranks, how they are grouped
 // into nodes, the conduit connecting them, and segment sizing.
 type Config struct {
@@ -120,8 +134,36 @@ type Config struct {
 
 	// RelWindow bounds the reliability layer's per-pair in-flight
 	// (unacked) datagrams and receive-side reorder buffer. Zero selects
-	// the default (256). Reliable UDP only.
+	// the default (256). It is the *maximum* of the adaptive congestion
+	// window, which moves AIMD-style between RelWindowMin and this value.
+	// Reliable UDP only.
 	RelWindow int
+
+	// RelWindowMin is the AIMD floor of the adaptive congestion window:
+	// loss signals never halve the window below this. Zero selects the
+	// default (8, clamped to RelWindow). Reliable UDP only.
+	RelWindowMin int
+
+	// RelReorderBytes bounds, per rank pair, the bytes of out-of-order
+	// frames parked in the receive-side reorder buffer. Parking past the
+	// budget sheds the parked frame furthest from delivery (the sender
+	// retransmits it), so one peer's burst cannot pin unbounded memory.
+	// Zero selects the default (1 MiB). Reliable UDP only.
+	RelReorderBytes int
+
+	// Backpressure selects the admission policy when an operation targets
+	// a peer whose send window is full: BackpressureBlock (the zero value)
+	// waits up to BackpressureWait for a credit before failing with
+	// ErrBackpressure; BackpressureFailFast fails immediately, surfacing
+	// overload as a completion value the caller can react to. Reliable
+	// UDP only.
+	Backpressure BackpressurePolicy
+
+	// BackpressureWait bounds how long blocking admission
+	// (BackpressureBlock) may wait for a window credit. Zero selects the
+	// default (2s). The wait is further capped by the operation's own
+	// deadline, when it has one. Reliable UDP only.
+	BackpressureWait time.Duration
 
 	// RelMaxAttempts is the retransmission budget: this many fruitless
 	// retransmits of one datagram exhaust the attempt budget and the
@@ -185,6 +227,30 @@ func (c Config) normalized() (Config, error) {
 			}
 			if c.RelMaxAttempts == 0 {
 				c.RelMaxAttempts = relMaxAttempts
+			}
+			if c.RelWindowMin < 0 || c.RelReorderBytes < 0 || c.BackpressureWait < 0 {
+				return c, fmt.Errorf("gasnet: RelWindowMin, RelReorderBytes, and BackpressureWait must be >= 0")
+			}
+			if c.RelWindowMin > c.RelWindow {
+				return c, fmt.Errorf("gasnet: RelWindowMin (%d) must be <= RelWindow (%d)",
+					c.RelWindowMin, c.RelWindow)
+			}
+			if c.RelWindowMin == 0 {
+				c.RelWindowMin = relWindowMin
+				if c.RelWindowMin > c.RelWindow {
+					c.RelWindowMin = c.RelWindow
+				}
+			}
+			if c.RelReorderBytes == 0 {
+				c.RelReorderBytes = relReorderBytes
+			}
+			switch c.Backpressure {
+			case BackpressureBlock, BackpressureFailFast:
+			default:
+				return c, fmt.Errorf("gasnet: unknown Backpressure policy %d", c.Backpressure)
+			}
+			if c.BackpressureWait == 0 {
+				c.BackpressureWait = relBPWait
 			}
 			if c.HeartbeatEvery <= 0 {
 				c.HeartbeatEvery = 5 * time.Millisecond

@@ -48,6 +48,15 @@ type Domain struct {
 	badHandlerDrops     atomic.Int64
 	handlerPanics       atomic.Int64
 
+	// Flow-control instrumentation (see Stats, reliable.go,
+	// backpressure.go).
+	backpressureFails atomic.Int64
+	windowShrinks     atomic.Int64
+	windowGrows       atomic.Int64
+	rtoExpirations    atomic.Int64
+	shedBytes         atomic.Int64
+	shedFrames        atomic.Int64
+
 	// udp is the socket transport, present only on the UDP conduit; rel is
 	// its reliability layer, absent under Config.UDPUnreliable; lv is the
 	// peer-failure detector riding rel's ticker, absent under
@@ -143,6 +152,25 @@ type Stats struct {
 	// observable.
 	RelInflightHighWater int64
 	RelReorderHighWater  int64
+	// BackpressureFails counts operations refused admission because the
+	// target's send window stayed full (ErrBackpressure) — immediately
+	// under the fail-fast policy, after the bounded wait under the
+	// blocking one.
+	BackpressureFails int64
+	// WindowShrinks / WindowGrows count AIMD congestion-window moves:
+	// multiplicative decreases on RTO expiry (at most one per window of
+	// loss) and additive increases on cleanly-sampled acks.
+	WindowShrinks int64
+	WindowGrows   int64
+	// RTOExpirations counts ticker sweeps in which a pair had at least one
+	// retransmission deadline expire — the estimator-level loss events, as
+	// opposed to Retransmits, which counts datagrams re-sent.
+	RTOExpirations int64
+	// ShedBytes / ShedFrames count out-of-order frames dropped by the
+	// receive-side byte budget (Config.RelReorderBytes); the sender
+	// repairs them by retransmission.
+	ShedBytes  int64
+	ShedFrames int64
 }
 
 // Stats returns a snapshot of the substrate fast-path counters, aggregated
@@ -170,6 +198,13 @@ func (d *Domain) Stats() Stats {
 		BadCookieDrops:      d.badCookieDrops.Load(),
 		BadHandlerDrops:     d.badHandlerDrops.Load(),
 		HandlerPanics:       d.handlerPanics.Load(),
+
+		BackpressureFails: d.backpressureFails.Load(),
+		WindowShrinks:     d.windowShrinks.Load(),
+		WindowGrows:       d.windowGrows.Load(),
+		RTOExpirations:    d.rtoExpirations.Load(),
+		ShedBytes:         d.shedBytes.Load(),
+		ShedFrames:        d.shedFrames.Load(),
 	}
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
@@ -446,9 +481,14 @@ func (ep *Endpoint) Poll() int {
 }
 
 // dispatch routes one message to its handler. A message bearing an
-// unregistered handler id is counted and dropped, not trusted to crash
-// the job: on the UDP conduit it came off a socket.
+// out-of-range or unregistered handler id is counted and dropped, not
+// trusted to crash the job: on the UDP conduit it came off a socket, and
+// the full uint8 id space is wider than the handler table.
 func (ep *Endpoint) dispatch(m *Msg) {
+	if int(m.Handler) >= len(ep.dom.handlers) {
+		ep.dom.badHandlerDrops.Add(1)
+		return
+	}
 	h := ep.dom.handlers[m.Handler]
 	if h == nil {
 		ep.dom.badHandlerDrops.Add(1)

@@ -6,7 +6,7 @@ import (
 	"time"
 )
 
-func newTestDomain(t *testing.T, cfg Config) *Domain {
+func newTestDomain(t testing.TB, cfg Config) *Domain {
 	t.Helper()
 	d, err := NewDomain(cfg)
 	if err != nil {

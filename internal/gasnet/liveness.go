@@ -133,6 +133,20 @@ func (lv *liveness) down(local, peer int) bool {
 // epochOf returns local's down-event counter.
 func (lv *liveness) epochOf(local int) uint32 { return lv.epoch[local].Load() }
 
+// markSuspect transitions local's view of peer from Alive to Suspect —
+// the overload signal from sustained receive-side shedding (reliable.go
+// sweep), sharing the state machine with silence-based suspicion. A
+// Suspect peer recovers to Alive through heard; Down peers and already-
+// Suspect peers are left alone. Callable from any goroutine.
+func (lv *liveness) markSuspect(local, peer int) {
+	if peer < 0 || peer >= lv.ranks || peer == local {
+		return
+	}
+	if lv.state[lv.idx(local, peer)].CompareAndSwap(peerAlive, peerSuspect) {
+		lv.d.peersSuspected.Add(1)
+	}
+}
+
 // markDown transitions local's view of peer to Down (idempotent) and bumps
 // local's epoch so the rank goroutine sweeps its op table at the next
 // Poll. Callable from any goroutine.

@@ -132,6 +132,9 @@ func TestHeartbeatSilenceMarksPeerDown(t *testing.T) {
 
 // TestLivenessConfigValidation pins the liveness knobs' validation.
 func TestLivenessConfigValidation(t *testing.T) {
+	// A GUPCXX_UDP_FAULT preset (make test-loss) arms the fault shim on
+	// every domain and would invalidate the unarmed-shim assertion below.
+	t.Setenv(faultEnvVar, "")
 	if _, err := NewDomain(Config{Ranks: 2, Conduit: UDP,
 		SuspectAfter: 50 * time.Millisecond, DownAfter: 10 * time.Millisecond}); err == nil {
 		t.Error("DownAfter < SuspectAfter accepted")

@@ -33,12 +33,23 @@ import (
 //
 // Sender side, per (sender, peer) pair: datagrams are stamped with the
 // next sequence number and retained in a retransmission queue (one buffer
-// reference each — see pool.go) until acknowledged; the ticker retransmits
-// entries whose deadline passed, doubling the timeout up to relRTOMax. The
-// queue is bounded by the configured window (Config.RelWindow, default
-// relWindow): a send beyond the window blocks until the oldest datagram is
-// acked, so a dead peer stalls its senders instead of exhausting the
-// buffer arena. Exhausting the retransmission budget
+// reference each — see pool.go) until acknowledged. Retransmission timing
+// is adaptive: each pair runs a Jacobson/Karels RTT estimator (srtt/rttvar
+// updated from the ack timing of never-retransmitted datagrams — Karn's
+// rule), and the derived RTO (srtt + 4·rttvar, clamped to
+// [relRTOMin, relRTOMax]) seeds every new entry's deadline; per-entry
+// exponential backoff still doubles it on each expiry. The queue is
+// bounded by an adaptive congestion window run AIMD-style between
+// Config.RelWindowMin and Config.RelWindow: an RTO expiry halves it (at
+// most once per in-flight window of loss, guarded by a recovery sequence,
+// the way TCP's fast-recovery exit works), and each cleanly-acked RTT
+// sample grows it back by one. A send beyond the window blocks — bounded:
+// the block re-checks the peer's liveness, so a peer declared Down
+// mid-block wakes its senders promptly instead of wedging them (the op
+// pipeline then fails the operations with ErrPeerUnreachable). Callers
+// that must not block at all ask first via admit (credit-based admission,
+// surfaced as Endpoint.AdmitSend and core.Engine initiation).
+// Exhausting the retransmission budget
 // (Config.RelMaxAttempts, default relMaxAttempts) declares the
 // destination down via the liveness detector (liveness.go): its queue is
 // released, its pending operations fail with ErrPeerUnreachable, and the
@@ -50,7 +61,16 @@ import (
 // cumulative sequence are duplicates, dropped with an immediate re-ack
 // (the sender is clearly retransmitting, so its ack got lost); frames
 // beyond the window are dropped (the sender will retransmit once the
-// window opens); everything else parks in a bounded reorder buffer.
+// window opens); everything else parks in a reorder buffer bounded both
+// by the window (frame count) and by a byte budget
+// (Config.RelReorderBytes): parking past the budget sheds the parked
+// frame furthest from delivery (highest sequence — the one the sender
+// retransmits last), so one peer's burst cannot pin unbounded arena
+// memory, and sustained shedding from a peer feeds the liveness
+// detector's Alive→Suspect transition. Standalone-ack pacing is also
+// RTT-driven: the receiver holds a pending ack for about a quarter RTT
+// (clamped) hoping to piggyback it before the ticker ships a standalone
+// one.
 //
 // Sequence numbers are 32-bit and do not wrap: at the conduit's datagram
 // rates, exhausting them would take years of continuous traffic.
@@ -63,12 +83,35 @@ const (
 	// the receive-side reorder buffer.
 	relWindow = 256
 
-	// relRTO is the initial retransmission timeout — comfortably above a
-	// loopback round trip plus the receiver's worst-case ack delay, so a
-	// healthy run retransmits (almost) nothing. Backoff doubles it per
-	// attempt up to relRTOMax.
+	// relRTO is the initial retransmission timeout used until the RTT
+	// estimator has its first sample — comfortably above a loopback round
+	// trip plus the receiver's worst-case ack delay, so a healthy run
+	// retransmits (almost) nothing. Once samples arrive the estimator's
+	// RTO (clamped to [relRTOMin, relRTOMax]) takes over; per-entry
+	// backoff doubles it per attempt up to relRTOMax.
 	relRTO    = int64(5 * time.Millisecond)
+	relRTOMin = int64(2 * time.Millisecond)
 	relRTOMax = int64(100 * time.Millisecond)
+
+	// relWindowMin is the default AIMD floor: the congestion window is
+	// never halved below this many datagrams, so even a heavily-lossy pair
+	// keeps a minimal pipeline.
+	relWindowMin = 8
+
+	// relReorderBytes is the default per-pair byte budget for parked
+	// out-of-order frames; parking beyond it sheds the frame furthest
+	// from delivery (see receive).
+	relReorderBytes = 1 << 20
+
+	// relShedSuspect sheds within one ticker sweep mark the overloading
+	// sender Suspect — sustained receive-side pressure is a liveness
+	// signal, not just an accounting line.
+	relShedSuspect = 4
+
+	// relBPWait is the default bound on blocking admission
+	// (Config.BackpressureWait): how long AdmitSend may wait for a window
+	// credit before giving up with ErrBackpressure.
+	relBPWait = 2 * time.Second
 
 	// relMaxAttempts retransmissions without an ack abort the job: the
 	// peer is dead or the network is partitioned, and blocking forever
@@ -77,8 +120,13 @@ const (
 
 	// relAckDelay is how long a receiver sits on a pending ack hoping to
 	// piggyback it on an outgoing datagram before the ticker ships a
-	// standalone one.
-	relAckDelay = int64(time.Millisecond)
+	// standalone one — the default until the RTT estimator has samples,
+	// after which the per-pair delay tracks srtt/4 clamped to
+	// [relAckDelayMin, relAckDelayMax] (well under the sender's RTO, so
+	// pacing never provokes a retransmission).
+	relAckDelay    = int64(time.Millisecond)
+	relAckDelayMin = int64(250 * time.Microsecond)
+	relAckDelayMax = int64(4 * time.Millisecond)
 
 	// relAckEvery forces a standalone ack after this many deliveries since
 	// the last shipped ack, so a one-way stream keeps the sender's window
@@ -99,6 +147,7 @@ type relEntry struct {
 	attempts int
 	rto      int64
 	deadline int64 // cached-clock time of the next retransmission
+	sentAt   int64 // real-clock time of the initial transmission (RTT sampling)
 	wb       *wireBuf
 }
 
@@ -115,12 +164,25 @@ type relPair struct {
 	nextSeq  uint32 // last assigned sequence number (first assigned is 1)
 	inflight []relEntry
 
+	// Congestion state for the send stream (Jacobson/Karels estimator +
+	// AIMD window, see the package comment). srtt == 0 means no sample
+	// yet; rto and cwnd are seeded by newReliability.
+	srtt       int64  // smoothed RTT, ns
+	rttvar     int64  // RTT mean deviation, ns
+	rto        int64  // current estimator RTO, ns (seeds new entries)
+	cwnd       int    // adaptive window, in [windowMin, window]
+	sendAcked  uint32 // highest cumulative ack the peer has sent us
+	recoverSeq uint32 // no second multiplicative decrease until acked past this
+
 	// Receive stream peer→local.
-	cumSeq     uint32              // highest contiguously received
-	lastAck    uint32              // last cumulative ack shipped to peer
-	reorder    map[uint32]*wireBuf // buffered out-of-order frames
-	ackPending bool
-	ackSince   int64 // cached-clock time ackPending was set
+	cumSeq       uint32              // highest contiguously received
+	lastAck      uint32              // last cumulative ack shipped to peer
+	reorder      map[uint32]*wireBuf // buffered out-of-order frames
+	reorderBytes int                 // bytes parked in reorder
+	shedRecent   int                 // frames shed since the last ticker sweep
+	ackPending   bool
+	ackSince     int64 // cached-clock time ackPending was set
+	ackDelay     int64 // RTT-paced standalone-ack delay, ns
 
 	// High-water marks of the window-bounded queues, surfaced through
 	// Stats so capacity pressure is observable rather than inferred.
@@ -141,8 +203,14 @@ type reliability struct {
 
 	// window and maxAttempts are the per-domain bounds (Config.RelWindow /
 	// Config.RelMaxAttempts; the package constants are their defaults).
-	window      int
-	maxAttempts int
+	// windowMin is the AIMD floor, reorderBudget the per-pair parked-bytes
+	// bound, bpFailFast/bpWait the admission policy (config.go).
+	window        int
+	windowMin     int
+	maxAttempts   int
+	reorderBudget int
+	bpFailFast    bool
+	bpWait        time.Duration
 
 	// lv is the liveness detector driven by this layer's ticker; nil when
 	// Config.DisableLiveness is set, restoring abort-on-exhaustion.
@@ -171,6 +239,32 @@ func newReliability(d *Domain) *reliability {
 	if r.maxAttempts <= 0 {
 		r.maxAttempts = relMaxAttempts
 	}
+	r.windowMin = d.cfg.RelWindowMin
+	if r.windowMin <= 0 || r.windowMin > r.window {
+		r.windowMin = relWindowMin
+	}
+	if r.windowMin > r.window {
+		r.windowMin = r.window
+	}
+	r.reorderBudget = d.cfg.RelReorderBytes
+	if r.reorderBudget <= 0 {
+		r.reorderBudget = relReorderBytes
+	}
+	r.bpFailFast = d.cfg.Backpressure == BackpressureFailFast
+	r.bpWait = d.cfg.BackpressureWait
+	if r.bpWait <= 0 {
+		r.bpWait = relBPWait
+	}
+	// Seed every pair's congestion state before the ticker or any sender
+	// can touch it: full window (shrink on evidence of loss, like TCP's
+	// initial cwnd being generous on a known-short path), default RTO and
+	// ack pacing until the estimator has samples.
+	for i := range r.pairs {
+		p := &r.pairs[i]
+		p.cwnd = r.window
+		p.rto = relRTO
+		p.ackDelay = relAckDelay
+	}
 	go r.run()
 	return r
 }
@@ -197,11 +291,18 @@ func parseRelHeader(b []byte) (from uint16, seq, ack uint32, err error) {
 // send stamps wb (whose first relHeaderLen bytes were reserved by the
 // caller) with the next sequence number for from→to and the piggybacked
 // cumulative ack for to→from, retains it in the retransmission queue, and
-// ships it. It blocks while the in-flight window is full.
+// ships it. It blocks while the in-flight congestion window is full —
+// but the block is liveness-aware: acks arrive on the socket reader
+// goroutine (so credit frees without this goroutine running), and a peer
+// declared Down mid-block is re-checked every wakeup, so the sender
+// drains out promptly instead of wedging against a peer that will never
+// ack. Admission-controlled callers (AdmitSend) normally reserve credit
+// before reaching here, so this block is the backstop, not the policy.
 func (r *reliability) send(from, to int, wb *wireBuf) {
 	p := r.pair(from, to)
+	spin := 0
+	p.mu.Lock()
 	for {
-		p.mu.Lock()
 		if r.closed.Load() || p.down {
 			// Racing shutdown, or a declared-dead destination: the datagram
 			// is dropped (the op pipeline fails down-peer operations with
@@ -210,11 +311,21 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 			p.mu.Unlock()
 			return
 		}
-		if len(p.inflight) < r.window {
+		if len(p.inflight) < p.cwnd {
 			break
 		}
 		p.mu.Unlock()
-		runtime.Gosched()
+		// Momentary fullness resolves within an ack round trip; yield a
+		// few times before escalating to real sleeps so a blocked sender
+		// costs no CPU while still observing a Down transition within a
+		// sleep quantum.
+		if spin < 4 {
+			spin++
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+		p.mu.Lock()
 	}
 	p.nextSeq++
 	seq := p.nextSeq
@@ -230,10 +341,12 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 	binary.LittleEndian.PutUint32(b[3:7], seq)
 	binary.LittleEndian.PutUint32(b[7:11], ack)
 	wb.retain(1) // the retransmission queue's reference; released on ack
+	rto := p.rto
 	p.inflight = append(p.inflight, relEntry{
 		seq:      seq,
-		rto:      relRTO,
-		deadline: clockNow() + relRTO,
+		rto:      rto,
+		deadline: clockNow() + rto,
+		sentAt:   clockRefresh(),
 		wb:       wb,
 	})
 	if len(p.inflight) > p.inflightHW {
@@ -241,6 +354,44 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 	}
 	p.mu.Unlock()
 	r.d.writeDatagram(from, to, b)
+}
+
+// sampleRTT folds one clean round-trip measurement into the pair's
+// Jacobson/Karels estimator and re-derives the RTO and the standalone-ack
+// pacing delay. Caller holds p.mu. Only never-retransmitted datagrams are
+// sampled (Karn's rule — an ack for a retransmitted datagram is ambiguous
+// about which transmission it answers).
+func (p *relPair) sampleRTT(rtt int64) {
+	if rtt <= 0 {
+		return
+	}
+	if p.srtt == 0 {
+		p.srtt = rtt
+		p.rttvar = rtt / 2
+	} else {
+		err := rtt - p.srtt
+		p.srtt += err / 8
+		if err < 0 {
+			err = -err
+		}
+		p.rttvar += (err - p.rttvar) / 4
+	}
+	rto := p.srtt + 4*p.rttvar
+	if rto < relRTOMin {
+		rto = relRTOMin
+	}
+	if rto > relRTOMax {
+		rto = relRTOMax
+	}
+	p.rto = rto
+	ad := p.srtt / 4
+	if ad < relAckDelayMin {
+		ad = relAckDelayMin
+	}
+	if ad > relAckDelayMax {
+		ad = relAckDelayMax
+	}
+	p.ackDelay = ad
 }
 
 // receive processes one sequenced frame addressed to ep, taking ownership
@@ -267,8 +418,16 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 	p.mu.Lock()
 	// Ack half: release every in-flight datagram the peer has cumulatively
 	// acknowledged (entries are in sequence order; numbers do not wrap).
+	// The newest released entry that was never retransmitted yields an RTT
+	// sample (Karn's rule), and a clean sample both updates the estimator
+	// and grows the congestion window additively back toward the
+	// configured maximum.
 	n := 0
+	cleanSentAt := int64(-1)
 	for n < len(p.inflight) && p.inflight[n].seq <= ack {
+		if p.inflight[n].attempts == 0 {
+			cleanSentAt = p.inflight[n].sentAt
+		}
 		p.inflight[n].wb.release()
 		n++
 	}
@@ -278,6 +437,16 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 			p.inflight[i] = relEntry{}
 		}
 		p.inflight = p.inflight[:rem]
+		if ack > p.sendAcked {
+			p.sendAcked = ack
+		}
+		if cleanSentAt >= 0 {
+			p.sampleRTT(clockRefresh() - cleanSentAt)
+			if p.cwnd < r.window {
+				p.cwnd++
+				d.windowGrows.Add(1)
+			}
+		}
 	}
 
 	switch {
@@ -306,6 +475,7 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 				break
 			}
 			delete(p.reorder, p.cumSeq+1)
+			p.reorderBytes -= len(next.b)
 			p.cumSeq++
 			d.deliverParsed(ep, next, next.b[relHeaderLen:])
 		}
@@ -335,13 +505,47 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 				d.dupsDropped.Add(1)
 				p.mu.Unlock()
 				wb.release()
-			} else {
-				p.reorder[seq] = wb
-				if len(p.reorder) > p.reorderHW {
-					p.reorderHW = len(p.reorder)
-				}
-				p.mu.Unlock()
+				break
 			}
+			// Byte budget: parking past Config.RelReorderBytes sheds the
+			// parked frame furthest from delivery (highest sequence — the
+			// sender retransmits it last, so shedding it costs the least
+			// recovery time); if the incoming frame is itself the furthest,
+			// it is the one shed. Shedding is loss the sender repairs; the
+			// budget just refuses to let one peer's burst pin unbounded
+			// arena memory.
+			for p.reorderBytes+len(wb.b) > r.reorderBudget {
+				var hiSeq uint32
+				for s := range p.reorder {
+					if s > hiSeq {
+						hiSeq = s
+					}
+				}
+				if hiSeq <= seq {
+					break // incoming frame is the furthest: shed it instead
+				}
+				victim := p.reorder[hiSeq]
+				delete(p.reorder, hiSeq)
+				p.reorderBytes -= len(victim.b)
+				p.shedRecent++
+				d.shedFrames.Add(1)
+				d.shedBytes.Add(int64(len(victim.b)))
+				victim.release()
+			}
+			if p.reorderBytes+len(wb.b) > r.reorderBudget {
+				p.shedRecent++
+				d.shedFrames.Add(1)
+				d.shedBytes.Add(int64(len(wb.b)))
+				p.mu.Unlock()
+				wb.release()
+				break
+			}
+			p.reorder[seq] = wb
+			p.reorderBytes += len(wb.b)
+			if len(p.reorder) > p.reorderHW {
+				p.reorderHW = len(p.reorder)
+			}
+			p.mu.Unlock()
 		}
 	}
 	if ackNow {
@@ -386,7 +590,12 @@ func (r *reliability) run() {
 }
 
 // sweep retransmits every in-flight datagram whose deadline passed and
-// flushes pending acks older than relAckDelay.
+// flushes pending acks older than the pair's RTT-paced delay. An expiry
+// is the AIMD loss signal: the congestion window is halved down to the
+// floor — at most once per in-flight window of loss (recoverSeq guard, so
+// one burst of drops costs one decrease, not one per datagram) — and the
+// event is counted as an RTOExpiration. Sustained receive-side shedding
+// observed since the last sweep marks the overloading sender Suspect.
 func (r *reliability) sweep(now int64) {
 	d := r.d
 	for from := 0; from < r.ranks; from++ {
@@ -396,11 +605,13 @@ func (r *reliability) sweep(now int64) {
 			// Deadlines are not sorted once backoff diverges, so scan the
 			// whole (window-bounded) queue.
 			exhausted := false
+			expired := false
 			for i := range p.inflight {
 				e := &p.inflight[i]
 				if e.deadline > now {
 					continue
 				}
+				expired = true
 				e.attempts++
 				if e.attempts > r.maxAttempts {
 					if r.lv == nil {
@@ -430,13 +641,36 @@ func (r *reliability) sweep(now int64) {
 				d.retransmits.Add(1)
 				d.writeFrame(from, to, e.wb.b)
 			}
+			if expired {
+				d.rtoExpirations.Add(1)
+				if p.sendAcked >= p.recoverSeq {
+					// First loss signal since the last decrease took
+					// effect: halve, then ignore further expiries until
+					// the peer acks past everything currently assigned.
+					p.cwnd /= 2
+					if p.cwnd < r.windowMin {
+						p.cwnd = r.windowMin
+					}
+					p.recoverSeq = p.nextSeq
+					d.windowShrinks.Add(1)
+				}
+			}
+			shedBurst := p.shedRecent >= relShedSuspect
+			p.shedRecent = 0
 			if exhausted {
 				p.mu.Unlock()
 				d.retransmitExhausted.Add(1)
 				r.lv.markDown(from, to) // drains the queue via releasePair
 				continue
 			}
-			if p.ackPending && now-p.ackSince >= relAckDelay {
+			if shedBurst && r.lv != nil {
+				// The receive half of pair (from, to) is the to→from
+				// stream: rank `from` is being flooded by rank `to`
+				// faster than it can deliver. That is a health signal
+				// about `to`, not just an accounting line.
+				r.lv.markSuspect(from, to)
+			}
+			if p.ackPending && now-p.ackSince >= p.ackDelay {
 				ack := p.cumSeq
 				p.ackPending = false
 				p.lastAck = ack
@@ -490,6 +724,7 @@ func (r *reliability) drainState() {
 			wb.release()
 			delete(p.reorder, seq)
 		}
+		p.reorderBytes = 0
 		p.mu.Unlock()
 	}
 }

@@ -1,0 +1,38 @@
+package gupcxx_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and returns a closure that
+// asserts the count settled back to (at most) the snapshot. Call it first
+// thing and defer the closure, so it runs after every other deferred
+// teardown (World.Close included): a conduit that leaves its ticker,
+// socket readers, or a window-blocked sender behind fails here instead of
+// silently accumulating goroutines across the suite. The check retries
+// with GC pauses because exiting goroutines unwind asynchronously.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		var after int
+		for {
+			runtime.GC()
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after teardown\n%s", before, after, buf[:n])
+	}
+}

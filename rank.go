@@ -115,6 +115,12 @@ func (r *Rank) PeerDown(target int) bool { return r.ep.PeerDown(target) }
 // (nil when none).
 func (r *Rank) DownPeers() []int { return r.ep.DownPeers() }
 
+// Flow returns a snapshot of the reliability flow state toward target:
+// smoothed RTT, retransmission timeout, adaptive window, and frames in
+// flight. The zero FlowState is returned on conduits without a
+// reliability layer (SMP) and for self/out-of-range targets.
+func (r *Rank) Flow(target int) FlowState { return r.w.dom.FlowState(r.Me(), target) }
+
 // LocalTo reports whether this rank has direct load/store access to the
 // target rank's segment (the two ranks are co-located on one node).
 func (r *Rank) LocalTo(target int) bool { return r.localTo(int32(target)) }

@@ -63,7 +63,9 @@ func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpRMA,
+		Kind:  core.OpRMA,
+		Peer:  int(dst.rank),
+		Admit: true,
 		Inject: func(rfn func(ctx any), done func(error)) {
 			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.ValueBytes(&val), wrapRemote(rfn), done)
 		},
@@ -87,7 +89,9 @@ func RputBulk[T any](r *Rank, src []T, dst GlobalPtr[T], cxs ...Cx) Result {
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpRMA,
+		Kind:  core.OpRMA,
+		Peer:  int(dst.rank),
+		Admit: true,
 		Inject: func(rfn func(ctx any), done func(error)) {
 			r.ep.PutRemote(int(dst.rank), dst.off, gasnet.SliceBytes(src), wrapRemote(rfn), done)
 		},
@@ -119,7 +123,9 @@ func Rget[T any](r *Rank, src GlobalPtr[T], mode ...Mode) FutureV[T] {
 		})
 	}
 	return core.InitiateV(r.eng, core.OpDescV[T]{
-		Kind: core.OpRMA,
+		Kind:  core.OpRMA,
+		Peer:  int(src.rank),
+		Admit: true,
 		Inject: func(slot *T, done func(error)) {
 			r.ep.GetRemote(int(src.rank), src.off, gasnet.SizeOf[T](), gasnet.ValueBytes(slot), done)
 		},
@@ -139,6 +145,8 @@ func RgetPromise[T any](r *Rank, src GlobalPtr[T], p *PromiseV[T], mode ...Mode)
 		Kind:  core.OpRMA,
 		Local: r.localTo(src.rank),
 		Mode:  m,
+		Peer:  int(src.rank),
+		Admit: true,
 		MoveV: func() T {
 			var val T
 			r.w.dom.Segment(int(src.rank)).CopyOut(src.off, gasnet.ValueBytes(&val))
@@ -167,7 +175,9 @@ func RgetBulk[T any](r *Rank, src GlobalPtr[T], dst []T, cxs ...Cx) Result {
 		}, cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpRMA,
+		Kind:  core.OpRMA,
+		Peer:  int(src.rank),
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.GetRemote(int(src.rank), src.off, len(dst)*gasnet.SizeOf[T](),
 				gasnet.SliceBytes(dst), done)

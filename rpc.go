@@ -67,7 +67,9 @@ func RPC(r *Rank, target int, fn func(*Rank), cxs ...Cx) Future {
 	}
 	me := r.Me()
 	return r.eng.Initiate(core.OpDesc{
-		Kind: core.OpRPC,
+		Kind:  core.OpRPC,
+		Peer:  target,
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
@@ -108,6 +110,8 @@ func RPCCall[T any](r *Rank, target int, fn func(*Rank) T, cxs ...Cx) FutureV[T]
 	return core.InitiateV(r.eng, core.OpDescV[T]{
 		Kind:     core.OpRPC,
 		Deadline: dl,
+		Peer:     target,
+		Admit:    true,
 		Inject: func(slot *T, done func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,
@@ -146,7 +150,9 @@ func RPCFireAndForget(r *Rank, target int, fn func(*Rank)) {
 		return
 	}
 	r.eng.Initiate(core.OpDesc{
-		Kind: core.OpRPC,
+		Kind:  core.OpRPC,
+		Peer:  target,
+		Admit: true,
 		Inject: func(_ func(ctx any), _ func(error)) {
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCExec,

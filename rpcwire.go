@@ -120,6 +120,8 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte, cxs ...Cx) Futur
 	return core.InitiateV(r.eng, core.OpDescV[[]byte]{
 		Kind:     core.OpRPC,
 		Deadline: core.DeadlineOf(cxs),
+		Peer:     target,
+		Admit:    true,
 		Inject: func(slot *[]byte, done func(error)) {
 			if r.ep.PeerDown(target) {
 				done(ErrPeerUnreachable)

@@ -66,6 +66,11 @@ func RputStrided[T any](r *Rank, src []T, dst GlobalPtr[T], sec Strided2D, cxs .
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: sec.Rows,
+		// One admission covers the whole fragment fan-out: admission is an
+		// overload signal, not a per-frame reservation, and rel.send bounds
+		// any residual burst against the peer's window.
+		Peer:  int(dst.rank),
+		Admit: true,
 		Inject: func(rfn func(ctx any), done func(error)) {
 			var remoteFn func(*gasnet.Endpoint)
 			if rfn != nil {
@@ -114,6 +119,8 @@ func RgetStrided[T any](r *Rank, src GlobalPtr[T], sec Strided2D, dst []T, cxs .
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: sec.Rows,
+		Peer:  int(src.rank),
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			elemSize := gasnet.SizeOf[T]()
 			for row := 0; row < sec.Rows; row++ {
@@ -158,9 +165,21 @@ func RputIndexed[T any](r *Rank, vals []T, dsts []GlobalPtr[T], cxs ...Cx) Resul
 			},
 		}, cxs)
 	}
+	// Destinations may span ranks; admission is checked against the first
+	// remote one — an advisory overload probe, with rel.send bounding the
+	// rest against each peer's own window.
+	admitPeer := -1
+	for _, d := range dsts {
+		if !r.localTo(d.rank) {
+			admitPeer = int(d.rank)
+			break
+		}
+	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: remote,
+		Peer:  admitPeer,
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			for i, d := range dsts {
 				if r.localTo(d.rank) {
@@ -198,9 +217,18 @@ func RgetIndexed[T any](r *Rank, srcs []GlobalPtr[T], out []T, cxs ...Cx) Result
 			},
 		}, cxs)
 	}
+	admitPeer := -1
+	for _, s := range srcs {
+		if !r.localTo(s.rank) {
+			admitPeer = int(s.rank)
+			break
+		}
+	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: remote,
+		Peer:  admitPeer,
+		Admit: true,
 		Inject: func(_ func(ctx any), done func(error)) {
 			elemSize := gasnet.SizeOf[T]()
 			for i, s := range srcs {

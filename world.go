@@ -73,6 +73,26 @@ func ParseConduit(s string) (Conduit, error) { return gasnet.ParseConduit(s) }
 // shim; see internal/gasnet/fault.go.
 type FaultConfig = gasnet.FaultConfig
 
+// BackpressurePolicy selects how admission reacts to a full per-peer send
+// window (Config.Backpressure).
+type BackpressurePolicy = gasnet.BackpressurePolicy
+
+// Backpressure policies.
+const (
+	// BackpressureBlock waits — bounded by Config.BackpressureWait and the
+	// operation's deadline — for a window credit before failing with
+	// ErrBackpressure.
+	BackpressureBlock = gasnet.BackpressureBlock
+	// BackpressureFailFast fails the operation with ErrBackpressure
+	// immediately when the window is full.
+	BackpressureFailFast = gasnet.BackpressureFailFast
+)
+
+// FlowState is a snapshot of one peer pair's congestion-control state
+// (Rank.Flow): smoothed RTT, current retransmission timeout, adaptive
+// window, and its occupancy.
+type FlowState = gasnet.FlowState
+
 // Completion type and factory re-exports: completions are composed by
 // passing several Cx values to an operation, the analogue of UPC++'s
 // `operation_cx::as_future() | remote_cx::as_rpc(...)`.
@@ -187,8 +207,29 @@ type Config struct {
 	Fault *FaultConfig
 
 	// RelWindow bounds the UDP reliability layer's per-pair in-flight
-	// datagrams and reorder buffer (default 256).
+	// datagrams and reorder buffer (default 256). It is the ceiling of the
+	// adaptive congestion window, which moves AIMD-style between
+	// RelWindowMin and this value as loss is observed.
 	RelWindow int
+
+	// RelWindowMin is the congestion window's AIMD floor: loss never
+	// halves the window below it (default 8, clamped to RelWindow).
+	RelWindowMin int
+
+	// RelReorderBytes bounds, per rank pair, the memory parked in the UDP
+	// receive-side reorder buffer; frames past the budget are shed and
+	// repaired by retransmission (default 1 MiB).
+	RelReorderBytes int
+
+	// Backpressure selects what happens when an operation targets a peer
+	// whose send window is full: BackpressureBlock (default) waits up to
+	// BackpressureWait for a credit, then fails the operation with
+	// ErrBackpressure; BackpressureFailFast fails it immediately.
+	Backpressure BackpressurePolicy
+
+	// BackpressureWait bounds the blocking admission wait (default 2s);
+	// an operation's own deadline caps it further.
+	BackpressureWait time.Duration
 
 	// RelMaxAttempts is the UDP retransmission budget per datagram;
 	// exhausting it declares the destination down instead of retrying
@@ -234,18 +275,22 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg.Version = Eager2021_3_6
 	}
 	dom, err := gasnet.NewDomain(gasnet.Config{
-		Ranks:           cfg.Ranks,
-		Conduit:         cfg.Conduit,
-		RanksPerNode:    cfg.RanksPerNode,
-		SegmentBytes:    cfg.SegmentBytes,
-		SimLatency:      cfg.SimLatency,
-		Fault:           cfg.Fault,
-		RelWindow:       cfg.RelWindow,
-		RelMaxAttempts:  cfg.RelMaxAttempts,
-		HeartbeatEvery:  cfg.HeartbeatEvery,
-		SuspectAfter:    cfg.SuspectAfter,
-		DownAfter:       cfg.DownAfter,
-		DisableLiveness: cfg.DisableLiveness,
+		Ranks:            cfg.Ranks,
+		Conduit:          cfg.Conduit,
+		RanksPerNode:     cfg.RanksPerNode,
+		SegmentBytes:     cfg.SegmentBytes,
+		SimLatency:       cfg.SimLatency,
+		Fault:            cfg.Fault,
+		RelWindow:        cfg.RelWindow,
+		RelWindowMin:     cfg.RelWindowMin,
+		RelReorderBytes:  cfg.RelReorderBytes,
+		Backpressure:     cfg.Backpressure,
+		BackpressureWait: cfg.BackpressureWait,
+		RelMaxAttempts:   cfg.RelMaxAttempts,
+		HeartbeatEvery:   cfg.HeartbeatEvery,
+		SuspectAfter:     cfg.SuspectAfter,
+		DownAfter:        cfg.DownAfter,
+		DisableLiveness:  cfg.DisableLiveness,
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +320,11 @@ func NewWorld(cfg Config) (*World, error) {
 		ep.SetPeerDownHook(func(peer int, err error) {
 			r.wire.failPeer(peer, err)
 		})
+		// Credit-based admission: remote descriptors that set Admit are
+		// checked against the target's send window before injecting, so a
+		// saturated peer surfaces as ErrBackpressure (a completion value)
+		// instead of an unbounded block inside the reliability layer.
+		r.eng.SetAdmitter(ep.AdmitSend)
 		w.ranks[i] = r
 	}
 	return w, nil
