@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 ci
 
 build:
 	$(GO) build ./...
@@ -79,7 +79,7 @@ bench-reliable:
 # BENCH_3.json holds the checked-in record; check_bench3.sh fails the
 # target if any eager-version row regressed to allocating.
 bench-pipeline:
-	$(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . \
+	$(GO) test -run XXX -bench 'BenchmarkOpPipeline$$' -benchmem -count 3 . \
 		| ./scripts/bench2json.sh > BENCH_3.json
 	./scripts/check_bench3.sh BENCH_3.json
 
@@ -88,9 +88,25 @@ bench-pipeline:
 # is the proof it costs nothing on-node — the eager rows must still show
 # zero allocations, enforced by the same gate as BENCH_3.
 bench-flow:
-	$(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . \
+	$(GO) test -run XXX -bench 'BenchmarkOpPipeline$$' -benchmem -count 3 . \
 		| ./scripts/bench2json.sh > BENCH_4.json
 	./scripts/check_bench3.sh BENCH_4.json
 
+# Vectorized-datapath record: per-version pipeline rows plus the
+# asynchronous completion-form rows (future vs continuation) and the UDP
+# coalescing bench with its syscalls-per-burst metrics. BENCH_5.json is
+# the checked-in record; check_bench5.sh fails the regeneration if a
+# continuation row allocates or an eager row regresses.
+bench-syscall:
+	{ $(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . ; \
+	  $(GO) test -run XXX -bench BenchmarkUDPCoalesce -benchmem -count 3 ./internal/gasnet/ ; } \
+	| ./scripts/bench2json.sh > BENCH_5.json
+	./scripts/check_bench5.sh BENCH_5.json
+
+# Validate the checked-in BENCH_5 record without re-running the benches —
+# cheap enough for every CI run; bench-syscall re-records and re-checks.
+check-bench5:
+	./scripts/check_bench5.sh BENCH_5.json
+
 # Everything CI runs, in CI's order.
-ci: build test race vet staticcheck test-loss test-fault test-soak
+ci: build test race vet staticcheck check-bench5 test-loss test-fault test-soak

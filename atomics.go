@@ -28,6 +28,11 @@ type Word interface {
 //     old value to a local address so the notification stays value-less
 //     (allocation-free when eager);
 //   - Add etc.: non-fetching, side-effect only.
+//
+// The value-less forms accept completion requests (cxs), so OpContinue
+// composes here like everywhere else in the pipeline: a non-fetching or
+// fetch-to-memory atomic with a continuation completes without
+// allocating even off-node.
 type AtomicDomain[T Word] struct {
 	r *Rank
 }

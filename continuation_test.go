@@ -1,0 +1,468 @@
+package gupcxx_test
+
+// Continuation-completion (OpContinue) contract: inline firing for
+// synchronous completions, ack-time ordered firing on the progress
+// goroutine for asynchronous ones, panic containment that keeps the
+// progress loop alive, failure delivery as a value, and the
+// zero-allocation steady state — the cell-free half of this library's
+// completion story (see docs/TUTORIAL.md, "Continuations vs futures").
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"gupcxx"
+)
+
+// TestContinuationSyncEager: a continuation on a synchronously-completed
+// (on-node) operation fires inline, before initiation returns — no future
+// cell is produced, no progress call is needed.
+func TestContinuationSyncEager(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.PSHM, Version: gupcxx.Eager2021_3_6, SegmentBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			fired := false
+			gotErr := errors.New("callback never ran")
+			res := gupcxx.Rput(r, uint64(7), tgts[1],
+				gupcxx.OpContinue(func(err error) { fired, gotErr = true, err }))
+			if !fired {
+				t.Error("continuation did not fire inline on a synchronous put")
+			}
+			if gotErr != nil {
+				t.Errorf("continuation got err %v, want nil", gotErr)
+			}
+			if res.Op.Valid() {
+				t.Error("OpContinue produced a future; the form is cell-free")
+			}
+			if n := r.OpStats().Engine.ContinuationsRun; n < 1 {
+				t.Errorf("ContinuationsRun = %d, want >= 1", n)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContinuationAsyncOrder: asynchronous continuations fire in
+// acknowledgment order, on the initiating rank's progress goroutine. The
+// recording slice is deliberately unsynchronized — under -race this also
+// proves the callbacks never run concurrently with the spinning rank.
+func TestContinuationAsyncOrder(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.SIM, Version: gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 14, RanksPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			const n = 32
+			var order []int
+			for i := 0; i < n; i++ {
+				i := i
+				gupcxx.Rput(r, uint64(i), tgts[1],
+					gupcxx.OpContinue(func(err error) {
+						if err != nil {
+							t.Errorf("put %d failed: %v", i, err)
+						}
+						order = append(order, i)
+					}))
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for len(order) < n && time.Now().Before(deadline) {
+				if r.Progress() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if len(order) != n {
+				t.Fatalf("%d of %d continuations fired", len(order), n)
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("ack order broken at %d: got %d (full order %v)", i, v, order)
+				}
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContinuationPanicContained: a panicking continuation must not
+// unwind the progress loop. The panic is counted, co-registered sinks
+// resolve with a *ContinuationError, and the engine keeps completing
+// later operations.
+func TestContinuationPanicContained(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.SIM, Version: gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 14, RanksPerNode: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			res := gupcxx.Rput(r, uint64(1), tgts[1],
+				gupcxx.OpContinue(func(error) { panic("continuation boom") }),
+				gupcxx.OpFuture())
+			werr := res.Op.WaitErr()
+			var ce *gupcxx.ContinuationError
+			if !errors.As(werr, &ce) {
+				t.Fatalf("co-registered future resolved as %v, want *ContinuationError", werr)
+			}
+			if ce.Rank != 0 || !strings.Contains(ce.Msg, "continuation boom") {
+				t.Errorf("ContinuationError = {Rank: %d, Msg: %q}", ce.Rank, ce.Msg)
+			}
+			st := r.OpStats().Engine
+			if st.ContinuationPanics != 1 {
+				t.Errorf("ContinuationPanics = %d, want 1", st.ContinuationPanics)
+			}
+			// The progress loop survived: later operations still complete,
+			// through both forms.
+			if werr := gupcxx.Rput(r, uint64(2), tgts[1]).Op.WaitErr(); werr != nil {
+				t.Errorf("put after contained panic failed: %v", werr)
+			}
+			fired := false
+			gupcxx.Rput(r, uint64(3), tgts[1],
+				gupcxx.OpContinue(func(error) { fired = true }))
+			deadline := time.Now().Add(5 * time.Second)
+			for !fired && time.Now().Before(deadline) {
+				if r.Progress() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if !fired {
+				t.Error("continuation after contained panic never fired")
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContinuationEagerPanic: on the synchronous path the operation has
+// already succeeded when the continuation runs, so a panic is contained
+// and counted but books no failure — and initiation returns normally.
+func TestContinuationEagerPanic(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.PSHM, Version: gupcxx.Eager2021_3_6, SegmentBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			gupcxx.Rput(r, uint64(1), tgts[1],
+				gupcxx.OpContinue(func(error) { panic("eager boom") }))
+			st := r.OpStats()
+			if st.Engine.ContinuationPanics != 1 {
+				t.Errorf("ContinuationPanics = %d, want 1", st.Engine.ContinuationPanics)
+			}
+			// The put itself succeeded: no failure was booked.
+			if st.Engine.OpsFailed != 0 {
+				t.Errorf("OpsFailed = %d after an eager continuation panic, want 0", st.Engine.OpsFailed)
+			}
+			if got := gupcxx.Rget(r, tgts[1]).Wait(); got != 1 {
+				t.Errorf("target = %d after put, want 1", got)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContinuationDeadlineFailure: failure reaches a continuation as a
+// value, at the moment the outcome is known — here, deadline expiry far
+// ahead of the slow wire's acknowledgment.
+func TestContinuationDeadlineFailure(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.SIM, SimLatency: 200 * time.Millisecond,
+		SegmentBytes: 1 << 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		ptr := gupcxx.New[int64](r)
+		ptrs := gupcxx.ExchangePtr(r, ptr)
+		dst := ptrs[(r.Me()+1)%r.N()]
+		var gotErr error
+		fired := false
+		gupcxx.Rput(r, int64(7), dst,
+			gupcxx.OpContinue(func(err error) { fired, gotErr = true, err }),
+			gupcxx.OpDeadline(5*time.Millisecond))
+		deadline := time.Now().Add(5 * time.Second)
+		for !fired && time.Now().Before(deadline) {
+			if r.Progress() == 0 {
+				runtime.Gosched()
+			}
+		}
+		if !fired {
+			t.Fatal("continuation never fired on deadline expiry")
+		}
+		if !errors.Is(gotErr, gupcxx.ErrDeadlineExceeded) {
+			t.Errorf("continuation got %v, want ErrDeadlineExceeded", gotErr)
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRPCWireContinue: the cell-free wire-RPC form delivers the reply
+// bytes (zero-copy, call-duration contract), routes remote panics back as
+// *RemoteError values, and fails unregistered handlers inline.
+func TestRPCWireContinue(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	echo := w.RegisterRPC(func(_ *gupcxx.Rank, args []byte) []byte {
+		return append([]byte("re:"), args...)
+	})
+	boom := w.RegisterRPC(func(*gupcxx.Rank, []byte) []byte { panic("wire boom") })
+	err = w.Run(func(r *gupcxx.Rank) {
+		if r.Me() == 0 {
+			wait := func(done *bool, what string) {
+				deadline := time.Now().Add(10 * time.Second)
+				for !*done && time.Now().Before(deadline) {
+					if r.Progress() == 0 {
+						runtime.Gosched()
+					}
+				}
+				if !*done {
+					t.Fatalf("%s: continuation never fired", what)
+				}
+			}
+
+			var reply string
+			var gotErr error
+			done := false
+			gupcxx.RPCWireContinue(r, 1, echo, []byte("ping"), func(rep []byte, err error) {
+				// The reply aliases a pooled buffer, valid only for this
+				// call: copy what outlives it.
+				reply, gotErr, done = string(rep), err, true
+			})
+			wait(&done, "echo")
+			if gotErr != nil || reply != "re:ping" {
+				t.Errorf("echo continuation got (%q, %v), want (\"re:ping\", nil)", reply, gotErr)
+			}
+
+			done = false
+			var panicReply []byte
+			gupcxx.RPCWireContinue(r, 1, boom, nil, func(rep []byte, err error) {
+				panicReply, gotErr, done = rep, err, true
+			})
+			wait(&done, "panic")
+			var re *gupcxx.RemoteError
+			if !errors.As(gotErr, &re) || re.Rank != 1 || !strings.Contains(re.Msg, "wire boom") {
+				t.Errorf("panic continuation got err %v, want *RemoteError from rank 1", gotErr)
+			}
+			if panicReply != nil {
+				t.Errorf("failed call delivered reply %q, want nil", panicReply)
+			}
+
+			// Unregistered handler: the failure is known at initiation, so
+			// the continuation runs inline.
+			done = false
+			gupcxx.RPCWireContinue(r, 0, gupcxx.RPCHandlerID(99), nil, func(rep []byte, err error) {
+				gotErr, done = err, true
+			})
+			if !done {
+				t.Fatal("unregistered-handler continuation did not fire inline")
+			}
+			if gotErr == nil || !strings.Contains(gotErr.Error(), "unregistered") {
+				t.Errorf("unregistered handler resolved as %v", gotErr)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContinuationAllocationFree pins the tentpole allocation contract:
+// with a prebuilt completion set, a steady-state asynchronous put or
+// bulk get completes through a continuation with zero allocations per
+// operation — the future form's one irreducible cell is gone — and the
+// cell-free wire RPC stays within its two-allocation budget.
+func TestContinuationAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.SIM, Version: gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 14, RanksPerNode: 1,
+		SimLatency: time.Nanosecond, // isolate the CPU path, not wire time
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	echo := w.RegisterRPC(func(_ *gupcxx.Rank, args []byte) []byte { return args })
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			// Warm the engine freelists and the substrate's arenas.
+			for i := 0; i < 64; i++ {
+				gupcxx.Rput(r, uint64(i), tgts[1]).Wait()
+			}
+			// The completion sets and callbacks live outside the measured
+			// closures: the continuation form's contract is that the
+			// per-operation path allocates nothing, not that building a
+			// fresh closure per call is free.
+			fired, issued := 0, 0
+			putCx := []gupcxx.Cx{gupcxx.OpContinue(func(err error) {
+				if err != nil {
+					t.Errorf("put failed: %v", err)
+				}
+				fired++
+			})}
+			var buf [1]uint64
+			getCx := []gupcxx.Cx{gupcxx.OpContinue(func(err error) {
+				if err != nil {
+					t.Errorf("get failed: %v", err)
+				}
+				fired++
+			})}
+			wireDone := 0
+			wireCont := func(_ []byte, err error) {
+				if err != nil {
+					t.Errorf("wire RPC failed: %v", err)
+				}
+				wireDone++
+			}
+			args := []byte("payload")
+
+			cases := []struct {
+				name  string
+				limit float64
+				op    func()
+			}{
+				{"put-continue", 0, func() {
+					issued++
+					gupcxx.Rput(r, 1, tgts[1], putCx...)
+					for fired < issued {
+						if r.Progress() == 0 {
+							runtime.Gosched()
+						}
+					}
+				}},
+				{"getbulk-continue", 0, func() {
+					issued++
+					gupcxx.RgetBulk(r, tgts[1], buf[:], getCx...)
+					for fired < issued {
+						if r.Progress() == 0 {
+							runtime.Gosched()
+						}
+					}
+				}},
+				{"rpcwire-continue", 2, func() {
+					wireDone--
+					gupcxx.RPCWireContinue(r, 1, echo, args, wireCont)
+					for wireDone < 0 {
+						if r.Progress() == 0 {
+							runtime.Gosched()
+						}
+					}
+				}},
+			}
+			for _, c := range cases {
+				// One untimed round warms the op family's own pools.
+				c.op()
+				if avg := testing.AllocsPerRun(500, c.op); avg > c.limit {
+					t.Errorf("steady-state %s allocates %.2f objects/op, want <= %v",
+						c.name, avg, c.limit)
+				}
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRPCWireContinueArgsLifetime documents the call-duration reply
+// contract the hard way: the bytes observed inside the callback are the
+// handler's, and retaining them requires a copy (here, fmt.Sprintf's).
+func TestRPCWireContinueArgsLifetime(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	sum := w.RegisterRPC(func(_ *gupcxx.Rank, args []byte) []byte {
+		var s byte
+		for _, b := range args {
+			s += b
+		}
+		return []byte{s}
+	})
+	err = w.Run(func(r *gupcxx.Rank) {
+		if r.Me() == 0 {
+			var got string
+			done := false
+			gupcxx.RPCWireContinue(r, 1, sum, []byte{1, 2, 3}, func(rep []byte, err error) {
+				got, done = fmt.Sprintf("%v/%v", rep, err), true
+			})
+			deadline := time.Now().Add(10 * time.Second)
+			for !done && time.Now().Before(deadline) {
+				if r.Progress() == 0 {
+					runtime.Gosched()
+				}
+			}
+			if !done || got != "[6]/<nil>" {
+				t.Errorf("sum continuation observed %q, want \"[6]/<nil>\"", got)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

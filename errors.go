@@ -55,6 +55,13 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("gupcxx: remote procedure panicked on rank %d: %s", e.Rank, e.Msg)
 }
 
+// ContinuationError reports that an OpContinue callback panicked inside
+// the progress engine. The panic is recovered — the progress loop keeps
+// running, the panic is counted (core Stats.ContinuationPanics) — and
+// any futures or promises composed alongside the continuation resolve
+// with this value, the continuation-side mirror of *RemoteError.
+type ContinuationError = core.ContinuationError
+
 // contain runs fn, converting a panic into a *RemoteError attributed to
 // rank. This is the containment boundary for user code executed from a
 // progress engine: the panic must not unwind into the Poll loop.

@@ -69,6 +69,12 @@ const (
 	// completion time (Cx.Dl). It composes with the real sinks and is
 	// skipped by the delivery paths.
 	KDeadline
+	// KContinue notifies by running a continuation callback inline: on
+	// the initiating goroutine for synchronously-completed operations, on
+	// the progress goroutine at acknowledgment time otherwise. It is the
+	// cell-free completion form — no future cell is allocated and the
+	// recycled completion record carries the callback.
+	KContinue
 )
 
 // Cx is a single completion request: an event, a mechanism, and a mode.
@@ -84,6 +90,9 @@ type Cx struct {
 	// (the *Rank, passed as the substrate endpoint's Ctx) — the analogue
 	// of a remote_cx::as_rpc body observing rank_me() == target.
 	CtxFn func(ctx any)
+	// Cont is the KContinue callback, invoked with the operation's
+	// outcome (nil on success).
+	Cont func(error)
 	// Dl is the completion-time bound for KDeadline requests.
 	Dl time.Duration
 }
@@ -144,6 +153,27 @@ func RemoteRPC(fn func()) Cx { return Cx{Ev: EvRemote, Kind: KRPC, Fn: fn} }
 // RemoteRPCCtx requests remote completion with access to the target
 // rank's runtime context; the runtime layer supplies the context value.
 func RemoteRPCCtx(fn func(ctx any)) Cx { return Cx{Ev: EvRemote, Kind: KRPC, CtxFn: fn} }
+
+// OpContinue requests operation completion via a continuation: fn runs
+// with the operation's outcome (nil on success) as soon as that outcome
+// is known — inline at initiation for synchronously-completed
+// operations, inline on the progress goroutine at acknowledgment time
+// for asynchronous ones. Unlike OpLPC it does not wait for the next
+// progress call, and unlike OpFuture it allocates nothing: no future
+// cell is created and the recycled AsyncCompletion record carries the
+// callback, so a steady-state asynchronous put or get completes with
+// zero allocations (the MPI-continuations analogue of the paper's eager
+// notification: the progress engine notifies, the waiter never polls a
+// cell).
+//
+// fn runs inside the progress engine and must not block; it may initiate
+// communication. A panic in fn is contained: the progress loop keeps
+// running, the panic is counted (Stats.ContinuationPanics), and the
+// operation's remaining sinks — if futures or promises were composed
+// alongside the continuation — resolve with a *ContinuationError.
+// Mode is ignored: a continuation always fires at the moment of
+// completion.
+func OpContinue(fn func(error)) Cx { return Cx{Ev: EvOp, Kind: KContinue, Cont: fn} }
 
 // OpDeadline bounds the operation's completion time: if the substrate has
 // not acknowledged within d, the operation's notifications resolve with
@@ -250,6 +280,14 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 			// LPCs are by definition queued for the next progress call.
 			e.phase(k, PhaseDeferredQueued)
 			e.EnqueueLPC(cx.Fn)
+		case KContinue:
+			// A continuation fires at the moment of completion — here,
+			// inline at initiation. The operation itself already succeeded,
+			// so a panic in the callback is contained and counted but books
+			// no operation failure.
+			e.Stats.EagerDeliveries++
+			e.phase(k, PhaseEagerCompleted)
+			e.runCont(cx.Cont, nil)
 		case KDeadline:
 			// A synchronous completion trivially beats any bound.
 		default:
@@ -283,6 +321,8 @@ func (e *Engine) deliverFailed(k OpKind, cxs []Cx, err error) Result {
 			cx.Prom.FulfillError(err)
 		case KLPC:
 			e.EnqueueLPC(cx.Fn)
+		case KContinue:
+			e.runCont(cx.Cont, err)
 		case KDeadline:
 			// Nothing to bound: the operation already resolved.
 		default:
@@ -343,6 +383,7 @@ type AsyncCompletion struct {
 	opCells []FulfillHandle
 	opProms []*Promise
 	opLPCs  []func()
+	opConts []func(error)
 }
 
 // getAC takes an AsyncCompletion record from the freelist (or allocates
@@ -402,6 +443,8 @@ func (e *Engine) prepareAsync(k OpKind, cxs []Cx) (Result, *AsyncCompletion) {
 			ac.opProms = append(ac.opProms, cx.Prom)
 		case KLPC:
 			ac.opLPCs = append(ac.opLPCs, cx.Fn)
+		case KContinue:
+			ac.opConts = append(ac.opConts, cx.Cont)
 		case KDeadline:
 			// Not a sink; Initiate arms the deadline after registering.
 		default:
@@ -431,15 +474,42 @@ func (ac *AsyncCompletion) Done(err error) {
 	}
 	e := ac.eng
 	if !ac.failed {
-		e.phase(ac.kind, PhaseWireAcked)
-		for _, h := range ac.opCells {
-			h.Fulfill()
+		// Continuations run first, before the phase is booked: a panic in
+		// one fails the operation, and the phase matrix's invariant (an
+		// operation books wire-acked XOR failed) must still hold.
+		var cerr error
+		for _, fn := range ac.opConts {
+			if err := e.runCont(fn, nil); err != nil && cerr == nil {
+				cerr = err
+			}
 		}
-		for _, p := range ac.opProms {
-			p.Fulfill(1)
-		}
-		for _, fn := range ac.opLPCs {
-			e.EnqueueLPC(fn)
+		if cerr != nil {
+			// The wire leg succeeded but the completion action did not: the
+			// remaining sinks resolve with the *ContinuationError so the
+			// failure is observable, mirroring how a remote handler panic
+			// surfaces through the reply path.
+			e.Stats.OpsFailed++
+			e.phase(ac.kind, PhaseFailed)
+			for _, h := range ac.opCells {
+				h.Fail(cerr)
+			}
+			for _, p := range ac.opProms {
+				p.FulfillError(cerr)
+			}
+			for _, fn := range ac.opLPCs {
+				e.EnqueueLPC(fn)
+			}
+		} else {
+			e.phase(ac.kind, PhaseWireAcked)
+			for _, h := range ac.opCells {
+				h.Fulfill()
+			}
+			for _, p := range ac.opProms {
+				p.Fulfill(1)
+			}
+			for _, fn := range ac.opLPCs {
+				e.EnqueueLPC(fn)
+			}
 		}
 	}
 	ac.recycle()
@@ -454,6 +524,9 @@ func (ac *AsyncCompletion) failDeliver(err error) {
 	ac.failed = true
 	e.Stats.OpsFailed++
 	e.phase(ac.kind, PhaseFailed)
+	for _, fn := range ac.opConts {
+		e.runCont(fn, err)
+	}
 	for _, h := range ac.opCells {
 		h.Fail(err)
 	}
@@ -490,12 +563,33 @@ func (ac *AsyncCompletion) recycle() {
 	for i := range ac.opLPCs {
 		ac.opLPCs[i] = nil
 	}
+	for i := range ac.opConts {
+		ac.opConts[i] = nil
+	}
 	ac.opCells = ac.opCells[:0]
 	ac.opProms = ac.opProms[:0]
 	ac.opLPCs = ac.opLPCs[:0]
+	ac.opConts = ac.opConts[:0]
 	ac.failed = false
 	ac.gen++
 	ac.eng.acFree = append(ac.eng.acFree, ac)
+}
+
+// runCont invokes a continuation callback under the panic-containment
+// boundary: a panic is recovered (the progress loop keeps running),
+// counted, and returned as a *ContinuationError for the caller to route
+// into the operation's remaining sinks. A nil return means the callback
+// completed normally.
+func (e *Engine) runCont(fn func(error), err error) (cerr error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e.Stats.ContinuationPanics++
+			cerr = &ContinuationError{Rank: e.rank, Msg: fmt.Sprint(p)}
+		}
+	}()
+	e.Stats.ContinuationsRun++
+	fn(err)
+	return nil
 }
 
 // RemoteFn extracts the composed remote-completion action from cxs, or nil

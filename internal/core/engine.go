@@ -76,6 +76,9 @@ type Stats struct {
 	OpsFailed        int64 // operations resolved with an error
 	DeadlinesArmed   int64 // per-op deadlines registered
 	DeadlinesExpired int64 // deadlines that fired before completion
+
+	ContinuationsRun   int64 // OpContinue callbacks invoked
+	ContinuationPanics int64 // continuation callbacks that panicked (contained)
 }
 
 // NewEngine constructs rank's progress engine under the given library

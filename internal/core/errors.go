@@ -1,6 +1,25 @@
 package core
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
+
+// ContinuationError reports that a continuation callback (OpContinue)
+// panicked while running inside the progress engine. The panic is
+// recovered — the progress loop keeps running — and the operation's
+// remaining sinks (futures, promises) resolve with this value, mirroring
+// how a remote handler panic surfaces as a *RemoteError.
+type ContinuationError struct {
+	// Rank is the rank whose progress engine ran the continuation.
+	Rank int
+	// Msg is the recovered panic value, formatted.
+	Msg string
+}
+
+func (e *ContinuationError) Error() string {
+	return fmt.Sprintf("gupcxx: continuation panicked on rank %d: %s", e.Rank, e.Msg)
+}
 
 // deadlineError is the concrete type behind ErrDeadlineExceeded. It is a
 // distinct sentinel (so errors.Is(err, ErrDeadlineExceeded) keeps

@@ -467,7 +467,7 @@ func (h FulfillHandle) FulfillAcked() {
 
 // CompleteAcked is the error-carrying form of FulfillAcked, the done
 // callback the pipeline hands the substrate for value-producing
-/// operations: a nil err books the wire-acked phase and fulfills; a non-nil
+// operations: a nil err books the wire-acked phase and fulfills; a non-nil
 // err books the failed phase and fails the cell. A cell that was already
 // resolved (deadline expiry, peer death) absorbs the late acknowledgment
 // without further accounting.

@@ -184,6 +184,11 @@ func BenchmarkUDPCoalesce(b *testing.B) {
 		b.StopTimer()
 		s := d.Stats()
 		b.ReportMetric(float64(s.DatagramsSent)/float64(b.N), "datagrams/op")
+		// Syscalls per burst, from the vectorized-datapath counters (zero
+		// on the sequential fallback): the burst variant's 8→1 datagram
+		// coalescing should show up again as syscall amortization.
+		b.ReportMetric(float64(s.SendmmsgCalls)/float64(b.N), "sendmmsg/op")
+		b.ReportMetric(float64(s.RecvmmsgCalls)/float64(b.N), "recvmmsg/op")
 	}
 	b.Run("single", func(b *testing.B) { run(b, false) })
 	b.Run("burst8", func(b *testing.B) { run(b, true) })

@@ -132,6 +132,15 @@ type Config struct {
 	// messages are genuinely lost. Ignored by other conduits.
 	UDPUnreliable bool
 
+	// UDPNoMmsg forces the UDP conduit onto the portable sequential I/O
+	// path (one sendto/recvfrom syscall per datagram) even on platforms
+	// with sendmmsg/recvmmsg support — for comparative measurement and
+	// for exercising the fallback on Linux. The vectorized and sequential
+	// paths are semantically identical; only the syscall count (and the
+	// Stats Sendmmsg*/Recvmmsg* counters, which stay zero here) differs.
+	// Ignored by other conduits.
+	UDPNoMmsg bool
+
 	// RelWindow bounds the reliability layer's per-pair in-flight
 	// (unacked) datagrams and receive-side reorder buffer. Zero selects
 	// the default (256). It is the *maximum* of the adaptive congestion
@@ -289,6 +298,7 @@ func (c Config) normalized() (Config, error) {
 	if c.Conduit != UDP {
 		c.Fault = nil
 		c.UDPUnreliable = false
+		c.UDPNoMmsg = false
 	}
 	return c, nil
 }

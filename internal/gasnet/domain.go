@@ -29,6 +29,16 @@ type Domain struct {
 	coalescedBatches atomic.Int64
 	coalescedMsgs    atomic.Int64
 
+	// Batched-syscall instrumentation (see Stats, mmsg_linux.go). Counted
+	// only by the real mmsg path, so the fallback's zeros make the active
+	// datapath observable.
+	sendmmsgCalls   atomic.Int64
+	recvmmsgCalls   atomic.Int64
+	sendBatchFrames atomic.Int64
+	recvBatchFrames atomic.Int64
+	sendBatchHW     atomic.Int64
+	recvBatchHW     atomic.Int64
+
 	// Reliability-layer instrumentation (see Stats and reliable.go).
 	retransmits      atomic.Int64
 	dupsDropped      atomic.Int64
@@ -89,6 +99,21 @@ type Stats struct {
 	// message; CoalescedMsgs counts the messages inside them.
 	CoalescedBatches int64
 	CoalescedMsgs    int64
+	// SendmmsgCalls / RecvmmsgCalls count vectorized I/O syscalls issued
+	// by the batched datapath (mmsg_linux.go); SendBatchFrames /
+	// RecvBatchFrames count the datagrams they moved, so frames-per-call
+	// is derivable; the HighWater fields record the largest single call
+	// each way. All six stay zero on the sequential fallback path
+	// (non-Linux, Config.UDPNoMmsg), making the active datapath — and the
+	// syscall amortization itself — assertable: a coalesced burst of N
+	// frames to distinct destinations is N datagrams but one
+	// SendmmsgCall.
+	SendmmsgCalls      int64
+	RecvmmsgCalls      int64
+	SendBatchFrames    int64
+	RecvBatchFrames    int64
+	SendBatchHighWater int64
+	RecvBatchHighWater int64
 	// Retransmits counts datagrams re-sent by the reliability layer after
 	// an ack deadline expired.
 	Retransmits int64
@@ -177,11 +202,18 @@ type Stats struct {
 // over all endpoints.
 func (d *Domain) Stats() Stats {
 	s := Stats{
-		PoolHits:         d.arena.hits.Load(),
-		PoolMisses:       d.arena.misses.Load(),
-		DatagramsSent:    d.datagramsSent.Load(),
-		CoalescedBatches: d.coalescedBatches.Load(),
-		CoalescedMsgs:    d.coalescedMsgs.Load(),
+		PoolHits:           d.arena.hits.Load(),
+		PoolMisses:         d.arena.misses.Load(),
+		DatagramsSent:      d.datagramsSent.Load(),
+		CoalescedBatches:   d.coalescedBatches.Load(),
+		CoalescedMsgs:      d.coalescedMsgs.Load(),
+		SendmmsgCalls:      d.sendmmsgCalls.Load(),
+		RecvmmsgCalls:      d.recvmmsgCalls.Load(),
+		SendBatchFrames:    d.sendBatchFrames.Load(),
+		RecvBatchFrames:    d.recvBatchFrames.Load(),
+		SendBatchHighWater: d.sendBatchHW.Load(),
+		RecvBatchHighWater: d.recvBatchHW.Load(),
+
 		Retransmits:      d.retransmits.Load(),
 		DupsDropped:      d.dupsDropped.Load(),
 		AcksPiggybacked:  d.acksPiggybacked.Load(),
@@ -339,9 +371,13 @@ type Endpoint struct {
 
 	// burst and co implement sender-side coalescing on the UDP conduit
 	// (see udp.go): while burst > 0, wire messages are packed per
-	// destination instead of shipped one datagram each.
+	// destination instead of shipped one datagram each. sendq is the
+	// staging area for the vectorized flush: sealed per-destination
+	// frames accumulate here and ship in one batched write (owner
+	// goroutine only, recycled across bursts).
 	burst int
 	co    *coalescer
+	sendq []batchFrame
 
 	// wake is signaled (coalescing) whenever a message is delivered to
 	// this endpoint, so an idle waiter can park instead of spinning — a
@@ -667,6 +703,12 @@ func (ep *Endpoint) PendingOps() int { return ep.ops.live() }
 type opSlot struct {
 	msg  func(*Msg, error)
 	done func(error)
+	// dst, when non-nil on a bare-done slot, is the caller's destination
+	// buffer: handleAck copies the reply payload into it before invoking
+	// done. This moves the copy a get-class reply needs out of a per-call
+	// closure and into the table, keeping steady-state gets
+	// allocation-free like puts.
+	dst  []byte
 	peer int32
 }
 
@@ -696,6 +738,13 @@ func (t *opTable) add(peer int, cb func(*Msg, error)) uint64 {
 // cookie.
 func (t *opTable) addDone(peer int, done func(error)) uint64 {
 	return t.register(opSlot{done: done, peer: int32(peer)})
+}
+
+// addGet registers a bare acknowledgment callback whose reply payload is
+// copied into dst before done runs — the closure-free get-class
+// registration. On failure dst is untouched and done receives the error.
+func (t *opTable) addGet(peer int, dst []byte, done func(error)) uint64 {
+	return t.register(opSlot{done: done, dst: dst, peer: int32(peer)})
 }
 
 func (t *opTable) register(s opSlot) uint64 {
@@ -770,6 +819,9 @@ func handleAck(ep *Endpoint, m *Msg) {
 	if s.msg != nil {
 		s.msg(m, nil)
 	} else {
+		if s.dst != nil {
+			copy(s.dst, m.Payload)
+		}
 		s.done(nil)
 	}
 }

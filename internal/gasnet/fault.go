@@ -3,7 +3,6 @@ package gasnet
 import (
 	"fmt"
 	"math/rand/v2"
-	"net"
 	"net/netip"
 	"os"
 	"strconv"
@@ -22,10 +21,15 @@ import (
 // faultConn does is driven by the wrapped socket's own writes, so runs are
 // reproducible up to goroutine interleaving.
 
-// packetConn is the slice of *net.UDPConn the send path needs; faultConn
-// implements it by interposing on a real socket.
+// packetConn is the send-path surface of a socket; faultConn implements
+// it by interposing on the real (batch-capable) adapter.
 type packetConn interface {
 	WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error)
+	// WriteBatch transmits a set of staged frames — in one vectorized
+	// write (sendmmsg) where the platform allows, one frame at a time
+	// otherwise. Implementations must not retain any frame's bytes past
+	// the call.
+	WriteBatch(frames []batchFrame) error
 }
 
 // faultEnvVar names the environment variable consulted by UDP-conduit
@@ -143,7 +147,7 @@ type heldPkt struct {
 // they arrive behind datagrams sent after them; if traffic stops, the
 // reliability layer's retransmissions provide the flushing writes.
 type faultConn struct {
-	conn     *net.UDPConn
+	inner    packetConn
 	cfg      FaultConfig
 	injected *atomic.Int64 // Domain.faultsInjected
 
@@ -152,9 +156,9 @@ type faultConn struct {
 	held []heldPkt
 }
 
-func newFaultConn(conn *net.UDPConn, cfg FaultConfig, rank int, injected *atomic.Int64) *faultConn {
+func newFaultConn(inner packetConn, cfg FaultConfig, rank int, injected *atomic.Int64) *faultConn {
 	return &faultConn{
-		conn:     conn,
+		inner:    inner,
 		cfg:      cfg,
 		injected: injected,
 		// Derive a distinct, reproducible stream per socket.
@@ -205,7 +209,7 @@ func (f *faultConn) takeHeld() []heldPkt {
 // the contract of this type.
 func (f *faultConn) flush(held []heldPkt) {
 	for _, p := range held {
-		f.conn.WriteToUDPAddrPort(p.b, p.addr)
+		f.inner.WriteToUDPAddrPort(p.b, p.addr)
 	}
 }
 
@@ -221,10 +225,10 @@ func (f *faultConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, erro
 		held := f.takeHeld()
 		f.mu.Unlock()
 		f.injected.Add(1)
-		if _, err := f.conn.WriteToUDPAddrPort(b, addr); err != nil {
+		if _, err := f.inner.WriteToUDPAddrPort(b, addr); err != nil {
 			return 0, err
 		}
-		n, err := f.conn.WriteToUDPAddrPort(b, addr)
+		n, err := f.inner.WriteToUDPAddrPort(b, addr)
 		f.flush(held)
 		return n, err
 	case r < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder && len(f.held) < faultMaxHeld:
@@ -235,8 +239,51 @@ func (f *faultConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, erro
 	default:
 		held := f.takeHeld()
 		f.mu.Unlock()
-		n, err := f.conn.WriteToUDPAddrPort(b, addr)
+		n, err := f.inner.WriteToUDPAddrPort(b, addr)
 		f.flush(held) // held datagrams now arrive after this one: reordered
 		return n, err
 	}
+}
+
+// WriteBatch applies the fault distribution frame-by-frame — each staged
+// frame draws its own verdict, exactly as if it had been written alone —
+// and forwards the survivors in one batch, preserving the vectorized
+// write underneath. Dropped frames vanish from the batch; duplicated
+// frames appear twice; reorder-held frames are copied aside and released
+// behind a later batch's survivors, so they arrive after frames staged
+// after them. The receive path needs no counterpart: faults are
+// send-side injection, the wire delivers what survives.
+func (f *faultConn) WriteBatch(frames []batchFrame) error {
+	// The fault path is for test suites, not the cost model, so the
+	// per-call scratch allocation here is acceptable.
+	out := make([]batchFrame, 0, len(frames)+faultMaxHeld)
+	f.mu.Lock()
+	for _, fr := range frames {
+		r := f.rng.Float64()
+		switch {
+		case r < f.cfg.Drop:
+			f.injected.Add(1)
+		case r < f.cfg.Drop+f.cfg.Dup:
+			f.injected.Add(1)
+			out = append(out, fr, fr)
+		case r < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder && len(f.held) < faultMaxHeld:
+			f.injected.Add(1)
+			f.held = append(f.held, heldPkt{b: append([]byte(nil), fr.b...), addr: fr.addr})
+		default:
+			out = append(out, fr)
+		}
+	}
+	var released []heldPkt
+	if len(out) > 0 {
+		released = f.takeHeld()
+	}
+	f.mu.Unlock()
+	for _, p := range released {
+		// Held datagrams ride behind this batch's survivors: reordered.
+		out = append(out, batchFrame{b: p.b, addr: p.addr})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return f.inner.WriteBatch(out)
 }

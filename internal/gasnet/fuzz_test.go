@@ -50,8 +50,8 @@ func FuzzDecodeDatagram(f *testing.F) {
 	f.Add(append(seq, single...))
 
 	f.Add([]byte{})
-	f.Add([]byte{0xEE, 1, 2, 3})          // unknown tag
-	f.Add([]byte{frameBatch, 9, 0, 1})    // count overruns frame
+	f.Add([]byte{0xEE, 1, 2, 3})              // unknown tag
+	f.Add([]byte{frameBatch, 9, 0, 1})        // count overruns frame
 	f.Add(append([]byte(nil), single[:5]...)) // truncated message
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,15 @@
+//go:build !linux || !(amd64 || arm64)
+
+package gasnet
+
+import "net"
+
+// Portable fallback: no vectorized syscalls on this platform; every
+// batch write or read degrades to one syscall per datagram behind the
+// same batchConn interface (seqConn, udp.go). The Sendmmsg*/Recvmmsg*
+// Stats counters stay zero here.
+const mmsgAvailable = false
+
+func newBatchConn(conn *net.UDPConn, d *Domain) batchConn {
+	return seqConn{conn}
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package gasnet
+
+// sendmmsg/recvmmsg syscall numbers. The standard library's frozen
+// amd64 table predates sendmmsg, so both are spelled out here.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

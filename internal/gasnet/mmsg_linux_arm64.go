@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package gasnet
+
+// sendmmsg/recvmmsg syscall numbers for the arm64 table.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -299,22 +299,19 @@ func parseRelHeader(b []byte) (from uint16, seq, ack uint32, err error) {
 // ack. Admission-controlled callers (AdmitSend) normally reserve credit
 // before reaching here, so this block is the backstop, not the policy.
 func (r *reliability) send(from, to int, wb *wireBuf) {
-	p := r.pair(from, to)
 	spin := 0
-	p.mu.Lock()
 	for {
-		if r.closed.Load() || p.down {
+		ok, full := r.trySeal(from, to, wb)
+		if ok {
+			break
+		}
+		if !full {
 			// Racing shutdown, or a declared-dead destination: the datagram
 			// is dropped (the op pipeline fails down-peer operations with
 			// ErrPeerUnreachable; stalling the sender here would deadlock
 			// it against a peer that will never ack).
-			p.mu.Unlock()
 			return
 		}
-		if len(p.inflight) < p.cwnd {
-			break
-		}
-		p.mu.Unlock()
 		// Momentary fullness resolves within an ack round trip; yield a
 		// few times before escalating to real sleeps so a blocked sender
 		// costs no CPU while still observing a Down transition within a
@@ -325,7 +322,29 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 		} else {
 			time.Sleep(50 * time.Microsecond)
 		}
-		p.mu.Lock()
+	}
+	r.d.writeDatagram(from, to, wb.b)
+}
+
+// trySeal attempts the non-writing half of send: stamp wb with the next
+// sequence number and piggybacked ack and retain it in the
+// retransmission queue, without blocking and without putting it on the
+// wire — the batched send path seals a burst's frames one by one and
+// ships them in a single vectorized write. ok reports the frame was
+// sealed (the caller must now transmit wb.b exactly once, by any path);
+// when ok is false, full distinguishes a momentarily-full congestion
+// window (retry after letting acks drain) from a dropped frame
+// (shutdown or down peer — the caller still owns its wb reference).
+func (r *reliability) trySeal(from, to int, wb *wireBuf) (ok, full bool) {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	if r.closed.Load() || p.down {
+		p.mu.Unlock()
+		return false, false
+	}
+	if len(p.inflight) >= p.cwnd {
+		p.mu.Unlock()
+		return false, true
 	}
 	p.nextSeq++
 	seq := p.nextSeq
@@ -353,7 +372,7 @@ func (r *reliability) send(from, to int, wb *wireBuf) {
 		p.inflightHW = len(p.inflight)
 	}
 	p.mu.Unlock()
-	r.d.writeDatagram(from, to, b)
+	return true, false
 }
 
 // sampleRTT folds one clean round-trip measurement into the pair's

@@ -262,14 +262,14 @@ func TestCorruptDatagramsCountedAndDropped(t *testing.T) {
 	d.RegisterHandler(HandlerUserBase, func(*Endpoint, *Msg) { received++ })
 	ep1 := d.Endpoint(1)
 	bad := [][]byte{
-		{},                         // empty datagram
-		{0xEE},                     // unknown frame tag
-		{frameSingle},              // truncated wire message
-		{frameSingle, 1, 2, 3},     // short of the fixed header
-		{frameBatch},               // truncated batch header
-		{frameBatch, 0, 0},         // empty batch
+		{},                             // empty datagram
+		{0xEE},                         // unknown frame tag
+		{frameSingle},                  // truncated wire message
+		{frameSingle, 1, 2, 3},         // short of the fixed header
+		{frameBatch},                   // truncated batch header
+		{frameBatch, 0, 0},             // empty batch
 		{frameBatch, 2, 0, 9, 0, 0, 0}, // entry length overruns frame
-		{frameSeq, 0, 0, 1},        // truncated sequenced header
+		{frameSeq, 0, 0, 1},            // truncated sequenced header
 	}
 	for _, b := range bad {
 		wb := d.arena.get(bufClassLarge)

@@ -7,7 +7,9 @@ import (
 	"log"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
+	"time"
 )
 
 // The UDP conduit models the paper's non-Intel configurations (§IV): the
@@ -59,12 +61,69 @@ const (
 // message adds a 4-byte length prefix on top of its encoding.
 const batchHeaderLen = 1 + 2
 
+// recvBatchSize is how many datagrams one reader wakeup drains in a
+// single recvmmsg (each into its own pooled buffer). It bounds the
+// pooled memory a parked reader pins at recvBatchSize × bufClassLarge
+// per socket.
+const recvBatchSize = 8
+
+// batchFrame is one staged datagram in a vectorized send: the wire
+// bytes, the destination address, and the pooled buffer owning the bytes
+// (nil for frames, like fault-shim holdback releases, whose bytes have
+// no pooled owner). The stager holds wb's reference until the batch is
+// written; writers must not retain any frame's bytes past the call.
+type batchFrame struct {
+	b    []byte
+	addr netip.AddrPort
+	wb   *wireBuf
+}
+
+// batchConn extends the send path's packetConn with the vectorized read
+// the conduit's reader goroutines use. Constructed per socket by
+// newBatchConn: sendmmsg/recvmmsg on capable Linux platforms, the
+// sequential seqConn elsewhere (and under Config.UDPNoMmsg). The fault
+// shim wraps only the write side — faults are send-side injection, so
+// the reader always consumes the unwrapped batchConn.
+type batchConn interface {
+	packetConn
+	// ReadBatch fills views with up to len(views) datagrams, recording
+	// each datagram's byte count in sizes, and returns how many arrived.
+	// It blocks until at least one datagram is available.
+	ReadBatch(views [][]byte, sizes []int) (int, error)
+}
+
+// seqConn is the portable batch adapter: one write or read system call
+// per frame behind the same interface the mmsg path implements — the
+// fallback for platforms without sendmmsg/recvmmsg.
+type seqConn struct{ *net.UDPConn }
+
+func (c seqConn) WriteBatch(frames []batchFrame) error {
+	for _, fr := range frames {
+		if _, err := c.WriteToUDPAddrPort(fr.b, fr.addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c seqConn) ReadBatch(views [][]byte, sizes []int) (int, error) {
+	n, _, err := c.ReadFromUDPAddrPort(views[0])
+	if err != nil {
+		return 0, err
+	}
+	sizes[0] = n
+	return 1, nil
+}
+
 // udpTransport is the per-domain socket state for the UDP conduit.
 type udpTransport struct {
 	conns []*net.UDPConn
-	// send is the per-rank write path: the raw socket, or a fault-injecting
-	// wrapper around it when Config.Fault is set.
+	// send is the per-rank write path: the batch-capable socket adapter,
+	// or a fault-injecting wrapper around it when Config.Fault is set.
 	send []packetConn
+	// read is the per-rank read path: always the unwrapped batch adapter
+	// (the fault shim injects on the send side only).
+	read []batchConn
 	// addrs holds each rank's socket address as a value type so the send
 	// path (WriteToUDPAddrPort) performs no per-datagram allocation.
 	addrs []netip.AddrPort
@@ -98,11 +157,13 @@ func (d *Domain) initUDP() error {
 				"bursty collectives may drop datagrams on this host", err)
 		}
 		tr.conns = append(tr.conns, conn)
-		var pc packetConn = conn
+		bc := newBatchConn(conn, d)
+		var pc packetConn = bc
 		if d.cfg.Fault != nil {
-			pc = newFaultConn(conn, *d.cfg.Fault, r, &d.faultsInjected)
+			pc = newFaultConn(bc, *d.cfg.Fault, r, &d.faultsInjected)
 		}
 		tr.send = append(tr.send, pc)
+		tr.read = append(tr.read, bc)
 		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr).AddrPort())
 	}
 	d.udp = tr
@@ -117,27 +178,46 @@ func (d *Domain) initUDP() error {
 	}
 	for r := 0; r < d.cfg.Ranks; r++ {
 		ep := d.eps[r]
-		conn := tr.conns[r]
+		bc := tr.read[r]
 		tr.wg.Add(1)
 		go func() {
 			defer tr.wg.Done()
+			// One ReadBatch drains up to recvBatchSize queued datagrams per
+			// wakeup, each read straight into its own pooled buffer: the
+			// decoded messages alias the buffer and release it after
+			// dispatch, so the steady-state receive path allocates nothing
+			// — and a burst of frames costs one recvmmsg instead of one
+			// recvfrom per datagram.
+			bufs := make([]*wireBuf, recvBatchSize)
+			views := make([][]byte, recvBatchSize)
+			sizes := make([]int, recvBatchSize)
 			for {
-				// Read straight into a pooled buffer: the decoded
-				// messages alias it and release it after dispatch, so
-				// the steady-state receive path allocates nothing.
-				wb := d.arena.get(bufClassLarge)
-				n, _, err := conn.ReadFromUDPAddrPort(wb.b)
+				for i := range bufs {
+					if bufs[i] == nil {
+						bufs[i] = d.arena.get(bufClassLarge)
+						views[i] = bufs[i].b
+					}
+				}
+				n, err := bc.ReadBatch(views, sizes)
 				if err != nil {
-					wb.release()
-					if errors.Is(err, net.ErrClosed) {
+					if errors.Is(err, net.ErrClosed) || tr.isClosed() {
+						for _, wb := range bufs {
+							if wb != nil {
+								wb.release()
+							}
+						}
 						return
 					}
 					// Transient errors on loopback are unexpected but
 					// not fatal; keep serving.
 					continue
 				}
-				wb.b = wb.b[:n]
-				d.receiveDatagram(ep, wb)
+				for i := 0; i < n; i++ {
+					wb := bufs[i]
+					bufs[i] = nil
+					wb.b = wb.b[:sizes[i]]
+					d.receiveDatagram(ep, wb)
+				}
 			}
 		}()
 	}
@@ -310,6 +390,19 @@ func (d *Domain) writeFrame(from, to int, frame []byte) {
 	}
 }
 
+// writeBatch counts and ships a set of staged first-transmission
+// datagrams through the sender's vectorized write path — one sendmmsg on
+// capable platforms, however many frames are staged.
+func (d *Domain) writeBatch(from int, frames []batchFrame) {
+	d.datagramsSent.Add(int64(len(frames)))
+	if err := d.udp.send[from].WriteBatch(frames); err != nil {
+		if errors.Is(err, net.ErrClosed) || d.udp.isClosed() {
+			return // racing shutdown; message loss is fine post-Close
+		}
+		panic(fmt.Sprintf("gasnet: udp batch send failed: %v", err))
+	}
+}
+
 // --- sender-side coalescing ---
 
 // coalescer accumulates small wire messages per destination rank during a
@@ -356,7 +449,9 @@ func (ep *Endpoint) coalesce(to int, m *Msg) {
 	}
 	wb := c.bufs[to]
 	if wb != nil && (len(wb.b)+need > maxUDPPayload || c.counts[to] == 1<<16-1) {
-		ep.flushDest(to)
+		// The overflowing split is staged, not written: it rides the same
+		// vectorized write as the rest of the burst at EndBurst.
+		ep.stageDest(to)
 		wb = nil
 	}
 	if wb == nil {
@@ -374,8 +469,15 @@ func (ep *Endpoint) coalesce(to int, m *Msg) {
 	c.counts[to]++
 }
 
-// flushDest ships destination to's pending batch, if any.
-func (ep *Endpoint) flushDest(to int) {
+// stageDest seals destination to's pending batch — stamping the batch
+// count, and under the reliability layer the sequence header plus a slot
+// in the retransmit queue — and stages the frame on the endpoint's send
+// queue instead of writing it, so EndBurst ships every destination's
+// frame in one vectorized write. The caller's buffer reference travels
+// with the staged frame and is released by flushStaged after the write;
+// the retransmit queue holds its own reference, exactly as on the
+// immediate-write path.
+func (ep *Endpoint) stageDest(to int) {
 	c := ep.co
 	wb := c.bufs[to]
 	if wb == nil {
@@ -392,23 +494,60 @@ func (ep *Endpoint) flushDest(to int) {
 		d.coalescedMsgs.Add(int64(count))
 	}
 	if d.rel != nil {
-		d.rel.send(ep.rank, to, wb)
-	} else {
-		d.writeDatagram(ep.rank, to, wb.b)
+		spin := 0
+		for {
+			ok, full := d.rel.trySeal(ep.rank, to, wb)
+			if ok {
+				break
+			}
+			if !full {
+				// Shutdown or down peer: the frame is dropped, exactly as
+				// rel.send would drop it.
+				wb.release()
+				return
+			}
+			// The congestion window is full — and the frames already
+			// staged but unwritten may be why no acknowledgments are
+			// coming. Ship them so the window can drain, then wait like
+			// rel.send's backstop.
+			ep.flushStaged()
+			if spin < 4 {
+				spin++
+				runtime.Gosched()
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
 	}
-	wb.release()
+	ep.sendq = append(ep.sendq, batchFrame{b: wb.b, addr: d.udp.addrs[to], wb: wb})
 }
 
-// flushSends ships every pending coalesced batch.
+// flushStaged ships every staged frame in one vectorized write and
+// releases the staged buffer references.
+func (ep *Endpoint) flushStaged() {
+	if len(ep.sendq) == 0 {
+		return
+	}
+	ep.dom.writeBatch(ep.rank, ep.sendq)
+	for i := range ep.sendq {
+		ep.sendq[i].wb.release()
+		ep.sendq[i] = batchFrame{}
+	}
+	ep.sendq = ep.sendq[:0]
+}
+
+// flushSends stages every pending coalesced batch, then ships the staged
+// set in one vectorized write.
 func (ep *Endpoint) flushSends() {
 	c := ep.co
 	if c == nil {
 		return
 	}
 	for _, to := range c.dirty {
-		ep.flushDest(to)
+		ep.stageDest(to)
 	}
 	c.dirty = c.dirty[:0]
+	ep.flushStaged()
 }
 
 // BeginBurst opens an injection burst: until the matching EndBurst, small
@@ -441,6 +580,15 @@ func (ep *Endpoint) EndBurst() {
 	if ep.burst == 0 {
 		ep.flushSends()
 	}
+}
+
+// isClosed reports whether close has begun; the reader and batch-write
+// paths use it to distinguish a racing shutdown from a genuine socket
+// error.
+func (tr *udpTransport) isClosed() bool {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.closed
 }
 
 // close shuts down the sockets and waits for the reader goroutines.

@@ -47,6 +47,12 @@ func TestUDPCoalesceBurst(t *testing.T) {
 		t.Errorf("coalescing stats = %d batches / %d msgs, want 1/8",
 			s.CoalescedBatches, s.CoalescedMsgs)
 	}
+	// The coalesced burst must also be one vectorized write: 8 messages,
+	// 1 datagram, 1 sendmmsg. Gated on the fault shim being unarmed —
+	// under GUPCXX_UDP_FAULT a dropped frame legitimately skips the write.
+	if mmsgAvailable && d.cfg.Fault == nil && s.SendmmsgCalls != 1 {
+		t.Errorf("SendmmsgCalls = %d, want 1", s.SendmmsgCalls)
+	}
 }
 
 func TestUDPBurstNesting(t *testing.T) {

@@ -6,7 +6,9 @@ package gupcxx_test
 // benchmarks recorded as BENCH_3.json (make bench-pipeline).
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"gupcxx"
 )
@@ -156,6 +158,135 @@ func BenchmarkOpPipeline(b *testing.B) {
 					})
 				})
 			}
+		})
+	}
+}
+
+// asyncBenchWorld is the off-node (SIM) harness for the asynchronous
+// pipeline benchmarks: two single-rank nodes under the eager version with
+// nanosecond wire latency (the CPU path is the measurement), with a wire
+// RPC echo handler registered so the rpcwire rows have a target.
+func asyncBenchWorld(b *testing.B, fn func(r *gupcxx.Rank, echo gupcxx.RPCHandlerID, target gupcxx.GlobalPtr[uint64])) {
+	b.Helper()
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks:        2,
+		Conduit:      gupcxx.SIM,
+		RanksPerNode: 1,
+		SimLatency:   time.Nanosecond,
+		Version:      gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	echo := w.RegisterRPC(func(_ *gupcxx.Rank, args []byte) []byte { return args })
+	err = w.Run(func(r *gupcxx.Rank) {
+		target := gupcxx.New[uint64](r)
+		targets := gupcxx.ExchangePtr(r, target)
+		r.Barrier()
+		if r.Me() == 0 {
+			fn(r, echo, targets[1])
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// progressUntil drains the initiator's engine until done reports true,
+// yielding to the peer rank's goroutine when no work is available (the
+// same discipline Future.Wait applies through Engine.Idle).
+func progressUntil(r *gupcxx.Rank, done func() bool) {
+	for !done() {
+		if r.Progress() == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// BenchmarkOpPipelineAsync measures the asynchronous (off-node) leg of the
+// pipeline per completion form: the future forms pay the one irreducible
+// cell escape per op, the continuation forms run cell-free — 0 allocs/op
+// for put and getbulk, and the pooled wire-RPC call record holds the
+// rpcwire continuation row at <= 2 (args copy + reply view). Recorded as
+// BENCH_5.json; scripts/check_bench5.sh fails a regenerated record whose
+// continuation rows regress (make bench-syscall).
+func BenchmarkOpPipelineAsync(b *testing.B) {
+	type bench struct {
+		name string
+		run  func(b *testing.B, r *gupcxx.Rank, echo gupcxx.RPCHandlerID, t gupcxx.GlobalPtr[uint64])
+	}
+	benches := []bench{
+		{"put/future", func(b *testing.B, r *gupcxx.Rank, _ gupcxx.RPCHandlerID, t gupcxx.GlobalPtr[uint64]) {
+			for i := 0; i < b.N; i++ {
+				gupcxx.Rput(r, uint64(i), t).Wait()
+			}
+		}},
+		{"put/cont", func(b *testing.B, r *gupcxx.Rank, _ gupcxx.RPCHandlerID, t gupcxx.GlobalPtr[uint64]) {
+			fired, issued := 0, 0
+			cx := []gupcxx.Cx{gupcxx.OpContinue(func(error) { fired++ })}
+			for i := 0; i < b.N; i++ {
+				gupcxx.Rput(r, uint64(i), t, cx...)
+				issued++
+				progressUntil(r, func() bool { return fired >= issued })
+			}
+		}},
+		{"getbulk/cont", func(b *testing.B, r *gupcxx.Rank, _ gupcxx.RPCHandlerID, t gupcxx.GlobalPtr[uint64]) {
+			fired, issued := 0, 0
+			cx := []gupcxx.Cx{gupcxx.OpContinue(func(error) { fired++ })}
+			var buf [1]uint64
+			for i := 0; i < b.N; i++ {
+				gupcxx.RgetBulk(r, t, buf[:], cx...)
+				issued++
+				progressUntil(r, func() bool { return fired >= issued })
+			}
+		}},
+		{"rpc/future", func(b *testing.B, r *gupcxx.Rank, _ gupcxx.RPCHandlerID, _ gupcxx.GlobalPtr[uint64]) {
+			fn := func(*gupcxx.Rank) {}
+			for i := 0; i < b.N; i++ {
+				gupcxx.RPC(r, 1, fn).Wait()
+			}
+		}},
+		{"rpc/cont", func(b *testing.B, r *gupcxx.Rank, _ gupcxx.RPCHandlerID, _ gupcxx.GlobalPtr[uint64]) {
+			fired, issued := 0, 0
+			cx := []gupcxx.Cx{gupcxx.OpContinue(func(error) { fired++ })}
+			fn := func(*gupcxx.Rank) {}
+			for i := 0; i < b.N; i++ {
+				gupcxx.RPC(r, 1, fn, cx...)
+				issued++
+				progressUntil(r, func() bool { return fired >= issued })
+			}
+		}},
+		{"rpcwire/future", func(b *testing.B, r *gupcxx.Rank, echo gupcxx.RPCHandlerID, _ gupcxx.GlobalPtr[uint64]) {
+			args := []byte{1, 2, 3, 4}
+			for i := 0; i < b.N; i++ {
+				gupcxx.RPCWire(r, 1, echo, args).Wait()
+			}
+		}},
+		{"rpcwire/cont", func(b *testing.B, r *gupcxx.Rank, echo gupcxx.RPCHandlerID, _ gupcxx.GlobalPtr[uint64]) {
+			fired, issued := 0, 0
+			cont := func([]byte, error) { fired++ }
+			args := []byte{1, 2, 3, 4}
+			for i := 0; i < b.N; i++ {
+				gupcxx.RPCWireContinue(r, 1, echo, args, cont)
+				issued++
+				progressUntil(r, func() bool { return fired >= issued })
+			}
+		}},
+	}
+	for _, bm := range benches {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			asyncBenchWorld(b, func(r *gupcxx.Rank, echo gupcxx.RPCHandlerID, t gupcxx.GlobalPtr[uint64]) {
+				// Warm the completion freelists and wire-buffer pools so the
+				// record reflects the steady state, not arena growth.
+				for i := 0; i < 64; i++ {
+					gupcxx.Rput(r, uint64(i), t).Wait()
+				}
+				b.ResetTimer()
+				bm.run(b, r, echo, t)
+			})
 		})
 	}
 }

@@ -48,7 +48,10 @@ func (r *Rank) runContained(fn func(*Rank)) error {
 //
 // cxs optionally overrides the completion-request set (default: one
 // operation future). Compose a deadline with the default sink as
-// RPC(r, t, fn, OpFuture(), OpDeadline(d)).
+// RPC(r, t, fn, OpFuture(), OpDeadline(d)). Passing OpContinue(cb)
+// instead of the future sink drops the acknowledgment's future cell —
+// the cheapest acknowledged RPC form (see also RPCWireContinue for the
+// wire-encoded analogue).
 //
 // An RPC is never Local in the pipeline's sense: even a self-RPC runs fn
 // from the progress engine, not inline at initiation, so its completion is

@@ -51,15 +51,103 @@ const (
 
 // pendingWire tracks this rank's outstanding wire-RPC calls. Owner
 // goroutine only: replies are dispatched during this rank's progress.
+// Retired wireCall records recycle through pool, so a steady-state
+// wire-RPC stream allocates no per-call tracking state.
 type pendingWire struct {
 	slots []*wireCall
 	free  []uint32
+	pool  []*wireCall
 }
 
+// wireCall is one outstanding wire RPC. Exactly one of vp (future form:
+// the reply is copied into the future's value slot) or cont
+// (continuation form: the reply is handed to the callback zero-copy) is
+// set. bridge and inject cache method values on the pooled record, and
+// contCx caches the one-element completion set around bridge, so the
+// continuation form's hot path allocates nothing per call.
 type wireCall struct {
 	vp   *[]byte
-	done func(error)
-	peer int32
+	cont func(reply []byte, err error)
+	// reply stages the continuation form's reply bytes between the
+	// reply handler and the progress engine's continuation delivery;
+	// they alias a pooled conduit buffer, hence the call-duration
+	// contract on the callback.
+	reply  []byte
+	done   func(error)
+	bridge func(error)
+	inject func(rfn func(ctx any), done func(error))
+	contCx []Cx
+	r      *Rank
+	args   []byte
+	id     RPCHandlerID
+	peer   int32
+	// sent marks that inject registered the call; when false after
+	// Initiate returns (admission refused, peer down), the error was
+	// already delivered inline and the record goes straight back to the
+	// pool.
+	sent bool
+}
+
+// deliver is the continuation form's completion bridge, run by the
+// progress engine as the operation's OpContinue sink: it hands the
+// staged reply (nil on failure) to the user callback, clearing the
+// pooled-buffer reference first.
+func (c *wireCall) deliver(err error) {
+	reply := c.reply
+	c.reply = nil
+	c.cont(reply, err)
+}
+
+// injectCont is the continuation form's substrate injection, cached as a
+// method value so initiation ships no per-call closure.
+func (c *wireCall) injectCont(_ func(ctx any), done func(error)) {
+	r := c.r
+	target := int(c.peer)
+	if r.ep.PeerDown(target) {
+		done(ErrPeerUnreachable)
+		return
+	}
+	c.done = done
+	c.sent = true
+	cookie := r.wire.add(c)
+	r.ep.Send(target, gasnet.Msg{
+		Handler: hRPCWireReq,
+		A0:      cookie,
+		A1:      uint64(c.id),
+		Payload: c.args,
+	})
+}
+
+// get takes a recycled wireCall (or builds one, caching its method-value
+// bridges — the only allocations, amortized to zero by the pool).
+func (p *pendingWire) get() *wireCall {
+	if n := len(p.pool); n > 0 {
+		c := p.pool[n-1]
+		p.pool[n-1] = nil
+		p.pool = p.pool[:n-1]
+		return c
+	}
+	c := &wireCall{}
+	c.bridge = c.deliver
+	c.inject = c.injectCont
+	c.contCx = []Cx{core.OpContinue(c.bridge)}
+	return c
+}
+
+// put clears a retired call's per-invocation state and returns it to the
+// pool. Callers must ensure the record is out of slots (or was never
+// added) and its completion has been delivered.
+func (p *pendingWire) put(c *wireCall) {
+	c.vp = nil
+	c.cont = nil
+	c.reply = nil
+	c.done = nil
+	c.r = nil
+	c.args = nil
+	c.id = 0
+	c.peer = 0
+	c.sent = false
+	p.pool = append(p.pool, c)
 }
 
 func (p *pendingWire) add(c *wireCall) uint64 {
@@ -97,6 +185,7 @@ func (p *pendingWire) failPeer(peer int, err error) int {
 			p.slots[id] = nil
 			p.free = append(p.free, uint32(id))
 			c.done(err)
+			p.put(c)
 			n++
 		}
 	}
@@ -127,7 +216,9 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte, cxs ...Cx) Futur
 				done(ErrPeerUnreachable)
 				return
 			}
-			cookie := r.wire.add(&wireCall{vp: slot, done: done, peer: int32(target)})
+			c := r.wire.get()
+			c.vp, c.done, c.peer = slot, done, int32(target)
+			cookie := r.wire.add(c)
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCWireReq,
 				A0:      cookie,
@@ -136,6 +227,49 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte, cxs ...Cx) Futur
 			})
 		},
 	})
+}
+
+// RPCWireContinue invokes registered procedure id on the target rank,
+// delivering the reply through cont instead of a future — the cell-free
+// wire-RPC form. cont runs on this rank's progress goroutine the moment
+// the reply (or failure) is known: on success err is nil and reply
+// carries the handler's bytes; on failure reply is nil and err is the
+// *RemoteError / ErrPeerUnreachable / deadline error the future form
+// would have carried.
+//
+// reply is valid only for the duration of the callback and must be
+// treated as read-only: it aliases a pooled conduit buffer that is
+// recycled after dispatch (the same contract as RPCHandler args). A
+// callback that retains the bytes must copy them. This is what removes
+// the future form's per-reply allocation pair (future cell + reply
+// copy): steady-state, the continuation form's call tracking, reply
+// delivery, and completion state are all recycled.
+//
+// cont must not block; it may initiate communication (including further
+// wire RPCs). A panic in cont is contained and counted
+// (ContinuationPanics). cxs may carry OpDeadline requests bounding the
+// completion time; other completion kinds are ignored (the continuation
+// is the only sink).
+func RPCWireContinue(r *Rank, target int, id RPCHandlerID, args []byte, cont func(reply []byte, err error), cxs ...Cx) {
+	if int(id) >= len(r.w.rpcHandlers) {
+		cont(nil, fmt.Errorf("gupcxx: wire RPC to unregistered handler %d", id))
+		return
+	}
+	c := r.wire.get()
+	c.r, c.id, c.args, c.peer, c.cont = r, id, args, int32(target), cont
+	r.eng.Initiate(core.OpDesc{
+		Kind:     core.OpRPC,
+		Deadline: core.DeadlineOf(cxs),
+		Peer:     target,
+		Admit:    true,
+		Inject:   c.inject,
+	}, c.contCx)
+	if !c.sent {
+		// Admission refused or peer already down: the error was delivered
+		// through the continuation inline and the call never entered the
+		// pending table.
+		r.wire.put(c)
+	}
 }
 
 // handleRPCWireReq executes a registered procedure and ships the reply —
@@ -170,7 +304,12 @@ func handleRPCWireReq(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	})
 }
 
-// handleRPCWireRep completes the initiator's pending call.
+// handleRPCWireRep completes the initiator's pending call and recycles
+// its tracking record. The future form copies the reply out (the future
+// may be read long after the conduit buffer recycles); the continuation
+// form stages the payload zero-copy — the callback runs synchronously
+// inside done's completion delivery, within the reply's call-duration
+// window.
 func handleRPCWireRep(ep *gasnet.Endpoint, m *gasnet.Msg) {
 	r := rankOf(ep)
 	c, ok := r.wire.take(m.A0)
@@ -178,13 +317,24 @@ func handleRPCWireRep(ep *gasnet.Endpoint, m *gasnet.Msg) {
 		r.w.dom.NoteBadCookie()
 		return
 	}
+	var err error
 	switch m.A1 {
 	case wireRepOK:
-		*c.vp = append([]byte(nil), m.Payload...)
-		c.done(nil)
 	case wireRepPanic:
-		c.done(&RemoteError{Rank: int(m.From), Msg: string(m.Payload)})
+		err = &RemoteError{Rank: int(m.From), Msg: string(m.Payload)}
 	default:
-		c.done(&RemoteError{Rank: int(m.From), Msg: "wire RPC handler not registered at target"})
+		err = &RemoteError{Rank: int(m.From), Msg: "wire RPC handler not registered at target"}
 	}
+	if c.cont != nil {
+		if err == nil {
+			c.reply = m.Payload
+		}
+		c.done(err)
+	} else {
+		if err == nil {
+			*c.vp = append([]byte(nil), m.Payload...)
+		}
+		c.done(err)
+	}
+	r.wire.put(c)
 }

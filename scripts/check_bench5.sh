@@ -1,0 +1,28 @@
+#!/bin/sh
+# Assert the vectorized-datapath + continuation record preserves the
+# allocation claims of the zero-syscall-amortized datapath:
+#   - the eager on-node rows stay allocation-free (the BENCH_3/4 gate,
+#     re-asserted so this record cannot regress what those pinned);
+#   - the asynchronous continuation forms (put/cont, getbulk/cont) run
+#     cell-free: 0 allocs/op where the future form pays its one cell;
+#   - the pooled wire-RPC continuation row stays within its 2-alloc
+#     budget (args copy + reply view; steady state records 0).
+set -e
+rec="${1:-BENCH_5.json}"
+bad=$(awk '
+function allocs() { return substr($0, RSTART + 17, RLENGTH - 17) + 0 }
+/"name": "BenchmarkOpPipeline\/(put|get|getbulk|fetchadd)\/2021.3.6-eager/ {
+    if (match($0, /"allocs_per_op": [0-9]+/) && allocs() != 0) print
+}
+/"name": "BenchmarkOpPipelineAsync\/(put|getbulk)\/cont"/ {
+    if (match($0, /"allocs_per_op": [0-9]+/) && allocs() != 0) print
+}
+/"name": "BenchmarkOpPipelineAsync\/rpcwire\/cont"/ {
+    if (match($0, /"allocs_per_op": [0-9]+/) && allocs() > 2) print
+}' "$rec")
+if [ -n "$bad" ]; then
+    echo "check_bench5: allocation contract regressed:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "check_bench5: $rec ok (eager rows 0, continuation rows 0, rpcwire/cont <= 2)"

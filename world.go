@@ -122,6 +122,12 @@ var (
 	OpEagerPromise = core.OpEagerPromise
 	OpDeferPromise = core.OpDeferPromise
 	OpLPC          = core.OpLPC
+	// OpContinue is the cell-free completion form: the callback runs
+	// inline the moment the operation's outcome is known (at initiation
+	// when synchronous, on the progress goroutine at ack time when not),
+	// with no future cell allocated — see TUTORIAL.md on continuations
+	// vs futures.
+	OpContinue = core.OpContinue
 
 	SourceFuture      = core.SourceFuture
 	SourceEagerFuture = core.SourceEagerFuture
