@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs ci
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 race coverage: the substrate (MPSC inbox, UDP conduit) plus the
-# runtime facade.
+# Tier-1 race coverage: the substrate (MPSC inbox, UDP conduit), the
+# operations plane (event bus, histograms, export server), plus the
+# runtime facade. -p 1 serializes the packages: the root package holds
+# wall-clock shape assertions (eager vs defer ratios) that lose their
+# margin when another package's stress tests compete for the CPU under
+# the race detector.
 race:
-	$(GO) test -race ./internal/gasnet/ .
+	$(GO) test -race -p 1 ./internal/gasnet/ ./internal/obs/ .
 
 vet:
 	$(GO) vet ./...
@@ -108,5 +112,27 @@ bench-syscall:
 check-bench5:
 	./scripts/check_bench5.sh BENCH_5.json
 
+# Operations-plane overhead record: the eager pipeline baseline next to
+# the same families with the metrics plane active (Observed = listener
+# bound, nil phase hook; Sampled = latency hook installed on every
+# rank). BENCH_6.json is the checked-in record; check_bench6.sh pins
+# both new row sets at 0 allocs/op and bounds the nil-observer latency
+# overhead against the baseline at 3% geomean.
+bench-obs:
+	$(GO) test -run XXX -bench 'BenchmarkOpPipeline($$|Observed|Sampled)' -benchmem -count 3 . \
+		| ./scripts/bench2json.sh > BENCH_6.json
+	./scripts/check_bench6.sh BENCH_6.json
+
+# Validate the checked-in BENCH_6 record without re-running the benches.
+check-bench6:
+	./scripts/check_bench6.sh BENCH_6.json
+
+# Operations-plane test suite: the bus/histogram/export unit tests plus
+# the root integration tests (live scrape, handler mount, lifecycle,
+# event drain after Close, observed-pipeline allocation contract).
+test-obs:
+	$(GO) test ./internal/obs/
+	$(GO) test -run 'TestMetrics|TestWorldCloseWithActiveSubscribers|TestOpPipelineObserved|TestEvent' .
+
 # Everything CI runs, in CI's order.
-ci: build test race vet staticcheck check-bench5 test-loss test-fault test-soak
+ci: build test race vet staticcheck check-bench5 check-bench6 test-obs test-loss test-fault test-soak

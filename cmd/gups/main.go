@@ -46,6 +46,7 @@ var (
 	batch       = flag.Int("batch", gups.DefaultBatch, "update look-ahead depth")
 	verify      = flag.Bool("verify", false, "verify each configuration after timing (slow)")
 	sampleMs    = flag.Int("sample-ms", 300, "minimum wall time per sample (update count is scaled up to this)")
+	metricsAddr = flag.String("metrics", "", "bind a /metrics + /debug/gupcxx listener per world (use port 0; each bound address is logged to stderr)")
 )
 
 func main() {
@@ -168,9 +169,13 @@ func measureVariant(np int, conduit gupcxx.Conduit, versions []gupcxx.Version, v
 			Conduit:      conduit,
 			Version:      ver,
 			SegmentBytes: (8 << *logTable) / np * 2,
+			MetricsAddr:  *metricsAddr,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if *metricsAddr != "" {
+			fmt.Fprintf(os.Stderr, "gups: %s world serving http://%s/metrics\n", ver.Name, w.MetricsAddr())
 		}
 		vr := &versionRun{
 			dones:  make(chan time.Duration, *samples),

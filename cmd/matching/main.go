@@ -40,6 +40,7 @@ var (
 	topk        = flag.Int("topk", 10, "best samples averaged")
 	conduitFlag = flag.String("conduit", "pshm", "conduit (smp or pshm)")
 	checkOracle = flag.Bool("check", false, "verify each result against the sequential greedy oracle")
+	metricsAddr = flag.String("metrics", "", "bind a /metrics + /debug/gupcxx listener per world (use port 0; each bound address is logged to stderr)")
 )
 
 // input describes one Fig. 8 graph.
@@ -151,9 +152,13 @@ func measureVersions(g *graph.Graph, d graph.Dist, conduit gupcxx.Conduit, versi
 			Conduit:      conduit,
 			Version:      ver,
 			SegmentBytes: segBytes,
+			MetricsAddr:  *metricsAddr,
 		})
 		if err != nil {
 			return nil, err
+		}
+		if *metricsAddr != "" {
+			fmt.Fprintf(os.Stderr, "matching: %s world serving http://%s/metrics\n", ver.Name, w.MetricsAddr())
 		}
 		vr := &versionRun{
 			dones:   make(chan time.Duration, *samples),

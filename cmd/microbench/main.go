@@ -30,6 +30,7 @@ var (
 	topk    = flag.Int("topk", 10, "best samples averaged")
 	conduit = flag.String("conduit", "pshm", "conduit for on-node runs (smp or pshm)")
 	offnode = flag.Bool("offnode", false, "run the off-node (SIM conduit) study instead")
+	metrics = flag.String("metrics", "", "bind a /metrics + /debug/gupcxx listener per world (use port 0; each bound address is logged to stderr)")
 )
 
 // op is one measured operation: a closure factory bound to a world.
@@ -165,9 +166,13 @@ func measureOp(cfg gupcxx.Config, versions []gupcxx.Version, o op) ([]stats.Summ
 	for i, ver := range versions {
 		c := cfg
 		c.Version = ver
+		c.MetricsAddr = *metrics
 		w, err := gupcxx.NewWorld(c)
 		if err != nil {
 			return nil, err
+		}
+		if *metrics != "" {
+			fmt.Fprintf(os.Stderr, "microbench: %s/%s world serving http://%s/metrics\n", o.name, ver.Name, w.MetricsAddr())
 		}
 		vr := &versionRun{dones: make(chan time.Duration, *samples)}
 		for s := 0; s < *samples; s++ {

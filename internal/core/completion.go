@@ -243,10 +243,14 @@ func (r Result) Wait() { r.Op.Wait() }
 // complete.
 //
 // DeliverSync is the compatibility entry point (it books the phases under
-// OpRMA); the pipeline routes through the kind-aware deliverSync.
-func (e *Engine) DeliverSync(cxs []Cx) Result { return e.deliverSync(OpRMA, cxs) }
+// OpRMA, with no initiation timestamp); the pipeline routes through the
+// kind-aware deliverSync.
+func (e *Engine) DeliverSync(cxs []Cx) Result { return e.deliverSync(OpRMA, cxs, 0) }
 
-func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
+// deliverSync's t0 is the initiation timestamp from hookT0 (zero when no
+// phase hook is installed), attributing initiation→delivery latency to
+// the completion phases it books.
+func (e *Engine) deliverSync(k OpKind, cxs []Cx, t0 int64) Result {
 	var res Result
 	for _, cx := range cxs {
 		if cx.Ev == EvRemote {
@@ -257,10 +261,10 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 			var f Future
 			if e.eager(cx.Mode) {
 				e.Stats.EagerDeliveries++
-				e.phase(k, PhaseEagerCompleted)
+				e.phaseSince(k, PhaseEagerCompleted, t0)
 				f = e.ReadyFuture()
 			} else {
-				e.phase(k, PhaseDeferredQueued)
+				e.phaseSince(k, PhaseDeferredQueued, t0)
 				c := e.newCell()
 				e.deferFulfill(c)
 				f = Future{c}
@@ -269,16 +273,16 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 		case KPromise:
 			if e.eager(cx.Mode) {
 				e.Stats.EagerDeliveries++
-				e.phase(k, PhaseEagerCompleted)
+				e.phaseSince(k, PhaseEagerCompleted, t0)
 				// Elided entirely: the promise is never touched.
 			} else {
-				e.phase(k, PhaseDeferredQueued)
+				e.phaseSince(k, PhaseDeferredQueued, t0)
 				cx.Prom.Require(1)
 				e.deferFulfill(cx.Prom.c)
 			}
 		case KLPC:
 			// LPCs are by definition queued for the next progress call.
-			e.phase(k, PhaseDeferredQueued)
+			e.phaseSince(k, PhaseDeferredQueued, t0)
 			e.EnqueueLPC(cx.Fn)
 		case KContinue:
 			// A continuation fires at the moment of completion — here,
@@ -286,7 +290,7 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 			// so a panic in the callback is contained and counted but books
 			// no operation failure.
 			e.Stats.EagerDeliveries++
-			e.phase(k, PhaseEagerCompleted)
+			e.phaseSince(k, PhaseEagerCompleted, t0)
 			e.runCont(cx.Cont, nil)
 		case KDeadline:
 			// A synchronous completion trivially beats any bound.
@@ -305,9 +309,9 @@ func (e *Engine) deliverSync(k OpKind, cxs []Cx) Result {
 // counter discipline, LPCs still run at the next progress call (the
 // operation is over, just not successfully). Remote and deadline
 // requests have nothing to deliver.
-func (e *Engine) deliverFailed(k OpKind, cxs []Cx, err error) Result {
+func (e *Engine) deliverFailed(k OpKind, cxs []Cx, err error, t0 int64) Result {
 	e.Stats.OpsFailed++
-	e.phase(k, PhaseFailed)
+	e.phaseSince(k, PhaseFailed, t0)
 	var res Result
 	for _, cx := range cxs {
 		if cx.Ev == EvRemote {
@@ -380,6 +384,10 @@ type AsyncCompletion struct {
 	// allocating a fresh closure per operation.
 	doneFn func(error)
 
+	// t0 is the initiation timestamp for latency attribution (hookT0;
+	// zero when no phase hook is installed at initiation).
+	t0 int64
+
 	opCells []FulfillHandle
 	opProms []*Promise
 	opLPCs  []func()
@@ -416,18 +424,19 @@ func (e *Engine) getAC(k OpKind) *AsyncCompletion {
 // PrepareAsync is the compatibility entry point (phases booked under
 // OpRMA); the pipeline routes through the kind-aware prepareAsync.
 func (e *Engine) PrepareAsync(cxs []Cx) (Result, *AsyncCompletion) {
-	return e.prepareAsync(OpRMA, cxs)
+	return e.prepareAsync(OpRMA, cxs, e.hookT0())
 }
 
-func (e *Engine) prepareAsync(k OpKind, cxs []Cx) (Result, *AsyncCompletion) {
+func (e *Engine) prepareAsync(k OpKind, cxs []Cx, t0 int64) (Result, *AsyncCompletion) {
 	var res Result
 	ac := e.getAC(k)
+	ac.t0 = t0
 	for _, cx := range cxs {
 		switch cx.Ev {
 		case EvRemote:
 			continue // delivered at the target by the substrate
 		case EvSource:
-			sub := e.deliverSync(k, []Cx{cx})
+			sub := e.deliverSync(k, []Cx{cx}, t0)
 			if sub.Source.Valid() {
 				res.set(EvSource, sub.Source)
 			}
@@ -489,7 +498,7 @@ func (ac *AsyncCompletion) Done(err error) {
 			// failure is observable, mirroring how a remote handler panic
 			// surfaces through the reply path.
 			e.Stats.OpsFailed++
-			e.phase(ac.kind, PhaseFailed)
+			e.phaseSince(ac.kind, PhaseFailed, ac.t0)
 			for _, h := range ac.opCells {
 				h.Fail(cerr)
 			}
@@ -500,7 +509,7 @@ func (ac *AsyncCompletion) Done(err error) {
 				e.EnqueueLPC(fn)
 			}
 		} else {
-			e.phase(ac.kind, PhaseWireAcked)
+			e.phaseSince(ac.kind, PhaseWireAcked, ac.t0)
 			for _, h := range ac.opCells {
 				h.Fulfill()
 			}
@@ -523,7 +532,7 @@ func (ac *AsyncCompletion) failDeliver(err error) {
 	e := ac.eng
 	ac.failed = true
 	e.Stats.OpsFailed++
-	e.phase(ac.kind, PhaseFailed)
+	e.phaseSince(ac.kind, PhaseFailed, ac.t0)
 	for _, fn := range ac.opConts {
 		e.runCont(fn, err)
 	}
@@ -571,6 +580,7 @@ func (ac *AsyncCompletion) recycle() {
 	ac.opLPCs = ac.opLPCs[:0]
 	ac.opConts = ac.opConts[:0]
 	ac.failed = false
+	ac.t0 = 0
 	ac.gen++
 	ac.eng.acFree = append(ac.eng.acFree, ac)
 }

@@ -37,6 +37,17 @@ type Engine struct {
 	ops  OpStats
 	hook PhaseHook
 
+	// expiry observes per-op deadline expiries (SetExpiryHook) — the
+	// operations plane's seam for deadline-expired events. nil by default.
+	expiry func(k OpKind)
+
+	// mirror, when set, is the race-safe shadow of ops and Stats that
+	// off-goroutine observers (the metrics endpoint) read. Progress
+	// flushes it every mirrorFlushEvery steps; World.Run flushes once more
+	// when the rank function returns, so post-run reads are exact.
+	mirror     *OpsMirror
+	mirrorTick int
+
 	// acFree recycles AsyncCompletion records: an async operation takes one
 	// at initiation and its final substrate acknowledgment returns it, so
 	// steady-state off-node traffic allocates no completion state.
@@ -113,6 +124,31 @@ func (e *Engine) SetParker(fn func()) { e.parker = fn }
 // operation's completions. nil removes the hook.
 func (e *Engine) SetAdmitter(fn func(peer int, maxWait time.Duration) error) { e.admit = fn }
 
+// SetExpiryHook installs (or, with nil, removes) the deadline-expiry
+// observer: fn runs on the engine's goroutine, inside the progress
+// engine's deadline sweep, once per expired operation. It must not
+// block; the runtime layer uses it to publish deadline-expired events.
+func (e *Engine) SetExpiryHook(fn func(k OpKind)) { e.expiry = fn }
+
+// SetMirror installs the engine's race-safe counter shadow (nil
+// removes it). Install before the rank goroutine starts: the field is
+// read by Progress on the engine's goroutine.
+func (e *Engine) SetMirror(m *OpsMirror) { e.mirror = m }
+
+// FlushMirror publishes the engine's current counters into its mirror
+// (a no-op without one). Must run on the engine's goroutine.
+func (e *Engine) FlushMirror() {
+	if e.mirror != nil {
+		e.mirror.flush(e)
+	}
+}
+
+// mirrorFlushEvery is how many Progress steps elapse between mirror
+// flushes: ~190 atomic stores every 64 steps keeps the mirror fresh at
+// sub-millisecond staleness under load while costing the progress path
+// a counter increment per step.
+const mirrorFlushEvery = 64
+
 // idleSpin is the number of consecutive idle progress steps a waiter
 // yields (cheap, low-latency) before parking on the substrate (cheap for
 // long waits). Ping-pong latency paths stay in the yield regime; barrier
@@ -184,6 +220,13 @@ func (e *Engine) Progress() int {
 		e.Stats.LPCRuns += int64(len(q))
 		clearFns(q)
 	}
+	if e.mirror != nil {
+		e.mirrorTick++
+		if e.mirrorTick >= mirrorFlushEvery {
+			e.mirrorTick = 0
+			e.mirror.flush(e)
+		}
+	}
 	return n
 }
 
@@ -250,6 +293,9 @@ func (e *Engine) sweepDeadlines() int {
 		case dl.at <= now:
 			e.Stats.DeadlinesExpired++
 			n++
+			if e.expiry != nil {
+				e.expiry(dl.kind)
+			}
 			if dl.c != nil {
 				e.Stats.OpsFailed++
 				e.phase(dl.kind, PhaseFailed)

@@ -21,6 +21,10 @@ type cell struct {
 	// chains, WhenAll) read it without further bookkeeping.
 	err error
 	cbs []func()
+	// t0 is the operation's initiation timestamp for latency attribution
+	// by the phase hook (set by initiateV while a hook is installed; zero
+	// otherwise).
+	t0 int64
 }
 
 // newCell allocates a cell with one outstanding dependency.
@@ -461,7 +465,7 @@ func (h FulfillHandle) Fail(err error) { h.c.fail(err) }
 // books the wire-acked phase for the operation's family, then resolves the
 // dependency. Like Fulfill, it must run inside the progress engine.
 func (h FulfillHandle) FulfillAcked() {
-	h.c.eng.phase(h.kind, PhaseWireAcked)
+	h.c.eng.phaseSince(h.kind, PhaseWireAcked, h.c.t0)
 	h.c.fulfill(1)
 }
 
@@ -478,12 +482,12 @@ func (h FulfillHandle) CompleteAcked(err error) {
 	}
 	e := c.eng
 	if err != nil {
-		e.phase(h.kind, PhaseFailed)
+		e.phaseSince(h.kind, PhaseFailed, c.t0)
 		e.Stats.OpsFailed++
 		c.fail(err)
 		return
 	}
-	e.phase(h.kind, PhaseWireAcked)
+	e.phaseSince(h.kind, PhaseWireAcked, c.t0)
 	c.fulfill(1)
 }
 

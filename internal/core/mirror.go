@@ -1,0 +1,105 @@
+package core
+
+import "sync/atomic"
+
+// Engine counters and the OpStats matrix are plain int64s owned by the
+// rank goroutine — by design: the hot path must not pay atomic traffic
+// per op. That makes them unreadable from a metrics scrape running on an
+// HTTP goroutine while ranks are live. OpsMirror is the bridge: an
+// all-atomic shadow of one engine's counters that the engine itself
+// publishes into from its own goroutine (every mirrorFlushEvery progress
+// steps, plus once when the rank function returns), and that any
+// goroutine may snapshot. The mirror lags the live counters by at most
+// one flush interval; it never lies, it is only slightly stale.
+
+// Indices into OpsMirror's engine-counter array. The order is the
+// exposition order; EngineStatNames labels each slot.
+const (
+	statCellAllocs = iota
+	statDeferQPushes
+	statLPCRuns
+	statProgressCalls
+	statWhenAllBuilt
+	statWhenAllElided
+	statReadyHits
+	statLegacyAllocs
+	statEagerDeliveries
+	statOpsFailed
+	statDeadlinesArmed
+	statDeadlinesExpired
+	statContinuationsRun
+	statContinuationPanics
+
+	// NumEngineStats is the number of mirrored engine counters.
+	NumEngineStats
+)
+
+// EngineStatNames labels the mirrored engine counters, in slot order,
+// using metric-friendly snake_case.
+var EngineStatNames = [NumEngineStats]string{
+	statCellAllocs:         "cell_allocs",
+	statDeferQPushes:       "deferq_pushes",
+	statLPCRuns:            "lpc_runs",
+	statProgressCalls:      "progress_calls",
+	statWhenAllBuilt:       "whenall_built",
+	statWhenAllElided:      "whenall_elided",
+	statReadyHits:          "ready_hits",
+	statLegacyAllocs:       "legacy_allocs",
+	statEagerDeliveries:    "eager_deliveries",
+	statOpsFailed:          "ops_failed",
+	statDeadlinesArmed:     "deadlines_armed",
+	statDeadlinesExpired:   "deadlines_expired",
+	statContinuationsRun:   "continuations_run",
+	statContinuationPanics: "continuation_panics",
+}
+
+// OpsMirror is the race-safe counter shadow described above. The zero
+// value is ready; install with Engine.SetMirror.
+type OpsMirror struct {
+	ops [NumOpKinds][NumPhases]atomic.Int64
+	eng [NumEngineStats]atomic.Int64
+}
+
+// flush publishes the engine's counters. Runs on the engine goroutine.
+func (m *OpsMirror) flush(e *Engine) {
+	for k := range e.ops {
+		for p := range e.ops[k] {
+			m.ops[k][p].Store(e.ops[k][p])
+		}
+	}
+	s := &e.Stats
+	m.eng[statCellAllocs].Store(s.CellAllocs)
+	m.eng[statDeferQPushes].Store(s.DeferQPushes)
+	m.eng[statLPCRuns].Store(s.LPCRuns)
+	m.eng[statProgressCalls].Store(s.ProgressCalls)
+	m.eng[statWhenAllBuilt].Store(s.WhenAllBuilt)
+	m.eng[statWhenAllElided].Store(s.WhenAllElided)
+	m.eng[statReadyHits].Store(s.ReadyHits)
+	m.eng[statLegacyAllocs].Store(s.LegacyAllocs)
+	m.eng[statEagerDeliveries].Store(s.EagerDeliveries)
+	m.eng[statOpsFailed].Store(s.OpsFailed)
+	m.eng[statDeadlinesArmed].Store(s.DeadlinesArmed)
+	m.eng[statDeadlinesExpired].Store(s.DeadlinesExpired)
+	m.eng[statContinuationsRun].Store(s.ContinuationsRun)
+	m.eng[statContinuationPanics].Store(s.ContinuationPanics)
+}
+
+// Ops snapshots the mirrored phase matrix. Safe from any goroutine.
+func (m *OpsMirror) Ops() OpStats {
+	var s OpStats
+	for k := range s {
+		for p := range s[k] {
+			s[k][p] = m.ops[k][p].Load()
+		}
+	}
+	return s
+}
+
+// EngineStat reads one mirrored engine counter by slot (see
+// EngineStatNames). Out-of-range slots read zero.
+func (m *OpsMirror) EngineStat(i int) int64 {
+	if i < 0 || i >= NumEngineStats {
+		return 0
+	}
+	return m.eng[i].Load()
+}

@@ -126,7 +126,17 @@ func (s *OpStats) Add(o *OpStats) {
 // PhaseHook observes pipeline phase transitions. Installed via
 // Engine.SetPhaseHook; nil (the default) disables the callback entirely.
 // The hook runs on the engine's goroutine and must not block.
-type PhaseHook func(k OpKind, p Phase)
+//
+// elapsedNanos is the time from the operation's initiation to this
+// transition, when the pipeline can attribute one: completion phases
+// (eager-completed, deferred-queued, wire-acked, failed) carry the
+// initiation-to-now latency; the initiated phase itself, and transitions
+// with no initiation timestamp (deadline sweeps against recycled state,
+// the compatibility DeliverSync entry), report zero. Timestamps are
+// captured only while a hook is installed — the nil-hook pipeline reads
+// no clock — so the first transitions after installing a hook may still
+// report zero.
+type PhaseHook func(k OpKind, p Phase, elapsedNanos int64)
 
 // SetPhaseHook installs (or, with nil, removes) the per-phase
 // instrumentation hook.
@@ -136,12 +146,39 @@ func (e *Engine) SetPhaseHook(fn PhaseHook) { e.hook = fn }
 func (e *Engine) OpStats() OpStats { return e.ops }
 
 // phase records one phase transition: a counter bump, plus the hook when
-// one is installed.
+// one is installed. Transitions without a latency to attribute report
+// zero elapsed time.
 func (e *Engine) phase(k OpKind, p Phase) {
 	e.ops[k][p]++
 	if e.hook != nil {
-		e.hook(k, p)
+		e.hook(k, p, 0)
 	}
+}
+
+// phaseSince records a phase transition carrying the latency since t0
+// (an initiation timestamp from hookT0; zero means "unknown", and the
+// hook then sees zero elapsed). The clock is read only when a hook is
+// installed, keeping the nil-hook path free of time syscalls.
+func (e *Engine) phaseSince(k OpKind, p Phase, t0 int64) {
+	e.ops[k][p]++
+	if e.hook != nil {
+		var el int64
+		if t0 > 0 {
+			el = time.Now().UnixNano() - t0
+		}
+		e.hook(k, p, el)
+	}
+}
+
+// hookT0 captures an initiation timestamp for latency attribution — but
+// only when a phase hook is installed. The nil-hook fast path pays one
+// predictable branch and reads no clock, preserving the eager path's
+// cost model.
+func (e *Engine) hookT0() int64 {
+	if e.hook == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
 }
 
 // OpDesc describes one value-less operation to the pipeline: which family
@@ -239,6 +276,7 @@ func (e *Engine) Initiate(d OpDesc, cxs []Cx) Result {
 func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Duration,
 	peer int, admit bool,
 	move func(), ship func(rfn func(ctx any)), inject func(rfn func(ctx any), done func(error))) Result {
+	t0 := e.hookT0()
 	e.phase(k, PhaseInitiated)
 	if local {
 		if kindLegacyAlloc(k) {
@@ -254,10 +292,10 @@ func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Dur
 		}
 		if len(cxs) == 0 {
 			// Nothing to notify: the operation itself completed eagerly.
-			e.phase(k, PhaseEagerCompleted)
+			e.phaseSince(k, PhaseEagerCompleted, t0)
 			return Result{}
 		}
-		return e.deliverSync(k, cxs)
+		return e.deliverSync(k, cxs, t0)
 	}
 	if len(cxs) == 0 {
 		// Fire-and-forget: no completion state at all. A refused admission
@@ -265,7 +303,7 @@ func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Dur
 		// dropped, exactly as a send toward a down peer is.
 		if admit && e.admit != nil && e.admit(peer, dl) != nil {
 			e.Stats.OpsFailed++
-			e.phase(k, PhaseFailed)
+			e.phaseSince(k, PhaseFailed, t0)
 			return Result{}
 		}
 		inject(nil, nil)
@@ -277,10 +315,10 @@ func (e *Engine) initiate(k OpKind, local bool, cxs []Cx, frags int, dl time.Dur
 	// at initiation instead of blocking inside rel.send).
 	if admit && e.admit != nil {
 		if err := e.admit(peer, effectiveDeadline(dl, cxs)); err != nil {
-			return e.deliverFailed(k, cxs, err)
+			return e.deliverFailed(k, cxs, err, t0)
 		}
 	}
-	res, ac := e.prepareAsync(k, cxs)
+	res, ac := e.prepareAsync(k, cxs, t0)
 	if frags > 1 {
 		ac.frags = frags
 	}
@@ -352,6 +390,7 @@ func InitiateV[T any](e *Engine, d OpDescV[T]) FutureV[T] {
 func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 	peer int, admit bool,
 	moveV func() T, inject func(slot *T, done func(error))) FutureV[T] {
+	t0 := e.hookT0()
 	e.phase(k, PhaseInitiated)
 	if local {
 		if kindLegacyAlloc(k) {
@@ -362,13 +401,13 @@ func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 			// Value-producing eager completions are booked in the phase
 			// matrix only; Stats.EagerDeliveries tracks the cx-based
 			// notifications of DeliverSync, as it always has.
-			e.phase(k, PhaseEagerCompleted)
+			e.phaseSince(k, PhaseEagerCompleted, t0)
 			if e.ver.ValueInline {
 				return FutureV[T]{e: e, v: v, inline: true}
 			}
 			return NewReadyFutureV(e, v)
 		}
-		e.phase(k, PhaseDeferredQueued)
+		e.phaseSince(k, PhaseDeferredQueued, t0)
 		fut, vp, h := NewFutureV[T](e)
 		*vp = v
 		h.Defer()
@@ -377,12 +416,13 @@ func initiateV[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 	if admit && e.admit != nil {
 		if err := e.admit(peer, dl); err != nil {
 			e.Stats.OpsFailed++
-			e.phase(k, PhaseFailed)
+			e.phaseSince(k, PhaseFailed, t0)
 			return FailedFutureV[T](e, err)
 		}
 	}
 	fut, vp, h := NewFutureV[T](e)
 	h.kind = k
+	h.c.t0 = t0
 	if dl > 0 {
 		e.armCellDeadline(dl, k, h.c)
 	}
@@ -399,6 +439,7 @@ func InitiateVPromise[T any](e *Engine, d OpDescV[T], p *PromiseV[T]) {
 func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Duration,
 	peer int, admit bool,
 	moveV func() T, inject func(slot *T, done func(error)), p *PromiseV[T]) {
+	t0 := e.hookT0()
 	e.phase(k, PhaseInitiated)
 	p.Bind()
 	if local {
@@ -407,18 +448,18 @@ func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Du
 		}
 		v := moveV()
 		if e.eager(m) {
-			e.phase(k, PhaseEagerCompleted)
+			e.phaseSince(k, PhaseEagerCompleted, t0)
 			p.Deliver(v)
 			return
 		}
-		e.phase(k, PhaseDeferredQueued)
+		e.phaseSince(k, PhaseDeferredQueued, t0)
 		p.DeliverDeferred(v)
 		return
 	}
 	if admit && e.admit != nil {
 		if err := e.admit(peer, dl); err != nil {
 			e.Stats.OpsFailed++
-			e.phase(k, PhaseFailed)
+			e.phaseSince(k, PhaseFailed, t0)
 			p.DeliverError(err)
 			return
 		}
@@ -426,11 +467,11 @@ func initiateVPromise[T any](e *Engine, k OpKind, local bool, m Mode, dl time.Du
 	inject(p.ValueSlot(), func(err error) {
 		if err != nil {
 			e.Stats.OpsFailed++
-			e.phase(k, PhaseFailed)
+			e.phaseSince(k, PhaseFailed, t0)
 			p.DeliverError(err)
 			return
 		}
-		e.phase(k, PhaseWireAcked)
+		e.phaseSince(k, PhaseWireAcked, t0)
 		p.DeliverInPlace()
 	})
 }

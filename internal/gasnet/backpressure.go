@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"gupcxx/internal/obs"
 )
 
 // ErrBackpressure is the sentinel for admission refused because the
@@ -60,18 +62,29 @@ func (ep *Endpoint) AdmitSend(to int, maxWait time.Duration) error {
 }
 
 // admit implements AdmitSend's window check against the from→to pair.
+//
+// Admission outcomes double as the ops plane's backpressure signal, as
+// EDGES rather than levels: the first refused admission on an idle pair
+// emits EvBackpressureOn, the first successful one afterwards emits
+// EvBackpressureOff, and everything in between is silent (p.bpBlocked
+// tracks the edge under p.mu). A pair that times out of the bounded
+// block stays "on" — relief is only ever declared by an admission that
+// actually went through.
 func (r *reliability) admit(from, to int, maxWait time.Duration) error {
 	p := r.pair(from, to)
 	p.mu.Lock()
 	if len(p.inflight) < p.cwnd {
+		r.noteRelief(p, from, to)
 		p.mu.Unlock()
 		return nil
 	}
 	if r.bpFailFast {
+		r.noteOnset(p, from, to)
 		p.mu.Unlock()
 		r.d.backpressureFails.Add(1)
 		return &BackpressureError{Peer: to}
 	}
+	r.noteOnset(p, from, to)
 	// Bounded block: wait for a credit, a Down transition, or the bound.
 	// Acks are processed on the socket reader goroutines, so credits free
 	// even though this goroutine is parked — the wait cannot deadlock the
@@ -89,11 +102,15 @@ func (r *reliability) admit(from, to int, maxWait time.Duration) error {
 			return nil
 		}
 		if p.down {
+			// Down supersedes backpressure; clear the edge without a
+			// relief event (the liveness transition tells the story).
+			p.bpBlocked = false
 			p.mu.Unlock()
 			r.d.downPeerFails.Add(1)
 			return ErrPeerUnreachable
 		}
 		if len(p.inflight) < p.cwnd {
+			r.noteRelief(p, from, to)
 			p.mu.Unlock()
 			return nil
 		}
@@ -107,14 +124,37 @@ func (r *reliability) admit(from, to int, maxWait time.Duration) error {
 	}
 }
 
+// noteOnset records the idle→blocked backpressure edge. Caller holds p.mu.
+func (r *reliability) noteOnset(p *relPair, from, to int) {
+	if p.bpBlocked {
+		return
+	}
+	p.bpBlocked = true
+	r.d.emit(obs.EvBackpressureOn, from, to, int64(len(p.inflight)), int64(p.cwnd))
+}
+
+// noteRelief records the blocked→idle backpressure edge. Caller holds p.mu.
+func (r *reliability) noteRelief(p *relPair, from, to int) {
+	if !p.bpBlocked {
+		return
+	}
+	p.bpBlocked = false
+	r.d.emit(obs.EvBackpressureOff, from, to, int64(len(p.inflight)), int64(p.cwnd))
+}
+
 // FlowState is a snapshot of one pair's congestion-control state, for
 // observability and tests: the smoothed RTT estimate, the current
-// retransmission timeout, the adaptive window, and its occupancy.
+// retransmission timeout, the adaptive window and its occupancy in
+// datagrams and bytes, and the receive side's reorder-buffer occupancy
+// against its byte budget.
 type FlowState struct {
-	SRTT     time.Duration
-	RTO      time.Duration
-	Window   int
-	InFlight int
+	SRTT          time.Duration
+	RTO           time.Duration
+	Window        int
+	InFlight      int
+	InFlightBytes int // bytes retained in the retransmission queue
+	ReorderBytes  int // bytes parked out-of-order on the receive side
+	ReorderBudget int // Config.RelReorderBytes bound on ReorderBytes
 }
 
 // FlowState reports rank local's congestion state toward peer. The zero
@@ -128,10 +168,15 @@ func (d *Domain) FlowState(local, peer int) FlowState {
 	p := d.rel.pair(local, peer)
 	p.mu.Lock()
 	fs := FlowState{
-		SRTT:     time.Duration(p.srtt),
-		RTO:      time.Duration(p.rto),
-		Window:   p.cwnd,
-		InFlight: len(p.inflight),
+		SRTT:          time.Duration(p.srtt),
+		RTO:           time.Duration(p.rto),
+		Window:        p.cwnd,
+		InFlight:      len(p.inflight),
+		ReorderBytes:  p.reorderBytes,
+		ReorderBudget: d.rel.reorderBudget,
+	}
+	for i := range p.inflight {
+		fs.InFlightBytes += len(p.inflight[i].wb.b)
 	}
 	p.mu.Unlock()
 	return fs

@@ -25,6 +25,8 @@ package gasnet
 import (
 	"fmt"
 	"time"
+
+	"gupcxx/internal/obs"
 )
 
 // Conduit selects the communication substrate for a Domain.
@@ -202,6 +204,17 @@ type Config struct {
 	// entirely (retransmission exhaustion then aborts the job, the
 	// pre-liveness behaviour).
 	DisableLiveness bool
+
+	// Events, when non-nil, receives substrate health events: liveness
+	// transitions (suspect/down/recovered), backpressure onset and relief,
+	// congestion-window shrink and recovery-to-ceiling, and retransmit
+	// exhaustion. The bus is non-blocking by contract — a publish with no
+	// subscriber attached costs one atomic load — so it is safe to leave
+	// wired permanently. The field must be set before NewDomain: the
+	// reliability ticker starts during construction and emits from its own
+	// goroutine. Events fire on state *transitions* only, never per frame.
+	// Only the reliable UDP conduit currently emits.
+	Events *obs.Bus
 }
 
 // normalized returns a copy of c with defaults filled in, or an error if the

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"gupcxx/internal/obs"
 )
 
 // Domain is one gasnet job: the set of segments, endpoints, and the handler
@@ -74,6 +76,51 @@ type Domain struct {
 	udp *udpTransport
 	rel *reliability
 	lv  *liveness
+
+	// bus is the operations plane's event bus (Config.Events); nil when
+	// the job runs unobserved. Emission points go through emit, which is
+	// nil-safe and non-blocking.
+	bus *obs.Bus
+}
+
+// emit publishes one substrate health event. Safe to call from any
+// goroutine (ticker, socket readers, rank goroutines) and from under a
+// relPair mutex: the bus is lock-free and never blocks. Timestamps come
+// from the cached clock — event consumers want ordering and rough
+// placement, not syscall-fresh precision.
+func (d *Domain) emit(k obs.EventKind, rank, peer int, a, b int64) {
+	if d.bus == nil {
+		return
+	}
+	d.bus.Publish(obs.Event{
+		Kind: k,
+		Time: clockNow(),
+		Rank: int32(rank),
+		Peer: int32(peer),
+		A:    a,
+		B:    b,
+	})
+}
+
+// LivenessState reports rank local's current view of peer as a metric
+// label: "alive", "suspect", or "down". Conduits without a failure
+// detector report every peer alive; a rank's view of itself is "self".
+// Race-safe (atomic reads) and callable from any goroutine.
+func (d *Domain) LivenessState(local, peer int) string {
+	if local == peer {
+		return "self"
+	}
+	if d.lv == nil || local < 0 || local >= d.cfg.Ranks || peer < 0 || peer >= d.cfg.Ranks {
+		return "alive"
+	}
+	switch d.lv.stateOf(local, peer) {
+	case peerSuspect:
+		return "suspect"
+	case peerDown:
+		return "down"
+	default:
+		return "alive"
+	}
 }
 
 // Stats is a snapshot of the substrate's fast-path counters, the wire/queue
@@ -241,9 +288,9 @@ func (d *Domain) Stats() Stats {
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
 		s.BacklogSpills += ep.inbox.spills.Load()
-		s.RemoteOpsStarted += ep.ops.started
-		s.RemoteOpsAcked += ep.ops.acked
-		s.RemoteOpsFailed += ep.ops.failed
+		s.RemoteOpsStarted += ep.ops.started.Load()
+		s.RemoteOpsAcked += ep.ops.acked.Load()
+		s.RemoteOpsFailed += ep.ops.failed.Load()
 	}
 	if d.rel != nil {
 		for i := range d.rel.pairs {
@@ -279,7 +326,7 @@ func NewDomain(cfg Config) (*Domain, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Domain{cfg: cfg}
+	d := &Domain{cfg: cfg, bus: cfg.Events}
 	d.segs = make([]*Segment, cfg.Ranks)
 	d.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -722,10 +769,12 @@ type opTable struct {
 	// failed every entry retired with an error (peer declared down). They
 	// are the substrate leg of the runtime's op-lifecycle phase
 	// instrumentation (started pairs with initiation, acked with the
-	// wire-acked phase, failed with the failed phase).
-	started int64
-	acked   int64
-	failed  int64
+	// wire-acked phase, failed with the failed phase). Atomic because
+	// Stats() snapshots them from scrape goroutines while the owner
+	// goroutine mutates the table.
+	started atomic.Int64
+	acked   atomic.Int64
+	failed  atomic.Int64
 }
 
 // add registers a reply-consuming completion callback and returns its
@@ -749,7 +798,7 @@ func (t *opTable) addGet(peer int, dst []byte, done func(error)) uint64 {
 
 func (t *opTable) register(s opSlot) uint64 {
 	t.n++
-	t.started++
+	t.started.Add(1)
 	if len(t.free) > 0 {
 		id := t.free[len(t.free)-1]
 		t.free = t.free[:len(t.free)-1]
@@ -776,7 +825,7 @@ func (t *opTable) take(cookie uint64) (opSlot, bool) {
 	t.slots[cookie] = opSlot{}
 	t.free = append(t.free, uint32(cookie))
 	t.n--
-	t.acked++
+	t.acked.Add(1)
 	return s, true
 }
 
@@ -792,7 +841,7 @@ func (t *opTable) failPeer(peer int32, err error) int {
 		t.slots[id] = opSlot{}
 		t.free = append(t.free, uint32(id))
 		t.n--
-		t.failed++
+		t.failed.Add(1)
 		n++
 		if s.msg != nil {
 			s.msg(nil, err)

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"sync/atomic"
+
+	"gupcxx/internal/obs"
 )
 
 // ErrPeerUnreachable is the failure delivered to every operation whose
@@ -117,7 +119,9 @@ func (lv *liveness) heard(local, peer int) {
 	}
 	i := lv.idx(local, peer)
 	lv.heardRound[i].Store(lv.round.Load())
-	lv.state[i].CompareAndSwap(peerSuspect, peerAlive)
+	if lv.state[i].CompareAndSwap(peerSuspect, peerAlive) {
+		lv.d.emit(obs.EvPeerRecovered, local, peer, 0, 0)
+	}
 }
 
 // stateOf returns local's current view of peer.
@@ -144,6 +148,7 @@ func (lv *liveness) markSuspect(local, peer int) {
 	}
 	if lv.state[lv.idx(local, peer)].CompareAndSwap(peerAlive, peerSuspect) {
 		lv.d.peersSuspected.Add(1)
+		lv.d.emit(obs.EvPeerSuspect, local, peer, 0, 0)
 	}
 }
 
@@ -162,6 +167,7 @@ func (lv *liveness) markDown(local, peer int) {
 		}
 	}
 	lv.d.peersDown.Add(1)
+	lv.d.emit(obs.EvPeerDown, local, peer, 0, 0)
 	lv.epoch[local].Add(1)
 	if r := lv.d.rel; r != nil {
 		r.releasePair(local, peer)
@@ -194,9 +200,7 @@ func (lv *liveness) tick(now int64) {
 				if silent >= lv.downRounds {
 					lv.markDown(local, peer)
 				} else if silent >= lv.suspectRounds {
-					if lv.state[i].CompareAndSwap(peerAlive, peerSuspect) {
-						lv.d.peersSuspected.Add(1)
-					}
+					lv.markSuspect(local, peer)
 				}
 			case peerSuspect:
 				if silent >= lv.downRounds {

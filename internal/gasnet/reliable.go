@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gupcxx/internal/obs"
 )
 
 // The reliability layer gives the UDP conduit the delivery guarantees the
@@ -192,6 +194,12 @@ type relPair struct {
 	// down marks the send stream as targeting a declared-dead peer: sends
 	// are dropped instead of queued, and window-blocked senders drain out.
 	down bool
+
+	// bpBlocked tracks whether the last admission attempt on this pair hit
+	// a full window, so the ops plane sees backpressure onset/relief as
+	// edge events rather than one event per refused admission
+	// (backpressure.go).
+	bpBlocked bool
 }
 
 // reliability is the per-domain instance: the pair grid plus the ticker
@@ -464,6 +472,11 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 			if p.cwnd < r.window {
 				p.cwnd++
 				d.windowGrows.Add(1)
+				if p.cwnd == r.window {
+					// Fully recovered to the configured ceiling — one event
+					// per recovery episode, not one per additive step.
+					d.emit(obs.EvWindowGrow, ep.rank, int(from), int64(r.window), 0)
+				}
 			}
 		}
 	}
@@ -624,6 +637,7 @@ func (r *reliability) sweep(now int64) {
 			// Deadlines are not sorted once backoff diverges, so scan the
 			// whole (window-bounded) queue.
 			exhausted := false
+			var exhaustedSeq uint32
 			expired := false
 			for i := range p.inflight {
 				e := &p.inflight[i]
@@ -644,6 +658,7 @@ func (r *reliability) sweep(now int64) {
 					// operations fail with ErrPeerUnreachable through the
 					// liveness sweep, and the job decides what to do.
 					exhausted = true
+					exhaustedSeq = e.seq
 					break
 				}
 				e.rto *= 2
@@ -666,12 +681,14 @@ func (r *reliability) sweep(now int64) {
 					// First loss signal since the last decrease took
 					// effect: halve, then ignore further expiries until
 					// the peer acks past everything currently assigned.
+					old := p.cwnd
 					p.cwnd /= 2
 					if p.cwnd < r.windowMin {
 						p.cwnd = r.windowMin
 					}
 					p.recoverSeq = p.nextSeq
 					d.windowShrinks.Add(1)
+					d.emit(obs.EvWindowShrink, from, to, int64(old), int64(p.cwnd))
 				}
 			}
 			shedBurst := p.shedRecent >= relShedSuspect
@@ -679,6 +696,7 @@ func (r *reliability) sweep(now int64) {
 			if exhausted {
 				p.mu.Unlock()
 				d.retransmitExhausted.Add(1)
+				d.emit(obs.EvRetransmitExhausted, from, to, int64(exhaustedSeq), 0)
 				r.lv.markDown(from, to) // drains the queue via releasePair
 				continue
 			}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultDepth is the per-subscription ring depth a World-owned bus uses.
+// At the substrate's transition-edge event rates (events fire on state
+// *changes*, never per frame) this absorbs multi-second subscriber stalls
+// before drop-oldest engages.
+const DefaultDepth = 1024
+
+// dropRetries bounds how many shed-and-retry rounds a publisher attempts
+// against a full ring before abandoning the event. The bound is what
+// makes Publish hard-non-blocking: a publisher racing a stalled consumer
+// and other publishers does a handful of CAS attempts, then counts a
+// drop and returns.
+const dropRetries = 4
+
+// Bus is a bounded, non-blocking, multi-subscriber event bus. Each
+// subscriber owns an independent Vyukov ring, so a stalled subscriber
+// sheds its own oldest events (counted in Dropped) without slowing
+// publishers or other subscribers. With no subscriber attached, Publish
+// is one atomic increment plus one atomic load and no allocation — cheap
+// enough to leave wired into the progress path unconditionally.
+type Bus struct {
+	subs      atomic.Pointer[[]*Subscription]
+	published atomic.Int64
+	dropped   atomic.Int64
+	depth     int
+	mu        sync.Mutex // serializes subscriber-list copy-on-write
+}
+
+// NewBus creates a bus whose future subscriptions buffer depth events
+// each (rounded up to a power of two; depth ≤ 0 selects DefaultDepth).
+func NewBus(depth int) *Bus {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Bus{depth: depth}
+}
+
+// Publish offers ev to every current subscriber. It never blocks and
+// never allocates: full rings shed their oldest entry (or, past the
+// retry bound, the new event) and count the shed in Dropped. A zero
+// ev.Time is stamped here, after the no-subscriber early-out, so idle
+// buses never read the clock.
+func (b *Bus) Publish(ev Event) {
+	b.published.Add(1)
+	subsp := b.subs.Load()
+	if subsp == nil {
+		return
+	}
+	subs := *subsp
+	if len(subs) == 0 {
+		return
+	}
+	if ev.Time == 0 {
+		ev.Time = time.Now().UnixNano()
+	}
+	for _, s := range subs {
+		s.offer(ev, b)
+	}
+}
+
+// Subscribe attaches a new subscription with its own ring. Subscribers
+// drain with Poll and must Close when done to stop receiving.
+func (b *Bus) Subscribe() *Subscription {
+	s := &Subscription{bus: b, ring: newEvRing(b.depth)}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var next []*Subscription
+	if old := b.subs.Load(); old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, s)
+	b.subs.Store(&next)
+	return s
+}
+
+// Published reports the total Publish calls, with or without a live
+// subscriber (shed events are included — they were published, then
+// dropped).
+func (b *Bus) Published() int64 { return b.published.Load() }
+
+// Dropped reports the total events shed across all subscriptions.
+func (b *Bus) Dropped() int64 { return b.dropped.Load() }
+
+// Subscribers reports the current subscription count.
+func (b *Bus) Subscribers() int {
+	if sp := b.subs.Load(); sp != nil {
+		return len(*sp)
+	}
+	return 0
+}
+
+// Subscription is one subscriber's view of a Bus: a private bounded ring
+// plus a shed counter. Poll may be called from any goroutine (the ring
+// is MPMC), though one draining goroutine is the expected shape.
+type Subscription struct {
+	bus     *Bus
+	ring    *evRing
+	dropped atomic.Int64
+	closed  atomic.Bool
+}
+
+// offer pushes ev, shedding the oldest entry on a full ring. Bounded:
+// after dropRetries shed-and-retry rounds the *new* event is dropped
+// instead, so a publisher never spins against a pathological consumer.
+func (s *Subscription) offer(ev Event, b *Bus) {
+	for range dropRetries {
+		if s.ring.tryPush(ev) {
+			return
+		}
+		if _, ok := s.ring.tryPop(); ok {
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	s.dropped.Add(1)
+	b.dropped.Add(1)
+}
+
+// Poll appends every currently-queued event to dst and returns the
+// extended slice. One call drains at most one ring lap, so a concurrent
+// publisher cannot pin the poller in the loop.
+func (s *Subscription) Poll(dst []Event) []Event {
+	for range len(s.ring.cells) {
+		ev, ok := s.ring.tryPop()
+		if !ok {
+			break
+		}
+		dst = append(dst, ev)
+	}
+	return dst
+}
+
+// Dropped reports how many events this subscription shed.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscription from the bus. Idempotent. Events
+// already queued remain drainable via Poll.
+func (s *Subscription) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.subs.Load()
+	if old == nil {
+		return
+	}
+	next := make([]*Subscription, 0, len(*old))
+	for _, o := range *old {
+		if o != s {
+			next = append(next, o)
+		}
+	}
+	b.subs.Store(&next)
+}

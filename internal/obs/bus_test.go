@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus(8)
+	if b.Subscribers() != 0 {
+		t.Fatalf("fresh bus has %d subscribers", b.Subscribers())
+	}
+	// Publishing with nobody listening is counted but goes nowhere.
+	b.Publish(Event{Kind: EvPeerSuspect})
+	if got := b.Published(); got != 1 {
+		t.Errorf("Published = %d, want 1", got)
+	}
+
+	s1 := b.Subscribe()
+	s2 := b.Subscribe()
+	defer s1.Close()
+	defer s2.Close()
+	if b.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want 2", b.Subscribers())
+	}
+
+	b.Publish(Event{Kind: EvPeerDown, Rank: 3, Peer: 7, A: 42})
+	for _, s := range []*Subscription{s1, s2} {
+		evs := s.Poll(nil)
+		if len(evs) != 1 {
+			t.Fatalf("subscriber drained %d events, want 1", len(evs))
+		}
+		ev := evs[0]
+		if ev.Kind != EvPeerDown || ev.Rank != 3 || ev.Peer != 7 || ev.A != 42 {
+			t.Errorf("event round-trip mangled: %+v", ev)
+		}
+		if ev.Time == 0 {
+			t.Error("Publish did not stamp a zero Time")
+		}
+	}
+	// A second poll finds nothing.
+	if evs := s1.Poll(nil); len(evs) != 0 {
+		t.Errorf("re-poll drained %d events, want 0", len(evs))
+	}
+
+	s2.Close()
+	if b.Subscribers() != 1 {
+		t.Errorf("Subscribers after close = %d, want 1", b.Subscribers())
+	}
+	s2.Close() // idempotent
+	if b.Subscribers() != 1 {
+		t.Errorf("double close changed subscriber count")
+	}
+}
+
+// A subscriber that never drains loses the OLDEST events — the ring
+// keeps the newest window — and the loss is counted on both the
+// subscription and the bus, while Publish itself never blocks.
+func TestBusDropOldest(t *testing.T) {
+	const depth = 8
+	b := NewBus(depth)
+	s := b.Subscribe()
+	defer s.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		b.Publish(Event{Kind: EvBackpressureOn, A: int64(i)})
+	}
+	if got := b.Published(); got != n {
+		t.Errorf("Published = %d, want %d", got, n)
+	}
+	if s.Dropped() == 0 || b.Dropped() == 0 {
+		t.Fatalf("no drops counted: sub=%d bus=%d", s.Dropped(), b.Dropped())
+	}
+	evs := s.Poll(nil)
+	if len(evs) == 0 || len(evs) > depth {
+		t.Fatalf("drained %d events from a depth-%d ring", len(evs), depth)
+	}
+	if int64(len(evs))+s.Dropped() != n {
+		t.Errorf("drained %d + dropped %d != published %d", len(evs), s.Dropped(), n)
+	}
+	// Survivors are the newest window, in order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].A <= evs[i-1].A {
+			t.Fatalf("events out of order: %d then %d", evs[i-1].A, evs[i].A)
+		}
+	}
+	if evs[len(evs)-1].A != n-1 {
+		t.Errorf("newest surviving event is %d, want %d", evs[len(evs)-1].A, n-1)
+	}
+}
+
+// One stalled subscriber must not slow the publisher or starve a healthy
+// one: drops land on the stalled ring only, and concurrent publishers
+// stay race-free.
+func TestBusStalledSubscriber(t *testing.T) {
+	b := NewBus(16)
+	stalled := b.Subscribe()
+	defer stalled.Close()
+	healthy := b.Subscribe()
+
+	var drained int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // healthy consumer keeps its ring near-empty
+		defer wg.Done()
+		var buf []Event
+		for {
+			buf = healthy.Poll(buf[:0])
+			drained += int64(len(buf))
+			select {
+			case <-stop:
+				return
+			default:
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+
+	const producers, perProducer = 4, 2000
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Publish(Event{Kind: EvWindowShrink, Rank: int32(p), A: int64(i)})
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+	drained += int64(len(healthy.Poll(nil)))
+	healthy.Close()
+
+	const total = producers * perProducer
+	if got := b.Published(); got != total {
+		t.Errorf("Published = %d, want %d", got, total)
+	}
+	if stalled.Dropped() == 0 {
+		t.Error("stalled subscriber dropped nothing despite never draining")
+	}
+	if leftover := int64(len(stalled.Poll(nil))); drained+leftover+stalled.Dropped() < total {
+		// healthy's accounting: everything published is either drained or
+		// still rung; the stalled sub accounts for the rest via drops.
+		t.Errorf("event accounting leak: healthy drained %d, stalled leftover %d + dropped %d, published %d",
+			drained, leftover, stalled.Dropped(), total)
+	}
+}
+
+// Publishing with no subscriber attached must not allocate: the progress
+// goroutine calls this on every emission point in an unobserved job.
+func TestBusPublishNoSubscriberAllocFree(t *testing.T) {
+	b := NewBus(0)
+	ev := Event{Kind: EvDeadlineExpired, Time: 1}
+	if n := testing.AllocsPerRun(1000, func() { b.Publish(ev) }); n != 0 {
+		t.Errorf("Publish with no subscribers allocates %.1f/op, want 0", n)
+	}
+	s := b.Subscribe()
+	defer s.Close()
+	if n := testing.AllocsPerRun(1000, func() { b.Publish(ev) }); n != 0 {
+		t.Errorf("Publish with a subscriber allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestEventKindStringsComplete(t *testing.T) {
+	seen := map[string]EventKind{}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		s := k.String()
+		if s == "" || s == "event(?)" {
+			t.Errorf("EventKind(%d) has no label: %q", k, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("EventKind(%d) and EventKind(%d) share label %q", k, prev, s)
+		}
+		seen[s] = k
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := newEvRing(4)
+	for lap := 0; lap < 3; lap++ {
+		for i := 0; i < 4; i++ {
+			if !r.tryPush(Event{A: int64(lap*4 + i)}) {
+				t.Fatalf("push %d/%d failed on empty slot", lap, i)
+			}
+		}
+		if r.tryPush(Event{}) {
+			t.Fatal("push into a full ring succeeded")
+		}
+		for i := 0; i < 4; i++ {
+			ev, ok := r.tryPop()
+			if !ok || ev.A != int64(lap*4+i) {
+				t.Fatalf("pop %d/%d = (%v, %v)", lap, i, ev.A, ok)
+			}
+		}
+		if _, ok := r.tryPop(); ok {
+			t.Fatal("pop from an empty ring succeeded")
+		}
+	}
+}

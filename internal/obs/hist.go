@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of a latency histogram. Bucket i
+// counts observations in [2^(i-1), 2^i) nanoseconds (bucket 0 holds the
+// zero observations), so the top bucket's lower edge is 2^38 ns ≈ 4.6
+// minutes — far past any op latency this runtime produces; everything
+// beyond lands in the last bucket.
+const HistBuckets = 40
+
+// Hist is a log₂-bucketed latency histogram over int64 nanoseconds:
+// a fixed array of atomic counters, observed and snapshotted without
+// locks or allocation. The zero value is ready to use.
+type Hist struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one latency sample. Allocation-free and safe from any
+// goroutine.
+func (h *Hist) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // 0 for 0; k for values in [2^(k-1), 2^k)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count reports the total observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum reports the summed latency in nanoseconds.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Bucket reports bucket i's occupancy.
+func (h *Hist) Bucket(i int) int64 { return h.buckets[i].Load() }
+
+// BucketUpperNanos is bucket i's exclusive upper edge in nanoseconds:
+// observations counted in buckets 0..i are all < 2^i ns (the last bucket
+// is unbounded).
+func BucketUpperNanos(i int) int64 { return int64(1) << uint(i) }
+
+// HistVec is a dense rows×cols matrix of histograms — one per
+// (operation family, pipeline phase) pair in the runtime's use — backed
+// by a single allocation at construction.
+type HistVec struct {
+	rows, cols int
+	h          []Hist
+}
+
+// NewHistVec allocates the matrix. All histograms start empty.
+func NewHistVec(rows, cols int) *HistVec {
+	return &HistVec{rows: rows, cols: cols, h: make([]Hist, rows*cols)}
+}
+
+// Observe records ns into the (row, col) histogram. Out-of-range
+// coordinates are ignored rather than trusted (the hook seam is public).
+func (v *HistVec) Observe(row, col int, ns int64) {
+	if row < 0 || row >= v.rows || col < 0 || col >= v.cols {
+		return
+	}
+	v.h[row*v.cols+col].Observe(ns)
+}
+
+// At returns the (row, col) histogram for snapshotting, or nil when out
+// of range.
+func (v *HistVec) At(row, col int) *Hist {
+	if row < 0 || row >= v.rows || col < 0 || col >= v.cols {
+		return nil
+	}
+	return &v.h[row*v.cols+col]
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{1023, 10}, {1024, 11},
+		{-5, 0}, // clamped
+		{int64(time.Hour), 39},
+	}
+	for _, c := range cases {
+		h.Observe(c.ns)
+	}
+	counts := map[int]int64{}
+	for _, c := range cases {
+		counts[c.bucket]++
+	}
+	for b, want := range counts {
+		if got := h.Bucket(b); got != want {
+			t.Errorf("bucket %d = %d, want %d", b, got, want)
+		}
+	}
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", got, len(cases))
+	}
+	var wantSum int64
+	for _, c := range cases {
+		if c.ns > 0 {
+			wantSum += c.ns
+		}
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("Sum = %d, want %d", got, wantSum)
+	}
+	if got := BucketUpperNanos(10); got != 1024 {
+		t.Errorf("BucketUpperNanos(10) = %d, want 1024", got)
+	}
+}
+
+func TestHistObserveAllocFree(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(12345) }); n != 0 {
+		t.Errorf("Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestHistVec(t *testing.T) {
+	v := NewHistVec(3, 4)
+	v.Observe(1, 2, 100)
+	v.Observe(1, 2, 200)
+	v.Observe(2, 0, 5)
+	// Out-of-range coordinates are silent no-ops.
+	v.Observe(-1, 0, 1)
+	v.Observe(3, 0, 1)
+	v.Observe(0, 4, 1)
+
+	if h := v.At(1, 2); h == nil || h.Count() != 2 || h.Sum() != 300 {
+		t.Errorf("At(1,2) = %+v", h)
+	}
+	if h := v.At(2, 0); h == nil || h.Count() != 1 {
+		t.Errorf("At(2,0) count wrong")
+	}
+	if h := v.At(0, 0); h == nil || h.Count() != 0 {
+		t.Errorf("untouched cell not zero")
+	}
+	if v.At(3, 0) != nil || v.At(0, 4) != nil || v.At(-1, -1) != nil {
+		t.Error("out-of-range At returned a cell")
+	}
+}
+
+func TestPromWriterOutput(t *testing.T) {
+	var sb strings.Builder
+	w := NewPromWriter(&sb)
+	w.Meta("gupcxx_ops_total", "ops by family and phase", "counter")
+	w.Int("gupcxx_ops_total", `family="rma",phase="initiated"`, 7)
+	w.Meta("gupcxx_ops_total", "dup meta must not repeat", "counter")
+	w.Int("gupcxx_ops_total", `family="rpc",phase="initiated"`, 3)
+	w.Meta("gupcxx_up", "", "gauge")
+	w.Sample("gupcxx_up", "", 1)
+
+	var h Hist
+	h.Observe(100) // bucket 7: (64,128]
+	h.Observe(100)
+	w.Meta("gupcxx_lat_seconds", "latency", "histogram")
+	w.Histogram("gupcxx_lat_seconds", `family="rma"`, &h)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if strings.Count(out, "# TYPE gupcxx_ops_total counter") != 1 {
+		t.Errorf("TYPE line not emitted exactly once:\n%s", out)
+	}
+	for _, want := range []string{
+		`gupcxx_ops_total{family="rma",phase="initiated"} 7`,
+		`gupcxx_ops_total{family="rpc",phase="initiated"} 3`,
+		"gupcxx_up 1",
+		`gupcxx_lat_seconds_bucket{family="rma",le="+Inf"} 2`,
+		`gupcxx_lat_seconds_count{family="rma"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative: the le boundary at 128ns already counts both.
+	if !strings.Contains(out, `le="1.28e-07"} 2`) {
+		t.Errorf("cumulative bucket at 128ns missing:\n%s", out)
+	}
+	// Every line is newline-terminated and no label block is empty-braced.
+	if strings.Contains(out, "{}") {
+		t.Errorf("empty label braces in:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("output not newline-terminated")
+	}
+}

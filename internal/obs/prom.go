@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+)
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4):
+// one # HELP / # TYPE preamble per metric name, then samples. It keeps
+// no registry — the caller drives the full scrape each time, which fits
+// a runtime whose counters already live elsewhere.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps w. Write errors are latched and surfaced by Err;
+// subsequent calls become no-ops so scrape code needs no per-line checks.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err reports the first underlying write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) raw(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Meta writes the HELP/TYPE preamble for name once; repeated calls for
+// the same name are ignored so loops can declare lazily.
+func (p *PromWriter) Meta(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	p.raw("# HELP " + name + " " + help + "\n# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample writes one sample line: name{labels} value. labels is the
+// preformatted inner label list (`family="rma",phase="initiated"`) or ""
+// for an unlabelled metric.
+func (p *PromWriter) Sample(name, labels string, value float64) {
+	p.raw(name)
+	if labels != "" {
+		p.raw("{" + labels + "}")
+	}
+	p.raw(" " + strconv.FormatFloat(value, 'g', -1, 64) + "\n")
+}
+
+// Int writes one integer-valued sample line.
+func (p *PromWriter) Int(name, labels string, value int64) {
+	p.raw(name)
+	if labels != "" {
+		p.raw("{" + labels + "}")
+	}
+	p.raw(" " + strconv.FormatInt(value, 10) + "\n")
+}
+
+// Histogram writes h in Prometheus histogram convention under name:
+// cumulative <name>_bucket{...,le="<seconds>"} lines ending at le="+Inf",
+// then <name>_sum (seconds) and <name>_count. The log₂-nanosecond
+// buckets surface as power-of-two second boundaries.
+func (p *PromWriter) Histogram(name, labels string, h *Hist) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := int64(0)
+	for i := 0; i < HistBuckets-1; i++ {
+		cum += h.Bucket(i)
+		le := strconv.FormatFloat(float64(BucketUpperNanos(i))/1e9, 'g', -1, 64)
+		p.Int(name+"_bucket", labels+sep+`le="`+le+`"`, cum)
+	}
+	cum += h.Bucket(HistBuckets - 1)
+	p.Int(name+"_bucket", labels+sep+`le="+Inf"`, cum)
+	p.Sample(name+"_sum", labels, float64(h.Sum())/1e9)
+	p.Int(name+"_count", labels, h.Count())
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sync/atomic"
+
+// evRing is a bounded MPMC ring of events after Vyukov's array queue —
+// the same sequence-stamped-cell design as the substrate's MPSC inbox
+// ring, extended with a CAS on the consumer cursor so that *producers*
+// may also dequeue: the bus implements drop-oldest by having a publisher
+// that finds the ring full steal the oldest entry to make room. Both
+// sides are lock-free and never spin unboundedly (each try* call makes
+// one reservation attempt per CAS win/loss and returns on full/empty).
+type evRing struct {
+	mask  uint64
+	_     [56]byte // keep the hot cursors on separate cache lines
+	enq   atomic.Uint64
+	_     [56]byte
+	deq   atomic.Uint64
+	_     [56]byte
+	cells []evCell
+}
+
+type evCell struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newEvRing sizes the ring to the next power of two ≥ depth (minimum 2).
+func newEvRing(depth int) *evRing {
+	capa := 2
+	for capa < depth {
+		capa <<= 1
+	}
+	r := &evRing{mask: uint64(capa - 1), cells: make([]evCell, capa)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// tryPush reserves the next slot and publishes ev into it. It reports
+// false when the ring is full; the caller decides the shed policy.
+func (r *evRing) tryPush(ev Event) bool {
+	pos := r.enq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				cell.ev = ev
+				cell.seq.Store(pos + 1) // release: consumers may read ev
+				return true
+			}
+			pos = r.enq.Load()
+		case diff < 0:
+			return false // a full lap behind: ring is full
+		default:
+			pos = r.enq.Load() // another producer advanced past us
+		}
+	}
+}
+
+// tryPop claims the oldest published entry. It reports false when the
+// ring is empty.
+func (r *evRing) tryPop() (Event, bool) {
+	pos := r.deq.Load()
+	for {
+		cell := &r.cells[pos&r.mask]
+		seq := cell.seq.Load()
+		switch diff := int64(seq) - int64(pos+1); {
+		case diff == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				ev := cell.ev
+				cell.seq.Store(pos + r.mask + 1) // release slot for the next lap
+				return ev, true
+			}
+			pos = r.deq.Load()
+		case diff < 0:
+			return Event{}, false // not yet published: ring is empty
+		default:
+			pos = r.deq.Load() // another consumer advanced past us
+		}
+	}
+}

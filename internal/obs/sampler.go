@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Counter is one named cumulative counter handed to the sampler by its
+// collect callback.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Rate is one per-second rate derived by delta-sampling a Counter.
+type Rate struct {
+	Name   string
+	PerSec float64
+}
+
+// Sampler turns cumulative counters into rates by polling a collect
+// callback on a ticker and differencing consecutive samples. It owns one
+// goroutine; Close stops it and blocks until it has exited, so leak
+// checks can assert a clean teardown.
+type Sampler struct {
+	collect func() []Counter
+
+	mu     sync.Mutex
+	prev   map[string]int64
+	prevAt time.Time
+	rates  []Rate
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewSampler starts sampling collect every interval (≤ 0 selects 1s).
+// The first tick seeds the baseline; rates appear from the second on.
+func NewSampler(every time.Duration, collect func() []Counter) *Sampler {
+	if every <= 0 {
+		every = time.Second
+	}
+	s := &Sampler{
+		collect: collect,
+		prev:    make(map[string]int64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.run(every)
+	return s
+}
+
+func (s *Sampler) run(every time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	s.sample()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+func (s *Sampler) sample() {
+	now := time.Now()
+	cs := s.collect()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	elapsed := now.Sub(s.prevAt).Seconds()
+	first := s.prevAt.IsZero()
+	if !first && elapsed > 0 {
+		rates := make([]Rate, 0, len(cs))
+		for _, c := range cs {
+			if prev, ok := s.prev[c.Name]; ok {
+				rates = append(rates, Rate{Name: c.Name, PerSec: float64(c.Value-prev) / elapsed})
+			}
+		}
+		s.rates = rates
+	}
+	for _, c := range cs {
+		s.prev[c.Name] = c.Value
+	}
+	s.prevAt = now
+}
+
+// Rates returns a copy of the most recent rate snapshot (nil until two
+// samples have landed).
+func (s *Sampler) Rates() []Rate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rates == nil {
+		return nil
+	}
+	out := make([]Rate, len(s.rates))
+	copy(out, s.rates)
+	return out
+}
+
+// Close stops the sampling goroutine and waits for it. Idempotent.
+func (s *Sampler) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Handler builds the observability mux: Prometheus text at /metrics
+// (written by the metrics callback per scrape) and an indented JSON
+// snapshot at /debug/gupcxx (whatever the debug callback returns).
+// Exposed separately from NewServer so tests can drive the endpoints
+// through httptest without binding a real listener.
+func Handler(metrics func(io.Writer), debug func() any) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics(w)
+	})
+	mux.HandleFunc("/debug/gupcxx", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(debug())
+	})
+	return mux
+}
+
+// Server is the opt-in observability HTTP listener. It binds eagerly in
+// NewServer (so a bad address fails world construction, not a later
+// scrape) and shuts down gracefully in Close.
+type Server struct {
+	ln        net.Listener
+	srv       *http.Server
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewServer listens on addr (host:port; port 0 picks a free port — read
+// it back via Addr) and serves Handler(metrics, debug) until Close.
+func NewServer(addr string, metrics func(io.Writer), debug func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(metrics, debug),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, drains in-flight requests for up to two
+// seconds, then hard-closes stragglers. It blocks until the serve
+// goroutine has exited, so goroutine-leak checks pass right after it
+// returns. Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			_ = s.srv.Close()
+		}
+	})
+	<-s.done
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	h := Handler(
+		func(w io.Writer) {
+			p := NewPromWriter(w)
+			p.Meta("gupcxx_up", "", "gauge")
+			p.Sample("gupcxx_up", "", 1)
+		},
+		func() any { return map[string]any{"ranks": 4, "conduit": "udp"} },
+	)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "gupcxx_up 1") {
+		t.Errorf("metrics body missing sample:\n%s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/gupcxx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("debug Content-Type = %q", ct)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("debug snapshot is not JSON: %v", err)
+	}
+	if snap["conduit"] != "udp" {
+		t.Errorf("debug snapshot = %v", snap)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(w io.Writer) {
+		io.WriteString(w, "gupcxx_up 1\n")
+	}, func() any { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape against live server: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "gupcxx_up 1") {
+		t.Errorf("scrape body = %q", body)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("scrape succeeded after Close")
+	}
+
+	// A bad address fails construction, not a later scrape.
+	if _, err := NewServer("256.0.0.1:bogus", nil, nil); err == nil {
+		t.Error("NewServer accepted an unbindable address")
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	var v atomic.Int64
+	s := NewSampler(10*time.Millisecond, func() []Counter {
+		return []Counter{{Name: "ops", Value: v.Load()}}
+	})
+	defer s.Close()
+	if s.Rates() != nil {
+		t.Error("rates available before the second sample")
+	}
+	// Grow the counter and wait for a delta to land.
+	deadline := time.Now().Add(5 * time.Second)
+	var rates []Rate
+	for time.Now().Before(deadline) {
+		v.Add(100)
+		rates = s.Rates()
+		if len(rates) == 1 && rates[0].PerSec > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(rates) != 1 || rates[0].Name != "ops" || rates[0].PerSec <= 0 {
+		t.Fatalf("rates = %+v, want positive ops rate", rates)
+	}
+	s.Close()
+	s.Close() // idempotent
+}

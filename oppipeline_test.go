@@ -104,6 +104,101 @@ func TestOpPipelineAsyncRecycling(t *testing.T) {
 	}
 }
 
+// TestOpPipelineObservedAllocationFree pins the operations plane's cost
+// contract on the eager fast path: a world with the full plane active —
+// event bus wired into the substrate, counter mirrors flushing, metrics
+// listener bound — must keep eager ops at 0 allocs/op while the phase
+// hook is nil, and installing the latency sampler (PhaseSampler) must add
+// clock reads but still no allocations.
+func TestOpPipelineObservedAllocationFree(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.PSHM, Version: gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 14, MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, mode := range []string{"observed", "sampled"} {
+		if mode == "sampled" {
+			w.EnablePhaseSampling()
+		}
+		err = w.Run(func(r *gupcxx.Rank) {
+			tgt := gupcxx.New[uint64](r)
+			tgts := gupcxx.ExchangePtr(r, tgt)
+			r.Barrier()
+			if r.Me() == 0 {
+				ad := gupcxx.NewAtomicDomain[uint64](r)
+				var sink uint64
+				cases := []struct {
+					name string
+					op   func()
+				}{
+					{"put", func() { gupcxx.Rput(r, 1, tgts[1]).Wait() }},
+					{"get", func() { sink += gupcxx.Rget(r, tgts[1]).Wait() }},
+					{"fetchadd", func() { sink += ad.FetchAdd(tgts[1], 1).Wait() }},
+				}
+				for _, c := range cases {
+					if avg := testing.AllocsPerRun(1000, c.op); avg != 0 {
+						t.Errorf("%s eager %s allocates %.2f objects/op, want 0", mode, c.name, avg)
+					}
+				}
+				benchSinkU64 = sink
+			}
+			r.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mc := w.LatencyHist(gupcxx.OpRMA, gupcxx.PhaseEagerCompleted).Count(); mc == 0 {
+		t.Error("sampled pass recorded no rma/eager-completed latencies")
+	}
+}
+
+// TestOpPipelineObservedAsyncContinuation extends the guard to the
+// asynchronous continuation leg: off-node-style continuation ops under an
+// active operations plane must stay allocation-free in steady state, just
+// as they are unobserved (scripts/check_bench5.sh's contract).
+func TestOpPipelineObservedAsyncContinuation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks: 2, Conduit: gupcxx.SIM, Version: gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 14, RanksPerNode: 1, SimLatency: time.Nanosecond,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	err = w.Run(func(r *gupcxx.Rank) {
+		tgt := gupcxx.New[uint64](r)
+		tgts := gupcxx.ExchangePtr(r, tgt)
+		r.Barrier()
+		if r.Me() == 0 {
+			for i := 0; i < 64; i++ { // warm freelists and wire pools
+				gupcxx.Rput(r, uint64(i), tgts[1]).Wait()
+			}
+			fired, issued := 0, 0
+			cx := []gupcxx.Cx{gupcxx.OpContinue(func(error) { fired++ })}
+			avg := testing.AllocsPerRun(500, func() {
+				gupcxx.Rput(r, 1, tgts[1], cx...)
+				issued++
+				progressUntil(r, func() bool { return fired >= issued })
+			})
+			if avg != 0 {
+				t.Errorf("observed async continuation put allocates %.2f objects/op, want 0", avg)
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // BenchmarkOpPipeline measures per-op latency and allocations through the
 // unified pipeline for the paper's microbenchmark families, per library
 // version. Recorded as BENCH_3.json; the eager value-less rows must stay
@@ -161,6 +256,102 @@ func BenchmarkOpPipeline(b *testing.B) {
 		})
 	}
 }
+
+// obsBenchWorld is the operations-plane harness for BENCH_6: the same
+// on-node eager world as microWorld, but with the observability surface
+// fully active — metrics listener bound, counter mirrors flushing, event
+// bus wired into the substrate — and, when sampled is set, the latency
+// hook (World.PhaseSampler) installed on every rank.
+func obsBenchWorld(b *testing.B, sampled bool, fn func(r *gupcxx.Rank, target gupcxx.GlobalPtr[uint64])) {
+	b.Helper()
+	w, err := gupcxx.NewWorld(gupcxx.Config{
+		Ranks:        2,
+		Conduit:      gupcxx.PSHM,
+		Version:      gupcxx.Eager2021_3_6,
+		SegmentBytes: 1 << 16,
+		MetricsAddr:  "127.0.0.1:0",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	if sampled {
+		w.EnablePhaseSampling()
+	}
+	err = w.Run(func(r *gupcxx.Rank) {
+		target := gupcxx.New[uint64](r)
+		targets := gupcxx.ExchangePtr(r, target)
+		r.Barrier()
+		if r.Me() == 0 {
+			fn(r, targets[1])
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchObsPipeline reruns the eager pipeline families under an active
+// operations plane. Observed mode (nil hook) is the overhead proof: the
+// rows must match the unobserved baseline within the check_bench6.sh
+// tolerance and stay at 0 allocs/op. Sampled mode adds two clock reads
+// per op (hook timestamping) — real latency, paid only by opted-in
+// worlds — and must still allocate nothing.
+func benchObsPipeline(b *testing.B, sampled bool) {
+	type bench struct {
+		name string
+		run  func(b *testing.B, r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64])
+	}
+	benches := []bench{
+		{"put", func(b *testing.B, r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+			for i := 0; i < b.N; i++ {
+				gupcxx.Rput(r, uint64(i), t).Wait()
+			}
+		}},
+		{"get", func(b *testing.B, r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += gupcxx.Rget(r, t).Wait()
+			}
+			benchSinkU64 = sink
+		}},
+		{"getbulk", func(b *testing.B, r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+			var buf [1]uint64
+			for i := 0; i < b.N; i++ {
+				gupcxx.RgetBulk(r, t, buf[:]).Wait()
+			}
+		}},
+		{"fetchadd", func(b *testing.B, r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+			ad := gupcxx.NewAtomicDomain[uint64](r)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += ad.FetchAdd(t, 1).Wait()
+			}
+			benchSinkU64 = sink
+		}},
+	}
+	for _, bm := range benches {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			obsBenchWorld(b, sampled, func(r *gupcxx.Rank, t gupcxx.GlobalPtr[uint64]) {
+				b.ResetTimer()
+				bm.run(b, r, t)
+			})
+		})
+	}
+}
+
+// BenchmarkOpPipelineObserved: eager families with the operations plane
+// active and a nil phase hook. Recorded in BENCH_6.json next to the
+// BenchmarkOpPipeline baseline rows; check_bench6.sh bounds the geomean
+// latency overhead and pins 0 allocs/op.
+func BenchmarkOpPipelineObserved(b *testing.B) { benchObsPipeline(b, false) }
+
+// BenchmarkOpPipelineSampled: the same families with the latency sampler
+// hook installed. check_bench6.sh pins these rows at 0 allocs/op (the
+// clock reads cost real nanoseconds and are not latency-bounded).
+func BenchmarkOpPipelineSampled(b *testing.B) { benchObsPipeline(b, true) }
 
 // asyncBenchWorld is the off-node (SIM) harness for the asynchronous
 // pipeline benchmarks: two single-rank nodes under the eager version with

@@ -116,9 +116,11 @@ func (r *Rank) PeerDown(target int) bool { return r.ep.PeerDown(target) }
 func (r *Rank) DownPeers() []int { return r.ep.DownPeers() }
 
 // Flow returns a snapshot of the reliability flow state toward target:
-// smoothed RTT, retransmission timeout, adaptive window, and frames in
-// flight. The zero FlowState is returned on conduits without a
-// reliability layer (SMP) and for self/out-of-range targets.
+// smoothed RTT, retransmission timeout, adaptive window, in-flight
+// occupancy in datagrams and bytes, and the receive-side reorder-buffer
+// occupancy against its byte budget. The zero FlowState is returned on
+// conduits without a reliability layer (SMP) and for self/out-of-range
+// targets.
 func (r *Rank) Flow(target int) FlowState { return r.w.dom.FlowState(r.Me(), target) }
 
 // LocalTo reports whether this rank has direct load/store access to the

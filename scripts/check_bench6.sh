@@ -1,0 +1,52 @@
+#!/bin/sh
+# Operations-plane overhead gate for BENCH_6.json:
+#   - the Observed rows (metrics listener bound, mirrors flushing, nil
+#     phase hook) and the Sampled rows (latency hook installed) must
+#     stay allocation-free — the plane may not touch the 0-allocs/op
+#     eager contract;
+#   - the geomean latency ratio of the Observed rows over the unobserved
+#     eager baseline rows (BenchmarkOpPipeline/<fam>/2021.3.6-eager)
+#     must stay under 1.03: a world nobody is watching pays < 3%.
+set -e
+rec="${1:-BENCH_6.json}"
+awk '
+function allocs() { return substr($0, RSTART + 17, RLENGTH - 17) + 0 }
+function ns() { match($0, /"ns_per_op": [0-9.]+/); return substr($0, RSTART + 13, RLENGTH - 13) + 0 }
+function fam() { match($0, /\/(getbulk|fetchadd|put|get)[\/"-]/); return substr($0, RSTART + 1, RLENGTH - 2) }
+/"name": "BenchmarkOpPipeline(Observed|Sampled)\/(put|get|getbulk|fetchadd)["-]/ {
+    if (match($0, /"allocs_per_op": [0-9]+/) && allocs() != 0) {
+        print "check_bench6: allocation contract regressed: " $0 > "/dev/stderr"
+        bad = 1
+    }
+}
+/"name": "BenchmarkOpPipeline\/(put|get|getbulk|fetchadd)\/2021.3.6-eager/ {
+    base_ns[fam()] += ns(); base_n[fam()]++
+}
+/"name": "BenchmarkOpPipelineObserved\/(put|get|getbulk|fetchadd)["-]/ {
+    obs_ns[fam()] += ns(); obs_n[fam()]++
+}
+END {
+    families = 0; logsum = 0
+    for (f in base_n) {
+        if (!(f in obs_n)) {
+            print "check_bench6: no Observed rows for family " f > "/dev/stderr"
+            bad = 1
+            continue
+        }
+        logsum += log((obs_ns[f] / obs_n[f]) / (base_ns[f] / base_n[f]))
+        families++
+    }
+    if (families < 4) {
+        print "check_bench6: expected 4 observed families, saw " families > "/dev/stderr"
+        bad = 1
+    } else {
+        geo = exp(logsum / families)
+        printf "check_bench6: nil-observer geomean overhead ratio %.4f (limit 1.03)\n", geo
+        if (geo > 1.03) {
+            print "check_bench6: observed eager path exceeds the 3% overhead budget" > "/dev/stderr"
+            bad = 1
+        }
+    }
+    exit bad
+}' "$rec"
+echo "check_bench6: $rec ok (observed+sampled rows 0 allocs, nil-observer overhead < 3%)"

@@ -56,6 +56,36 @@ func TestSoakMixedChurn(t *testing.T) {
 	echo := w.RegisterRPC(func(r *gupcxx.Rank, args []byte) []byte {
 		return append([]byte(nil), args...)
 	})
+
+	// Operations-plane rider: one deliberately slow subscriber drains the
+	// event bus on a ~20ms cadence for the whole soak. Flow-control churn
+	// emits edge events (one per backpressure/window episode), not per-op
+	// floods, so even this laggard must keep up — the bus sheds nothing.
+	sub := w.SubscribeEvents()
+	defer sub.Close()
+	evKinds := make(map[string]int)
+	drainDone := make(chan struct{})
+	drainStop := make(chan struct{})
+	go func() {
+		defer close(drainDone)
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		var buf []gupcxx.RuntimeEvent
+		for {
+			select {
+			case <-drainStop:
+				for _, ev := range sub.Poll(buf) {
+					evKinds[ev.Kind.String()]++
+				}
+				return
+			case <-tick.C:
+				for _, ev := range sub.Poll(buf) {
+					evKinds[ev.Kind.String()]++
+				}
+			}
+		}
+	}()
+
 	dur := soakSeconds()
 	err = w.Run(func(r *gupcxx.Rank) {
 		me, n := r.Me(), r.N()
@@ -125,6 +155,16 @@ func TestSoakMixedChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	close(drainStop)
+	<-drainDone
+	if d := sub.Dropped(); d != 0 {
+		t.Errorf("slow event subscriber shed %d events during the soak", d)
+	}
+	evTotal := 0
+	for _, n := range evKinds {
+		evTotal += n
+	}
+	t.Logf("soak events: %d drained by the slow subscriber, by kind: %v", evTotal, evKinds)
 	st := w.Domain().Stats()
 	if st.Retransmits == 0 {
 		t.Error("soak saw zero retransmits: the loss profile was not applied")

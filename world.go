@@ -41,6 +41,7 @@ import (
 
 	"gupcxx/internal/core"
 	"gupcxx/internal/gasnet"
+	"gupcxx/internal/obs"
 )
 
 // Version selects which of the paper's three library behaviours the
@@ -90,7 +91,8 @@ const (
 
 // FlowState is a snapshot of one peer pair's congestion-control state
 // (Rank.Flow): smoothed RTT, current retransmission timeout, adaptive
-// window, and its occupancy.
+// window, its occupancy in datagrams and bytes, and the receive-side
+// reorder-buffer occupancy against its byte budget.
 type FlowState = gasnet.FlowState
 
 // Completion type and factory re-exports: completions are composed by
@@ -261,6 +263,15 @@ type Config struct {
 	// Version selects the emulated library behaviour. The zero value
 	// selects Eager2021_3_6, the paper's proposed default.
 	Version Version
+
+	// MetricsAddr, when non-empty, starts the operations-plane HTTP
+	// listener on the given host:port (port 0 picks a free port — read it
+	// back via World.MetricsAddr), serving Prometheus text at /metrics
+	// and a JSON debug snapshot at /debug/gupcxx. A bind failure fails
+	// NewWorld. The empty default leaves the listener off; the event bus
+	// and counter mirrors run either way and cost nothing measurable
+	// unobserved.
+	MetricsAddr string
 }
 
 // World is one job instance: the substrate domain plus per-rank runtime
@@ -273,6 +284,20 @@ type World struct {
 	// rpcHandlers is the registry of wire-safe RPC procedures (see
 	// rpcwire.go); append-only, fixed before Run.
 	rpcHandlers []RPCHandler
+
+	// Operations plane (obs.go): the always-on event bus and per-rank
+	// counter mirrors, the per-family×phase latency histograms fed by
+	// PhaseSampler, and — only when Config.MetricsAddr is set — the HTTP
+	// export surface, its rate sampler, and the world-owned
+	// recent-events subscription backing the debug snapshot.
+	bus     *obs.Bus
+	mirrors []*core.OpsMirror
+	hists   *obs.HistVec
+	obsSrv  *obs.Server
+	sampler *obs.Sampler
+	evmu    sync.Mutex // guards evsub draining and the recent ring
+	evsub   *obs.Subscription
+	recent  []obs.Event
 }
 
 // NewWorld validates cfg and constructs the job.
@@ -280,6 +305,7 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.Version.Name == "" {
 		cfg.Version = Eager2021_3_6
 	}
+	bus := obs.NewBus(0)
 	dom, err := gasnet.NewDomain(gasnet.Config{
 		Ranks:            cfg.Ranks,
 		Conduit:          cfg.Conduit,
@@ -297,11 +323,17 @@ func NewWorld(cfg Config) (*World, error) {
 		SuspectAfter:     cfg.SuspectAfter,
 		DownAfter:        cfg.DownAfter,
 		DisableLiveness:  cfg.DisableLiveness,
+		Events:           bus,
 	})
 	if err != nil {
 		return nil, err
 	}
-	w := &World{dom: dom, ver: cfg.Version}
+	w := &World{
+		dom:   dom,
+		ver:   cfg.Version,
+		bus:   bus,
+		hists: obs.NewHistVec(int(core.NumOpKinds), int(core.NumPhases)),
+	}
 	dom.RegisterHandler(hRPCExec, handleRPCExec)
 	dom.RegisterHandler(hColl, handleColl)
 	dom.RegisterHandler(hRPCWireReq, handleRPCWireReq)
@@ -331,7 +363,28 @@ func NewWorld(cfg Config) (*World, error) {
 		// saturated peer surfaces as ErrBackpressure (a completion value)
 		// instead of an unbounded block inside the reliability layer.
 		r.eng.SetAdmitter(ep.AdmitSend)
+		// Each engine publishes its plain-int64 counters into an
+		// all-atomic mirror every few progress steps, so the metrics
+		// endpoint can read a live world without racing the hot path.
+		m := &core.OpsMirror{}
+		r.eng.SetMirror(m)
+		w.mirrors = append(w.mirrors, m)
+		// Deadline expiries happen on the rank goroutine during sweep;
+		// surface them on the event bus with the op family as payload
+		// (there is no single peer to blame, hence Peer: -1).
+		rank := int32(i)
+		r.eng.SetExpiryHook(func(k core.OpKind) {
+			bus.Publish(obs.Event{
+				Kind: obs.EvDeadlineExpired, Rank: rank, Peer: -1, A: int64(k),
+			})
+		})
 		w.ranks[i] = r
+	}
+	if cfg.MetricsAddr != "" {
+		if err := w.startObsServer(cfg.MetricsAddr); err != nil {
+			dom.Close()
+			return nil, fmt.Errorf("gupcxx: metrics listener: %w", err)
+		}
 	}
 	return w, nil
 }
@@ -362,6 +415,10 @@ func (w *World) Run(fn func(*Rank)) error {
 		wg.Add(1)
 		go func(i int, r *Rank) {
 			defer wg.Done()
+			// Publish the final counter state: the periodic mirror flush
+			// runs every few progress steps, so without this tail flush a
+			// scrape after Run could miss the last interval's ops.
+			defer r.eng.FlushMirror()
 			defer func() {
 				if p := recover(); p != nil {
 					if ab, ok := p.(rankAbort); ok {
@@ -432,9 +489,14 @@ func (w *World) SetFault(rank int, cfg FaultConfig) error {
 }
 
 // Close releases substrate resources (the UDP conduit's sockets and
-// reader goroutines); it is idempotent and a no-op for in-memory
-// conduits. Ranks must not be driven after Close.
-func (w *World) Close() { w.dom.Close() }
+// reader goroutines) and tears down the observability surface (metrics
+// listener, rate sampler); it is idempotent. Ranks must not be driven
+// after Close. Event subscriptions obtained from SubscribeEvents stay
+// drainable — Close stops the event sources, not the consumers.
+func (w *World) Close() {
+	w.closeObs()
+	w.dom.Close()
+}
 
 // Launch is the one-call entry point: construct a World from cfg, Run fn
 // on every rank, and Close the world.
