@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs test-multiproc bench-multiproc check-bench7 ci
 
 build:
 	$(GO) build ./...
@@ -102,7 +102,7 @@ bench-flow:
 # the checked-in record; check_bench5.sh fails the regeneration if a
 # continuation row allocates or an eager row regresses.
 bench-syscall:
-	{ $(GO) test -run XXX -bench BenchmarkOpPipeline -benchmem -count 3 . ; \
+	{ $(GO) test -run XXX -bench 'BenchmarkOpPipeline$$|BenchmarkOpPipelineAsync$$' -benchmem -count 3 . ; \
 	  $(GO) test -run XXX -bench BenchmarkUDPCoalesce -benchmem -count 3 ./internal/gasnet/ ; } \
 	| ./scripts/bench2json.sh > BENCH_5.json
 	./scripts/check_bench5.sh BENCH_5.json
@@ -134,5 +134,33 @@ test-obs:
 	$(GO) test ./internal/obs/
 	$(GO) test -run 'TestMetrics|TestWorldCloseWithActiveSubscribers|TestOpPipelineObserved|TestEvent' .
 
+# Process-per-rank acceptance: the boot package's rendezvous/launcher
+# units, the gptr wire-encoding contract, and the os/exec suites that
+# spawn real rank processes over loopback UDP (4-rank smoke world, abrupt
+# peer death, launcher fault injection) — all under the race detector.
+# Then the real thing: gupcxxrun launching the microbench driver as a
+# 4-process world.
+test-multiproc:
+	$(GO) test -race -count 1 ./internal/boot/
+	$(GO) test -race -count 1 -run 'TestGptrWire|FuzzDecodeGptr|TestMultiproc' ./internal/gasnet/ .
+	$(GO) build -o bin/gupcxxrun ./cmd/gupcxxrun
+	$(GO) build -o bin/microbench ./cmd/microbench
+	./bin/gupcxxrun -n 4 -- ./bin/microbench -samples 2 -topk 1 -iters 2000
+
+# Cross-process record: the op-pipeline families on an in-process UDP
+# world (wire armed, locality resolves to memory) next to the same
+# families crossing a real process boundary over loopback (rank 1 is a
+# spawned child). BENCH_7.json is the checked-in record; check_bench7.sh
+# pins the in-process eager rows at 0 allocs/op and requires all four
+# cross-process families to be present.
+bench-multiproc:
+	$(GO) test -run XXX -bench 'BenchmarkOpPipelineUDP$$|BenchmarkOpPipelineMultiproc$$' -benchmem . \
+		| ./scripts/bench2json.sh > BENCH_7.json
+	./scripts/check_bench7.sh BENCH_7.json
+
+# Validate the checked-in BENCH_7 record without re-running the benches.
+check-bench7:
+	./scripts/check_bench7.sh BENCH_7.json
+
 # Everything CI runs, in CI's order.
-ci: build test race vet staticcheck check-bench5 check-bench6 test-obs test-loss test-fault test-soak
+ci: build test race vet staticcheck check-bench5 check-bench6 check-bench7 test-obs test-loss test-fault test-soak test-multiproc

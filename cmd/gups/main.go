@@ -51,6 +51,7 @@ var (
 
 func main() {
 	flag.Parse()
+	maybeWorker() // gupcxxrun rank process: join the world, never return
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gups:", err)
 		os.Exit(1)

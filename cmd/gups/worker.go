@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gupcxx"
+	"gupcxx/internal/gups"
+	"gupcxx/internal/worker"
+)
+
+// maybeWorker runs this process as one rank of a gupcxxrun-launched
+// world: a single timed GUPS pass of the amo-promises variant — remote
+// atomics with promise completion, a fully wire-encodable update stream
+// — sized by the usual -log-table / -updates-per-rank / -batch flags.
+// Rank 0 reports GUP/s. Never returns when GUPCXX_WORLD is set.
+func maybeWorker() {
+	worker.Maybe("gups", func(ranks int) gupcxx.Config {
+		return gupcxx.Config{SegmentBytes: (8<<*logTable)/ranks*2 + 1<<20}
+	}, gupsWorker)
+}
+
+func gupsWorker(r *gupcxx.Rank) {
+	gcfg := gups.Config{
+		LogTableSize:   *logTable,
+		UpdatesPerRank: *updatesPer,
+		Batch:          *batch,
+	}
+	if gcfg.UpdatesPerRank == 0 {
+		gcfg.UpdatesPerRank = (int64(1) << *logTable) / int64(r.N())
+	}
+	b, err := gups.New(r, gcfg)
+	if err != nil {
+		panic(err)
+	}
+	r.Barrier()
+	start := time.Now()
+	if err := b.Run(gups.AMOPromise); err != nil {
+		panic(err)
+	}
+	r.Barrier()
+	if r.Me() == 0 {
+		elapsed := time.Since(start)
+		total := float64(gcfg.UpdatesPerRank) * float64(r.N())
+		fmt.Printf("gups worker: %d ranks (process-per-rank), table 2^%d words, %s: %.4f GUP/s (%.0f updates in %v)\n",
+			r.N(), *logTable, gups.AMOPromise, total/elapsed.Seconds()/1e9, total, elapsed.Round(time.Millisecond))
+	}
+	r.Barrier()
+}

@@ -70,6 +70,7 @@ var inputs = []input{
 
 func main() {
 	flag.Parse()
+	maybeWorker() // gupcxxrun rank process: join the world, never return
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "matching:", err)
 		os.Exit(1)

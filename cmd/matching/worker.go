@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gupcxx"
+	"gupcxx/internal/graph"
+	"gupcxx/internal/matching"
+	"gupcxx/internal/worker"
+)
+
+// maybeWorker runs this process as one rank of a gupcxxrun-launched
+// world: one solve of the distributed half-approximate matching on the
+// "random" input (geometric + long-range noise, the paper's own
+// synthetic), scaled by -scale. The solver is pure one-sided RMA
+// (RgetBulk), so it crosses process boundaries unchanged. Every rank
+// generates the same graph from the fixed seed; rank 0 reports solve
+// time and weight. Never returns when GUPCXX_WORLD is set.
+func maybeWorker() {
+	worker.Maybe("matching", func(ranks int) gupcxx.Config {
+		n := int(65536 * *scale)
+		block := (n + ranks - 1) / ranks
+		// Run bump-allocates two per-vertex arrays per solve; one solve
+		// plus generous slack.
+		return gupcxx.Config{SegmentBytes: block*8*2*8 + 1<<20}
+	}, matchingWorker)
+}
+
+func matchingWorker(r *gupcxx.Rank) {
+	g := graph.GeometricNoise(int(65536**scale), 6, 15, 1004)
+	d := graph.NewDist(g.N, r.N())
+	r.Barrier()
+	start := time.Now()
+	res, err := matching.Run(r, g, d)
+	if err != nil {
+		panic(err)
+	}
+	r.Barrier()
+	if r.Me() == 0 {
+		loc := graph.MeasureLocality(g, d)
+		fmt.Printf("matching worker: %d ranks (process-per-rank), random graph n=%d (locality %.2f): %.2f ms, weight %.1f\n",
+			r.N(), g.N, loc.SameRank, float64(time.Since(start))/float64(time.Millisecond), res.Weight)
+	}
+	r.Barrier()
+}

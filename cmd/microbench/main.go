@@ -84,6 +84,7 @@ var ops = []op{
 
 func main() {
 	flag.Parse()
+	maybeWorker() // gupcxxrun rank process: join the world, never return
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "microbench:", err)
 		os.Exit(1)

@@ -78,25 +78,57 @@ func handleColl(ep *gasnet.Endpoint, m *gasnet.Msg) {
 }
 
 // waitColl spins progress until at least n messages are filed under k,
-// then removes and returns them. A collective cannot outlive its
-// participants: if any peer is declared down while waiting, the rank
-// aborts (unwound by Run into an error wrapping ErrPeerUnreachable)
-// instead of spinning forever on tokens that will never arrive.
-func (r *Rank) waitColl(k collKey, n int) []gasnet.Msg {
+// then removes and returns them. waitingOn reports the world ranks whose
+// tokens this wait still depends on (evaluated lazily — only consulted
+// when a peer is down and the wait is unsatisfied): a collective cannot
+// outlive the participants it depends on, so if one of THOSE ranks is
+// declared down the rank aborts (unwound by Run into an error wrapping
+// ErrPeerUnreachable) instead of spinning forever on tokens that will
+// never arrive. A down rank the wait does NOT depend on is no reason to
+// abort: dissemination and tree protocols are asymmetric, so a peer can
+// legally complete the final collective and depart this world while we
+// are still mid-protocol waiting on somebody else. (If our wait depends
+// on the departed rank only transitively, the rank we depend on directly
+// observes the death as its own direct dependency and aborts; its
+// departure then surfaces here as a direct dependency on a down rank —
+// aborts cascade along the token chain.)
+func (r *Rank) waitColl(k collKey, n int, waitingOn func() []int) []gasnet.Msg {
 	r.spinWait(func() bool {
 		if len(r.coll.inbox[k]) >= n {
 			return true
 		}
 		if r.ep.AnyPeerDown() {
-			down := r.ep.DownPeers()
-			abortRank(fmt.Errorf("collective aborted, rank(s) %v unreachable: %w",
-				down, ErrPeerUnreachable))
+			// The down flag is raised asynchronously (goodbye frames and
+			// liveness sweeps run on the transport's goroutines), so it can
+			// become visible while tokens the departed peer sent BEFORE
+			// leaving still sit undelivered in the poll queue. A graceful
+			// departure drains its sends before announcing itself (see
+			// World.drainWire), so those tokens are already local: drain
+			// progress to idle and re-check before concluding the
+			// collective is torn.
+			for r.Progress() > 0 {
+			}
+			if len(r.coll.inbox[k]) >= n {
+				return true
+			}
+			for _, dep := range waitingOn() {
+				if r.ep.PeerDown(dep) {
+					abortRank(fmt.Errorf("collective aborted, rank(s) %v unreachable: %w",
+						r.ep.DownPeers(), ErrPeerUnreachable))
+				}
+			}
 		}
 		return false
 	})
 	msgs := r.coll.inbox[k]
 	delete(r.coll.inbox, k)
 	return msgs
+}
+
+// depOn returns a waitingOn callback for a wait with one fixed
+// dependency.
+func depOn(rank int) func() []int {
+	return func() []int { return []int{rank} }
 }
 
 // Barrier blocks until every rank has entered the barrier, driving the
@@ -122,7 +154,8 @@ func (r *Rank) barrier() {
 			A2:      seq,
 			A3:      uint64(k),
 		})
-		r.waitColl(collKey{collBarrier, seq, uint32(k)}, 1)
+		// This round's token comes from the mirror-image peer.
+		r.waitColl(collKey{collBarrier, seq, uint32(k)}, 1, depOn((me-dist+n)%n))
 	}
 }
 
@@ -154,7 +187,7 @@ func (r *Rank) broadcastBytes(root int, data []byte) []byte {
 		}
 		return data
 	}
-	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1)
+	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1, depOn(root))
 	return msgs[0].Payload
 }
 
@@ -180,7 +213,7 @@ func (r *Rank) broadcastU64(root int, v uint64) uint64 {
 		}
 		return v
 	}
-	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1)
+	msgs := r.waitColl(collKey{collBcast, seq, 0}, 1, depOn(root))
 	return msgs[0].A0
 }
 
@@ -226,7 +259,33 @@ func (r *Rank) exchangeU64(v uint64) []uint64 {
 	values := make([]uint64, 1, expect+1)
 	origins[0], values[0] = me, v
 	if expect > 0 {
-		msgs := r.waitColl(collKey{collGather, seq, 0}, expect)
+		// The wait's direct dependencies are the children whose subtree
+		// still has a contribution outstanding: every message physically
+		// arrives from a direct child (subtrees are forwarded whole), so a
+		// child whose range is complete no longer matters to this wait even
+		// if it has since departed.
+		key := collKey{collGather, seq, 0}
+		deps := func() []int {
+			seen := make(map[int]bool, len(r.coll.inbox[key]))
+			for _, m := range r.coll.inbox[key] {
+				seen[int(m.A3)] = true
+			}
+			var missing []int
+			for d := 1; d < span; d *= 2 {
+				c := me + d
+				if c >= n {
+					break
+				}
+				for o := c; o < min(c+d, n); o++ {
+					if !seen[o] {
+						missing = append(missing, c)
+						break
+					}
+				}
+			}
+			return missing
+		}
+		msgs := r.waitColl(key, expect, deps)
 		seen := make(map[uint64]bool, len(msgs))
 		for _, m := range msgs {
 			origin := m.A3
@@ -283,13 +342,21 @@ func (r *Rank) exchangeU64(v uint64) []uint64 {
 }
 
 // ExchangePtr performs an allgather of one global pointer per rank: the
-// standard idiom for publishing each rank's allocation to all peers.
+// standard idiom for publishing each rank's allocation to all peers. The
+// pointers travel in the wire encoding (EncodePtr), so the exchange works
+// identically whether the peers share this address space or not; a word
+// that fails decode-side validation — a stale epoch's pointer, a
+// corrupted frame — aborts the rank with the decode error rather than
+// materializing a pointer into the wrong memory.
 func ExchangePtr[T any](r *Rank, p GlobalPtr[T]) []GlobalPtr[T] {
-	packed := uint64(uint32(p.rank))<<32 | uint64(p.off)
-	words := r.ExchangeU64(packed)
+	words := r.ExchangeU64(EncodePtr(r, p))
 	out := make([]GlobalPtr[T], len(words))
 	for i, w := range words {
-		out[i] = GlobalPtr[T]{rank: int32(w >> 32), off: uint32(w)}
+		dp, err := DecodePtr[T](r, w)
+		if err != nil {
+			abortRank(fmt.Errorf("gupcxx: ExchangePtr word from rank %d: %w", i, err))
+		}
+		out[i] = dp
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package gupcxx
 
 import (
+	"errors"
 	"fmt"
 
 	"gupcxx/internal/core"
@@ -14,8 +15,9 @@ import (
 // callers that care inspect Future.Err / WaitErr, or receive the error
 // through their promise.
 
-// Sentinel errors surfaced by the operation pipeline. Both originate in
-// the internal layers, so errors.Is works across the API boundary.
+// Sentinel errors surfaced by the operation pipeline. They originate in
+// the internal layers (or here), so errors.Is works across the API
+// boundary.
 var (
 	// ErrPeerUnreachable resolves operations targeting a rank the
 	// substrate's liveness detector has declared down (UDP conduit):
@@ -34,7 +36,28 @@ var (
 	// peer rank; match the class with errors.Is(err, ErrBackpressure) and
 	// extract the rank with errors.As.
 	ErrBackpressure = gasnet.ErrBackpressure
+
+	// ErrBadAddress resolves wire operations the target rank refused
+	// because the requested offset or length fell outside its shared
+	// segment (or an atomic carried an invalid op code). It is the
+	// initiator-side face of the decode-side bounds validation every
+	// process-per-rank world applies to untrusted wire input; the target
+	// counts the refusal (Stats.BadAddrDrops) and keeps running.
+	ErrBadAddress = gasnet.ErrBadAddress
 )
+
+// ErrNotWireEncodable resolves operations that would require shipping a
+// Go closure to another process: closure RPC (RPC, RPCCall,
+// RPCFireAndForget) and remote completions built from closures
+// (RemoteRPC, RemoteRPCOn) target ranks outside this address space only
+// in wire-encodable form. In a multiproc world such operations fail
+// loudly — eagerly, at initiation — instead of silently short-circuiting
+// through memory the way a single-process UDP world does (counted there
+// as Stats.InMemFallbacks). Use the registered-handler forms (RPCWire,
+// RPCWireContinue, RputNotify) instead: their invocations are data,
+// not code.
+var ErrNotWireEncodable = errors.New(
+	"gupcxx: operation carries a closure, which cannot cross process boundaries; use a registered wire handler")
 
 // BackpressureError is the typed form of ErrBackpressure, recording which
 // peer's send window was full.

@@ -1,0 +1,168 @@
+package gupcxx_test
+
+import (
+	"strings"
+	"testing"
+
+	"gupcxx"
+)
+
+func TestGptrWireRoundTrip(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 14},
+		func(r *gupcxx.Rank) {
+			p := gupcxx.New[uint64](r)
+			w := gupcxx.EncodePtr(r, p)
+			if w == 0 {
+				t.Error("valid pointer encoded as 0 (the null encoding)")
+			}
+			got, err := gupcxx.DecodePtr[uint64](r, w)
+			if err != nil {
+				t.Fatalf("decode own pointer: %v", err)
+			}
+			if got.Rank() != p.Rank() || got.Offset() != p.Offset() {
+				t.Errorf("round trip %v -> %v", p, got)
+			}
+
+			// The null pointer is 0 on the wire, both ways.
+			var null gupcxx.GlobalPtr[uint64]
+			if gupcxx.EncodePtr(r, null) != 0 {
+				t.Error("null pointer did not encode as 0")
+			}
+			back, err := gupcxx.DecodePtr[uint64](r, 0)
+			if err != nil || !back.Null() {
+				t.Errorf("0 decoded to %v, %v", back, err)
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGptrWireExchange drives the encoding through a real allgather: the
+// path every multiproc world uses to publish allocations.
+func TestGptrWireExchange(t *testing.T) {
+	err := gupcxx.Launch(gupcxx.Config{Ranks: 4, Conduit: gupcxx.UDP, SegmentBytes: 1 << 14},
+		func(r *gupcxx.Rank) {
+			p := gupcxx.New[int64](r)
+			ptrs := gupcxx.ExchangePtr(r, p)
+			for i, q := range ptrs {
+				if q.Rank() != i {
+					t.Errorf("slot %d holds rank %d's pointer", i, q.Rank())
+				}
+				if q.Null() {
+					t.Errorf("slot %d null", i)
+				}
+			}
+			r.Barrier()
+			// Prove the decoded pointers address real memory.
+			if r.Me() == 0 {
+				for i, q := range ptrs {
+					gupcxx.Rput(r, int64(100+i), q).Wait()
+				}
+			}
+			r.Barrier()
+			if got := *p.Local(r); got != int64(100+r.Me()) {
+				t.Errorf("rank %d word = %d", r.Me(), got)
+			}
+			r.Barrier()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGptrWireRejects feeds DecodePtr the three malformed shapes —
+// out-of-range rank, stale segment id, out-of-segment offset — and
+// expects counted, descriptive rejections with a zero pointer, never a
+// panic or a pointer into the wrong memory.
+func TestGptrWireRejects(t *testing.T) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	runErr := w.Run(func(r *gupcxx.Rank) {
+		if r.Me() != 0 {
+			r.Barrier()
+			return
+		}
+		p := gupcxx.New[uint64](r)
+		good := gupcxx.EncodePtr(r, p)
+		cases := []struct {
+			name string
+			wire uint64
+			want string
+		}{
+			{"bad rank", good | 0xFFFF<<48, "names rank"},
+			{"stale segment id", good ^ 1<<32, "segment id"},
+			{"offset past segment end", good&^0xFFFFFFFF | (1<<12 - 4), "outside"},
+			{"offset overflow", good&^0xFFFFFFFF | 0xFFFFFFFC, "outside"},
+		}
+		for _, tc := range cases {
+			got, err := gupcxx.DecodePtr[uint64](r, tc.wire)
+			if err == nil {
+				t.Errorf("%s: decoded %#x without error", tc.name, tc.wire)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+			}
+			if !got.Null() {
+				t.Errorf("%s: rejected decode returned non-zero pointer %v", tc.name, got)
+			}
+		}
+		r.Barrier()
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if got := w.Domain().Stats().GptrRejects; got != 4 {
+		t.Errorf("GptrRejects = %d, want 4", got)
+	}
+}
+
+// FuzzDecodeGptr asserts the decode side treats the wire word as fully
+// untrusted: any 64-bit pattern either round-trips to a validated pointer
+// or comes back as (zero pointer, error) — never a panic, never a
+// pointer outside the segment.
+func FuzzDecodeGptr(f *testing.F) {
+	w, err := gupcxx.NewWorld(gupcxx.Config{Ranks: 2, Conduit: gupcxx.PSHM, SegmentBytes: 1 << 12})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(w.Close)
+	r := w.Rank(0)
+	f.Add(uint64(0))
+	f.Add(uint64(1)<<32 | 8)              // rank 0, segid 1, offset 8
+	f.Add(uint64(0xFFFF)<<48 | 1<<32 | 8) // absurd rank
+	f.Add(uint64(1)<<48 | 0xBEEF<<32 | 8) // wrong segment id
+	f.Add(uint64(1)<<32 | 0xFFFFFFFF)     // offset at u32 max
+	f.Add(uint64(1)<<32 | (1<<12 - 1))    // last byte of the segment
+	f.Fuzz(func(t *testing.T, wire uint64) {
+		p, err := gupcxx.DecodePtr[uint64](r, wire)
+		if err != nil {
+			if !p.Null() {
+				t.Fatalf("error %v alongside non-zero pointer %v", err, p)
+			}
+			return
+		}
+		if wire == 0 {
+			if !p.Null() {
+				t.Fatal("0 must decode to null")
+			}
+			return
+		}
+		if p.Rank() < 0 || p.Rank() >= 2 {
+			t.Fatalf("accepted pointer names rank %d", p.Rank())
+		}
+		if uint64(p.Offset())+8 > 1<<12 {
+			t.Fatalf("accepted pointer spills past segment: offset %d", p.Offset())
+		}
+		// An accepted word must re-encode to itself: the encoding is a
+		// bijection on valid pointers.
+		if back := gupcxx.EncodePtr(r, p); back != wire {
+			t.Fatalf("re-encode %#x != original %#x", back, wire)
+		}
+	})
+}

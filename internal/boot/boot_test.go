@@ -1,0 +1,135 @@
+package boot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestSpecEnvRoundTrip: every spec the launcher emits must parse back
+// identically — the two halves of the GUPCXX_WORLD contract.
+func TestSpecEnvRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Ranks: 4, Rank: 2, Epoch: 7, Rendezvous: "127.0.0.1:41234"},
+		{Ranks: 1, Rank: 0, Epoch: 1, Rendezvous: "[::1]:9"},
+		{Ranks: 2, Rank: 0, Epoch: 3, Peers: []string{"node0:9400", "node1:9400"}},
+		{Ranks: 3, Rank: 2, Peers: []string{"a:1", "b:2", "c:3"}},
+	}
+	for _, want := range specs {
+		got, err := ParseEnv(want.Env())
+		if err != nil {
+			t.Fatalf("ParseEnv(%q): %v", want.Env(), err)
+		}
+		if got.Ranks != want.Ranks || got.Rank != want.Rank || got.Epoch != want.Epoch ||
+			got.Rendezvous != want.Rendezvous || strings.Join(got.Peers, ",") != strings.Join(want.Peers, ",") {
+			t.Errorf("round trip of %q: got %+v, want %+v", want.Env(), got, want)
+		}
+	}
+}
+
+func TestSpecParseRejects(t *testing.T) {
+	bad := []string{
+		"",                               // no ranks
+		"ranks=4;rank=4;rendezvous=h:1",  // rank out of range
+		"ranks=4;rank=-1;rendezvous=h:1", // negative rank
+		"ranks=2;rank=0",                 // neither rendezvous nor peers
+		"ranks=2;rank=0;rendezvous=h:1;peers=a:1,b:2", // both
+		"ranks=2;rank=0;peers=a:1",                    // peer count mismatch
+		"ranks=two;rank=0;rendezvous=h:1",             // unparseable int
+		"ranks=2;rank=0;rendezvous=h:1;bogus=1",       // unknown key
+		"ranks=2;rank=0;rendezvous",                   // field without '='
+	}
+	for _, s := range bad {
+		if _, err := ParseEnv(s); err == nil {
+			t.Errorf("ParseEnv(%q) accepted a malformed spec", s)
+		}
+	}
+}
+
+// TestRendezvousExchange: N concurrent joiners each register a distinct
+// rank and must all receive the identical epoch-stamped address table.
+func TestRendezvousExchange(t *testing.T) {
+	const ranks, epoch = 4, 9
+	rv, err := NewRendezvous("127.0.0.1:0", ranks, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+	type result struct {
+		rank  int
+		epoch uint32
+		peers string
+		err   error
+	}
+	results := make(chan result, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			spec := Spec{Ranks: ranks, Rank: r, Rendezvous: rv.Addr()}
+			e, peers, err := joinRendezvous(spec, localUDPAddr(t, r))
+			var b strings.Builder
+			for _, p := range peers {
+				b.WriteString(p.String())
+				b.WriteString(" ")
+			}
+			results <- result{r, e, b.String(), err}
+		}(r)
+	}
+	var table string
+	for i := 0; i < ranks; i++ {
+		res := <-results
+		if res.err != nil {
+			t.Fatalf("rank %d join: %v", res.rank, res.err)
+		}
+		if res.epoch != epoch {
+			t.Errorf("rank %d got epoch %d, want %d", res.rank, res.epoch, epoch)
+		}
+		if table == "" {
+			table = res.peers
+		} else if res.peers != table {
+			t.Errorf("rank %d table %q differs from %q", res.rank, res.peers, table)
+		}
+	}
+	if err := rv.Wait(); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+}
+
+// TestRendezvousDuplicateRankPoisons: two processes claiming one rank
+// must fail the whole launch, not assemble a broken world.
+func TestRendezvousDuplicateRankPoisons(t *testing.T) {
+	rv, err := NewRendezvous("127.0.0.1:0", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			spec := Spec{Ranks: 2, Rank: 0, Rendezvous: rv.Addr()}
+			_, _, err := joinRendezvous(spec, localUDPAddr(t, i))
+			errs <- err
+		}(i)
+	}
+	if err := rv.Wait(); err == nil || !strings.Contains(err.Error(), "registered twice") {
+		t.Fatalf("duplicate registration resolved as %v", err)
+	}
+	// At least the second joiner must see the poison line; the first may
+	// race the failure either way, but neither may succeed silently with
+	// a table.
+	sawErr := 0
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			sawErr++
+		}
+	}
+	if sawErr == 0 {
+		t.Error("both duplicate joiners reported success")
+	}
+}
+
+// localUDPAddr mints a distinct, well-formed host:port registration
+// value; the exchange validates syntax, not reachability.
+func localUDPAddr(t *testing.T, r int) string {
+	t.Helper()
+	return fmt.Sprintf("127.0.0.1:%d", 9000+r)
+}

@@ -1,0 +1,180 @@
+package boot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+)
+
+// helloTag is the static-mode hello datagram: [0x7F][rank u16 LE]. The
+// value sits far above the conduit's frame tags (0x01..0x05), so a stray
+// late hello arriving after the Domain has taken over the socket is an
+// unknown-frame decode drop — counted, never fatal. Conversely the hello
+// barrier treats ANY datagram from a peer's address as proof of life, so
+// a peer that has already moved on to real traffic still satisfies the
+// barrier.
+const helloTag = 0x7F
+
+const helloFrameLen = 3
+
+// helloEvery is the static-mode hello retransmission period; helloTimeout
+// bounds the whole barrier — a peer that never binds fails the launch.
+const (
+	helloEvery   = 20 * time.Millisecond
+	helloTimeout = 10 * time.Second
+)
+
+// Bootstrapped is the outcome of the exchange: this rank's bound UDP
+// socket, the world's rank-indexed peer address table, and the stamped
+// epoch — exactly the three multiproc fields gasnet.Config needs. The
+// Domain takes ownership of Conn.
+type Bootstrapped struct {
+	Conn  *net.UDPConn
+	Peers []netip.AddrPort
+	Epoch uint32
+}
+
+// FromEnv reads and parses the GUPCXX_WORLD environment variable. ok is
+// false when the variable is unset — the process was not launched as a
+// world member and should run standalone.
+func FromEnv() (spec Spec, ok bool, err error) {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return Spec{}, false, nil
+	}
+	spec, err = ParseEnv(v)
+	if err != nil {
+		return Spec{}, false, err
+	}
+	return spec, true, nil
+}
+
+// Bootstrap performs this rank's side of the world exchange: bind the UDP
+// socket first (so peers' earliest datagrams land in kernel buffers, never
+// a refused port), then learn the peer table — from the rendezvous
+// endpoint, whose table broadcast is the startup barrier, or from the
+// static peer list, where a hello exchange supplies the barrier instead.
+// On return every peer address is backed by a bound socket.
+func Bootstrap(spec Spec) (*Bootstrapped, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Rendezvous != "" {
+		return bootstrapRendezvous(spec)
+	}
+	return bootstrapStatic(spec)
+}
+
+func bootstrapRendezvous(spec Spec) (*Bootstrapped, error) {
+	// Loopback: the rendezvous launcher runs all ranks on one host.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("boot: bind: %w", err)
+	}
+	self := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	epoch, peers, err := joinRendezvous(spec, self.String())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if peers[spec.Rank] != self {
+		conn.Close()
+		return nil, fmt.Errorf("boot: rendezvous table lists %v for rank %d, but this process bound %v",
+			peers[spec.Rank], spec.Rank, self)
+	}
+	return &Bootstrapped{Conn: conn, Peers: peers, Epoch: epoch}, nil
+}
+
+func bootstrapStatic(spec Spec) (*Bootstrapped, error) {
+	peers := make([]netip.AddrPort, spec.Ranks)
+	for r, s := range spec.Peers {
+		// Resolve through the system resolver: static tables in
+		// containerized deployments name peers by service name.
+		ua, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("boot: peer %d address %q: %w", r, s, err)
+		}
+		peers[r] = ua.AddrPort()
+	}
+	selfAddr := net.UDPAddrFromAddrPort(peers[spec.Rank])
+	// Bind the wildcard on this rank's assigned port: the table may name
+	// this host by an external address the kernel will not let us bind.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{Port: selfAddr.Port})
+	if err != nil {
+		return nil, fmt.Errorf("boot: bind %v: %w", peers[spec.Rank], err)
+	}
+	if err := helloBarrier(conn, spec.Rank, peers); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Bootstrapped{Conn: conn, Peers: peers, Epoch: spec.Epoch}, nil
+}
+
+// helloBarrier is the static-mode startup barrier: every rank sends hello
+// datagrams to every peer each helloEvery until it has received traffic
+// from all of them, then sends a final round (so slower peers hear from
+// it even after it stops listening for hellos) and returns. Any datagram
+// whose source address matches a peer's table entry counts — a peer that
+// raced ahead into heartbeats or real traffic still proves itself. Real
+// protocol frames consumed here are lost, which the conduit's reliability
+// layer repairs by retransmission; hellos themselves are garbage to the
+// conduit and become counted decode drops if one straggles in late.
+func helloBarrier(conn *net.UDPConn, self int, peers []netip.AddrPort) error {
+	var hello [helloFrameLen]byte
+	hello[0] = helloTag
+	binary.LittleEndian.PutUint16(hello[1:3], uint16(self))
+	heard := make([]bool, len(peers))
+	heard[self] = true
+	need := len(peers) - 1
+	sendRound := func() {
+		for r, ap := range peers {
+			if r == self {
+				continue
+			}
+			conn.WriteToUDPAddrPort(hello[:], ap) // best-effort; resent every round
+		}
+	}
+	buf := make([]byte, 2048)
+	deadline := time.Now().Add(helloTimeout)
+	for need > 0 {
+		if time.Now().After(deadline) {
+			missing := []int{}
+			for r, h := range heard {
+				if !h {
+					missing = append(missing, r)
+				}
+			}
+			return fmt.Errorf("boot: hello barrier timed out after %v waiting for ranks %v",
+				helloTimeout, missing)
+		}
+		sendRound()
+		conn.SetReadDeadline(time.Now().Add(helloEvery))
+		for {
+			_, from, err := conn.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				break // read deadline: next hello round
+			}
+			for r, ap := range peers {
+				if !heard[r] && sameEndpoint(from, ap) {
+					heard[r] = true
+					need--
+				}
+			}
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+	// Final round: peers still inside their barrier hear from us even
+	// though we stop reading hellos now.
+	sendRound()
+	return nil
+}
+
+// sameEndpoint compares a datagram's source against a peer table entry,
+// unwrapping IPv4-mapped IPv6 forms (a wildcard-bound socket reports
+// sources as ::ffff:a.b.c.d).
+func sameEndpoint(a, b netip.AddrPort) bool {
+	return a.Port() == b.Port() && a.Addr().Unmap() == b.Addr().Unmap()
+}

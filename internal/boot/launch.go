@@ -1,0 +1,112 @@
+package boot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// LocalWorld is a process-per-rank world launched on this host: the
+// rendezvous endpoint plus one child process per rank, each carrying its
+// GUPCXX_WORLD membership in the environment. cmd/gupcxxrun and the
+// cross-process test suite share this launcher, so the test suite
+// exercises the same code path operators use.
+type LocalWorld struct {
+	Procs []*exec.Cmd
+	rv    *Rendezvous
+
+	mu       sync.Mutex
+	killed   bool
+	waitErrs []error
+}
+
+// LaunchLocal starts a world of n ranks on this host: a rendezvous
+// endpoint on loopback, then one child per rank running argv[0] with
+// argv[1:], its environment extended with the GUPCXX_WORLD membership
+// (and extraEnv). Child stdout/stderr go to the provided writers (nil
+// means inherit this process's). The children bootstrap among themselves;
+// call Wait to collect them.
+func LaunchLocal(n int, epoch uint32, argv []string, extraEnv []string, stdout, stderr io.Writer) (*LocalWorld, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("boot: launch needs >= 1 rank, got %d", n)
+	}
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("boot: launch needs a program to run")
+	}
+	rv, err := NewRendezvous("127.0.0.1:0", n, epoch)
+	if err != nil {
+		return nil, err
+	}
+	if stdout == nil {
+		stdout = os.Stdout
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	lw := &LocalWorld{rv: rv}
+	for r := 0; r < n; r++ {
+		spec := Spec{Ranks: n, Rank: r, Epoch: epoch, Rendezvous: rv.Addr()}
+		cmd := exec.Command(argv[0], argv[1:]...)
+		cmd.Env = append(os.Environ(), EnvVar+"="+spec.Env())
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			lw.Kill()
+			rv.Close()
+			return nil, fmt.Errorf("boot: launch rank %d: %w", r, err)
+		}
+		lw.Procs = append(lw.Procs, cmd)
+	}
+	return lw, nil
+}
+
+// Wait collects every child and the rendezvous outcome, returning the
+// first failure (a child's non-zero exit, or an incomplete exchange).
+// Wait after Kill reports the children's deaths — callers that killed the
+// world on purpose should expect an error.
+func (lw *LocalWorld) Wait() error {
+	var firstErr error
+	for r, cmd := range lw.Procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("boot: rank %d: %w", r, err)
+		}
+	}
+	if err := lw.rv.Wait(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Kill forcibly terminates every child (idempotent). The rendezvous
+// endpoint is closed too, failing any rank still waiting in its exchange.
+func (lw *LocalWorld) Kill() {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.killed {
+		return
+	}
+	lw.killed = true
+	for _, cmd := range lw.Procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	lw.rv.Close()
+}
+
+// KillRank forcibly terminates one rank's process — the fault-injection
+// hook the cross-process suite uses to verify that survivors observe the
+// death as ErrPeerUnreachable rather than a hang.
+func (lw *LocalWorld) KillRank(r int) error {
+	if r < 0 || r >= len(lw.Procs) {
+		return fmt.Errorf("boot: kill rank %d of %d", r, len(lw.Procs))
+	}
+	p := lw.Procs[r].Process
+	if p == nil {
+		return fmt.Errorf("boot: rank %d not started", r)
+	}
+	return p.Kill()
+}

@@ -1,0 +1,186 @@
+package boot
+
+// The rendezvous exchange: a TCP endpoint, run by the launcher, that
+// collects every rank's freshly-bound UDP address and broadcasts the
+// complete rank-indexed table — stamped with the world epoch — back to
+// all of them at once. The broadcast IS the startup barrier: it happens
+// only after all N ranks have registered, and registration happens only
+// after each rank's UDP socket is bound, so every address a rank learns
+// already has a live socket behind it.
+//
+// Wire protocol, line-oriented text over one TCP connection per rank:
+//
+//	rank → server:  "<rank> <udp-addr>\n"
+//	server → rank:  "<epoch> <addr-0> <addr-1> ... <addr-N-1>\n"
+//
+// The server answers every connection with the same table line and
+// closes. Duplicate or out-of-range rank registrations poison the
+// exchange: every waiting rank receives an error line ("! <reason>\n")
+// and the launch fails loudly rather than assembling a world with two
+// processes claiming one rank.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// rendezvousTimeout bounds how long the exchange may sit incomplete — a
+// rank that never starts should fail the launch, not hang it.
+const rendezvousTimeout = 60 * time.Second
+
+// dialRetry is how long a joining rank keeps retrying the rendezvous
+// endpoint; children racing the launcher's listener need a grace window.
+const dialRetry = 10 * time.Second
+
+// Rendezvous is the launcher-side exchange endpoint.
+type Rendezvous struct {
+	ln    net.Listener
+	ranks int
+	epoch uint32
+	done  chan error
+}
+
+// NewRendezvous listens on addr (host:port; ":0" picks a free port) and
+// starts serving the exchange for a world of the given size in the
+// background. Serve's outcome is reported by Wait.
+func NewRendezvous(addr string, ranks int, epoch uint32) (*Rendezvous, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("boot: rendezvous needs >= 1 rank, got %d", ranks)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("boot: rendezvous listen: %w", err)
+	}
+	rv := &Rendezvous{ln: ln, ranks: ranks, epoch: epoch, done: make(chan error, 1)}
+	go func() { rv.done <- rv.serve() }()
+	return rv, nil
+}
+
+// Addr returns the endpoint address joining ranks should dial.
+func (rv *Rendezvous) Addr() string { return rv.ln.Addr().String() }
+
+// Wait blocks until the exchange completes (every rank registered and
+// received the table) or fails.
+func (rv *Rendezvous) Wait() error { return <-rv.done }
+
+// Close tears the listener down; an incomplete exchange fails.
+func (rv *Rendezvous) Close() error { return rv.ln.Close() }
+
+func (rv *Rendezvous) serve() error {
+	defer rv.ln.Close()
+	deadline := time.Now().Add(rendezvousTimeout)
+	type reg struct {
+		conn net.Conn
+		rank int
+	}
+	conns := make([]reg, 0, rv.ranks)
+	addrs := make([]string, rv.ranks)
+	seen := make([]bool, rv.ranks)
+	fail := func(reason string) error {
+		for _, r := range conns {
+			fmt.Fprintf(r.conn, "! %s\n", reason)
+			r.conn.Close()
+		}
+		return fmt.Errorf("boot: rendezvous: %s", reason)
+	}
+	for n := 0; n < rv.ranks; n++ {
+		if d, ok := rv.ln.(*net.TCPListener); ok {
+			d.SetDeadline(deadline)
+		}
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			return fail(fmt.Sprintf("accept: %v", err))
+		}
+		conn.SetDeadline(deadline)
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			conn.Close()
+			return fail(fmt.Sprintf("registration read: %v", err))
+		}
+		rankStr, addr, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			conn.Close()
+			return fail(fmt.Sprintf("malformed registration %q", strings.TrimSpace(line)))
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil || rank < 0 || rank >= rv.ranks {
+			conn.Close()
+			return fail(fmt.Sprintf("registration names rank %q of %d", rankStr, rv.ranks))
+		}
+		if seen[rank] {
+			conn.Close()
+			return fail(fmt.Sprintf("rank %d registered twice", rank))
+		}
+		if _, err := netip.ParseAddrPort(addr); err != nil {
+			conn.Close()
+			return fail(fmt.Sprintf("rank %d registered bad address %q: %v", rank, addr, err))
+		}
+		seen[rank] = true
+		addrs[rank] = addr
+		conns = append(conns, reg{conn: conn, rank: rank})
+	}
+	// All ranks registered with live sockets: broadcast the table. This is
+	// the startup barrier.
+	table := fmt.Sprintf("%d %s\n", rv.epoch, strings.Join(addrs, " "))
+	var firstErr error
+	for _, r := range conns {
+		if _, err := r.conn.Write([]byte(table)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("boot: rendezvous: table send to rank %d: %w", r.rank, err)
+		}
+		r.conn.Close()
+	}
+	return firstErr
+}
+
+// joinRendezvous is the rank side of the exchange: dial (with retry —
+// children may beat the launcher's listener), register the bound UDP
+// address, and block until the table broadcast arrives.
+func joinRendezvous(spec Spec, udpAddr string) (epoch uint32, peers []netip.AddrPort, err error) {
+	var conn net.Conn
+	dialUntil := time.Now().Add(dialRetry)
+	for {
+		conn, err = net.DialTimeout("tcp", spec.Rendezvous, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(dialUntil) {
+			return 0, nil, fmt.Errorf("boot: rendezvous dial %s: %w", spec.Rendezvous, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	if _, err := fmt.Fprintf(conn, "%d %s\n", spec.Rank, udpAddr); err != nil {
+		return 0, nil, fmt.Errorf("boot: rendezvous register: %w", err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return 0, nil, fmt.Errorf("boot: rendezvous table read: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "!") {
+		return 0, nil, fmt.Errorf("boot: rendezvous refused: %s", strings.TrimSpace(line[1:]))
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 1+spec.Ranks {
+		return 0, nil, fmt.Errorf("boot: rendezvous table has %d fields, want %d", len(fields), 1+spec.Ranks)
+	}
+	e, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("boot: rendezvous epoch %q: %v", fields[0], err)
+	}
+	peers = make([]netip.AddrPort, spec.Ranks)
+	for r := 0; r < spec.Ranks; r++ {
+		ap, err := netip.ParseAddrPort(fields[1+r])
+		if err != nil {
+			return 0, nil, fmt.Errorf("boot: rendezvous table rank %d address %q: %v", r, fields[1+r], err)
+		}
+		peers[r] = ap
+	}
+	return uint32(e), peers, nil
+}

@@ -1,0 +1,131 @@
+// Package boot is the bootstrap subsystem for process-per-rank worlds:
+// the GUPCXX_WORLD environment contract a launched rank reads, the
+// rendezvous exchange that turns "I am rank r" into a rank-indexed UDP
+// address table stamped with a world epoch, the static-peer-list
+// alternative for containerized deployments where addresses are known
+// up front, and the local launcher (LaunchLocal) that cmd/gupcxxrun and
+// the cross-process test suite share.
+//
+// The exchange doubles as the startup barrier. Every rank binds its UDP
+// socket BEFORE publishing its address, so by the time any rank learns a
+// peer's address, that peer's socket exists and the kernel buffers early
+// datagrams — no rank can send into a connection-refused void. In
+// rendezvous mode the barrier is the server's table broadcast (sent only
+// after all N ranks registered); in static mode, where addresses are
+// preassigned and nothing serializes startup, a hello exchange supplies
+// the same guarantee.
+package boot
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EnvVar is the environment variable carrying a launched rank's world
+// membership. cmd/gupcxxrun sets it on every child; worker-mode binaries
+// (cmd/gups, cmd/matching, cmd/microbench) and WorldFromEnv read it.
+const EnvVar = "GUPCXX_WORLD"
+
+// Spec is one rank's view of the world it is joining: how many ranks, which
+// one it is, the world epoch, and how to find its peers — a rendezvous
+// endpoint (the launcher's exchange server) or a static rank-indexed
+// address list (containerized deployments with service-name addressing).
+// Exactly one of Rendezvous and Peers must be set.
+type Spec struct {
+	// Ranks is the world size.
+	Ranks int
+	// Rank is this process's rank, in [0, Ranks).
+	Rank int
+	// Epoch is the world incarnation stamp. In rendezvous mode the
+	// server's value wins (the spec's is advisory); in static mode this
+	// value is the world's epoch. Zero is treated as 1 by the runtime.
+	Epoch uint32
+	// Rendezvous is the host:port of the launcher's exchange endpoint.
+	Rendezvous string
+	// Peers is the static rank-indexed UDP address table ("host:port" per
+	// rank). This rank binds Peers[Rank].
+	Peers []string
+}
+
+// ParseEnv parses the GUPCXX_WORLD value: semicolon-separated key=value
+// pairs — ranks, rank, epoch, and one of rendezvous or peers (peers is a
+// comma-separated rank-indexed address list). Example:
+//
+//	ranks=4;rank=2;epoch=7;rendezvous=127.0.0.1:41234
+//	ranks=2;rank=0;epoch=3;peers=node0:9400,node1:9400
+func ParseEnv(s string) (Spec, error) {
+	var spec Spec
+	for _, field := range strings.Split(s, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("boot: malformed %s field %q", EnvVar, field)
+		}
+		switch key {
+		case "ranks":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("boot: bad ranks %q: %v", val, err)
+			}
+			spec.Ranks = n
+		case "rank":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("boot: bad rank %q: %v", val, err)
+			}
+			spec.Rank = n
+		case "epoch":
+			n, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return Spec{}, fmt.Errorf("boot: bad epoch %q: %v", val, err)
+			}
+			spec.Epoch = uint32(n)
+		case "rendezvous":
+			spec.Rendezvous = val
+		case "peers":
+			spec.Peers = strings.Split(val, ",")
+		default:
+			return Spec{}, fmt.Errorf("boot: unknown %s key %q", EnvVar, key)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// Env serializes the spec back into the GUPCXX_WORLD value ParseEnv
+// accepts — the launcher side of the contract.
+func (s Spec) Env() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks=%d;rank=%d;epoch=%d", s.Ranks, s.Rank, s.Epoch)
+	if s.Rendezvous != "" {
+		fmt.Fprintf(&b, ";rendezvous=%s", s.Rendezvous)
+	}
+	if len(s.Peers) > 0 {
+		fmt.Fprintf(&b, ";peers=%s", strings.Join(s.Peers, ","))
+	}
+	return b.String()
+}
+
+// Validate checks the spec's internal consistency.
+func (s Spec) Validate() error {
+	if s.Ranks < 1 {
+		return fmt.Errorf("boot: ranks must be >= 1, got %d", s.Ranks)
+	}
+	if s.Rank < 0 || s.Rank >= s.Ranks {
+		return fmt.Errorf("boot: rank %d out of range [0,%d)", s.Rank, s.Ranks)
+	}
+	hasRv, hasPeers := s.Rendezvous != "", len(s.Peers) > 0
+	if hasRv == hasPeers {
+		return fmt.Errorf("boot: exactly one of rendezvous and peers must be set")
+	}
+	if hasPeers && len(s.Peers) != s.Ranks {
+		return fmt.Errorf("boot: peers lists %d addresses for %d ranks", len(s.Peers), s.Ranks)
+	}
+	return nil
+}

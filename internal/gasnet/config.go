@@ -24,6 +24,8 @@ package gasnet
 
 import (
 	"fmt"
+	"net"
+	"net/netip"
 	"time"
 
 	"gupcxx/internal/obs"
@@ -205,6 +207,38 @@ type Config struct {
 	// pre-liveness behaviour).
 	DisableLiveness bool
 
+	// Multiproc selects the process-per-rank deployment shape on the UDP
+	// conduit: this OS process hosts exactly one rank (Self), every other
+	// rank is a separate process reached only over the wire, and no
+	// segment but Self's exists in this address space. Requires Conduit ==
+	// UDP, a bound SelfConn, and a full Peers table (one UDP address per
+	// rank, Self's included). In this mode closure-carrying messages to
+	// remote ranks cannot be delivered — the runtime layer must gate them
+	// before injection — and locality collapses to rank == Self.
+	Multiproc bool
+
+	// Self is this process's rank in a Multiproc world. Ignored otherwise.
+	Self int
+
+	// Peers is the rank-indexed UDP address table of a Multiproc world,
+	// established out-of-band by the bootstrap exchange (internal/boot).
+	// len(Peers) must equal Ranks. Ignored unless Multiproc.
+	Peers []netip.AddrPort
+
+	// SelfConn is this process's bound UDP socket in a Multiproc world.
+	// It must already be bound (the bootstrap exchange binds it before
+	// publishing its address so peers' first datagrams are buffered by
+	// the kernel rather than refused). The Domain takes ownership and
+	// closes it. Ignored unless Multiproc.
+	SelfConn *net.UDPConn
+
+	// Epoch is the world incarnation stamp assigned by the bootstrap
+	// exchange in a Multiproc world (zero means "unstamped"; the runtime
+	// treats that as epoch 1). Distinct launches of the same peer set get
+	// distinct epochs so stale traffic is attributable. Ignored unless
+	// Multiproc.
+	Epoch uint32
+
 	// Events, when non-nil, receives substrate health events: liveness
 	// transitions (suspect/down/recovered), backpressure onset and relief,
 	// congestion-window shrink and recovery-to-ceiling, and retransmit
@@ -222,6 +256,25 @@ type Config struct {
 func (c Config) normalized() (Config, error) {
 	if c.Ranks < 1 {
 		return c, fmt.Errorf("gasnet: Ranks must be >= 1, got %d", c.Ranks)
+	}
+	if c.Multiproc {
+		if c.Conduit != UDP {
+			return c, fmt.Errorf("gasnet: Multiproc requires the UDP conduit, got %v", c.Conduit)
+		}
+		if c.Self < 0 || c.Self >= c.Ranks {
+			return c, fmt.Errorf("gasnet: Multiproc Self %d out of range [0,%d)", c.Self, c.Ranks)
+		}
+		if len(c.Peers) != c.Ranks {
+			return c, fmt.Errorf("gasnet: Multiproc needs %d peer addresses, got %d", c.Ranks, len(c.Peers))
+		}
+		if c.SelfConn == nil {
+			return c, fmt.Errorf("gasnet: Multiproc requires a bound SelfConn")
+		}
+	} else {
+		c.Self = 0
+		c.Peers = nil
+		c.SelfConn = nil
+		c.Epoch = 0
 	}
 	switch c.Conduit {
 	case SMP, PSHM, UDP:
@@ -317,7 +370,12 @@ func (c Config) normalized() (Config, error) {
 }
 
 // NodeOf reports which node the given rank resides on under this config.
+// In a Multiproc world every rank is its own node: nothing is co-located,
+// so every non-self access travels the conduit.
 func (c Config) NodeOf(rank int) int {
+	if c.Multiproc {
+		return rank
+	}
 	if c.RanksPerNode <= 0 || c.Conduit != SIM {
 		return 0
 	}

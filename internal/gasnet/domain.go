@@ -69,6 +69,22 @@ type Domain struct {
 	shedBytes         atomic.Int64
 	shedFrames        atomic.Int64
 
+	// Wire-boundary instrumentation (see Stats): in-memory deliveries that
+	// a UDP world silently short-circuited, wire requests refused for an
+	// out-of-segment address, datagram send syscalls that failed in a
+	// multiproc world (treated as loss), and gptr decodes rejected by the
+	// runtime layer's bounds validation (NoteGptrReject).
+	inMemFallbacks atomic.Int64
+	badAddrDrops   atomic.Int64
+	sendErrors     atomic.Int64
+	gptrRejects    atomic.Int64
+
+	// notifyHook is the runtime layer's put-with-notify dispatcher
+	// (SetNotifyHook): invoked on the receiving rank's goroutine during
+	// user-level progress with the registered-handler id and argument
+	// bytes a notify-put carried.
+	notifyHook func(ep *Endpoint, id uint32, args []byte)
+
 	// udp is the socket transport, present only on the UDP conduit; rel is
 	// its reliability layer, absent under Config.UDPUnreliable; lv is the
 	// peer-failure detector riding rel's ticker, absent under
@@ -243,6 +259,27 @@ type Stats struct {
 	// repairs them by retransmission.
 	ShedBytes  int64
 	ShedFrames int64
+	// InMemFallbacks counts messages a UDP-conduit world delivered through
+	// the in-memory handoff because they carried a closure the wire cannot
+	// encode. Non-zero means a "UDP" run was not fully exercising the wire
+	// — exactly the silent short-circuit a multiproc world forbids.
+	InMemFallbacks int64
+	// BadAddrDrops counts inbound wire requests (put/get/atomic/notify)
+	// refused because their target offset or length fell outside this
+	// rank's segment, or their atomic op code was invalid. The requester
+	// receives an addressing-error reply (ErrBadAddress), never a panic:
+	// wire input is untrusted.
+	BadAddrDrops int64
+	// SendErrors counts datagram writes that failed at the socket in a
+	// multiproc world and were treated as wire loss (the reliability layer
+	// repairs or, persisting, declares the peer down). In-process worlds
+	// still panic on send errors — there a failed loopback write is a
+	// program bug, not weather.
+	SendErrors int64
+	// GptrRejects counts wire-encoded global pointers the runtime layer
+	// refused to decode (bad rank, foreign segment id, out-of-segment
+	// offset) — counted drops, never panics.
+	GptrRejects int64
 }
 
 // Stats returns a snapshot of the substrate fast-path counters, aggregated
@@ -284,6 +321,11 @@ func (d *Domain) Stats() Stats {
 		RTOExpirations:    d.rtoExpirations.Load(),
 		ShedBytes:         d.shedBytes.Load(),
 		ShedFrames:        d.shedFrames.Load(),
+
+		InMemFallbacks: d.inMemFallbacks.Load(),
+		BadAddrDrops:   d.badAddrDrops.Load(),
+		SendErrors:     d.sendErrors.Load(),
+		GptrRejects:    d.gptrRejects.Load(),
 	}
 	for _, ep := range d.eps {
 		s.RingPushes += ep.inbox.fastPushes.Load()
@@ -318,6 +360,24 @@ func (d *Domain) NoteBadCookie() { d.badCookieDrops.Add(1) }
 // the substrate-visible tally).
 func (d *Domain) NoteHandlerPanic() { d.handlerPanics.Add(1) }
 
+// NoteBadHandler counts one message dropped for an id unknown to the
+// runtime layer's own handler registry (the wire-RPC/notify table faces
+// the same untrusted-id hazard as the substrate's handler table).
+func (d *Domain) NoteBadHandler() { d.badHandlerDrops.Add(1) }
+
+// NoteGptrReject counts one wire-encoded global pointer the runtime layer
+// refused to decode (bad rank, foreign segment id, or out-of-segment
+// offset) — the decode-side bounds-validation discipline's tally.
+func (d *Domain) NoteGptrReject() { d.gptrRejects.Add(1) }
+
+// SetNotifyHook installs the runtime layer's put-with-notify dispatcher:
+// when a put request carrying a notify id lands, the data is applied, the
+// ack is sent, and fn runs on the receiving rank's goroutine at user-level
+// progress with the id and argument bytes the request carried. Must be
+// installed before any endpoint is driven. The args slice is only valid
+// for the duration of the call.
+func (d *Domain) SetNotifyHook(fn func(ep *Endpoint, id uint32, args []byte)) { d.notifyHook = fn }
+
 // NewDomain validates cfg and constructs the job: one segment and one
 // endpoint per rank, with the internal RMA/atomic protocol handlers
 // installed.
@@ -330,7 +390,14 @@ func NewDomain(cfg Config) (*Domain, error) {
 	d.segs = make([]*Segment, cfg.Ranks)
 	d.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
-		d.segs[r] = NewSegment(cfg.SegmentBytes)
+		// In a multiproc world only Self's segment exists in this address
+		// space: every other rank's memory lives in another process and is
+		// reachable only through the wire protocol. The remaining nil
+		// entries are unreachable behind the locality checks (NodeOf makes
+		// every non-self rank remote).
+		if !cfg.Multiproc || r == cfg.Self {
+			d.segs[r] = NewSegment(cfg.SegmentBytes)
+		}
 		d.eps[r] = &Endpoint{
 			dom:  d,
 			rank: r,
@@ -482,7 +549,6 @@ func (ep *Endpoint) LocalSegment(target int) *Segment {
 // on the wire.
 func (ep *Endpoint) Send(to int, m Msg) {
 	m.From = int32(ep.rank)
-	dst := ep.dom.eps[to]
 	ep.dom.amSends.Add(1)
 	if ep.dom.cfg.Conduit == UDP && m.Fn == nil {
 		// Wire-encodable message on the UDP conduit: through the kernel,
@@ -494,6 +560,25 @@ func (ep *Endpoint) Send(to int, m Msg) {
 		}
 		m.release()
 		return
+	}
+	if ep.dom.cfg.Multiproc && to != ep.dom.cfg.Self {
+		// Backstop: the runtime layer gates closure-carrying operations
+		// with ErrNotWireEncodable before injection; reaching here means
+		// that gate was bypassed, and there is no process to hand the
+		// closure to.
+		panic(fmt.Sprintf("gasnet: closure message (handler %d) to remote rank %d in a multiproc world",
+			m.Handler, to))
+	}
+	dst := ep.dom.eps[to]
+	if ep.dom.cfg.Conduit == UDP && to != ep.rank {
+		// A cross-rank closure message in an in-address-space UDP world:
+		// deliverable through shared memory, but the run is then not
+		// exercising the wire it claims to. Count it, and announce the
+		// first one on the event bus so /debug/gupcxx shows the
+		// short-circuit.
+		if ep.dom.inMemFallbacks.Add(1) == 1 {
+			ep.dom.emit(obs.EvInMemFallback, ep.rank, to, int64(m.Handler), 0)
+		}
 	}
 	if ep.node == dst.node {
 		dst.inbox.push(m) // buffer reference (if any) travels with m
@@ -559,6 +644,12 @@ func (ep *Endpoint) Poll() int {
 	for i := range msgs {
 		ep.dispatch(&msgs[i])
 		msgs[i].release()
+	}
+	if ep.dom.rel != nil {
+		// Eager ack flush: anything this dispatch round did not answer
+		// with reverse traffic is acknowledged now, not at the ticker's
+		// pacing deadline (see reliability.flushAcks).
+		ep.dom.rel.flushAcks(ep.rank)
 	}
 	return n + len(msgs)
 }
@@ -656,14 +747,14 @@ func (ep *Endpoint) PollInternal() int {
 		m := &msgs[i]
 		switch m.Handler {
 		case hPutReq:
-			if m.Fn != nil {
-				// Apply the data and ack now; hold the user-level remote
-				// completion for Poll.
-				fn := m.Fn
-				ep.Segment().CopyIn(uint32(m.A1), m.Payload)
-				ep.Send(int(m.From), Msg{Handler: hPutAck, A0: m.A0})
-				m.release() // payload consumed by CopyIn
-				ep.held = append(ep.held, Msg{Handler: hHeldFn, Fn: fn})
+			if m.Fn != nil || m.A2 != 0 {
+				// Apply the data and ack now; hold the user-level work —
+				// the remote-completion closure and/or the wire notify —
+				// for Poll.
+				if fn, ok := ep.applyPutHeld(m); ok && fn != nil {
+					ep.held = append(ep.held, Msg{Handler: hHeldFn, Fn: fn})
+				}
+				m.release() // payload consumed by CopyIn (or refused)
 				n++
 				continue
 			}
@@ -855,6 +946,12 @@ func (t *opTable) failPeer(peer int32, err error) int {
 // live reports the number of registered, uncompleted operations.
 func (t *opTable) live() int { return t.n }
 
+// ackBadAddr is the A3 status a reply carries when the request was refused
+// for an out-of-segment address or invalid op code (A3 zero means success,
+// so pre-existing peers' replies decode compatibly). The requester's
+// callback receives ErrBadAddress instead of the reply data.
+const ackBadAddr = 1
+
 // handleAck completes an outstanding operation: the reply's A0 carries the
 // cookie. Shared by put acks, get replies, and atomic replies; the
 // registered callback interprets the rest of the message. Unknown cookies
@@ -863,6 +960,16 @@ func handleAck(ep *Endpoint, m *Msg) {
 	s, ok := ep.ops.take(m.A0)
 	if !ok {
 		ep.dom.badCookieDrops.Add(1)
+		return
+	}
+	if m.A3 != 0 {
+		// The target refused the request (bad address or op code): the
+		// operation completes with an error, not with reply data.
+		if s.msg != nil {
+			s.msg(nil, ErrBadAddress)
+		} else {
+			s.done(ErrBadAddress)
+		}
 		return
 	}
 	if s.msg != nil {

@@ -57,6 +57,11 @@ type liveness struct {
 	d     *Domain
 	ranks int
 
+	// self restricts the detector to one observing rank (a multiproc
+	// world, where only Self's sockets and op tables live in this
+	// process); -1 observes on behalf of every rank (in-process worlds).
+	self int
+
 	hbEvery       int64 // heartbeat period, ns (gates broadcast rounds)
 	suspectRounds int64 // silent rounds before Suspect
 	downRounds    int64 // silent rounds before Down
@@ -82,6 +87,7 @@ func newLiveness(d *Domain, now int64) *liveness {
 	lv := &liveness{
 		d:             d,
 		ranks:         d.cfg.Ranks,
+		self:          -1,
 		hbEvery:       hb,
 		suspectRounds: roundsFor(int64(d.cfg.SuspectAfter), hb),
 		downRounds:    roundsFor(int64(d.cfg.DownAfter), hb),
@@ -91,6 +97,9 @@ func newLiveness(d *Domain, now int64) *liveness {
 	}
 	if lv.downRounds <= lv.suspectRounds {
 		lv.downRounds = lv.suspectRounds + 1
+	}
+	if d.cfg.Multiproc {
+		lv.self = d.cfg.Self
 	}
 	lv.lastHB = now
 	return lv
@@ -189,6 +198,9 @@ func (lv *liveness) tick(now int64) {
 	lv.broadcast()
 	round := lv.round.Add(1)
 	for local := 0; local < lv.ranks; local++ {
+		if lv.self >= 0 && local != lv.self {
+			continue // only Self observes in a multiproc world
+		}
 		for peer := 0; peer < lv.ranks; peer++ {
 			if peer == local {
 				continue
@@ -223,6 +235,9 @@ func (lv *liveness) broadcast() {
 	var frame [hbFrameLen]byte
 	frame[0] = frameHB
 	for from := 0; from < lv.ranks; from++ {
+		if lv.self >= 0 && from != lv.self {
+			continue // only Self has a socket in a multiproc world
+		}
 		binary.LittleEndian.PutUint16(frame[1:3], uint16(from))
 		for to := 0; to < lv.ranks; to++ {
 			if to == from || lv.down(from, to) {

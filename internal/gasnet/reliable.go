@@ -186,6 +186,12 @@ type relPair struct {
 	ackSince     int64 // cached-clock time ackPending was set
 	ackDelay     int64 // RTT-paced standalone-ack delay, ns
 
+	// ackHint mirrors ackPending for the poll loop's lock-free glance
+	// (flushAcks): armed by the reader alongside ackPending, cleared under
+	// the lock once the ack ships or piggybacks. Stale-true costs one
+	// mutex acquisition; it is never stale-false.
+	ackHint atomic.Bool
+
 	// High-water marks of the window-bounded queues, surfaced through
 	// Stats so capacity pressure is observable rather than inferred.
 	inflightHW int
@@ -208,6 +214,11 @@ type reliability struct {
 	d     *Domain
 	ranks int
 	pairs []relPair // [local*ranks + peer]
+
+	// self restricts the ticker's sweep to one sending rank (a multiproc
+	// world, where only Self's send streams exist in this process); -1
+	// sweeps every rank's streams (in-process worlds).
+	self int
 
 	// window and maxAttempts are the per-domain bounds (Config.RelWindow /
 	// Config.RelMaxAttempts; the package constants are their defaults).
@@ -234,6 +245,7 @@ func newReliability(d *Domain) *reliability {
 	r := &reliability{
 		d:           d,
 		ranks:       d.cfg.Ranks,
+		self:        -1,
 		pairs:       make([]relPair, d.cfg.Ranks*d.cfg.Ranks),
 		window:      d.cfg.RelWindow,
 		maxAttempts: d.cfg.RelMaxAttempts,
@@ -257,6 +269,9 @@ func newReliability(d *Domain) *reliability {
 	r.reorderBudget = d.cfg.RelReorderBytes
 	if r.reorderBudget <= 0 {
 		r.reorderBudget = relReorderBytes
+	}
+	if d.cfg.Multiproc {
+		r.self = d.cfg.Self
 	}
 	r.bpFailFast = d.cfg.Backpressure == BackpressureFailFast
 	r.bpWait = d.cfg.BackpressureWait
@@ -479,6 +494,12 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 				}
 			}
 		}
+		// An ack is a completion signal, not just window bookkeeping: for
+		// value-less remote ops (puts) the transport ack IS the op's
+		// completion, and a rank parked in Wait would otherwise only notice
+		// at the park timeout. Wake it now. (notify is a coalescing
+		// non-blocking send; safe under p.mu.)
+		ep.notify()
 	}
 
 	switch {
@@ -514,6 +535,7 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 		if !p.ackPending {
 			p.ackPending = true
 			p.ackSince = clockNow()
+			p.ackHint.Store(true)
 		}
 		if p.cumSeq-p.lastAck >= relAckEvery {
 			ackNow, ackVal = true, p.cumSeq
@@ -585,6 +607,38 @@ func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 	}
 }
 
+// flushAcks ships every pending ack on from's receive streams right away.
+// It is the eager half of ack pacing, called from the owner's poll loop
+// after a dispatch round: if delivering the inbound frames produced no
+// reverse traffic to piggyback on (pure one-sided streams — puts, and
+// the target side of gets), the ack leaves now, from the goroutine that
+// is actually running, instead of waiting out the ticker's pacing delay.
+// The ticker remains the backstop for ranks that stop polling. On
+// oversubscribed hosts (more ranks than cores — every process-per-rank
+// world on a small machine) the ticker goroutine can be starved past the
+// sender's RTO by the very poll loop that just consumed the data;
+// flushing here turns that retransmission storm back into one timely ack.
+func (r *reliability) flushAcks(from int) {
+	for to := 0; to < r.ranks; to++ {
+		p := r.pair(from, to)
+		if !p.ackHint.Load() {
+			continue
+		}
+		p.mu.Lock()
+		if !p.ackPending {
+			p.ackHint.Store(false)
+			p.mu.Unlock()
+			continue
+		}
+		ack := p.cumSeq
+		p.ackPending = false
+		p.lastAck = ack
+		p.ackHint.Store(false)
+		p.mu.Unlock()
+		r.sendAck(from, to, ack)
+	}
+}
+
 // sendAck ships a standalone cumulative acknowledgment (seq 0, no inner
 // frame) from→to. Standalone acks are unsequenced and unreliable: a lost
 // ack is repaired by the next ack or by the sender's retransmission.
@@ -631,6 +685,9 @@ func (r *reliability) run() {
 func (r *reliability) sweep(now int64) {
 	d := r.d
 	for from := 0; from < r.ranks; from++ {
+		if r.self >= 0 && from != r.self {
+			continue // only Self's send streams exist in a multiproc world
+		}
 		for to := 0; to < r.ranks; to++ {
 			p := r.pair(from, to)
 			p.mu.Lock()

@@ -95,6 +95,17 @@ func (s *Segment) Reset() {
 	s.mu.Unlock()
 }
 
+// ValidRange reports whether [off, off+n) is contained in the segment —
+// the non-panicking bounds check for wire-supplied addresses. checkRange
+// panics because its callers are trusted local code; handlers validating
+// untrusted wire input call this first and refuse (counted, nacked) on
+// failure. uint64 arguments so callers can pass raw wire words without a
+// truncating conversion aliasing an in-bounds offset.
+func (s *Segment) ValidRange(off, n uint64) bool {
+	end := off + n
+	return end >= off && end <= uint64(len(s.bytes))
+}
+
 // checkRange panics if [off, off+n) is not contained in the segment.
 func (s *Segment) checkRange(off uint32, n int) {
 	if int(off)+n > len(s.bytes) {

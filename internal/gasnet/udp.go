@@ -55,7 +55,14 @@ const (
 	frameBatch  = 0x02
 	frameSeq    = 0x03 // reliability framing; see reliable.go
 	frameHB     = 0x04 // liveness heartbeat; see liveness.go
+	frameBye    = 0x05 // graceful departure (multiproc worlds); see sendBye
 )
+
+// byeFrameLen is the size of a departure frame: [frameBye u8][from u16 LE].
+// A peer that announces departure is marked Down immediately — a process
+// that exits cleanly becomes a Down peer at the speed of one datagram, not
+// after DownAfter of silence.
+const byeFrameLen = 3
 
 // batchHeaderLen is the fixed prefix of a frameBatch datagram; each packed
 // message adds a 4-byte length prefix on top of its encoding.
@@ -140,8 +147,14 @@ type udpTransport struct {
 }
 
 // initUDP binds one loopback socket per rank and starts its reader
-// goroutine, which decodes datagrams into the owning endpoint's inbox.
+// goroutine, which decodes datagrams into the owning endpoint's inbox. In
+// a multiproc world only this process's rank gets a socket — the one the
+// bootstrap exchange already bound — and the peer table comes from the
+// configuration (initUDPMultiproc, multiproc.go).
 func (d *Domain) initUDP() error {
+	if d.cfg.Multiproc {
+		return d.initUDPMultiproc()
+	}
 	tr := &udpTransport{}
 	for r := 0; r < d.cfg.Ranks; r++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
@@ -177,51 +190,55 @@ func (d *Domain) initUDP() error {
 		d.rel = newReliability(d)
 	}
 	for r := 0; r < d.cfg.Ranks; r++ {
-		ep := d.eps[r]
-		bc := tr.read[r]
-		tr.wg.Add(1)
-		go func() {
-			defer tr.wg.Done()
-			// One ReadBatch drains up to recvBatchSize queued datagrams per
-			// wakeup, each read straight into its own pooled buffer: the
-			// decoded messages alias the buffer and release it after
-			// dispatch, so the steady-state receive path allocates nothing
-			// — and a burst of frames costs one recvmmsg instead of one
-			// recvfrom per datagram.
-			bufs := make([]*wireBuf, recvBatchSize)
-			views := make([][]byte, recvBatchSize)
-			sizes := make([]int, recvBatchSize)
-			for {
-				for i := range bufs {
-					if bufs[i] == nil {
-						bufs[i] = d.arena.get(bufClassLarge)
-						views[i] = bufs[i].b
-					}
-				}
-				n, err := bc.ReadBatch(views, sizes)
-				if err != nil {
-					if errors.Is(err, net.ErrClosed) || tr.isClosed() {
-						for _, wb := range bufs {
-							if wb != nil {
-								wb.release()
-							}
-						}
-						return
-					}
-					// Transient errors on loopback are unexpected but
-					// not fatal; keep serving.
-					continue
-				}
-				for i := 0; i < n; i++ {
-					wb := bufs[i]
-					bufs[i] = nil
-					wb.b = wb.b[:sizes[i]]
-					d.receiveDatagram(ep, wb)
-				}
-			}
-		}()
+		d.startReader(tr, d.eps[r], tr.read[r])
 	}
 	return nil
+}
+
+// startReader starts the reader goroutine serving one socket, decoding its
+// datagrams into the owning endpoint's inbox.
+func (d *Domain) startReader(tr *udpTransport, ep *Endpoint, bc batchConn) {
+	tr.wg.Add(1)
+	go func() {
+		defer tr.wg.Done()
+		// One ReadBatch drains up to recvBatchSize queued datagrams per
+		// wakeup, each read straight into its own pooled buffer: the
+		// decoded messages alias the buffer and release it after
+		// dispatch, so the steady-state receive path allocates nothing
+		// — and a burst of frames costs one recvmmsg instead of one
+		// recvfrom per datagram.
+		bufs := make([]*wireBuf, recvBatchSize)
+		views := make([][]byte, recvBatchSize)
+		sizes := make([]int, recvBatchSize)
+		for {
+			for i := range bufs {
+				if bufs[i] == nil {
+					bufs[i] = d.arena.get(bufClassLarge)
+					views[i] = bufs[i].b
+				}
+			}
+			n, err := bc.ReadBatch(views, sizes)
+			if err != nil {
+				if errors.Is(err, net.ErrClosed) || tr.isClosed() {
+					for _, wb := range bufs {
+						if wb != nil {
+							wb.release()
+						}
+					}
+					return
+				}
+				// Transient errors on loopback are unexpected but
+				// not fatal; keep serving.
+				continue
+			}
+			for i := 0; i < n; i++ {
+				wb := bufs[i]
+				bufs[i] = nil
+				wb.b = wb.b[:sizes[i]]
+				d.receiveDatagram(ep, wb)
+			}
+		}
+	}()
 }
 
 // receiveDatagram routes one received datagram (whose bytes are wb.b) to
@@ -237,6 +254,19 @@ func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
 			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
 			if from < d.cfg.Ranks {
 				d.lv.heard(ep.rank, from)
+			}
+		}
+		wb.release()
+		return
+	}
+	if len(wb.b) >= 1 && wb.b[0] == frameBye {
+		// A peer announced its graceful departure: declare it Down now
+		// instead of waiting out DownAfter of silence. Corrupt or
+		// self-referential frames are dropped — wire input is untrusted.
+		if d.lv != nil && len(wb.b) >= byeFrameLen {
+			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
+			if from < d.cfg.Ranks && from != ep.rank {
+				d.lv.markDown(ep.rank, from)
 			}
 		}
 		wb.release()
@@ -386,6 +416,15 @@ func (d *Domain) writeFrame(from, to int, frame []byte) {
 		if errors.Is(err, net.ErrClosed) {
 			return // racing shutdown; message loss is fine post-Close
 		}
+		if d.cfg.Multiproc {
+			// A real network: a failed write (a dead peer's ICMP-refused
+			// port, transient ENOBUFS) is wire loss — the reliability
+			// layer repairs it or, persisting, the liveness machine
+			// attributes it. In-process loopback worlds keep the panic: a
+			// failed write there is a program bug, not weather.
+			d.sendErrors.Add(1)
+			return
+		}
 		panic(fmt.Sprintf("gasnet: udp send failed: %v", err))
 	}
 }
@@ -398,6 +437,12 @@ func (d *Domain) writeBatch(from int, frames []batchFrame) {
 	if err := d.udp.send[from].WriteBatch(frames); err != nil {
 		if errors.Is(err, net.ErrClosed) || d.udp.isClosed() {
 			return // racing shutdown; message loss is fine post-Close
+		}
+		if d.cfg.Multiproc {
+			// Treated as loss of the unwritten tail (see writeFrame): the
+			// reliability layer retransmits whatever the peer never saw.
+			d.sendErrors.Add(1)
+			return
 		}
 		panic(fmt.Sprintf("gasnet: udp batch send failed: %v", err))
 	}
@@ -608,11 +653,35 @@ func (tr *udpTransport) close() {
 	tr.wg.Wait()
 }
 
+// sendBye announces this process's graceful departure to every peer it
+// still considers alive — best-effort raw departure frames (unsequenced:
+// the reliability state is about to be torn down, and a lost bye only
+// means the peer falls back to the DownAfter silence timer). Multiproc
+// worlds only; in-process worlds tear every rank down together.
+func (d *Domain) sendBye() {
+	if d.udp == nil || !d.cfg.Multiproc || d.udp.isClosed() {
+		return
+	}
+	self := d.cfg.Self
+	var frame [byeFrameLen]byte
+	frame[0] = frameBye
+	binary.LittleEndian.PutUint16(frame[1:3], uint16(self))
+	for to := 0; to < d.cfg.Ranks; to++ {
+		if to == self || (d.lv != nil && d.lv.down(self, to)) {
+			continue
+		}
+		d.writeFrame(self, to, frame[:])
+	}
+}
+
 // Close releases conduit resources: the reliability ticker, the UDP
 // sockets and reader goroutines, and any buffers still parked in
 // retransmission or reorder queues. It is idempotent and a no-op for the
-// in-memory conduits. Endpoints must not be driven after Close.
+// in-memory conduits. Endpoints must not be driven after Close. In a
+// multiproc world, departure is announced to the surviving peers first
+// (sendBye), integrating graceful teardown with the liveness machine.
 func (d *Domain) Close() {
+	d.sendBye()
 	if d.rel != nil {
 		d.rel.shutdown()
 	}

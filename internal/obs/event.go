@@ -48,6 +48,12 @@ const (
 	// acknowledged. Peer is -1 (the op table does not thread the target
 	// here); A holds the operation family (core.OpKind).
 	EvDeadlineExpired
+	// EvInMemFallback: a UDP-conduit world delivered a closure-carrying
+	// message through the in-memory handoff because the wire cannot
+	// encode it — the run is not fully exercising the wire it claims to.
+	// Emitted once per Domain (the first fallback; Stats.InMemFallbacks
+	// counts them all). A holds the handler id of the first fallback.
+	EvInMemFallback
 
 	// NumEventKinds bounds the EventKind space.
 	NumEventKinds
@@ -74,6 +80,8 @@ func (k EventKind) String() string {
 		return "retransmit-exhausted"
 	case EvDeadlineExpired:
 		return "deadline-expired"
+	case EvInMemFallback:
+		return "in-mem-fallback"
 	default:
 		return "event(?)"
 	}

@@ -1,0 +1,57 @@
+// Package worker implements the rank-process side of a process-per-rank
+// world: the glue that lets the same binaries serve both as front-ends
+// (orchestrating in-process worlds) and as rank processes under
+// cmd/gupcxxrun. A launched child finds its world contract in the
+// GUPCXX_WORLD environment variable (internal/boot); a command that may
+// be launched this way calls Maybe early in main, after flag parsing —
+// if the contract is present the process joins the world, runs the
+// command's worker workload on its one local rank, and exits.
+package worker
+
+import (
+	"fmt"
+	"os"
+
+	"gupcxx"
+	"gupcxx/internal/boot"
+)
+
+// Maybe joins the process-per-rank world described by GUPCXX_WORLD and
+// never returns: the process runs fn on its one local rank and exits
+// (status 0, or 1 after printing the error). When the variable is unset
+// Maybe returns immediately and the command proceeds with its normal
+// in-process orchestration.
+//
+// cfg is consulted with the world's rank count before bootstrap, so the
+// workload can size segments to the world it is joining; the contract
+// fields (Ranks, Conduit, Multiproc, Self, Epoch, Peers, SelfConn) of
+// its result are overwritten by WorldFromEnv.
+func Maybe(name string, cfg func(ranks int) gupcxx.Config, fn func(*gupcxx.Rank)) {
+	spec, ok, err := boot.FromEnv()
+	if err != nil {
+		fatal(name, err)
+	}
+	if !ok {
+		return
+	}
+	w, ok, err := gupcxx.WorldFromEnv(cfg(spec.Ranks))
+	if err != nil {
+		fatal(name, fmt.Errorf("rank %d: %w", spec.Rank, err))
+	}
+	if !ok {
+		// FromEnv saw the contract; WorldFromEnv re-reads the same
+		// environment, so this cannot happen short of a concurrent unsetenv.
+		fatal(name, fmt.Errorf("rank %d: %s vanished between parse and bootstrap", spec.Rank, boot.EnvVar))
+	}
+	runErr := w.Run(fn)
+	w.Close()
+	if runErr != nil {
+		fatal(name, fmt.Errorf("rank %d: %w", spec.Rank, runErr))
+	}
+	os.Exit(0)
+}
+
+func fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "%s (worker): %v\n", name, err)
+	os.Exit(1)
+}

@@ -42,6 +42,7 @@ const (
 	EvWindowGrow          = obs.EvWindowGrow
 	EvRetransmitExhausted = obs.EvRetransmitExhausted
 	EvDeadlineExpired     = obs.EvDeadlineExpired
+	EvInMemFallback       = obs.EvInMemFallback
 )
 
 // debugRecentCap bounds the world-owned recent-events ring surfaced in
@@ -90,6 +91,9 @@ func (w *World) PhaseSampler() core.PhaseHook {
 func (w *World) EnablePhaseSampling() {
 	hook := w.PhaseSampler()
 	for _, r := range w.ranks {
+		if r == nil {
+			continue
+		}
 		r.SetPhaseHook(hook)
 	}
 }

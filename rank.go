@@ -105,6 +105,21 @@ func (r *Rank) spinWait(cond func() bool) {
 	}
 }
 
+// Serve drives progress like Progress, but relinquishes the CPU when the
+// step finds nothing to do — a scheduler yield while the idle streak is
+// short, a bounded park on the substrate once the wait looks long. This
+// is the right shape for loops whose only job is to answer peers (worker
+// serve loops, notification waits): a hot Progress spin steals the CPU
+// from the very processes it is waiting on when ranks outnumber cores,
+// which is every process-per-rank world on a small machine.
+func (r *Rank) Serve() int {
+	n := r.eng.Progress()
+	if n == 0 {
+		r.eng.Idle()
+	}
+	return n
+}
+
 // PeerDown reports whether the substrate's liveness detector has declared
 // target unreachable from this rank (always false on conduits without a
 // detector). Operations targeting a down peer fail immediately with

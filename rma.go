@@ -62,6 +62,11 @@ func Rput[T any](r *Rank, val T, dst GlobalPtr[T], cxs ...Cx) Result {
 			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
 		}, cxs)
 	}
+	if r.wireOnly(int(dst.rank)) && core.HasRemote(cxs) {
+		// The remote-completion callback is a closure; it cannot follow the
+		// data into another process. RputNotify is the wire-encodable form.
+		return failNotWireEncodable(r, core.OpRMA, int(dst.rank), cxs)
+	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpRMA,
 		Peer:  int(dst.rank),
@@ -87,6 +92,9 @@ func RputBulk[T any](r *Rank, src []T, dst GlobalPtr[T], cxs ...Cx) Result {
 			},
 			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
 		}, cxs)
+	}
+	if r.wireOnly(int(dst.rank)) && core.HasRemote(cxs) {
+		return failNotWireEncodable(r, core.OpRMA, int(dst.rank), cxs)
 	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpRMA,

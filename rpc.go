@@ -25,6 +25,16 @@ func rankOf(ep *gasnet.Endpoint) *Rank {
 	return ep.Ctx.(*Rank)
 }
 
+// wireOnly reports whether target is reachable only through wire-encoded
+// messages from this rank: in a Multiproc world every rank but self lives
+// in another address space, so a closure cannot travel there. The closure
+// RPC family and closure-built remote completions gate on this at
+// initiation, failing eagerly with ErrNotWireEncodable instead of
+// tripping the substrate's delivery backstop.
+func (r *Rank) wireOnly(target int) bool {
+	return r.w.multiproc && target != r.Me()
+}
+
 // runContained executes user code under the panic-containment boundary:
 // a panic is recovered (the progress engine keeps running), counted in
 // the substrate statistics, and returned as a *RemoteError.
@@ -65,6 +75,18 @@ func RPC(r *Rank, target int, fn func(*Rank), cxs ...Cx) Future {
 				r.eng.EnqueueLPC(func() {
 					done(r.runContained(fn))
 				})
+			},
+		}, cxs).Op
+	}
+	if r.wireOnly(target) {
+		// A closure cannot cross a process boundary: fail every requested
+		// completion with ErrNotWireEncodable at initiation. RPCWire is the
+		// cross-process form.
+		return r.eng.Initiate(core.OpDesc{
+			Kind: core.OpRPC,
+			Peer: target,
+			Inject: func(_ func(ctx any), done func(error)) {
+				done(ErrNotWireEncodable)
 			},
 		}, cxs).Op
 	}
@@ -109,6 +131,9 @@ func RPCCall[T any](r *Rank, target int, fn func(*Rank) T, cxs ...Cx) FutureV[T]
 			},
 		})
 	}
+	if r.wireOnly(target) {
+		return core.FailedFutureV[T](r.eng, ErrNotWireEncodable)
+	}
 	me := r.Me()
 	return core.InitiateV(r.eng, core.OpDescV[T]{
 		Kind:     core.OpRPC,
@@ -142,7 +167,15 @@ func RPCCall[T any](r *Rank, target int, fn func(*Rank) T, cxs ...Cx) FutureV[T]
 // pipeline registers no completion state. A panic in fn is contained and
 // counted on the target (Stats.HandlerPanics) — with no reply path, that
 // tally is the only trace.
+//
+// In a Multiproc world a remote target is an error: with no completion
+// to resolve, the rank is aborted with ErrNotWireEncodable (Run converts
+// the abort into an ordinary error) — failing loudly rather than
+// dropping the closure on the floor.
 func RPCFireAndForget(r *Rank, target int, fn func(*Rank)) {
+	if r.wireOnly(target) {
+		abortRank(ErrNotWireEncodable)
+	}
 	if target == r.Me() {
 		r.eng.Initiate(core.OpDesc{
 			Kind: core.OpRPC,

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Assert the multiproc record preserves the single-process contract and
+# actually crossed a process boundary:
+#   - the in-process UDP world's eager rows stay allocation-free — the
+#     process-per-rank refactor (segment-relative gptrs, wire-encodable
+#     op families, drain-then-bye teardown) may not tax the co-located
+#     fast path the BENCH_3/5 gates pinned;
+#   - all four cross-process families are present, each with a non-zero
+#     iteration count — the record cannot silently degrade to the
+#     in-process harness. Their ns_per_op is a loopback round trip
+#     through the reliability layer and is machine-dependent, so only
+#     presence is gated, not latency.
+set -e
+rec="${1:-BENCH_7.json}"
+bad=$(awk '
+function allocs() { return substr($0, RSTART + 17, RLENGTH - 17) + 0 }
+/"name": "BenchmarkOpPipelineUDP\/(put|get|getbulk|fetchadd)\/2021.3.6-eager/ {
+    if (match($0, /"allocs_per_op": [0-9]+/) && allocs() != 0) print
+}' "$rec")
+if [ -n "$bad" ]; then
+    echo "check_bench7: in-process eager rows must stay at 0 allocs/op:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+for fam in put get getbulk fetchadd; do
+    if ! grep -q "\"name\": \"BenchmarkOpPipelineMultiproc/$fam\", \"iterations\": [1-9]" "$rec"; then
+        echo "check_bench7: missing cross-process row for family $fam" >&2
+        exit 1
+    fi
+done
+echo "check_bench7: $rec ok (UDP eager rows 0 allocs/op, 4 cross-process families recorded)"

@@ -45,6 +45,18 @@ func timePerOp(t *testing.T, cfg gupcxx.Config, iters int, fn func(r *gupcxx.Ran
 	return stats.Summarize(samples, 3).TopKMean / time.Duration(iters)
 }
 
+// minSpeedup is the eager-vs-defer ratio the wall-clock shape tests
+// assert. The effect is ~7x in a plain build; race-detector
+// instrumentation taxes every memory access on both sides and compresses
+// the measured ratio toward 2x on a single-CPU host, so the bar drops
+// there — still far above parity, so a destroyed effect keeps failing.
+func minSpeedup() float64 {
+	if raceEnabled {
+		return 1.4
+	}
+	return 2
+}
+
 func putLoop(r *gupcxx.Rank, tgt gupcxx.GlobalPtr[uint64], n int) {
 	for i := 0; i < n; i++ {
 		gupcxx.Rput(r, uint64(i), tgt).Wait()
@@ -66,8 +78,8 @@ func TestShapeOnNodeEagerWins(t *testing.T) {
 	te := timePerOp(t, eager, iters, putLoop)
 	td := timePerOp(t, deferred, iters, putLoop)
 	t.Logf("on-node put: eager %v/op, defer %v/op", te, td)
-	if td < 2*te {
-		t.Errorf("eager (%v) not ≥2x faster than defer (%v) on-node", te, td)
+	if float64(td) < minSpeedup()*float64(te) {
+		t.Errorf("eager (%v) not ≥%.1fx faster than defer (%v) on-node", te, minSpeedup(), td)
 	}
 }
 
@@ -156,8 +168,8 @@ func TestShapeGUPSFutureConjoining(t *testing.T) {
 	te := run(gupcxx.Eager2021_3_6)
 	td := run(gupcxx.Defer2021_3_6)
 	t.Logf("GUPS rma-futures: eager %v, defer %v (%.1fx)", te, td, float64(td)/float64(te))
-	if td < 2*te {
-		t.Errorf("future-conjoining speedup below 2x: eager %v, defer %v", te, td)
+	if float64(td) < minSpeedup()*float64(te) {
+		t.Errorf("future-conjoining speedup below %.1fx: eager %v, defer %v", minSpeedup(), te, td)
 	}
 }
 

@@ -163,7 +163,8 @@ func (t *Team) barrier() {
 	me := t.myIdx
 	for k, dist := 0, 1; dist < n; k, dist = k+1, dist*2 {
 		t.send((me+dist)%n, collBarrier, seq, uint32(k), 0, nil)
-		t.r.waitColl(t.key(collBarrier, seq, uint32(k)), 1)
+		// This round's token comes from the mirror-image member.
+		t.r.waitColl(t.key(collBarrier, seq, uint32(k)), 1, depOn(t.members[(me-dist+n)%n]))
 	}
 }
 
@@ -189,7 +190,7 @@ func (t *Team) broadcastU64(root int, v uint64) uint64 {
 		}
 		return v
 	}
-	msgs := t.r.waitColl(t.key(collBcast, seq, 0), 1)
+	msgs := t.r.waitColl(t.key(collBcast, seq, 0), 1, depOn(t.members[root]))
 	return msgs[0].A0
 }
 
@@ -216,7 +217,23 @@ func (t *Team) exchangeProtocol(v uint64) []uint64 {
 			t.send(i, collGather, seq, 0, v, nil)
 		}
 	}
-	msgs := t.r.waitColl(t.key(collGather, seq, 0), n-1)
+	// Direct all-to-all: the wait depends on exactly the members whose
+	// contribution has not yet been filed.
+	key := t.key(collGather, seq, 0)
+	deps := func() []int {
+		arrived := make(map[int32]bool, len(t.r.coll.inbox[key]))
+		for _, m := range t.r.coll.inbox[key] {
+			arrived[m.From] = true
+		}
+		var missing []int
+		for i, wr := range t.members {
+			if i != t.myIdx && !arrived[int32(wr)] {
+				missing = append(missing, wr)
+			}
+		}
+		return missing
+	}
+	msgs := t.r.waitColl(key, n-1, deps)
 	worldToTeam := make(map[int32]int, n)
 	for i, wr := range t.members {
 		worldToTeam[int32(wr)] = i

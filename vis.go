@@ -63,6 +63,9 @@ func RputStrided[T any](r *Rank, src []T, dst GlobalPtr[T], sec Strided2D, cxs .
 			ShipRemote: func(rfn func(ctx any)) { r.shipRemote(dst.rank, rfn) },
 		}, cxs)
 	}
+	if r.wireOnly(int(dst.rank)) && core.HasRemote(cxs) {
+		return failNotWireEncodable(r, core.OpVIS, int(dst.rank), cxs)
+	}
 	return r.eng.Initiate(core.OpDesc{
 		Kind:  core.OpVIS,
 		Frags: sec.Rows,

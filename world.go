@@ -35,10 +35,14 @@ package gupcxx
 
 import (
 	"fmt"
+	"net"
+	"net/netip"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"gupcxx/internal/boot"
 	"gupcxx/internal/core"
 	"gupcxx/internal/gasnet"
 	"gupcxx/internal/obs"
@@ -271,7 +275,38 @@ type Config struct {
 	// NewWorld. The empty default leaves the listener off; the event bus
 	// and counter mirrors run either way and cost nothing measurable
 	// unobserved.
+	//
+	// In a Multiproc world a fixed (non-zero) port is offset by Self, so
+	// one configuration gives every rank of a co-hosted world its own
+	// listener: "127.0.0.1:9500" puts rank 0 on 9500, rank 1 on 9501, ….
+	// Port 0 is left alone — each rank picks its own free port.
 	MetricsAddr string
+
+	// Multiproc selects the process-per-rank deployment shape: this
+	// process hosts exactly one rank (Self) of a world whose other ranks
+	// are separate OS processes reached over the UDP conduit. Requires
+	// Conduit == UDP, a bound SelfConn, and a full Peers table. Normally
+	// these four fields are filled by WorldFromEnv from the GUPCXX_WORLD
+	// contract rather than by hand. In this mode only Self's Rank exists
+	// in this World (Rank(i) is nil for every other i), closure RPC to
+	// remote ranks fails with ErrNotWireEncodable, and every pointer
+	// crossing the wire must use the EncodePtr/DecodePtr form.
+	Multiproc bool
+
+	// Self is this process's rank in a Multiproc world.
+	Self int
+
+	// Epoch is the world incarnation stamp the bootstrap exchange
+	// distributed; it seeds the segment-id field of wire-encoded global
+	// pointers (see EncodePtr). Zero is treated as 1.
+	Epoch uint32
+
+	// Peers is the rank-indexed UDP address table of a Multiproc world.
+	Peers []netip.AddrPort
+
+	// SelfConn is this rank's bound UDP socket (the bootstrap exchange
+	// binds it before publishing its address). The World takes ownership.
+	SelfConn *net.UDPConn
 }
 
 // World is one job instance: the substrate domain plus per-rank runtime
@@ -280,6 +315,11 @@ type World struct {
 	dom   *gasnet.Domain
 	ranks []*Rank
 	ver   Version
+
+	// multiproc mirrors Config.Multiproc; segID is the epoch-derived
+	// segment-id stamp wire-encoded pointers carry (gptrwire.go).
+	multiproc bool
+	segID     uint16
 
 	// rpcHandlers is the registry of wire-safe RPC procedures (see
 	// rpcwire.go); append-only, fixed before Run.
@@ -323,24 +363,50 @@ func NewWorld(cfg Config) (*World, error) {
 		SuspectAfter:     cfg.SuspectAfter,
 		DownAfter:        cfg.DownAfter,
 		DisableLiveness:  cfg.DisableLiveness,
+		Multiproc:        cfg.Multiproc,
+		Self:             cfg.Self,
+		Peers:            cfg.Peers,
+		SelfConn:         cfg.SelfConn,
+		Epoch:            cfg.Epoch,
 		Events:           bus,
 	})
 	if err != nil {
 		return nil, err
 	}
 	w := &World{
-		dom:   dom,
-		ver:   cfg.Version,
-		bus:   bus,
-		hists: obs.NewHistVec(int(core.NumOpKinds), int(core.NumPhases)),
+		dom:       dom,
+		ver:       cfg.Version,
+		multiproc: cfg.Multiproc,
+		segID:     worldSegID(dom.Config().Epoch),
+		bus:       bus,
+		hists:     obs.NewHistVec(int(core.NumOpKinds), int(core.NumPhases)),
 	}
 	dom.RegisterHandler(hRPCExec, handleRPCExec)
 	dom.RegisterHandler(hColl, handleColl)
 	dom.RegisterHandler(hRPCWireReq, handleRPCWireReq)
 	dom.RegisterHandler(hRPCWireRep, handleRPCWireRep)
+	// The put-with-notify dispatcher: a notify-put's data has been applied
+	// and acked by the substrate; the carried handler id and argument
+	// bytes resolve against the world's wire-RPC registry on the receiving
+	// rank's goroutine. Unknown ids and handler panics are counted and
+	// contained — a notify has no reply path to carry the failure.
+	dom.SetNotifyHook(func(ep *gasnet.Endpoint, id uint32, args []byte) {
+		nr := rankOf(ep)
+		if int(id) >= len(w.rpcHandlers) {
+			dom.NoteBadHandler()
+			return
+		}
+		nr.runContained(func(hr *Rank) { w.rpcHandlers[id](hr, args) })
+	})
 	w.ranks = make([]*Rank, cfg.Ranks)
 	staticLocal := dom.Config().StaticLocal() && cfg.Version.ConstexprLocal
 	for i := 0; i < cfg.Ranks; i++ {
+		if cfg.Multiproc && i != cfg.Self {
+			// Remote ranks live in other processes: no Rank handle exists
+			// for them here. The slice keeps its full length so rank
+			// indices stay meaningful.
+			continue
+		}
 		ep := dom.Endpoint(i)
 		r := &Rank{
 			w:           w,
@@ -381,12 +447,75 @@ func NewWorld(cfg Config) (*World, error) {
 		w.ranks[i] = r
 	}
 	if cfg.MetricsAddr != "" {
-		if err := w.startObsServer(cfg.MetricsAddr); err != nil {
+		addr := cfg.MetricsAddr
+		if cfg.Multiproc {
+			addr, err = offsetPort(addr, cfg.Self)
+			if err != nil {
+				dom.Close()
+				return nil, fmt.Errorf("gupcxx: metrics listener: %w", err)
+			}
+		}
+		if err := w.startObsServer(addr); err != nil {
 			dom.Close()
 			return nil, fmt.Errorf("gupcxx: metrics listener: %w", err)
 		}
 	}
 	return w, nil
+}
+
+// offsetPort rewrites host:port to host:(port+by), leaving port 0 (pick a
+// free port) alone — the per-rank listener spacing a Multiproc world
+// applies to one shared MetricsAddr configuration.
+func offsetPort(addr string, by int) (string, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("port %q: %w", portStr, err)
+	}
+	if port == 0 {
+		return addr, nil
+	}
+	port += by
+	if port > 65535 {
+		return "", fmt.Errorf("port %d+%d exceeds 65535", port-by, by)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port)), nil
+}
+
+// WorldFromEnv joins the process-per-rank world named by the GUPCXX_WORLD
+// environment variable: it runs the bootstrap exchange (bind the UDP
+// socket, learn the epoch-stamped peer table, pass the startup barrier)
+// and constructs the one-rank-per-process World on top. ok is false — with
+// the cfg-built standalone World NOT constructed and a nil *World — when
+// the variable is unset: the caller decides what a standalone run means.
+// cfg supplies everything the world contract does not (version, segment
+// size, timeouts, MetricsAddr, …); its Ranks/Conduit/Multiproc fields are
+// overwritten from the contract.
+func WorldFromEnv(cfg Config) (w *World, ok bool, err error) {
+	spec, ok, err := boot.FromEnv()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	bs, err := boot.Bootstrap(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg.Ranks = spec.Ranks
+	cfg.Conduit = UDP
+	cfg.Multiproc = true
+	cfg.Self = spec.Rank
+	cfg.Epoch = bs.Epoch
+	cfg.Peers = bs.Peers
+	cfg.SelfConn = bs.Conn
+	w, err = NewWorld(cfg)
+	if err != nil {
+		bs.Conn.Close()
+		return nil, false, err
+	}
+	return w, true, nil
 }
 
 // Ranks reports the number of ranks in the world.
@@ -397,8 +526,22 @@ func (w *World) Version() Version { return w.ver }
 
 // Rank returns rank i's handle. Outside of Run, a Rank may be driven
 // manually from a single goroutine (used by tests and single-rank tools);
-// concurrent use of one Rank is not allowed.
+// concurrent use of one Rank is not allowed. In a Multiproc world only
+// Self's handle exists; every other index returns nil.
 func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Self returns this process's Rank handle in a Multiproc world, or nil
+// for in-process worlds (where every rank is equally "self").
+func (w *World) Self() *Rank {
+	if !w.multiproc {
+		return nil
+	}
+	return w.ranks[w.dom.Config().Self]
+}
+
+// Multiproc reports whether this World is one rank of a process-per-rank
+// world.
+func (w *World) Multiproc() bool { return w.multiproc }
 
 // Domain exposes the underlying substrate domain (instrumentation and
 // tests).
@@ -407,11 +550,17 @@ func (w *World) Domain() *gasnet.Domain { return w.dom }
 // Run executes fn once per rank, each on its own goroutine, SPMD-style,
 // and returns after all ranks complete. A panic on any rank is captured
 // and returned as an error after the surviving ranks are abandoned (the
-// World must not be reused after a panic).
+// World must not be reused after a panic). In a Multiproc world only
+// Self's rank exists in this process, so Run executes fn exactly once —
+// the SPMD fan-out is the launcher's job there (one process per rank),
+// not this World's.
 func (w *World) Run(fn func(*Rank)) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(w.ranks))
 	for i, r := range w.ranks {
+		if r == nil {
+			continue // multiproc: rank lives in another process
+		}
 		wg.Add(1)
 		go func(i int, r *Rank) {
 			defer wg.Done()
@@ -434,6 +583,9 @@ func (w *World) Run(fn func(*Rank)) error {
 				}
 			}()
 			fn(r)
+			if w.multiproc {
+				w.drainWire(r)
+			}
 		}(i, r)
 	}
 	wg.Wait()
@@ -445,12 +597,46 @@ func (w *World) Run(fn func(*Rank)) error {
 	return nil
 }
 
+// drainWire quiesces a multiproc rank between fn returning and the world
+// closing. A rank can complete its side of a final collective while the
+// tokens it sent are still unacknowledged — or lost, needing a
+// retransmission only this process can provide. Closing immediately
+// would announce departure (the goodbye frame marks this rank Down at
+// its peers on receipt) while a slower peer is still waiting on one of
+// those frames, turning a clean SPMD exit into a spurious collective
+// abort there. So: keep driving progress until the reliability layer
+// reports nothing in flight toward any live peer — everything this rank
+// ever sent is then known-delivered, and nothing a correct peer waits on
+// can depend on us staying up. Down peers are excluded (their acks will
+// never come) and a deadline backstops the loop against a peer that dies
+// without detection mid-drain.
+func (w *World) drainWire(r *Rank) {
+	self := w.dom.Config().Self
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		pending := r.ep.PendingOps()
+		for p := 0; p < w.Ranks() && pending == 0; p++ {
+			if p == self || r.ep.PeerDown(p) {
+				continue
+			}
+			pending += w.dom.FlowState(self, p).InFlight
+		}
+		if pending == 0 {
+			return
+		}
+		r.Serve()
+	}
+}
+
 // Stats aggregates the completion-machinery statistics of every rank's
 // progress engine. Call it only when no rank is actively running (after
 // Run returns) — the counters are owned by the rank goroutines.
 func (w *World) Stats() core.Stats {
 	var total core.Stats
 	for _, r := range w.ranks {
+		if r == nil {
+			continue
+		}
 		s := r.eng.Stats
 		total.CellAllocs += s.CellAllocs
 		total.DeferQPushes += s.DeferQPushes
@@ -472,6 +658,9 @@ func (w *World) Stats() core.Stats {
 func (w *World) OpStats() OpStats {
 	var total OpStats
 	for _, r := range w.ranks {
+		if r == nil {
+			continue
+		}
 		ops := r.eng.OpStats()
 		total.Ops.Add(&ops)
 	}
