@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs test-multiproc bench-multiproc check-bench7 ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs test-multiproc bench-multiproc check-bench7 test-churn ci
 
 build:
 	$(GO) build ./...
@@ -147,6 +147,19 @@ test-multiproc:
 	$(GO) build -o bin/microbench ./cmd/microbench
 	./bin/gupcxxrun -n 4 -- ./bin/microbench -samples 2 -topk 1 -iters 2000
 
+# Churn suite (DESIGN.md §15): epoch-based peer readmission end to end.
+# The in-process units (incarnation gating, stale-datagram drops,
+# generation-scoped sweeps, the DisableReadmission escape hatch), the
+# boot-layer units (restartable rendezvous, join backoff, RestartRank),
+# then the kill/restart soak: a 4-rank process world under 25% injected
+# loss where one rank is SIGKILLed and relaunched three times — each
+# incarnation must be readmitted by every survivor and the world must
+# finish cleanly. All under the race detector.
+test-churn:
+	$(GO) test -race -count 1 -run 'TestChurn' ./internal/gasnet/
+	$(GO) test -race -count 1 -run 'TestSpecJoinWait|TestRendezvousRejoin|TestJoinBackoffDeadline|TestRestartRank' ./internal/boot/
+	$(GO) test -race -count 1 -run 'TestMultiprocChurn' -timeout 10m .
+
 # Cross-process record: the op-pipeline families on an in-process UDP
 # world (wire armed, locality resolves to memory) next to the same
 # families crossing a real process boundary over loopback (rank 1 is a
@@ -163,4 +176,4 @@ check-bench7:
 	./scripts/check_bench7.sh BENCH_7.json
 
 # Everything CI runs, in CI's order.
-ci: build test race vet staticcheck check-bench5 check-bench6 check-bench7 test-obs test-loss test-fault test-soak test-multiproc
+ci: build test race vet staticcheck check-bench5 check-bench6 check-bench7 test-obs test-loss test-fault test-soak test-multiproc test-churn

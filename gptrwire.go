@@ -18,13 +18,17 @@ import (
 //	[ rank u16 ][ segment id u16 ][ offset u32 ]
 //	  63..48      47..32            31..0
 //
-// The segment id stamps which world incarnation allocated the pointer —
-// it is derived from the world epoch the bootstrap exchange distributed
-// (forced to 1 for epoch 0, so no live pointer ever encodes a zero
-// segment field). A pointer that survives a rank restart (new epoch)
-// decodes as a reject, not as a silent reference into a reincarnated
-// segment whose allocations moved. The null pointer encodes as 0 and
-// decodes back to null unconditionally.
+// The segment id stamps which incarnation of the TARGET rank allocated
+// the pointer — it is derived from that rank's epoch-stamped incarnation
+// as this rank currently knows it (forced to 1 for epoch 0, so no live
+// pointer ever encodes a zero segment field). A pointer into a rank that
+// has since restarted (its readmitted incarnation carries a bumped
+// epoch) decodes as a reject, not as a silent reference into a
+// reincarnated segment whose allocations moved; a pointer into a rank
+// this process has not yet heard from decodes permissively (its
+// incarnation is still unknown) and is caught on first use by the
+// conduit's stale-incarnation frame filtering instead. The null pointer
+// encodes as 0 and decodes back to null unconditionally.
 //
 // DecodePtr validates rank range, segment id, and that the full object
 // [off, off+sizeof(T)) lies inside the target's segment bounds; failures
@@ -44,21 +48,32 @@ func worldSegID(epoch uint32) uint16 {
 	return id
 }
 
-// EncodePtr packs p into the wire form under r's world epoch. The null
-// pointer encodes as 0.
+// segIDOf derives the segment-id stamp for pointers into rank's segment:
+// the target's incarnation as this rank currently knows it. For self and
+// for in-process worlds this is the world epoch (so nothing changes for
+// single-address-space deployments); for a remote rank it is the
+// incarnation recorded by the liveness layer, which a readmission
+// advances.
+func (r *Rank) segIDOf(rank int) uint16 {
+	return worldSegID(r.w.dom.IncarnationOf(r.Me(), rank))
+}
+
+// EncodePtr packs p into the wire form, stamped with the target rank's
+// current incarnation. The null pointer encodes as 0.
 func EncodePtr[T any](r *Rank, p GlobalPtr[T]) uint64 {
 	if p.Null() {
 		return 0
 	}
-	return uint64(uint16(p.rank))<<48 | uint64(r.w.segID)<<32 | uint64(p.off)
+	return uint64(uint16(p.rank))<<48 | uint64(r.segIDOf(int(p.rank)))<<32 | uint64(p.off)
 }
 
 // DecodePtr unpacks a wire-form global pointer, validating it against
-// r's world: the rank must exist, the segment id must match this world's
-// epoch stamp, and the whole object must lie inside the target rank's
-// segment. 0 decodes to the null pointer. Failures are counted
-// (Stats.GptrRejects) and described in the returned error; the zero
-// GlobalPtr is returned alongside.
+// r's world: the rank must exist, the segment id must match that rank's
+// current incarnation stamp (unknown incarnations — a peer never heard
+// from — decode permissively), and the whole object must lie inside the
+// target rank's segment. 0 decodes to the null pointer. Failures are
+// counted (Stats.GptrRejects) and described in the returned error; the
+// zero GlobalPtr is returned alongside.
 func DecodePtr[T any](r *Rank, w uint64) (GlobalPtr[T], error) {
 	if w == 0 {
 		return GlobalPtr[T]{}, nil
@@ -70,10 +85,10 @@ func DecodePtr[T any](r *Rank, w uint64) (GlobalPtr[T], error) {
 		r.w.dom.NoteGptrReject()
 		return GlobalPtr[T]{}, fmt.Errorf("gupcxx: gptr names rank %d of %d", rank, r.N())
 	}
-	if segid != r.w.segID {
+	if rec := r.w.dom.IncarnationOf(r.Me(), rank); rec != 0 && segid != worldSegID(rec) {
 		r.w.dom.NoteGptrReject()
-		return GlobalPtr[T]{}, fmt.Errorf("gupcxx: gptr segment id %#x, want %#x (stale world epoch?)",
-			segid, r.w.segID)
+		return GlobalPtr[T]{}, fmt.Errorf("gupcxx: gptr segment id %#x, want %#x (stale incarnation of rank %d?)",
+			segid, worldSegID(rec), rank)
 	}
 	size := uint64(gasnet.SizeOf[T]())
 	segBytes := uint64(r.w.dom.Config().SegmentBytes)

@@ -35,6 +35,15 @@ type Bootstrapped struct {
 	Conn  *net.UDPConn
 	Peers []netip.AddrPort
 	Epoch uint32
+	// Rejoin is true when this process registered into an already-running
+	// world: the rendezvous server answered with an epoch different from
+	// the spec's launch epoch, which only happens after the server has
+	// served a post-barrier re-registration (the epoch is bumped per
+	// readmission). A rejoining rank must announce itself to the
+	// survivors — the runtime turns this into join-frame broadcasts until
+	// every live peer has readmitted it. Static-peer worlds never rejoin:
+	// with no exchange there is nothing to bump.
+	Rejoin bool
 }
 
 // FromEnv reads and parses the GUPCXX_WORLD environment variable. ok is
@@ -85,7 +94,7 @@ func bootstrapRendezvous(spec Spec) (*Bootstrapped, error) {
 		return nil, fmt.Errorf("boot: rendezvous table lists %v for rank %d, but this process bound %v",
 			peers[spec.Rank], spec.Rank, self)
 	}
-	return &Bootstrapped{Conn: conn, Peers: peers, Epoch: epoch}, nil
+	return &Bootstrapped{Conn: conn, Peers: peers, Epoch: epoch, Rejoin: epoch != spec.Epoch}, nil
 }
 
 func bootstrapStatic(spec Spec) (*Bootstrapped, error) {

@@ -1,0 +1,152 @@
+package boot
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpecJoinWaitRoundTrip: the joinwait key survives the Env/ParseEnv
+// round trip and rejects garbage.
+func TestSpecJoinWaitRoundTrip(t *testing.T) {
+	want := Spec{Ranks: 2, Rank: 1, Epoch: 3, Rendezvous: "127.0.0.1:41234", JoinWait: 1500 * time.Millisecond}
+	got, err := ParseEnv(want.Env())
+	if err != nil {
+		t.Fatalf("ParseEnv(%q): %v", want.Env(), err)
+	}
+	if got.JoinWait != want.JoinWait {
+		t.Errorf("JoinWait round trip: got %v, want %v", got.JoinWait, want.JoinWait)
+	}
+	if _, err := ParseEnv("ranks=2;rank=0;rendezvous=h:1;joinwait=soon"); err == nil {
+		t.Error("malformed joinwait accepted")
+	}
+}
+
+// TestRendezvousRejoin: after the barrier the server keeps serving — a
+// re-registration for an existing rank gets the full table back under a
+// bumped epoch with its own slot rewritten, and each further
+// re-registration bumps again.
+func TestRendezvousRejoin(t *testing.T) {
+	const ranks, epoch = 3, 5
+	rv, err := NewRendezvous("127.0.0.1:0", ranks, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+	done := make(chan error, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			spec := Spec{Ranks: ranks, Rank: r, Rendezvous: rv.Addr()}
+			_, _, err := joinRendezvous(spec, localUDPAddr(t, r))
+			done <- err
+		}(r)
+	}
+	for i := 0; i < ranks; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("barrier join: %v", err)
+		}
+	}
+	if err := rv.Wait(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+
+	// Rank 1 "restarts" on a new port: same spec epoch, new address.
+	spec := Spec{Ranks: ranks, Rank: 1, Rendezvous: rv.Addr()}
+	e, peers, err := joinRendezvous(spec, "127.0.0.1:9999")
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if e != epoch+1 {
+		t.Errorf("rejoin epoch %d, want %d", e, epoch+1)
+	}
+	if got := peers[1].String(); got != "127.0.0.1:9999" {
+		t.Errorf("rejoin table slot 1 = %s, want the new address", got)
+	}
+	if got := peers[0].String(); got != localUDPAddr(t, 0) {
+		t.Errorf("rejoin table slot 0 = %s, want the surviving address", got)
+	}
+
+	// A second restart bumps again — every readmission is distinguishable.
+	e2, _, err := joinRendezvous(spec, "127.0.0.1:9998")
+	if err != nil {
+		t.Fatalf("second rejoin: %v", err)
+	}
+	if e2 != epoch+2 {
+		t.Errorf("second rejoin epoch %d, want %d", e2, epoch+2)
+	}
+}
+
+// TestRendezvousRejoinBadRegistration: a malformed re-registration fails
+// only its own connection — the server keeps serving good ones.
+func TestRendezvousRejoinBadRegistration(t *testing.T) {
+	rv, err := NewRendezvous("127.0.0.1:0", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+	spec := Spec{Ranks: 1, Rank: 0, Rendezvous: rv.Addr()}
+	if _, _, err := joinRendezvous(spec, localUDPAddr(t, 0)); err != nil {
+		t.Fatalf("barrier join: %v", err)
+	}
+	if err := rv.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range rank, then bad address: both refused per-connection.
+	if _, _, err := joinRendezvous(Spec{Ranks: 1, Rank: 0, Rendezvous: rv.Addr()}, "not-an-addr"); err == nil ||
+		!strings.Contains(err.Error(), "refused") {
+		t.Errorf("bad rejoin address resolved as %v, want refusal", err)
+	}
+	// The server survived: a well-formed rejoin still works.
+	if _, _, err := joinRendezvous(spec, "127.0.0.1:9777"); err != nil {
+		t.Errorf("rejoin after a refused registration: %v", err)
+	}
+}
+
+// TestJoinBackoffDeadline: a dead rendezvous endpoint fails the join
+// within the JoinWait budget (plus backoff slack), not the 10s default.
+func TestJoinBackoffDeadline(t *testing.T) {
+	spec := Spec{Ranks: 2, Rank: 0, Rendezvous: "127.0.0.1:1", JoinWait: 300 * time.Millisecond}
+	start := time.Now()
+	_, _, err := joinRendezvous(spec, "127.0.0.1:9000")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("join against a dead endpoint succeeded")
+	}
+	if !strings.Contains(err.Error(), "gave up") {
+		t.Errorf("error %v does not report the deadline", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("join took %v, want bounded near the 300ms JoinWait", elapsed)
+	}
+}
+
+// TestRestartRank: the launcher kills, reaps, and respawns one rank with
+// the identical environment; the replacement is a different process and
+// the world refuses restarts after Kill.
+func TestRestartRank(t *testing.T) {
+	sleep, err := exec.LookPath("sleep")
+	if err != nil {
+		t.Skip("no sleep binary")
+	}
+	lw, err := LaunchLocal(2, 1, []string{sleep, "60"}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lw.Kill()
+	oldPid := lw.Procs[1].Process.Pid
+	if err := lw.RestartRank(1); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	newPid := lw.Procs[1].Process.Pid
+	if newPid == oldPid {
+		t.Errorf("restart reused pid %d", oldPid)
+	}
+	if err := lw.RestartRank(5); err == nil {
+		t.Error("out-of-range restart accepted")
+	}
+	lw.Kill()
+	if err := lw.RestartRank(0); err == nil {
+		t.Error("restart after Kill accepted")
+	}
+}

@@ -17,6 +17,17 @@ type LocalWorld struct {
 	Procs []*exec.Cmd
 	rv    *Rendezvous
 
+	// Launch parameters, kept so RestartRank can respawn a rank with the
+	// exact environment its predecessor had. The respawned process carries
+	// the ORIGINAL launch epoch in GUPCXX_WORLD; the rendezvous server's
+	// bumped-epoch reply is what tells it it is rejoining.
+	ranks    int
+	epoch    uint32
+	argv     []string
+	extraEnv []string
+	stdout   io.Writer
+	stderr   io.Writer
+
 	mu       sync.Mutex
 	killed   bool
 	waitErrs []error
@@ -45,14 +56,9 @@ func LaunchLocal(n int, epoch uint32, argv []string, extraEnv []string, stdout, 
 	if stderr == nil {
 		stderr = os.Stderr
 	}
-	lw := &LocalWorld{rv: rv}
+	lw := &LocalWorld{rv: rv, ranks: n, epoch: epoch, argv: argv, extraEnv: extraEnv, stdout: stdout, stderr: stderr}
 	for r := 0; r < n; r++ {
-		spec := Spec{Ranks: n, Rank: r, Epoch: epoch, Rendezvous: rv.Addr()}
-		cmd := exec.Command(argv[0], argv[1:]...)
-		cmd.Env = append(os.Environ(), EnvVar+"="+spec.Env())
-		cmd.Env = append(cmd.Env, extraEnv...)
-		cmd.Stdout = stdout
-		cmd.Stderr = stderr
+		cmd := lw.command(r)
 		if err := cmd.Start(); err != nil {
 			lw.Kill()
 			rv.Close()
@@ -61,6 +67,19 @@ func LaunchLocal(n int, epoch uint32, argv []string, extraEnv []string, stdout, 
 		lw.Procs = append(lw.Procs, cmd)
 	}
 	return lw, nil
+}
+
+// command builds the exec.Cmd for one rank from the stored launch
+// parameters. Every spawn — initial or restart — goes through here, so a
+// restarted rank is bit-identical to its predecessor's launch.
+func (lw *LocalWorld) command(r int) *exec.Cmd {
+	spec := Spec{Ranks: lw.ranks, Rank: r, Epoch: lw.epoch, Rendezvous: lw.rv.Addr()}
+	cmd := exec.Command(lw.argv[0], lw.argv[1:]...)
+	cmd.Env = append(os.Environ(), EnvVar+"="+spec.Env())
+	cmd.Env = append(cmd.Env, lw.extraEnv...)
+	cmd.Stdout = lw.stdout
+	cmd.Stderr = lw.stderr
+	return cmd
 }
 
 // Wait collects every child and the rendezvous outcome, returning the
@@ -109,4 +128,34 @@ func (lw *LocalWorld) KillRank(r int) error {
 		return fmt.Errorf("boot: rank %d not started", r)
 	}
 	return p.Kill()
+}
+
+// RestartRank kills rank r's process, reaps it, and spawns a replacement
+// with the identical launch environment — the churn-injection hook the
+// kill/restart fault suite drives. The replacement carries the ORIGINAL
+// launch epoch; it discovers it is rejoining when the (still running)
+// rendezvous server replies with a bumped epoch, and from there the
+// runtime's join/readmission protocol takes over. Refused after Kill:
+// a deliberately destroyed world stays destroyed.
+func (lw *LocalWorld) RestartRank(r int) error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.killed {
+		return fmt.Errorf("boot: restart rank %d: world already killed", r)
+	}
+	if r < 0 || r >= len(lw.Procs) {
+		return fmt.Errorf("boot: restart rank %d of %d", r, len(lw.Procs))
+	}
+	old := lw.Procs[r]
+	if old.Process == nil {
+		return fmt.Errorf("boot: rank %d not started", r)
+	}
+	old.Process.Kill()
+	old.Wait() // reap; a kill-induced exit error is expected, not reportable
+	cmd := lw.command(r)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("boot: restart rank %d: %w", r, err)
+	}
+	lw.Procs[r] = cmd
+	return nil
 }

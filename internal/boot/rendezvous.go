@@ -18,6 +18,15 @@ package boot
 // exchange: every waiting rank receives an error line ("! <reason>\n")
 // and the launch fails loudly rather than assembling a world with two
 // processes claiming one rank.
+//
+// After the barrier the server stays up and serves RE-registrations: a
+// restarted rank dials the same endpoint and sends the same registration
+// line, and the server bumps the world epoch, records the rank's new
+// address, and replies with the full (updated) table under the bumped
+// epoch. A reply whose epoch differs from the spec's launch epoch is how
+// a restarted process learns it is rejoining an existing world rather
+// than booting a fresh one. Malformed re-registrations fail only their
+// own connection — they cannot poison the running world.
 
 import (
 	"bufio"
@@ -34,8 +43,22 @@ import (
 const rendezvousTimeout = 60 * time.Second
 
 // dialRetry is how long a joining rank keeps retrying the rendezvous
-// endpoint; children racing the launcher's listener need a grace window.
+// endpoint by default; children racing the launcher's listener need a
+// grace window, and a restarted rank may be retrying while the launcher
+// is still reaping its predecessor. Spec.JoinWait overrides it.
 const dialRetry = 10 * time.Second
+
+// Join retry backoff: the first redial comes quickly (the common race is
+// the launcher's listener appearing microseconds late), then doubles up
+// to a cap so a long outage doesn't hammer the endpoint.
+const (
+	joinBackoffMin = 25 * time.Millisecond
+	joinBackoffMax = time.Second
+)
+
+// rejoinConnTimeout bounds one re-registration conversation after the
+// barrier; a stuck dialer must not wedge the serve loop.
+const rejoinConnTimeout = 10 * time.Second
 
 // Rendezvous is the launcher-side exchange endpoint.
 type Rendezvous struct {
@@ -57,29 +80,46 @@ func NewRendezvous(addr string, ranks int, epoch uint32) (*Rendezvous, error) {
 		return nil, fmt.Errorf("boot: rendezvous listen: %w", err)
 	}
 	rv := &Rendezvous{ln: ln, ranks: ranks, epoch: epoch, done: make(chan error, 1)}
-	go func() { rv.done <- rv.serve() }()
+	go rv.serve()
 	return rv, nil
 }
 
 // Addr returns the endpoint address joining ranks should dial.
 func (rv *Rendezvous) Addr() string { return rv.ln.Addr().String() }
 
-// Wait blocks until the exchange completes (every rank registered and
-// received the table) or fails.
+// Wait blocks until the initial exchange completes (every rank
+// registered and received the table) or fails. The server keeps running
+// after a successful barrier, serving re-registrations, until Close.
 func (rv *Rendezvous) Wait() error { return <-rv.done }
 
-// Close tears the listener down; an incomplete exchange fails.
+// Close tears the listener down; an incomplete exchange fails, and a
+// completed one stops accepting re-registrations.
 func (rv *Rendezvous) Close() error { return rv.ln.Close() }
 
-func (rv *Rendezvous) serve() error {
-	defer rv.ln.Close()
+// serve runs the initial barrier exchange, reports its outcome on
+// rv.done, and — if the barrier succeeded — stays in serveRejoins until
+// the listener closes.
+func (rv *Rendezvous) serve() {
+	addrs := make([]string, rv.ranks)
+	if err := rv.barrier(addrs); err != nil {
+		rv.ln.Close()
+		rv.done <- err
+		return
+	}
+	rv.done <- nil
+	rv.serveRejoins(addrs)
+	rv.ln.Close()
+}
+
+// barrier is the launch-time exchange: exactly ranks registrations, then
+// the table broadcast. Any protocol violation poisons every waiting rank.
+func (rv *Rendezvous) barrier(addrs []string) error {
 	deadline := time.Now().Add(rendezvousTimeout)
 	type reg struct {
 		conn net.Conn
 		rank int
 	}
 	conns := make([]reg, 0, rv.ranks)
-	addrs := make([]string, rv.ranks)
 	seen := make([]bool, rv.ranks)
 	fail := func(reason string) error {
 		for _, r := range conns {
@@ -137,21 +177,82 @@ func (rv *Rendezvous) serve() error {
 	return firstErr
 }
 
+// serveRejoins is the post-barrier phase: each accepted connection is one
+// restarted rank re-registering. The epoch is bumped per re-registration
+// so every readmission is distinguishable, the rank's table slot is
+// rewritten, and the full table is sent back under the new epoch. Errors
+// are per-connection — a malformed registration gets "! <reason>\n" and a
+// closed conn, and the loop keeps serving. The loop exits when the
+// listener closes (Close, or process exit).
+func (rv *Rendezvous) serveRejoins(addrs []string) {
+	if d, ok := rv.ln.(*net.TCPListener); ok {
+		d.SetDeadline(time.Time{}) // the barrier's deadline no longer applies
+	}
+	epoch := rv.epoch
+	for {
+		conn, err := rv.ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.SetDeadline(time.Now().Add(rejoinConnTimeout))
+		refuse := func(reason string) {
+			fmt.Fprintf(conn, "! %s\n", reason)
+			conn.Close()
+		}
+		line, err := bufio.NewReader(conn).ReadString('\n')
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		rankStr, addr, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			refuse(fmt.Sprintf("malformed registration %q", strings.TrimSpace(line)))
+			continue
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil || rank < 0 || rank >= rv.ranks {
+			refuse(fmt.Sprintf("registration names rank %q of %d", rankStr, rv.ranks))
+			continue
+		}
+		if _, err := netip.ParseAddrPort(addr); err != nil {
+			refuse(fmt.Sprintf("rank %d registered bad address %q: %v", rank, addr, err))
+			continue
+		}
+		epoch++
+		addrs[rank] = addr
+		fmt.Fprintf(conn, "%d %s\n", epoch, strings.Join(addrs, " "))
+		conn.Close()
+	}
+}
+
 // joinRendezvous is the rank side of the exchange: dial (with retry —
-// children may beat the launcher's listener), register the bound UDP
-// address, and block until the table broadcast arrives.
+// children may beat the launcher's listener, and a restarted rank may be
+// redialing while the launcher reaps its predecessor), register the
+// bound UDP address, and block until the table reply arrives. Dial
+// failures back off exponentially from joinBackoffMin to joinBackoffMax
+// and give up after Spec.JoinWait (dialRetry when unset) — a dead
+// endpoint fails the join loudly instead of spinning forever.
 func joinRendezvous(spec Spec, udpAddr string) (epoch uint32, peers []netip.AddrPort, err error) {
 	var conn net.Conn
-	dialUntil := time.Now().Add(dialRetry)
+	wait := spec.JoinWait
+	if wait <= 0 {
+		wait = dialRetry
+	}
+	dialUntil := time.Now().Add(wait)
+	backoff := joinBackoffMin
 	for {
 		conn, err = net.DialTimeout("tcp", spec.Rendezvous, time.Second)
 		if err == nil {
 			break
 		}
 		if time.Now().After(dialUntil) {
-			return 0, nil, fmt.Errorf("boot: rendezvous dial %s: %w", spec.Rendezvous, err)
+			return 0, nil, fmt.Errorf("boot: rendezvous dial %s (gave up after %v): %w", spec.Rendezvous, wait, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > joinBackoffMax {
+			backoff = joinBackoffMax
+		}
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(rendezvousTimeout))

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // EnvVar is the environment variable carrying a launched rank's world
@@ -43,14 +44,20 @@ type Spec struct {
 	Epoch uint32
 	// Rendezvous is the host:port of the launcher's exchange endpoint.
 	Rendezvous string
+	// JoinWait bounds how long joining the rendezvous endpoint may retry
+	// (exponential backoff between attempts) before the join fails. Zero
+	// means the default grace window. Restart-heavy deployments raise it
+	// so a rank restarted during a launcher hiccup still gets in.
+	JoinWait time.Duration
 	// Peers is the static rank-indexed UDP address table ("host:port" per
 	// rank). This rank binds Peers[Rank].
 	Peers []string
 }
 
 // ParseEnv parses the GUPCXX_WORLD value: semicolon-separated key=value
-// pairs — ranks, rank, epoch, and one of rendezvous or peers (peers is a
-// comma-separated rank-indexed address list). Example:
+// pairs — ranks, rank, epoch, one of rendezvous or peers (peers is a
+// comma-separated rank-indexed address list), and an optional joinwait
+// (a Go duration bounding the rendezvous join retry). Example:
 //
 //	ranks=4;rank=2;epoch=7;rendezvous=127.0.0.1:41234
 //	ranks=2;rank=0;epoch=3;peers=node0:9400,node1:9400
@@ -86,6 +93,12 @@ func ParseEnv(s string) (Spec, error) {
 			spec.Epoch = uint32(n)
 		case "rendezvous":
 			spec.Rendezvous = val
+		case "joinwait":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("boot: bad joinwait %q: %v", val, err)
+			}
+			spec.JoinWait = d
 		case "peers":
 			spec.Peers = strings.Split(val, ",")
 		default:
@@ -105,6 +118,9 @@ func (s Spec) Env() string {
 	fmt.Fprintf(&b, "ranks=%d;rank=%d;epoch=%d", s.Ranks, s.Rank, s.Epoch)
 	if s.Rendezvous != "" {
 		fmt.Fprintf(&b, ";rendezvous=%s", s.Rendezvous)
+	}
+	if s.JoinWait > 0 {
+		fmt.Fprintf(&b, ";joinwait=%s", s.JoinWait)
 	}
 	if len(s.Peers) > 0 {
 		fmt.Fprintf(&b, ";peers=%s", strings.Join(s.Peers, ","))

@@ -234,10 +234,25 @@ type Config struct {
 
 	// Epoch is the world incarnation stamp assigned by the bootstrap
 	// exchange in a Multiproc world (zero means "unstamped"; the runtime
-	// treats that as epoch 1). Distinct launches of the same peer set get
-	// distinct epochs so stale traffic is attributable. Ignored unless
-	// Multiproc.
+	// treats that as epoch 1). It is this process's incarnation: every
+	// frame it sends is stamped with it, peers reject frames from any
+	// other incarnation of this rank, and a restarted rank re-registers
+	// under a bumped epoch. Ignored unless Multiproc.
 	Epoch uint32
+
+	// Rejoin marks this process as a restarted rank: it re-registered
+	// with the rendezvous server and received a bumped epoch, so its
+	// peers' record of it is stale. The liveness machine then boots with
+	// every peer incarnation unknown (adopted from first contact) and
+	// announces this rank's new incarnation with join frames each
+	// heartbeat round until the surviving peers readmit it. Ignored
+	// unless Multiproc.
+	Rejoin bool
+
+	// DisableReadmission restores sticky-Down: join frames from restarted
+	// peers are ignored, and a peer once declared down stays down for the
+	// life of this process. Reliable UDP only.
+	DisableReadmission bool
 
 	// Events, when non-nil, receives substrate health events: liveness
 	// transitions (suspect/down/recovered), backpressure onset and relief,
@@ -275,6 +290,7 @@ func (c Config) normalized() (Config, error) {
 		c.Peers = nil
 		c.SelfConn = nil
 		c.Epoch = 0
+		c.Rejoin = false
 	}
 	switch c.Conduit {
 	case SMP, PSHM, UDP:

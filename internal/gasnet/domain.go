@@ -18,6 +18,13 @@ type Domain struct {
 	eps      []*Endpoint
 	handlers [MaxHandlers]HandlerFunc
 
+	// inc is this process's incarnation: the epoch it registered under
+	// (normalized so 0 — in-process worlds, which cannot restart — becomes
+	// 1). Every frame this domain puts on the wire is stamped with it, and
+	// peers reject frames from any other incarnation of this rank
+	// (liveness.go). Immutable after construction.
+	inc uint32
+
 	// amSends counts cross-endpoint active messages, for tests and
 	// instrumentation.
 	amSends atomic.Int64
@@ -59,6 +66,11 @@ type Domain struct {
 	badCookieDrops      atomic.Int64
 	badHandlerDrops     atomic.Int64
 	handlerPanics       atomic.Int64
+
+	// Churn / readmission instrumentation (see Stats, liveness.go).
+	staleIncarnationDrops atomic.Int64
+	peersReadmitted       atomic.Int64
+	joinsSent             atomic.Int64
 
 	// Flow-control instrumentation (see Stats, reliable.go,
 	// backpressure.go).
@@ -137,6 +149,24 @@ func (d *Domain) LivenessState(local, peer int) string {
 	default:
 		return "alive"
 	}
+}
+
+// Incarnation returns this process's epoch-stamped identity: the epoch it
+// registered under (1 for in-process worlds, which cannot restart).
+func (d *Domain) Incarnation() uint32 { return d.inc }
+
+// IncarnationOf reports rank local's current record of peer's
+// incarnation: the stamp it accepts on peer's frames. 0 means local has
+// never heard from peer (possible only on a rejoined rank, whose record
+// starts empty and adopts from traffic). A rank's view of itself — and
+// every view on conduits without a failure detector — is the domain's own
+// incarnation. Race-safe; callable from any goroutine.
+func (d *Domain) IncarnationOf(local, peer int) uint32 {
+	if d.lv == nil || local == peer ||
+		local < 0 || local >= d.cfg.Ranks || peer < 0 || peer >= d.cfg.Ranks {
+		return d.inc
+	}
+	return d.lv.incOf(local, peer)
 }
 
 // Stats is a snapshot of the substrate's fast-path counters, the wire/queue
@@ -233,6 +263,19 @@ type Stats struct {
 	// HandlerPanics counts RPC handler panics contained by the runtime
 	// layer and serialized into error replies (NoteHandlerPanic).
 	HandlerPanics int64
+	// StaleIncarnationDrops counts frames rejected because their
+	// incarnation stamp did not match the sender's recorded incarnation —
+	// the dead process's datagrams draining out of the network, or a
+	// restarted peer's traffic arriving ahead of its join announcement.
+	// Never delivered, never refreshing liveness.
+	StaleIncarnationDrops int64
+	// PeersReadmitted counts Down→Readmitted transitions: a restarted
+	// peer's join accepted, with the pair's reliability state fully reset.
+	PeersReadmitted int64
+	// JoinsSent counts incarnation announcements shipped by a restarted
+	// rank while rejoining (retried each heartbeat round until peers ack
+	// new-incarnation traffic).
+	JoinsSent int64
 	// RelInflightHighWater / RelReorderHighWater are the maxima, over all
 	// rank pairs, of the reliability layer's in-flight retransmission
 	// queue and receive-side reorder buffer — both bounded by
@@ -315,6 +358,10 @@ func (d *Domain) Stats() Stats {
 		BadHandlerDrops:     d.badHandlerDrops.Load(),
 		HandlerPanics:       d.handlerPanics.Load(),
 
+		StaleIncarnationDrops: d.staleIncarnationDrops.Load(),
+		PeersReadmitted:       d.peersReadmitted.Load(),
+		JoinsSent:             d.joinsSent.Load(),
+
 		BackpressureFails: d.backpressureFails.Load(),
 		WindowShrinks:     d.windowShrinks.Load(),
 		WindowGrows:       d.windowGrows.Load(),
@@ -387,6 +434,10 @@ func NewDomain(cfg Config) (*Domain, error) {
 		return nil, err
 	}
 	d := &Domain{cfg: cfg, bus: cfg.Events}
+	d.inc = cfg.Epoch
+	if d.inc == 0 {
+		d.inc = 1 // in-process worlds share one permanent incarnation
+	}
 	d.segs = make([]*Segment, cfg.Ranks)
 	d.eps = make([]*Endpoint, cfg.Ranks)
 	for r := 0; r < cfg.Ranks; r++ {
@@ -504,12 +555,14 @@ type Endpoint struct {
 	held []Msg
 
 	// lvSeen is the liveness epoch this rank last swept against;
-	// downSwept marks the peers whose pending operations it has already
-	// failed; onPeerDown is the runtime layer's hook, invoked once per
-	// newly-down peer on the owner goroutine during Poll. All three are
-	// owner-goroutine state.
+	// deathsSeen[peer] is the per-peer death generation the last sweep
+	// caught up to (a readmitted peer can die again — each death is a
+	// fresh sweep, and only entries registered before it are failed);
+	// onPeerDown is the runtime layer's hook, invoked once per peer death
+	// on the owner goroutine during Poll. All three are owner-goroutine
+	// state.
 	lvSeen     uint32
-	downSwept  []bool
+	deathsSeen []uint32
 	onPeerDown func(peer int, err error)
 }
 
@@ -671,25 +724,44 @@ func (ep *Endpoint) dispatch(m *Msg) {
 	h(ep, m)
 }
 
-// sweepDown fails the pending operations of every newly-down peer with
-// ErrPeerUnreachable and runs the runtime layer's peer-down hook. Owner
+// sweepDown fails the pending operations of every peer whose death
+// generation advanced since the last sweep, with ErrPeerUnreachable, and
+// runs the runtime layer's peer-down hook. The generation comparison —
+// not the current Down state — is what makes the sweep churn-correct: a
+// peer may die and be readmitted between two polls, and the operations in
+// flight against its dead incarnation must still fail even though the
+// peer reads Alive again, while operations registered after readmission
+// (stamped with the newer generation by DownGen) must survive. Owner
 // goroutine only (called from Poll).
 func (ep *Endpoint) sweepDown(lv *liveness) {
 	ep.lvSeen = lv.epochOf(ep.rank)
-	if ep.downSwept == nil {
-		ep.downSwept = make([]bool, ep.dom.cfg.Ranks)
+	if ep.deathsSeen == nil {
+		ep.deathsSeen = make([]uint32, ep.dom.cfg.Ranks)
 	}
-	for peer := range ep.downSwept {
-		if ep.downSwept[peer] || peer == ep.rank || !lv.down(ep.rank, peer) {
+	for peer := range ep.deathsSeen {
+		cur := lv.deathsOf(ep.rank, peer)
+		if peer == ep.rank || cur == ep.deathsSeen[peer] {
 			continue
 		}
-		ep.downSwept[peer] = true
-		n := ep.ops.failPeer(int32(peer), ErrPeerUnreachable)
+		ep.deathsSeen[peer] = cur
+		n := ep.ops.failPeer(int32(peer), cur, ErrPeerUnreachable)
 		ep.dom.downPeerFails.Add(int64(n))
 		if ep.onPeerDown != nil {
 			ep.onPeerDown(peer, ErrPeerUnreachable)
 		}
 	}
+}
+
+// DownGen returns the current death generation of peer as seen by this
+// rank: the stamp a new op-table registration should carry so a later
+// sweep can tell operations against the current incarnation from ones
+// buried with a previous one. Zero without a failure detector.
+func (ep *Endpoint) DownGen(peer int) uint32 {
+	lv := ep.dom.lv
+	if lv == nil || peer < 0 || peer >= ep.dom.cfg.Ranks {
+		return 0
+	}
+	return lv.deathsOf(ep.rank, peer)
 }
 
 // SetPeerDownHook installs the runtime layer's peer-death notification,
@@ -698,17 +770,25 @@ func (ep *Endpoint) sweepDown(lv *liveness) {
 // installed before the endpoint is driven.
 func (ep *Endpoint) SetPeerDownHook(fn func(peer int, err error)) { ep.onPeerDown = fn }
 
-// PeerDown reports whether this rank has declared peer down (always false
-// without the liveness detector). Operations targeting a down peer fail at
-// injection with ErrPeerUnreachable rather than waiting out a deadline.
+// PeerDown reports whether this rank currently declares peer down (always
+// false without the liveness detector). Operations targeting a down peer
+// fail at injection with ErrPeerUnreachable rather than waiting out a
+// deadline. Down is no longer forever: a restarted peer that rejoins
+// under a new incarnation is readmitted, after which PeerDown reads false
+// again — callers gating long-lived loops should re-check per operation
+// rather than caching the verdict.
 func (ep *Endpoint) PeerDown(peer int) bool {
 	lv := ep.dom.lv
 	return lv != nil && lv.down(ep.rank, peer)
 }
 
-// AnyPeerDown cheaply reports whether this rank has declared any peer
+// AnyPeerDown cheaply reports whether this rank has EVER declared a peer
 // down (one atomic load — the per-rank down epoch is bumped on each
-// declaration), so blocking protocols can test it every spin iteration.
+// declaration and never reset), so blocking protocols can test it every
+// spin iteration. After a readmission it may read true with no peer
+// currently down; callers treat it as a hint and re-check the specific
+// peers they depend on (PeerDown), so the stale-true costs a slow-path
+// pass, never a wrong answer.
 func (ep *Endpoint) AnyPeerDown() bool {
 	lv := ep.dom.lv
 	return lv != nil && lv.epochOf(ep.rank) != 0
@@ -848,6 +928,11 @@ type opSlot struct {
 	// allocation-free like puts.
 	dst  []byte
 	peer int32
+	// gen is the peer's death generation at registration (Endpoint.
+	// DownGen): a peer-death sweep fails only entries whose gen predates
+	// the death, so operations registered against a readmitted peer
+	// survive the sweep burying its previous incarnation.
+	gen uint32
 }
 
 type opTable struct {
@@ -869,22 +954,23 @@ type opTable struct {
 }
 
 // add registers a reply-consuming completion callback and returns its
-// cookie.
-func (t *opTable) add(peer int, cb func(*Msg, error)) uint64 {
-	return t.register(opSlot{msg: cb, peer: int32(peer)})
+// cookie. gen is the target's death generation at registration
+// (Endpoint.DownGen), as for all three registration forms.
+func (t *opTable) add(peer int, gen uint32, cb func(*Msg, error)) uint64 {
+	return t.register(opSlot{msg: cb, peer: int32(peer), gen: gen})
 }
 
 // addDone registers a bare acknowledgment callback and returns its
 // cookie.
-func (t *opTable) addDone(peer int, done func(error)) uint64 {
-	return t.register(opSlot{done: done, peer: int32(peer)})
+func (t *opTable) addDone(peer int, gen uint32, done func(error)) uint64 {
+	return t.register(opSlot{done: done, peer: int32(peer), gen: gen})
 }
 
 // addGet registers a bare acknowledgment callback whose reply payload is
 // copied into dst before done runs — the closure-free get-class
 // registration. On failure dst is untouched and done receives the error.
-func (t *opTable) addGet(peer int, dst []byte, done func(error)) uint64 {
-	return t.register(opSlot{done: done, dst: dst, peer: int32(peer)})
+func (t *opTable) addGet(peer int, gen uint32, dst []byte, done func(error)) uint64 {
+	return t.register(opSlot{done: done, dst: dst, peer: int32(peer), gen: gen})
 }
 
 func (t *opTable) register(s opSlot) uint64 {
@@ -920,13 +1006,16 @@ func (t *opTable) take(cookie uint64) (opSlot, bool) {
 	return s, true
 }
 
-// failPeer retires every entry targeting peer, invoking its callback with
-// err (nil Msg), and returns the number failed. Owner goroutine only.
-func (t *opTable) failPeer(peer int32, err error) int {
+// failPeer retires every entry targeting peer whose registration
+// generation predates gen (the peer's current death generation), invoking
+// its callback with err (nil Msg), and returns the number failed.
+// Entries registered at or after gen belong to the peer's readmitted
+// incarnation and are left standing. Owner goroutine only.
+func (t *opTable) failPeer(peer int32, gen uint32, err error) int {
 	n := 0
 	for id := range t.slots {
 		s := t.slots[id]
-		if (s.msg == nil && s.done == nil) || s.peer != peer {
+		if (s.msg == nil && s.done == nil) || s.peer != peer || s.gen >= gen {
 			continue
 		}
 		t.slots[id] = opSlot{}

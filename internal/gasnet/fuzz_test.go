@@ -46,7 +46,8 @@ func FuzzDecodeDatagram(f *testing.F) {
 
 	seq := make([]byte, relHeaderLen)
 	seq[0] = frameSeq
-	seq[3] = 1 // seq = 1
+	seq[3] = 1 // incarnation = 1
+	seq[7] = 1 // seq = 1
 	f.Add(append(seq, single...))
 
 	f.Add([]byte{})
@@ -57,7 +58,7 @@ func FuzzDecodeDatagram(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame := data
 		if len(frame) > 0 && frame[0] == frameSeq {
-			if _, _, _, err := parseRelHeader(frame); err != nil {
+			if _, _, _, _, err := parseRelHeader(frame); err != nil {
 				return
 			}
 			frame = frame[relHeaderLen:]
@@ -95,36 +96,53 @@ func FuzzDecodeFrameSeq(f *testing.F) {
 
 	m := Msg{Handler: HandlerUserBase, From: 0, A0: 7, Payload: []byte("seq")}
 	inner := append([]byte{frameSingle}, encodeMsg(nil, &m)...)
-	hdr := func(from uint16, seq, ack uint32) []byte {
+	hdr := func(from uint16, inc, seq, ack uint32) []byte {
 		b := make([]byte, relHeaderLen)
 		b[0] = frameSeq
 		binary.LittleEndian.PutUint16(b[1:3], from)
-		binary.LittleEndian.PutUint32(b[3:7], seq)
-		binary.LittleEndian.PutUint32(b[7:11], ack)
+		binary.LittleEndian.PutUint32(b[3:7], inc)
+		binary.LittleEndian.PutUint32(b[7:11], seq)
+		binary.LittleEndian.PutUint32(b[11:15], ack)
 		return b
 	}
 	// Well-formed in-order frame, a future (parked) frame, a duplicate, a
-	// forged out-of-window sequence, and a standalone ack.
-	f.Add(append(hdr(0, 1, 0), inner...))
-	f.Add(append(hdr(0, 5, 0), inner...))
-	f.Add(append(hdr(0, 1, 2), inner...))
-	f.Add(append(hdr(0, 1<<30, 0), inner...))
-	f.Add(hdr(0, 0, 99))
+	// forged out-of-window sequence, and a standalone ack. The in-process
+	// domain's incarnation is 1 (epoch 0 normalizes to 1).
+	f.Add(append(hdr(0, 1, 1, 0), inner...))
+	f.Add(append(hdr(0, 1, 5, 0), inner...))
+	f.Add(append(hdr(0, 1, 1, 2), inner...))
+	f.Add(append(hdr(0, 1, 1<<30, 0), inner...))
+	f.Add(hdr(0, 1, 0, 99))
+	// Stale and zero incarnations: dropped and counted, never delivered.
+	f.Add(append(hdr(0, 2, 1, 0), inner...))
+	f.Add(append(hdr(0, 0, 1, 0), inner...))
 	// Bogus sender ranks and truncated headers.
-	f.Add(append(hdr(9, 1, 0), inner...))
-	f.Add(hdr(0, 3, 0)[:5])
+	f.Add(append(hdr(9, 1, 1, 0), inner...))
+	f.Add(hdr(0, 1, 3, 0)[:5])
+	f.Add(hdr(0, 1, 3, 0)[:9])
 	// Batch with overlapping/overrunning entry lengths inside a valid
 	// sequenced header.
 	enc := encodeMsg(nil, &m)
 	batch := []byte{frameBatch, 2, 0}
 	batch = append(batch, byte(len(enc)+50), byte((len(enc)+50)>>8), 0, 0)
 	batch = append(batch, enc...)
-	f.Add(append(hdr(0, 2, 0), batch...))
+	f.Add(append(hdr(0, 1, 2, 0), batch...))
 	// Truncated batch payload: count promises more than the frame holds.
-	f.Add(append(hdr(0, 3, 0), frameBatch, 9, 0, 1, 2, 3))
-	// Heartbeat and raw frames take the non-sequenced path.
+	f.Add(append(hdr(0, 1, 3, 0), frameBatch, 9, 0, 1, 2, 3))
+	// Heartbeat and raw frames take the non-sequenced path: a well-formed
+	// incarnation-bearing heartbeat, a stale one, and truncated stubs.
+	f.Add([]byte{frameHB, 0, 0, 1, 0, 0, 0})
+	f.Add([]byte{frameHB, 0, 0, 9, 9, 0, 0})
 	f.Add([]byte{frameHB, 0, 0})
 	f.Add([]byte{frameHB, 77})
+	// Join frames (ignored outside multiproc worlds, but must parse
+	// safely): well-formed, bad address, truncated, oversized length byte.
+	join := []byte{frameJoin, 0, 0, 2, 0, 0, 0, 14}
+	join = append(join, []byte("127.0.0.1:9999")...)
+	f.Add(append([]byte(nil), join...))
+	f.Add([]byte{frameJoin, 0, 0, 2, 0, 0, 0, 3, 'b', 'a', 'd'})
+	f.Add([]byte{frameJoin, 0, 0, 2, 0, 0, 0, 200, 'x'})
+	f.Add([]byte{frameJoin, 0, 0})
 	f.Add(inner)
 	f.Add([]byte{})
 

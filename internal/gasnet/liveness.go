@@ -3,6 +3,8 @@ package gasnet
 import (
 	"encoding/binary"
 	"errors"
+	"net/netip"
+	"sync"
 	"sync/atomic"
 
 	"gupcxx/internal/obs"
@@ -16,10 +18,14 @@ var ErrPeerUnreachable = errors.New("gasnet: peer unreachable")
 
 // Per-peer liveness states. Alive is the zero value; Suspect is a peer
 // that has fallen silent past Config.SuspectAfter (recoverable — hearing
-// from it restores Alive); Down is terminal (sticky): silence past
-// Config.DownAfter or an exhausted retransmission budget. Once a peer is
-// Down every operation targeting it fails with ErrPeerUnreachable instead
-// of hanging.
+// from it restores Alive); Down is reached through silence past
+// Config.DownAfter or an exhausted retransmission budget. Down is sticky
+// within one incarnation of the peer — late datagrams from a
+// declared-dead process never resurrect it — but it is not terminal: a
+// restarted peer re-registers under a bumped epoch and is readmitted
+// (Down→Alive with fully reset reliability state) when its join frame
+// arrives (see handleJoin). While a peer is Down every operation
+// targeting it fails with ErrPeerUnreachable instead of hanging.
 const (
 	peerAlive int32 = iota
 	peerSuspect
@@ -79,6 +85,53 @@ type liveness struct {
 	// sweep their op tables on change (domain.go).
 	epoch []atomic.Uint32
 
+	// peerInc[local*ranks+peer] is the incarnation local currently accepts
+	// from peer: the epoch the peer's process registered under. 0 means
+	// "never heard" — the first frame from the peer adopts its incarnation
+	// (rejoiners boot with an all-zero row, since any subset of the world
+	// may have restarted while they were gone). A frame stamped with any
+	// other incarnation is rejected by checkInc before ANY processing: no
+	// heardRound refresh, no ack completion, no delivery. The recorded
+	// incarnation only moves forward through readmit (join frames), never
+	// through ordinary traffic — a one-sided adopt would desync the
+	// sequenced streams (a reset sender's frames 1..n would be dup-dropped
+	// yet re-acked by a receiver whose cumSeq survived).
+	peerInc []atomic.Uint32
+
+	// deaths[local*ranks+peer] counts how many times local has declared
+	// peer down. Op-table entries are stamped with the count at
+	// registration (Endpoint.DownGen); the Poll-time sweep fails exactly
+	// the entries whose stamp predates the current count, so operations
+	// registered against a readmitted peer survive the sweep that buries
+	// its previous incarnation.
+	deaths []atomic.Uint32
+
+	// staleEv[local*ranks+peer] edge-limits EvStaleIncarnation: armed on
+	// the first stale drop of an episode, cleared on readmission.
+	// Stats.StaleIncarnationDrops counts every drop.
+	staleEv []atomic.Bool
+
+	// mmu serializes readmit: join frames can arrive on the socket reader
+	// while the ticker is sweeping the same pair, and readmission is a
+	// multi-step transition (down-mark, pair reset, incarnation adopt)
+	// that must not interleave with itself.
+	mmu sync.Mutex
+
+	// rejoin marks this domain as a restarted rank (Config.Rejoin): the
+	// ticker announces the new incarnation with join frames each heartbeat
+	// round until every live peer has acked new-incarnation traffic.
+	// Ticker-goroutine-local after construction.
+	rejoin bool
+
+	// readmitOff (Config.DisableReadmission) restores sticky-Down: join
+	// frames are ignored and a dead peer stays dead.
+	readmitOff bool
+
+	// joinFrame is the prebuilt announcement ([frameJoin][rank u16]
+	// [incarnation u32][addr len u8][addr]); built once at construction
+	// for the rejoin case.
+	joinFrame []byte
+
 	lastHB int64 // ticker-local: cached-clock time of the last heartbeat round
 }
 
@@ -94,12 +147,36 @@ func newLiveness(d *Domain, now int64) *liveness {
 		heardRound:    make([]atomic.Int64, d.cfg.Ranks*d.cfg.Ranks),
 		state:         make([]atomic.Int32, d.cfg.Ranks*d.cfg.Ranks),
 		epoch:         make([]atomic.Uint32, d.cfg.Ranks),
+		peerInc:       make([]atomic.Uint32, d.cfg.Ranks*d.cfg.Ranks),
+		deaths:        make([]atomic.Uint32, d.cfg.Ranks*d.cfg.Ranks),
+		staleEv:       make([]atomic.Bool, d.cfg.Ranks*d.cfg.Ranks),
+		readmitOff:    d.cfg.DisableReadmission,
 	}
 	if lv.downRounds <= lv.suspectRounds {
 		lv.downRounds = lv.suspectRounds + 1
 	}
 	if d.cfg.Multiproc {
 		lv.self = d.cfg.Self
+		lv.rejoin = d.cfg.Rejoin
+	}
+	if lv.rejoin {
+		// A restarted rank cannot assume anything about who else restarted
+		// while it was gone: every peer incarnation starts unknown (0) and
+		// is adopted from the first frame heard. Its own identity is
+		// announced with join frames until acknowledged.
+		addr := []byte(d.cfg.Peers[d.cfg.Self].String())
+		lv.joinFrame = make([]byte, joinFrameMin+len(addr))
+		lv.joinFrame[0] = frameJoin
+		binary.LittleEndian.PutUint16(lv.joinFrame[1:3], uint16(d.cfg.Self))
+		binary.LittleEndian.PutUint32(lv.joinFrame[3:7], d.inc)
+		lv.joinFrame[7] = byte(len(addr))
+		copy(lv.joinFrame[joinFrameMin:], addr)
+	} else {
+		// Everyone registered under the same epoch at the initial barrier:
+		// the whole world shares one incarnation until somebody restarts.
+		for i := range lv.peerInc {
+			lv.peerInc[i].Store(d.inc)
+		}
 	}
 	lv.lastHB = now
 	return lv
@@ -146,6 +223,81 @@ func (lv *liveness) down(local, peer int) bool {
 // epochOf returns local's down-event counter.
 func (lv *liveness) epochOf(local int) uint32 { return lv.epoch[local].Load() }
 
+// incOf returns the incarnation local currently accepts from peer (0:
+// never heard). A rank's own incarnation is the domain's.
+func (lv *liveness) incOf(local, peer int) uint32 {
+	if peer == local {
+		return lv.d.inc
+	}
+	return lv.peerInc[lv.idx(local, peer)].Load()
+}
+
+// deathsOf returns how many times local has declared peer down — the
+// generation stamp for op-table entries (see the deaths field).
+func (lv *liveness) deathsOf(local, peer int) uint32 {
+	return lv.deaths[lv.idx(local, peer)].Load()
+}
+
+// checkInc is the incarnation gate every received frame (sequenced,
+// heartbeat, bye) passes before ANY processing. It accepts a frame whose
+// stamp matches the recorded incarnation, adopts the stamp when none is
+// recorded yet (first contact — common for rejoiners, whose whole row
+// starts unknown), and rejects everything else: a mismatched stamp is
+// either the dead incarnation's last datagrams draining out of the
+// network or a restarted peer that has not yet been readmitted through a
+// join frame — in both cases processing it against the current pair
+// state would corrupt the sequenced streams. Rejected frames are counted
+// (Stats.StaleIncarnationDrops) and edge-reported (EvStaleIncarnation).
+// Adopting never resets pair state and never resurrects a Down peer:
+// readmission is handleJoin's job, where both sides reset coherently.
+func (lv *liveness) checkInc(local, peer int, inc uint32) bool {
+	if peer < 0 || peer >= lv.ranks {
+		return false
+	}
+	if peer == local {
+		// Self-sends loop through the socket; our own frames are current
+		// exactly when they carry our own incarnation.
+		return inc == lv.d.inc
+	}
+	if inc == 0 {
+		lv.d.decodeErrors.Add(1) // 0 is never a valid incarnation
+		return false
+	}
+	i := lv.idx(local, peer)
+	for {
+		rec := lv.peerInc[i].Load()
+		if rec == inc {
+			if lv.state[i].Load() == peerDown {
+				// The recorded incarnation was declared dead: its late
+				// datagrams drain out as counted stale drops — they must
+				// not refresh the silence clock or look like recovery.
+				// Only a join frame from a NEWER incarnation returns.
+				lv.noteStale(local, peer, inc, rec)
+				return false
+			}
+			return true
+		}
+		if rec == 0 {
+			if lv.peerInc[i].CompareAndSwap(0, inc) {
+				return true
+			}
+			continue // raced with another adopter; re-read
+		}
+		lv.noteStale(local, peer, inc, rec)
+		return false
+	}
+}
+
+// noteStale counts one incarnation-mismatch drop and emits
+// EvStaleIncarnation on the first drop of an episode (the flag clears on
+// readmission). A holds the stamp on the frame, B the recorded one.
+func (lv *liveness) noteStale(local, peer int, inc, rec uint32) {
+	lv.d.staleIncarnationDrops.Add(1)
+	if lv.staleEv[lv.idx(local, peer)].CompareAndSwap(false, true) {
+		lv.d.emit(obs.EvStaleIncarnation, local, peer, int64(inc), int64(rec))
+	}
+}
+
 // markSuspect transitions local's view of peer from Alive to Suspect —
 // the overload signal from sustained receive-side shedding (reliable.go
 // sweep), sharing the state machine with silence-based suspicion. A
@@ -161,9 +313,12 @@ func (lv *liveness) markSuspect(local, peer int) {
 	}
 }
 
-// markDown transitions local's view of peer to Down (idempotent) and bumps
-// local's epoch so the rank goroutine sweeps its op table at the next
-// Poll. Callable from any goroutine.
+// markDown transitions local's view of peer to Down (idempotent within
+// one incarnation — readmission resets the state and a later death counts
+// again) and bumps local's epoch so the rank goroutine sweeps its op
+// table at the next Poll. The deaths stamp rises before the epoch so a
+// sweep triggered by the epoch change always observes the new
+// generation. Callable from any goroutine.
 func (lv *liveness) markDown(local, peer int) {
 	i := lv.idx(local, peer)
 	for {
@@ -177,6 +332,7 @@ func (lv *liveness) markDown(local, peer int) {
 	}
 	lv.d.peersDown.Add(1)
 	lv.d.emit(obs.EvPeerDown, local, peer, 0, 0)
+	lv.deaths[i].Add(1)
 	lv.epoch[local].Add(1)
 	if r := lv.d.rel; r != nil {
 		r.releasePair(local, peer)
@@ -196,6 +352,9 @@ func (lv *liveness) tick(now int64) {
 	}
 	lv.lastHB = now
 	lv.broadcast()
+	if lv.rejoin {
+		lv.sendJoins()
+	}
 	round := lv.round.Add(1)
 	for local := 0; local < lv.ranks; local++ {
 		if lv.self >= 0 && local != lv.self {
@@ -206,6 +365,14 @@ func (lv *liveness) tick(now int64) {
 				continue
 			}
 			i := lv.idx(local, peer)
+			if lv.peerInc[i].Load() == 0 {
+				// Never heard from this peer (we booted as a rejoiner):
+				// silence accrues only against a known incarnation, so a
+				// rejoining rank cannot spuriously bury survivors it has
+				// not met yet. A truly-dead peer is still caught by
+				// retransmission exhaustion the moment we send to it.
+				continue
+			}
 			silent := round - lv.heardRound[i].Load()
 			switch lv.state[i].Load() {
 			case peerAlive:
@@ -223,8 +390,17 @@ func (lv *liveness) tick(now int64) {
 	}
 }
 
-// hbFrameLen is the heartbeat frame: [frameHB u8] [sender rank u16 LE].
-const hbFrameLen = 3
+// hbFrameLen is the heartbeat frame:
+// [frameHB u8] [sender rank u16 LE] [sender incarnation u32 LE].
+const hbFrameLen = 7
+
+// joinFrameMin is the fixed prefix of a join announcement:
+// [frameJoin u8] [sender rank u16 LE] [sender incarnation u32 LE]
+// [addr len u8], followed by the sender's UDP address as text. The
+// address rides in the frame because a restarted rank binds a fresh
+// socket — survivors' address tables point at the dead port until
+// readmission rewrites them.
+const joinFrameMin = 8
 
 // broadcast ships one heartbeat from every rank to every non-down peer.
 // Heartbeats are unsequenced and unreliable — losing one is exactly the
@@ -234,6 +410,7 @@ const hbFrameLen = 3
 func (lv *liveness) broadcast() {
 	var frame [hbFrameLen]byte
 	frame[0] = frameHB
+	binary.LittleEndian.PutUint32(frame[3:7], lv.d.inc)
 	for from := 0; from < lv.ranks; from++ {
 		if lv.self >= 0 && from != lv.self {
 			continue // only Self has a socket in a multiproc world
@@ -246,5 +423,102 @@ func (lv *liveness) broadcast() {
 			lv.d.heartbeatsSent.Add(1)
 			lv.d.writeFrame(from, to, frame[:])
 		}
+	}
+}
+
+// sendJoins announces this rank's new incarnation to every peer that has
+// not yet acknowledged traffic from it. Runs on the ticker each heartbeat
+// round while rejoin is set — join frames are unsequenced and ride the
+// same lossy path as heartbeats, so announcement is retried until the
+// proof of readmission arrives: a cumulative ack covering any sequenced
+// frame this incarnation sent (the peer's incarnation gate would have
+// dropped it otherwise). Idle pairs keep announcing at heartbeat cadence;
+// the first acked datagram stops it.
+func (lv *liveness) sendJoins() {
+	self := lv.self // rejoin implies multiproc, so self >= 0
+	pending := false
+	for to := 0; to < lv.ranks; to++ {
+		if to == self || lv.down(self, to) {
+			continue
+		}
+		if r := lv.d.rel; r != nil {
+			p := r.pair(self, to)
+			p.mu.Lock()
+			acked := p.sendAcked
+			p.mu.Unlock()
+			if acked > 0 {
+				continue // the peer acked new-incarnation traffic: readmitted
+			}
+		}
+		pending = true
+		lv.d.joinsSent.Add(1)
+		lv.d.writeFrame(self, to, lv.joinFrame)
+	}
+	if !pending {
+		lv.rejoin = false // every live peer has us; stop announcing
+	}
+}
+
+// handleJoin processes a join announcement from peer claiming incarnation
+// inc at addr. Runs on the socket reader goroutine. A duplicate of the
+// current incarnation is proof of life (announcement is retried until
+// acked); a stamp older than the recorded incarnation is the dead
+// process's last frames draining out; anything newer — or a first
+// contact — goes through readmit.
+func (lv *liveness) handleJoin(local, peer int, inc uint32, addr netip.AddrPort) {
+	if lv.readmitOff || peer < 0 || peer >= lv.ranks || peer == local || inc == 0 {
+		return
+	}
+	rec := lv.peerInc[lv.idx(local, peer)].Load()
+	switch {
+	case rec == inc:
+		lv.heard(local, peer)
+	case rec != 0 && inc < rec:
+		lv.noteStale(local, peer, inc, rec)
+	default:
+		lv.readmit(local, peer, inc, addr)
+	}
+}
+
+// readmit installs a new incarnation of peer: the multi-step
+// Down→Readmitted transition at the core of elastic membership. If the
+// old incarnation was never declared dead (a fast restart, quicker than
+// DownAfter), it is declared dead NOW — every op in flight against it
+// must fail with ErrPeerUnreachable, never silently retarget the new
+// process. Then the pair's reliability state resets on our side (the
+// joiner's is fresh by construction — this symmetry is what keeps the
+// sequenced streams coherent), the address table learns the new socket,
+// and the peer returns to Alive under its new identity. Ordering within:
+// the pair must be fully reset before Alive becomes visible, so a sender
+// that observes Alive never races a half-buried stream.
+func (lv *liveness) readmit(local, peer int, inc uint32, addr netip.AddrPort) {
+	lv.mmu.Lock()
+	defer lv.mmu.Unlock()
+	i := lv.idx(local, peer)
+	rec := lv.peerInc[i].Load()
+	if rec == inc || (rec != 0 && inc < rec) {
+		return // another reader resolved this join while we waited
+	}
+	hadOld := rec != 0
+	wasDown := lv.state[i].Load() == peerDown
+	if hadOld && !wasDown {
+		lv.markDown(local, peer)
+		wasDown = true
+	}
+	if lv.d.udp != nil && addr.IsValid() {
+		lv.d.udp.setAddr(peer, addr)
+	}
+	if r := lv.d.rel; r != nil && (hadOld || wasDown) {
+		r.resetPair(local, peer)
+	}
+	lv.peerInc[i].Store(inc)
+	lv.heardRound[i].Store(lv.round.Load())
+	lv.staleEv[i].Store(false)
+	lv.state[i].Store(peerAlive)
+	if hadOld || wasDown {
+		lv.d.peersReadmitted.Add(1)
+		lv.d.emit(obs.EvPeerReadmitted, local, peer, int64(inc), int64(rec))
+		// Wake the rank: ops refused while the peer was Down can flow again.
+		lv.d.eps[local].notify()
 	}
 }

@@ -246,9 +246,9 @@ func TestBatchDeliveryCorruptFrame(t *testing.T) {
 		return append([]byte{frameSingle}, encodeMsg(nil, &m)...)
 	}
 	frames := []batchFrame{
-		{b: valid(1), addr: d.udp.addrs[1]},
-		{b: []byte{0xEE, 0xBA, 0xD0}, addr: d.udp.addrs[1]}, // unknown tag
-		{b: valid(2), addr: d.udp.addrs[1]},
+		{b: valid(1), addr: d.udp.addrOf(1)},
+		{b: []byte{0xEE, 0xBA, 0xD0}, addr: d.udp.addrOf(1)}, // unknown tag
+		{b: valid(2), addr: d.udp.addrOf(1)},
 	}
 	if err := d.udp.send[0].WriteBatch(frames); err != nil {
 		t.Fatal(err)

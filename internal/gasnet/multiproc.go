@@ -19,6 +19,7 @@ import (
 	"log"
 	"net"
 	"net/netip"
+	"sync/atomic"
 )
 
 // initUDPMultiproc adopts the pre-bound socket from the configuration and
@@ -32,7 +33,10 @@ func (d *Domain) initUDPMultiproc() error {
 		conns: make([]*net.UDPConn, d.cfg.Ranks),
 		send:  make([]packetConn, d.cfg.Ranks),
 		read:  make([]batchConn, d.cfg.Ranks),
-		addrs: append([]netip.AddrPort(nil), d.cfg.Peers...),
+		addrs: make([]atomic.Pointer[netip.AddrPort], d.cfg.Ranks),
+	}
+	for r, a := range d.cfg.Peers {
+		tr.setAddr(r, a)
 	}
 	conn := d.cfg.SelfConn
 	// A generous receive buffer, exactly as on the in-process path: in a

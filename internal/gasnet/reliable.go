@@ -21,7 +21,7 @@ import (
 //
 // Wire format: every payload datagram is wrapped in a sequenced frame
 //
-//	[frameSeq u8] [sender rank u16 LE] [seq u32 LE] [ack u32 LE] [inner]
+//	[frameSeq u8] [sender rank u16 LE] [incarnation u32 LE] [seq u32 LE] [ack u32 LE] [inner]
 //
 // where inner is a complete frameSingle or frameBatch frame — a coalesced
 // burst rides inside one sequenced frame and is retransmitted as a unit.
@@ -31,7 +31,11 @@ import (
 // highest contiguously received sequence number from its destination, and
 // a domain-level ticker ships a standalone ack when a receiver has sat on
 // a pending ack for longer than relAckDelay with nothing to piggyback it
-// on.
+// on. incarnation is the sender's epoch-stamped identity (liveness.go):
+// a frame stamped with a dead incarnation of the sender — a datagram that
+// outlived its process — is rejected before any ack or delivery
+// processing, so a restarted rank's fresh streams are never corrupted by
+// its predecessor's retransmissions.
 //
 // Sender side, per (sender, peer) pair: datagrams are stamped with the
 // next sequence number and retained in a retransmission queue (one buffer
@@ -78,8 +82,9 @@ import (
 // rates, exhausting them would take years of continuous traffic.
 
 const (
-	// relHeaderLen is the sequenced-frame prefix: tag, sender rank, seq, ack.
-	relHeaderLen = 1 + 2 + 4 + 4
+	// relHeaderLen is the sequenced-frame prefix: tag, sender rank,
+	// sender incarnation, seq, ack.
+	relHeaderLen = 1 + 2 + 4 + 4 + 4
 
 	// relWindow bounds both the per-pair in-flight (unacked) datagrams and
 	// the receive-side reorder buffer.
@@ -298,17 +303,18 @@ func (r *reliability) pair(local, peer int) *relPair {
 
 // parseRelHeader validates a sequenced frame's fixed prefix. The inner
 // frame, if any, starts at relHeaderLen.
-func parseRelHeader(b []byte) (from uint16, seq, ack uint32, err error) {
+func parseRelHeader(b []byte) (from uint16, inc, seq, ack uint32, err error) {
 	if len(b) < relHeaderLen {
-		return 0, 0, 0, fmt.Errorf("gasnet: truncated sequenced frame (%d bytes)", len(b))
+		return 0, 0, 0, 0, fmt.Errorf("gasnet: truncated sequenced frame (%d bytes)", len(b))
 	}
 	if b[0] != frameSeq {
-		return 0, 0, 0, fmt.Errorf("gasnet: sequenced frame has tag %#x", b[0])
+		return 0, 0, 0, 0, fmt.Errorf("gasnet: sequenced frame has tag %#x", b[0])
 	}
 	from = binary.LittleEndian.Uint16(b[1:3])
-	seq = binary.LittleEndian.Uint32(b[3:7])
-	ack = binary.LittleEndian.Uint32(b[7:11])
-	return from, seq, ack, nil
+	inc = binary.LittleEndian.Uint32(b[3:7])
+	seq = binary.LittleEndian.Uint32(b[7:11])
+	ack = binary.LittleEndian.Uint32(b[11:15])
+	return from, inc, seq, ack, nil
 }
 
 // send stamps wb (whose first relHeaderLen bytes were reserved by the
@@ -380,8 +386,9 @@ func (r *reliability) trySeal(from, to int, wb *wireBuf) (ok, full bool) {
 	b := wb.b
 	b[0] = frameSeq
 	binary.LittleEndian.PutUint16(b[1:3], uint16(from))
-	binary.LittleEndian.PutUint32(b[3:7], seq)
-	binary.LittleEndian.PutUint32(b[7:11], ack)
+	binary.LittleEndian.PutUint32(b[3:7], r.d.inc)
+	binary.LittleEndian.PutUint32(b[7:11], seq)
+	binary.LittleEndian.PutUint32(b[11:15], ack)
 	wb.retain(1) // the retransmission queue's reference; released on ack
 	rto := p.rto
 	p.inflight = append(p.inflight, relEntry{
@@ -442,13 +449,21 @@ func (p *relPair) sampleRTT(rtt int64) {
 // It runs on ep's socket reader goroutine.
 func (r *reliability) receive(ep *Endpoint, wb *wireBuf) {
 	d := r.d
-	from, seq, ack, err := parseRelHeader(wb.b)
+	from, inc, seq, ack, err := parseRelHeader(wb.b)
 	if err != nil || int(from) >= d.cfg.Ranks {
 		d.decodeErrors.Add(1)
 		wb.release()
 		return
 	}
 	if r.lv != nil {
+		// Incarnation gate before ANY processing: a frame from a dead
+		// incarnation of the sender must not refresh liveness, complete
+		// acks, or deliver — its process is gone and its streams were
+		// reset (or will be, on readmission).
+		if !r.lv.checkInc(ep.rank, int(from), inc) {
+			wb.release()
+			return
+		}
 		// Any sequenced traffic is proof of life; heartbeats only carry
 		// the idle case.
 		r.lv.heard(ep.rank, int(from))
@@ -648,8 +663,9 @@ func (r *reliability) sendAck(from, to int, ack uint32) {
 	b := wb.b
 	b[0] = frameSeq
 	binary.LittleEndian.PutUint16(b[1:3], uint16(from))
-	binary.LittleEndian.PutUint32(b[3:7], 0)
-	binary.LittleEndian.PutUint32(b[7:11], ack)
+	binary.LittleEndian.PutUint32(b[3:7], d.inc)
+	binary.LittleEndian.PutUint32(b[7:11], 0)
+	binary.LittleEndian.PutUint32(b[11:15], ack)
 	d.acksStandalone.Add(1)
 	d.writeFrame(from, to, b)
 	wb.release()
@@ -726,7 +742,7 @@ func (r *reliability) sweep(now int64) {
 				// Refresh the piggybacked ack in place: the queue holds
 				// the only live reference to these bytes after the
 				// initial transmission.
-				binary.LittleEndian.PutUint32(e.wb.b[7:11], p.cumSeq)
+				binary.LittleEndian.PutUint32(e.wb.b[11:15], p.cumSeq)
 				p.lastAck = p.cumSeq
 				p.ackPending = false
 				d.retransmits.Add(1)
@@ -789,6 +805,47 @@ func (r *reliability) releasePair(from, to int) {
 		p.inflight[i] = relEntry{}
 	}
 	p.inflight = p.inflight[:0]
+	p.mu.Unlock()
+}
+
+// resetPair returns the from↔to pair to its just-constructed state — both
+// halves: the send stream (sequence counter, retransmission queue,
+// RTT/RTO estimator, AIMD window) and the receive stream (cumulative
+// sequence, reorder buffer, ack pacing). Called on peer readmission
+// (liveness.go): the restarted peer starts its streams from scratch, so
+// any surviving state on our side — a cumSeq the new incarnation never
+// sent, an estimator tuned to the dead process — would silently
+// dup-drop or misclock the fresh streams. Both sides reset coherently:
+// the joiner's state is fresh by construction, the survivor resets here.
+func (r *reliability) resetPair(from, to int) {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	for i := range p.inflight {
+		p.inflight[i].wb.release()
+		p.inflight[i] = relEntry{}
+	}
+	p.inflight = p.inflight[:0]
+	for seq, wb := range p.reorder {
+		wb.release()
+		delete(p.reorder, seq)
+	}
+	p.nextSeq = 0
+	p.srtt = 0
+	p.rttvar = 0
+	p.rto = relRTO
+	p.cwnd = r.window
+	p.sendAcked = 0
+	p.recoverSeq = 0
+	p.cumSeq = 0
+	p.lastAck = 0
+	p.reorderBytes = 0
+	p.shedRecent = 0
+	p.ackPending = false
+	p.ackSince = 0
+	p.ackDelay = relAckDelay
+	p.ackHint.Store(false)
+	p.down = false
+	p.bpBlocked = false
 	p.mu.Unlock()
 }
 

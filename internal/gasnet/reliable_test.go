@@ -244,8 +244,9 @@ func TestReliableOutOfWindowDrop(t *testing.T) {
 	wb.b = wire
 	wb.b[0] = frameSeq
 	wb.b[1], wb.b[2] = 0, 0 // from rank 0
-	putU32(wb.b[3:7], relWindow+12345)
-	putU32(wb.b[7:11], 0)
+	putU32(wb.b[3:7], d.inc) // current incarnation: past the stale filter
+	putU32(wb.b[7:11], relWindow+12345)
+	putU32(wb.b[11:15], 0)
 	d.receiveDatagram(d.Endpoint(1), wb)
 	if s := d.Stats(); s.OutOfWindowDrops != 1 {
 		t.Errorf("OutOfWindowDrops = %d, want 1", s.OutOfWindowDrops)

@@ -60,7 +60,7 @@ func (ep *Endpoint) PutRemote(to int, off uint32, data []byte, remoteFn func(*En
 		onDone(ErrPeerUnreachable)
 		return
 	}
-	cookie := ep.ops.addDone(to, onDone)
+	cookie := ep.ops.addDone(to, ep.DownGen(to), onDone)
 	// Stage the payload in a pooled buffer: Send consumes the reference
 	// (transferring it to the receiver in-memory, or dropping it once the
 	// bytes are on the wire), so steady-state puts allocate nothing.
@@ -92,7 +92,7 @@ func (ep *Endpoint) PutNotifyRemote(to int, off uint32, data []byte, id uint32, 
 		onDone(ErrPeerUnreachable)
 		return
 	}
-	cookie := ep.ops.addDone(to, onDone)
+	cookie := ep.ops.addDone(to, ep.DownGen(to), onDone)
 	wb := ep.dom.arena.get(len(data) + len(args))
 	copy(wb.b, data)
 	copy(wb.b[len(data):], args)
@@ -202,7 +202,7 @@ func (ep *Endpoint) GetRemote(to int, off uint32, n int, dst []byte, onDone func
 	if onDone == nil {
 		onDone = nopAck
 	}
-	cookie := ep.ops.addGet(to, dst, onDone)
+	cookie := ep.ops.addGet(to, ep.DownGen(to), dst, onDone)
 	ep.Send(to, Msg{
 		Handler: hGetReq,
 		A0:      cookie,
@@ -251,7 +251,7 @@ func (ep *Endpoint) AmoRemote(to int, off uint32, op AmoOp, operand1, operand2 u
 			onOld(m.A1, nil)
 		}
 	}
-	cookie := ep.ops.add(to, cb)
+	cookie := ep.ops.add(to, ep.DownGen(to), cb)
 	ep.Send(to, Msg{
 		Handler: hAmoReq,
 		A0:      cookie,

@@ -9,6 +9,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -56,13 +57,16 @@ const (
 	frameSeq    = 0x03 // reliability framing; see reliable.go
 	frameHB     = 0x04 // liveness heartbeat; see liveness.go
 	frameBye    = 0x05 // graceful departure (multiproc worlds); see sendBye
+	frameJoin   = 0x06 // incarnation announcement (readmission); see liveness.go
 )
 
-// byeFrameLen is the size of a departure frame: [frameBye u8][from u16 LE].
-// A peer that announces departure is marked Down immediately — a process
-// that exits cleanly becomes a Down peer at the speed of one datagram, not
-// after DownAfter of silence.
-const byeFrameLen = 3
+// byeFrameLen is the size of a departure frame:
+// [frameBye u8][from u16 LE][incarnation u32 LE]. A peer that announces
+// departure is marked Down immediately — a process that exits cleanly
+// becomes a Down peer at the speed of one datagram, not after DownAfter
+// of silence. The incarnation stamp keeps a late bye from a dead
+// incarnation from burying its restarted successor.
+const byeFrameLen = 7
 
 // batchHeaderLen is the fixed prefix of a frameBatch datagram; each packed
 // message adds a 4-byte length prefix on top of its encoding.
@@ -131,9 +135,11 @@ type udpTransport struct {
 	// read is the per-rank read path: always the unwrapped batch adapter
 	// (the fault shim injects on the send side only).
 	read []batchConn
-	// addrs holds each rank's socket address as a value type so the send
-	// path (WriteToUDPAddrPort) performs no per-datagram allocation.
-	addrs []netip.AddrPort
+	// addrs holds each rank's socket address behind an atomic pointer:
+	// readmission (liveness.go) rewrites a restarted peer's slot — it
+	// bound a fresh socket — while send paths are concurrently loading
+	// it. Access through addrOf/setAddr.
+	addrs []atomic.Pointer[netip.AddrPort]
 	wg    sync.WaitGroup
 
 	// rbufErr records the first SetReadBuffer failure (logged once at
@@ -146,6 +152,13 @@ type udpTransport struct {
 	closed bool
 }
 
+// addrOf returns rank to's current socket address.
+func (tr *udpTransport) addrOf(to int) netip.AddrPort { return *tr.addrs[to].Load() }
+
+// setAddr installs a new socket address for rank to — at construction,
+// and again when a restarted peer announces its fresh socket.
+func (tr *udpTransport) setAddr(to int, a netip.AddrPort) { tr.addrs[to].Store(&a) }
+
 // initUDP binds one loopback socket per rank and starts its reader
 // goroutine, which decodes datagrams into the owning endpoint's inbox. In
 // a multiproc world only this process's rank gets a socket — the one the
@@ -155,7 +168,7 @@ func (d *Domain) initUDP() error {
 	if d.cfg.Multiproc {
 		return d.initUDPMultiproc()
 	}
-	tr := &udpTransport{}
+	tr := &udpTransport{addrs: make([]atomic.Pointer[netip.AddrPort], d.cfg.Ranks)}
 	for r := 0; r < d.cfg.Ranks; r++ {
 		conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 		if err != nil {
@@ -177,7 +190,7 @@ func (d *Domain) initUDP() error {
 		}
 		tr.send = append(tr.send, pc)
 		tr.read = append(tr.read, bc)
-		tr.addrs = append(tr.addrs, conn.LocalAddr().(*net.UDPAddr).AddrPort())
+		tr.setAddr(r, conn.LocalAddr().(*net.UDPAddr).AddrPort())
 	}
 	d.udp = tr
 	if !d.cfg.UDPUnreliable {
@@ -250,9 +263,14 @@ func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
 		return
 	}
 	if len(wb.b) >= 1 && wb.b[0] == frameHB {
+		// Heartbeats count as hearing from the peer only when they carry
+		// its current incarnation — a dead process's heartbeats lingering
+		// in a socket buffer must not keep its ghost alive (checkInc
+		// counts and drops them).
 		if d.lv != nil && len(wb.b) >= hbFrameLen {
 			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
-			if from < d.cfg.Ranks {
+			inc := binary.LittleEndian.Uint32(wb.b[3:7])
+			if from < d.cfg.Ranks && d.lv.checkInc(ep.rank, from, inc) {
 				d.lv.heard(ep.rank, from)
 			}
 		}
@@ -262,11 +280,34 @@ func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
 	if len(wb.b) >= 1 && wb.b[0] == frameBye {
 		// A peer announced its graceful departure: declare it Down now
 		// instead of waiting out DownAfter of silence. Corrupt or
-		// self-referential frames are dropped — wire input is untrusted.
+		// self-referential frames are dropped — wire input is untrusted —
+		// and so is a bye stamped with a dead incarnation, which would
+		// otherwise bury the peer's restarted successor.
 		if d.lv != nil && len(wb.b) >= byeFrameLen {
 			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
-			if from < d.cfg.Ranks && from != ep.rank {
+			inc := binary.LittleEndian.Uint32(wb.b[3:7])
+			if from < d.cfg.Ranks && from != ep.rank && d.lv.checkInc(ep.rank, from, inc) {
 				d.lv.markDown(ep.rank, from)
+			}
+		}
+		wb.release()
+		return
+	}
+	if len(wb.b) >= 1 && wb.b[0] == frameJoin {
+		// A restarted peer announcing its new incarnation and socket.
+		// Multiproc worlds only — in-process ranks cannot restart — and
+		// the address is untrusted wire input: validate length and parse
+		// before it can reach the address table.
+		if d.lv != nil && d.cfg.Multiproc && len(wb.b) >= joinFrameMin {
+			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
+			inc := binary.LittleEndian.Uint32(wb.b[3:7])
+			alen := int(wb.b[7])
+			if from >= d.cfg.Ranks || from == ep.rank || len(wb.b) < joinFrameMin+alen {
+				d.decodeErrors.Add(1)
+			} else if addr, err := netip.ParseAddrPort(string(wb.b[joinFrameMin : joinFrameMin+alen])); err != nil {
+				d.decodeErrors.Add(1)
+			} else {
+				d.lv.handleJoin(ep.rank, from, inc, addr)
 			}
 		}
 		wb.release()
@@ -412,7 +453,7 @@ func (d *Domain) writeDatagram(from, to int, frame []byte) {
 // writeFrame puts one frame on the wire.
 func (d *Domain) writeFrame(from, to int, frame []byte) {
 	conn := d.udp.send[from]
-	if _, err := conn.WriteToUDPAddrPort(frame, d.udp.addrs[to]); err != nil {
+	if _, err := conn.WriteToUDPAddrPort(frame, d.udp.addrOf(to)); err != nil {
 		if errors.Is(err, net.ErrClosed) {
 			return // racing shutdown; message loss is fine post-Close
 		}
@@ -564,7 +605,7 @@ func (ep *Endpoint) stageDest(to int) {
 			}
 		}
 	}
-	ep.sendq = append(ep.sendq, batchFrame{b: wb.b, addr: d.udp.addrs[to], wb: wb})
+	ep.sendq = append(ep.sendq, batchFrame{b: wb.b, addr: d.udp.addrOf(to), wb: wb})
 }
 
 // flushStaged ships every staged frame in one vectorized write and
@@ -666,6 +707,7 @@ func (d *Domain) sendBye() {
 	var frame [byeFrameLen]byte
 	frame[0] = frameBye
 	binary.LittleEndian.PutUint16(frame[1:3], uint16(self))
+	binary.LittleEndian.PutUint32(frame[3:7], d.inc)
 	for to := 0; to < d.cfg.Ranks; to++ {
 		if to == self || (d.lv != nil && d.lv.down(self, to)) {
 			continue

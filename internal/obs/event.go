@@ -21,8 +21,10 @@ const (
 	// Alive→Suspect (silence past SuspectAfter, or sustained receive-side
 	// shedding).
 	EvPeerSuspect EventKind = iota
-	// EvPeerDown: a peer was declared Down (sticky) — silence past
-	// DownAfter or an exhausted retransmission budget.
+	// EvPeerDown: a peer was declared Down — silence past DownAfter or an
+	// exhausted retransmission budget. Down holds until the peer's next
+	// incarnation rejoins (EvPeerReadmitted); within one incarnation it is
+	// sticky.
 	EvPeerDown
 	// EvPeerRecovered: a Suspect peer was heard from again and returned
 	// to Alive.
@@ -54,6 +56,16 @@ const (
 	// Emitted once per Domain (the first fallback; Stats.InMemFallbacks
 	// counts them all). A holds the handler id of the first fallback.
 	EvInMemFallback
+	// EvPeerReadmitted: a Down (or freshly restarted) peer rejoined under
+	// a new incarnation and was readmitted with reset reliability state.
+	// A holds the new incarnation, B the previously recorded one (0 when
+	// the peer had never been heard).
+	EvPeerReadmitted
+	// EvStaleIncarnation: a frame stamped with a dead incarnation of Peer
+	// was rejected (edge-triggered per stale episode;
+	// Stats.StaleIncarnationDrops counts every drop). A holds the stale
+	// incarnation on the frame, B the currently recorded one.
+	EvStaleIncarnation
 
 	// NumEventKinds bounds the EventKind space.
 	NumEventKinds
@@ -82,6 +94,10 @@ func (k EventKind) String() string {
 		return "deadline-expired"
 	case EvInMemFallback:
 		return "in-mem-fallback"
+	case EvPeerReadmitted:
+		return "peer-readmitted"
+	case EvStaleIncarnation:
+		return "stale-incarnation"
 	default:
 		return "event(?)"
 	}

@@ -69,6 +69,8 @@ func multiprocWorker(scenario string) error {
 			smokeScenario(r, echo, bump, &notifies)
 		case "death":
 			deathScenario(r, echo, bump, &notifies)
+		case "churn":
+			churnScenario(w, r, echo, bump, &notifies)
 		case "serve":
 			serveScenario(r)
 		case "bench":

@@ -43,6 +43,8 @@ const (
 	EvRetransmitExhausted = obs.EvRetransmitExhausted
 	EvDeadlineExpired     = obs.EvDeadlineExpired
 	EvInMemFallback       = obs.EvInMemFallback
+	EvPeerReadmitted      = obs.EvPeerReadmitted
+	EvStaleIncarnation    = obs.EvStaleIncarnation
 )
 
 // debugRecentCap bounds the world-owned recent-events ring surfaced in

@@ -120,10 +120,14 @@ func (r *Rank) Serve() int {
 	return n
 }
 
-// PeerDown reports whether the substrate's liveness detector has declared
-// target unreachable from this rank (always false on conduits without a
-// detector). Operations targeting a down peer fail immediately with
-// ErrPeerUnreachable.
+// PeerDown reports whether the substrate's liveness detector currently
+// declares target unreachable from this rank (always false on conduits
+// without a detector). Operations targeting a down peer fail immediately
+// with ErrPeerUnreachable. Down is no longer forever: a restarted peer
+// that rejoins through the readmission protocol clears it, so re-check
+// per operation rather than caching the answer — a true observed before
+// a readmission only means operations issued back then would have
+// failed.
 func (r *Rank) PeerDown(target int) bool { return r.ep.PeerDown(target) }
 
 // DownPeers returns the ranks this rank has declared down, in rank order

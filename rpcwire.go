@@ -81,6 +81,11 @@ type wireCall struct {
 	args   []byte
 	id     RPCHandlerID
 	peer   int32
+	// gen is the target's death generation at registration; the peer-down
+	// sweep fails only calls from generations older than the death it is
+	// sweeping, so calls issued against a readmitted incarnation survive a
+	// sweep still reporting its predecessor's death.
+	gen uint32
 	// sent marks that inject registered the call; when false after
 	// Initiate returns (admission refused, peer down), the error was
 	// already delivered inline and the record goes straight back to the
@@ -109,6 +114,7 @@ func (c *wireCall) injectCont(_ func(ctx any), done func(error)) {
 	}
 	c.done = done
 	c.sent = true
+	c.gen = r.ep.DownGen(target)
 	cookie := r.wire.add(c)
 	r.ep.Send(target, gasnet.Msg{
 		Handler: hRPCWireReq,
@@ -146,6 +152,7 @@ func (p *pendingWire) put(c *wireCall) {
 	c.args = nil
 	c.id = 0
 	c.peer = 0
+	c.gen = 0
 	c.sent = false
 	p.pool = append(p.pool, c)
 }
@@ -175,13 +182,16 @@ func (p *pendingWire) take(cookie uint64) (*wireCall, bool) {
 	return c, true
 }
 
-// failPeer retires every pending call targeting peer, resolving each with
-// err. Called from the endpoint's peer-down hook (owner goroutine) when
-// the liveness detector declares the peer unreachable.
-func (p *pendingWire) failPeer(peer int, err error) int {
+// failPeer retires every pending call targeting peer whose registration
+// generation predates gen (the death generation being swept), resolving
+// each with err. Called from the endpoint's peer-down hook (owner
+// goroutine) when the liveness detector declares the peer unreachable.
+// Calls registered after the death — against the readmitted incarnation —
+// have gen equal to the sweep's and are left alone.
+func (p *pendingWire) failPeer(peer int, gen uint32, err error) int {
 	n := 0
 	for id, c := range p.slots {
-		if c != nil && int(c.peer) == peer {
+		if c != nil && int(c.peer) == peer && c.gen < gen {
 			p.slots[id] = nil
 			p.free = append(p.free, uint32(id))
 			c.done(err)
@@ -218,6 +228,7 @@ func RPCWire(r *Rank, target int, id RPCHandlerID, args []byte, cxs ...Cx) Futur
 			}
 			c := r.wire.get()
 			c.vp, c.done, c.peer = slot, done, int32(target)
+			c.gen = r.ep.DownGen(target)
 			cookie := r.wire.add(c)
 			r.ep.Send(target, gasnet.Msg{
 				Handler: hRPCWireReq,

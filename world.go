@@ -255,9 +255,11 @@ type Config struct {
 	// (recoverable; default 10×HeartbeatEvery).
 	SuspectAfter time.Duration
 
-	// DownAfter is the silence bound before a peer is declared Down
-	// (sticky: its pending and future operations fail with
-	// ErrPeerUnreachable; default 40×HeartbeatEvery).
+	// DownAfter is the silence bound before a peer is declared Down: its
+	// pending and future operations fail with ErrPeerUnreachable (default
+	// 40×HeartbeatEvery). Down holds until the peer's NEXT incarnation
+	// announces itself through the join/readmission protocol — the dead
+	// incarnation itself can never return.
 	DownAfter time.Duration
 
 	// DisableLiveness turns the UDP heartbeat/failure-detection machinery
@@ -296,10 +298,27 @@ type Config struct {
 	// Self is this process's rank in a Multiproc world.
 	Self int
 
-	// Epoch is the world incarnation stamp the bootstrap exchange
-	// distributed; it seeds the segment-id field of wire-encoded global
-	// pointers (see EncodePtr). Zero is treated as 1.
+	// Epoch is this process's incarnation stamp, distributed by the
+	// bootstrap exchange: the launch epoch for first-boot ranks, a bumped
+	// value for a rank readmitted through the rendezvous server's rejoin
+	// path. It rides every conduit frame (stale-incarnation filtering) and
+	// seeds the segment-id field of wire-encoded global pointers (see
+	// EncodePtr). Zero is treated as 1.
 	Epoch uint32
+
+	// Rejoin marks this process as a restarted rank joining an
+	// already-running world (WorldFromEnv sets it from the bootstrap
+	// outcome). A rejoining rank broadcasts join frames each heartbeat
+	// round until every live peer has readmitted it; without the flag a
+	// restarted rank would wait on peers that silently drop its
+	// new-incarnation frames. Only meaningful with Multiproc.
+	Rejoin bool
+
+	// DisableReadmission makes Down permanent again: join frames from
+	// restarted peers are ignored, restoring the pre-churn "Down is
+	// forever" contract for deployments that replace failed ranks by
+	// relaunching the whole world.
+	DisableReadmission bool
 
 	// Peers is the rank-indexed UDP address table of a Multiproc world.
 	Peers []netip.AddrPort
@@ -316,10 +335,9 @@ type World struct {
 	ranks []*Rank
 	ver   Version
 
-	// multiproc mirrors Config.Multiproc; segID is the epoch-derived
-	// segment-id stamp wire-encoded pointers carry (gptrwire.go).
+	// multiproc mirrors Config.Multiproc. Wire-encoded pointers stamp the
+	// target rank's incarnation-derived segment id (gptrwire.go).
 	multiproc bool
-	segID     uint16
 
 	// rpcHandlers is the registry of wire-safe RPC procedures (see
 	// rpcwire.go); append-only, fixed before Run.
@@ -368,6 +386,8 @@ func NewWorld(cfg Config) (*World, error) {
 		Peers:            cfg.Peers,
 		SelfConn:         cfg.SelfConn,
 		Epoch:            cfg.Epoch,
+		Rejoin:           cfg.Rejoin,
+		DisableReadmission: cfg.DisableReadmission,
 		Events:           bus,
 	})
 	if err != nil {
@@ -377,7 +397,6 @@ func NewWorld(cfg Config) (*World, error) {
 		dom:       dom,
 		ver:       cfg.Version,
 		multiproc: cfg.Multiproc,
-		segID:     worldSegID(dom.Config().Epoch),
 		bus:       bus,
 		hists:     obs.NewHistVec(int(core.NumOpKinds), int(core.NumPhases)),
 	}
@@ -421,8 +440,11 @@ func NewWorld(cfg Config) (*World, error) {
 		// When the substrate declares a peer dead it fails its own op-table
 		// entries; the hook extends the sweep to the runtime layer's
 		// wire-RPC calls, which track their cookies outside the op table.
+		// The death generation scopes the sweep to calls issued against the
+		// incarnation that just died — calls already retargeting a
+		// readmitted successor survive.
 		ep.SetPeerDownHook(func(peer int, err error) {
-			r.wire.failPeer(peer, err)
+			r.wire.failPeer(peer, ep.DownGen(peer), err)
 		})
 		// Credit-based admission: remote descriptors that set Admit are
 		// checked against the target's send window before injecting, so a
@@ -508,6 +530,7 @@ func WorldFromEnv(cfg Config) (w *World, ok bool, err error) {
 	cfg.Multiproc = true
 	cfg.Self = spec.Rank
 	cfg.Epoch = bs.Epoch
+	cfg.Rejoin = bs.Rejoin
 	cfg.Peers = bs.Peers
 	cfg.SelfConn = bs.Conn
 	w, err = NewWorld(cfg)
@@ -542,6 +565,18 @@ func (w *World) Self() *Rank {
 // Multiproc reports whether this World is one rank of a process-per-rank
 // world.
 func (w *World) Multiproc() bool { return w.multiproc }
+
+// Rejoined reports whether this process joined an already-running world
+// as a restarted rank (the bootstrap exchange answered with a bumped
+// epoch). A rejoined world announces its new incarnation to the
+// survivors until readmitted; application code can use this to skip
+// launch-time collectives the surviving ranks will not re-run.
+func (w *World) Rejoined() bool { return w.dom.Config().Rejoin }
+
+// Incarnation returns this process's incarnation stamp: the normalized
+// world epoch, bumped for readmitted ranks. In-process worlds report 1
+// unless Config.Epoch was set.
+func (w *World) Incarnation() uint32 { return w.dom.Incarnation() }
 
 // Domain exposes the underlying substrate domain (instrumentation and
 // tests).
