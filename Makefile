@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs test-multiproc bench-multiproc check-bench7 test-churn ci
+.PHONY: build test race vet staticcheck bench bench-json test-loss test-fault test-soak bench-reliable bench-pipeline bench-syscall check-bench5 bench-obs check-bench6 test-obs test-multiproc bench-multiproc check-bench7 test-churn test-partition ci
 
 build:
 	$(GO) build ./...
@@ -160,6 +160,19 @@ test-churn:
 	$(GO) test -race -count 1 -run 'TestSpecJoinWait|TestRendezvousRejoin|TestJoinBackoffDeadline|TestRestartRank' ./internal/boot/
 	$(GO) test -race -count 1 -run 'TestMultiprocChurn' -timeout 10m .
 
+# Partition suite (DESIGN.md §16): the scenario engine and
+# same-incarnation healing end to end. The in-process units (scenario DSL
+# parsing, mid-run fault arming, latency injection, partition→Down→heal,
+# asymmetric one-way loss, retransmit-backoff re-arm on heal, the
+# DisableHealing kill switch), then the split-brain soak: a 4-rank
+# process world cut 2|2 by GUPCXX_UDP_SCENARIO, held apart long past
+# DownAfter, and healed — every severed pair must return to Alive under
+# the same incarnation with zero readmissions. All under the race
+# detector.
+test-partition:
+	$(GO) test -race -count 1 -run 'TestScenarioParse|TestSetFaultMidRunArming|TestLatencyInjection|TestPartition|TestDisableHealing|TestAsymmetricLoss|TestHealResets' ./internal/gasnet/
+	$(GO) test -race -count 1 -run 'TestMultiprocPartition' -timeout 10m .
+
 # Cross-process record: the op-pipeline families on an in-process UDP
 # world (wire armed, locality resolves to memory) next to the same
 # families crossing a real process boundary over loopback (rank 1 is a
@@ -176,4 +189,4 @@ check-bench7:
 	./scripts/check_bench7.sh BENCH_7.json
 
 # Everything CI runs, in CI's order.
-ci: build test race vet staticcheck check-bench5 check-bench6 check-bench7 test-obs test-loss test-fault test-soak test-multiproc test-churn
+ci: build test race vet staticcheck check-bench5 check-bench6 check-bench7 test-obs test-loss test-fault test-soak test-multiproc test-churn test-partition

@@ -18,7 +18,7 @@ import (
 func chokedConfig(policy gupcxx.BackpressurePolicy, wait time.Duration) gupcxx.Config {
 	return gupcxx.Config{
 		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12,
-		Fault:            &gupcxx.FaultConfig{}, // armed, fault-free until SetFault
+		Fault:            &gupcxx.FaultConfig{}, // shield from any GUPCXX_UDP_FAULT preset
 		RelWindow:        4,
 		RelWindowMin:     4, // hold the AIMD floor at the ceiling: occupancy stays deterministic
 		Backpressure:     policy,

@@ -137,7 +137,7 @@ func TestPeerKilledMidRun(t *testing.T) {
 	defer leakCheck(t)()
 	w, err := gupcxx.NewWorld(gupcxx.Config{
 		Ranks: 2, Conduit: gupcxx.UDP, SegmentBytes: 1 << 12,
-		Fault:          &gupcxx.FaultConfig{}, // armed, fault-free
+		Fault:          &gupcxx.FaultConfig{}, // shield from any GUPCXX_UDP_FAULT preset
 		RelMaxAttempts: 4,
 		HeartbeatEvery: time.Millisecond,
 		SuspectAfter:   10 * time.Millisecond,

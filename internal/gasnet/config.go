@@ -120,13 +120,17 @@ type Config struct {
 	// for cross-node messages. Zero selects 1µs. Ignored by other conduits.
 	SimLatency time.Duration
 
-	// Fault, when non-nil on the UDP conduit, interposes a deterministic
-	// fault-injection shim on the send path: datagrams are dropped,
-	// duplicated, and reordered from a seeded PRNG (see FaultConfig), so
-	// the reliability layer is testable in-process without real packet
-	// loss. When nil, the GUPCXX_UDP_FAULT environment variable is
-	// consulted (see fault.go), letting whole suites run under loss.
-	// Ignored by other conduits.
+	// Fault arms the UDP conduit's deterministic network model from
+	// construction: datagrams are dropped, duplicated, and reordered from
+	// a seeded PRNG (see FaultConfig), so the reliability layer is
+	// testable in-process without real packet loss. The model's shim is
+	// interposed on every UDP send path regardless (idle it costs one
+	// atomic load per write), so faults, partitions, and latency can also
+	// be armed mid-run (SetFault, SetPartition, SetLatency, the scenario
+	// DSL) on a domain built with Fault nil. When nil, the
+	// GUPCXX_UDP_FAULT environment variable is consulted (see fault.go),
+	// letting whole suites run under loss; an explicit zero FaultConfig
+	// shields a domain from that preset. Ignored by other conduits.
 	Fault *FaultConfig
 
 	// UDPUnreliable disables the UDP conduit's reliability layer
@@ -253,6 +257,13 @@ type Config struct {
 	// peers are ignored, and a peer once declared down stays down for the
 	// life of this process. Reliable UDP only.
 	DisableReadmission bool
+
+	// DisableHealing restores terminal Down for silence-declared peers: no
+	// partition probes are sent and incoming probes are ignored (no acks
+	// either, so both sides of a partition converge to sticky Down
+	// symmetrically). Readmission of restarted peers is unaffected.
+	// Reliable UDP only.
+	DisableHealing bool
 
 	// Events, when non-nil, receives substrate health events: liveness
 	// transitions (suspect/down/recovered), backpressure onset and relief,

@@ -72,6 +72,12 @@ type Domain struct {
 	peersReadmitted       atomic.Int64
 	joinsSent             atomic.Int64
 
+	// Partition / healing instrumentation (see Stats, liveness.go,
+	// fault.go).
+	peersHealed    atomic.Int64
+	probesSent     atomic.Int64
+	partitionDrops atomic.Int64
+
 	// Flow-control instrumentation (see Stats, reliable.go,
 	// backpressure.go).
 	backpressureFails atomic.Int64
@@ -104,6 +110,10 @@ type Domain struct {
 	udp *udpTransport
 	rel *reliability
 	lv  *liveness
+
+	// scen is the armed network scenario (scenario.go), stepped by the
+	// reliability ticker via faultTick; nil when no scenario is armed.
+	scen atomic.Pointer[scenario]
 
 	// bus is the operations plane's event bus (Config.Events); nil when
 	// the job runs unobserved. Emission points go through emit, which is
@@ -276,6 +286,20 @@ type Stats struct {
 	// rank while rejoining (retried each heartbeat round until peers ack
 	// new-incarnation traffic).
 	JoinsSent int64
+	// PeersHealed counts Down→Healed transitions: a silence-declared
+	// (partitioned) peer authenticated by a probe under the SAME
+	// incarnation, with the pair's parked reliability state re-armed —
+	// recovery without readmission.
+	PeersHealed int64
+	// ProbesSent counts partition probe and probe-ack frames shipped at
+	// silence-declared-Down peers (paced per pair, backing off to
+	// probeGapMax heartbeat rounds).
+	ProbesSent int64
+	// PartitionDrops counts datagrams cut by an armed partition
+	// (SetPartition / scenario DSL) — send-side, like FaultsInjected, but
+	// counted separately so a test can tell injected loss from a severed
+	// link.
+	PartitionDrops int64
 	// RelInflightHighWater / RelReorderHighWater are the maxima, over all
 	// rank pairs, of the reliability layer's in-flight retransmission
 	// queue and receive-side reorder buffer — both bounded by
@@ -361,6 +385,9 @@ func (d *Domain) Stats() Stats {
 		StaleIncarnationDrops: d.staleIncarnationDrops.Load(),
 		PeersReadmitted:       d.peersReadmitted.Load(),
 		JoinsSent:             d.joinsSent.Load(),
+		PeersHealed:           d.peersHealed.Load(),
+		ProbesSent:            d.probesSent.Load(),
+		PartitionDrops:        d.partitionDrops.Load(),
 
 		BackpressureFails: d.backpressureFails.Load(),
 		WindowShrinks:     d.windowShrinks.Load(),
@@ -774,9 +801,10 @@ func (ep *Endpoint) SetPeerDownHook(fn func(peer int, err error)) { ep.onPeerDow
 // false without the liveness detector). Operations targeting a down peer
 // fail at injection with ErrPeerUnreachable rather than waiting out a
 // deadline. Down is no longer forever: a restarted peer that rejoins
-// under a new incarnation is readmitted, after which PeerDown reads false
-// again — callers gating long-lived loops should re-check per operation
-// rather than caching the verdict.
+// under a new incarnation is readmitted, and a merely-partitioned peer
+// heals back under the same incarnation once probes get through — after
+// either, PeerDown reads false again, so callers gating long-lived loops
+// should re-check per operation rather than caching the verdict.
 func (ep *Endpoint) PeerDown(peer int) bool {
 	lv := ep.dom.lv
 	return lv != nil && lv.down(ep.rank, peer)

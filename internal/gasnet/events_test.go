@@ -91,8 +91,8 @@ func TestLivenessEvents(t *testing.T) {
 	}
 
 	// Down is terminal and emits once.
-	d.lv.markDown(0, 1)
-	d.lv.markDown(0, 1)
+	d.lv.markDown(0, 1, causeBye)
+	d.lv.markDown(0, 1, causeBye)
 	if got := d.LivenessState(0, 1); got != "down" {
 		t.Fatalf("LivenessState(0,1) after markDown = %q, want down", got)
 	}

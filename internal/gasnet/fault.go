@@ -9,17 +9,28 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Deterministic fault injection for the UDP conduit. The reliability layer
 // (reliable.go) only earns its keep if it can be exercised without real
-// packet loss, so every socket's send path goes through a packetConn; when
-// Config.Fault is set, the real *net.UDPConn is wrapped in a faultConn
-// that drops, duplicates, and reorders outgoing datagrams from a seeded
-// PRNG. Faults are injected on the send side only — the receive path sees
-// exactly the loss pattern a real network would present — and everything a
-// faultConn does is driven by the wrapped socket's own writes, so runs are
-// reproducible up to goroutine interleaving.
+// packet loss, so every socket's send path goes through a packetConn that
+// is ALWAYS a faultConn on UDP worlds: idle (no faults armed) it forwards
+// writes behind a single atomic load, so the interposition costs nothing
+// measurable; armed, it drops, duplicates, reorders, delays, and blocks
+// outgoing datagrams from a seeded PRNG. Faults are injected on the send
+// side only — the receive path sees exactly the loss pattern a real
+// network would present — and everything a faultConn does is driven by the
+// wrapped socket's own writes plus the domain ticker (delay-queue drains),
+// so runs are reproducible up to goroutine interleaving.
+//
+// Beyond the uniform per-socket distribution (Config.Fault /
+// GUPCXX_UDP_FAULT), the shim is a scriptable network model: per-
+// directional-pair fault overrides (SetPairFault — asymmetric one-way
+// loss), partition and heal of arbitrary rank groups (SetPartition /
+// HealPartition), deterministic latency/jitter, and a phased scenario DSL
+// (scenario.go, GUPCXX_UDP_SCENARIO) that drives all of the above on a
+// schedule.
 
 // packetConn is the send-path surface of a socket; faultConn implements
 // it by interposing on the real (batch-capable) adapter.
@@ -72,6 +83,11 @@ func (f *FaultConfig) validate() error {
 		return fmt.Errorf("gasnet: fault probabilities sum to %g > 1", sum)
 	}
 	return nil
+}
+
+// active reports whether the distribution injects anything at all.
+func (f *FaultConfig) active() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0
 }
 
 // parseFaultSpec parses a "drop=0.25,dup=0.05,reorder=0.10,seed=7" spec.
@@ -135,6 +151,12 @@ func faultFromEnv() (*FaultConfig, error) {
 // through untouched.
 const faultMaxHeld = 8
 
+// faultMaxDelayed bounds the latency queue; past it, datagrams write
+// through immediately rather than pile up copies (a saturated sender
+// observes its own injected latency collapsing, which is the honest
+// failure mode of a bounded delay line).
+const faultMaxDelayed = 1024
+
 // heldPkt is one datagram awaiting delayed release. The bytes are copied:
 // the caller's buffer is pooled and reused immediately after the write.
 type heldPkt struct {
@@ -142,59 +164,151 @@ type heldPkt struct {
 	addr netip.AddrPort
 }
 
-// faultConn interposes deterministic faults on one socket's send path.
-// Held (reordered) datagrams are flushed after the next non-held write, so
-// they arrive behind datagrams sent after them; if traffic stops, the
-// reliability layer's retransmissions provide the flushing writes.
-type faultConn struct {
-	inner    packetConn
-	cfg      FaultConfig
-	injected *atomic.Int64 // Domain.faultsInjected
-
-	mu   sync.Mutex
-	rng  *rand.Rand
-	held []heldPkt
+// delayedPkt is one latency-queue entry: a copied datagram due for
+// transmission at a cached-clock instant, drained by the domain ticker.
+type delayedPkt struct {
+	b    []byte
+	addr netip.AddrPort
+	due  int64
 }
 
-func newFaultConn(inner packetConn, cfg FaultConfig, rank int, injected *atomic.Int64) *faultConn {
-	return &faultConn{
-		inner:    inner,
-		cfg:      cfg,
-		injected: injected,
+// faultConn interposes the deterministic network model on one socket's
+// send path. It is installed unconditionally on every UDP socket; the
+// armed flag keeps the idle case — no faults, no partition, no latency —
+// down to one atomic load and a direct forward, alloc-free. Held
+// (reordered) datagrams are flushed after the next non-held write, so they
+// arrive behind datagrams sent after them; delayed datagrams are released
+// by the domain ticker once their due time passes. Both release paths
+// re-check the partition under the lock, so packets captured before a cut
+// cannot leak across it.
+type faultConn struct {
+	inner packetConn
+	d     *Domain
+	rank  int
+
+	// armed is the fast-path gate: false means the shim is configured to
+	// do nothing and writes forward directly. Updated (updateArmed) under
+	// mu on every configuration change and queue transition.
+	armed atomic.Bool
+
+	mu      sync.Mutex
+	cfg     FaultConfig         // base distribution (all destinations)
+	pairs   map[int]FaultConfig // per-destination overrides (asymmetric loss)
+	blocked map[int]bool        // partitioned destinations: every datagram dropped
+	delay   int64               // injected one-way latency, ns
+	jitter  int64               // uniform jitter bound on top of delay, ns
+	rng     *rand.Rand
+	held    []heldPkt
+	delayed []delayedPkt
+}
+
+func newFaultConn(inner packetConn, cfg FaultConfig, rank int, d *Domain) *faultConn {
+	f := &faultConn{
+		inner: inner,
+		cfg:   cfg,
+		d:     d,
+		rank:  rank,
 		// Derive a distinct, reproducible stream per socket.
 		rng: rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(rank)+0x9e3779b97f4a7c15)),
 	}
+	f.armed.Store(cfg.active())
+	return f
 }
 
-// setConfig swaps the fault distribution mid-run; the write path reads the
-// config under f.mu, so in-flight sends see either the old or the new one.
+// updateArmed recomputes the fast-path gate. Caller holds f.mu.
+func (f *faultConn) updateArmed() {
+	f.armed.Store(f.cfg.active() ||
+		len(f.pairs) > 0 || len(f.blocked) > 0 ||
+		f.delay > 0 || f.jitter > 0 ||
+		len(f.held) > 0 || len(f.delayed) > 0)
+}
+
+// setConfig swaps the base fault distribution mid-run; the write path
+// reads the config under f.mu, so in-flight sends see either the old or
+// the new one.
 func (f *faultConn) setConfig(cfg FaultConfig) {
 	f.mu.Lock()
 	f.cfg = cfg
+	f.updateArmed()
 	f.mu.Unlock()
 }
 
-// SetFault replaces rank's send-path fault distribution mid-run (e.g.
-// Drop:1 to simulate killing the rank after a healthy start). The shim
-// must have been armed at construction by a non-nil Config.Fault — pass
-// &FaultConfig{} for a fault-free start; it cannot be interposed later,
-// because the reader goroutines already hold the raw sockets.
-func (d *Domain) SetFault(rank int, cfg FaultConfig) error {
-	if err := cfg.validate(); err != nil {
-		return err
+// setPairConfig installs (or, with changes, replaces) the per-destination
+// override for datagrams toward rank to. A zero config is a valid
+// override: it shields the pair from the base distribution.
+func (f *faultConn) setPairConfig(to int, cfg FaultConfig) {
+	f.mu.Lock()
+	if f.pairs == nil {
+		f.pairs = make(map[int]FaultConfig)
 	}
-	if d.udp == nil {
-		return fmt.Errorf("gasnet: SetFault: not a UDP-conduit domain")
+	f.pairs[to] = cfg
+	f.updateArmed()
+	f.mu.Unlock()
+}
+
+// clearPairConfigs removes every per-destination override.
+func (f *faultConn) clearPairConfigs() {
+	f.mu.Lock()
+	f.pairs = nil
+	f.updateArmed()
+	f.mu.Unlock()
+}
+
+// setBlocked replaces the partitioned-destination set (nil heals).
+func (f *faultConn) setBlocked(blocked map[int]bool) {
+	f.mu.Lock()
+	f.blocked = blocked
+	f.updateArmed()
+	f.mu.Unlock()
+}
+
+// setLatency replaces the injected one-way latency and jitter.
+func (f *faultConn) setLatency(delay, jitter time.Duration) {
+	f.mu.Lock()
+	f.delay = int64(delay)
+	f.jitter = int64(jitter)
+	f.updateArmed()
+	f.mu.Unlock()
+}
+
+// destOf resolves addr to a destination rank, or -1. Only consulted when
+// a pair override or partition is armed — the resolution is a linear scan
+// of the (small) address table.
+func (f *faultConn) destOf(addr netip.AddrPort) int {
+	if len(f.pairs) == 0 && len(f.blocked) == 0 {
+		return -1
 	}
-	if rank < 0 || rank >= len(d.udp.send) {
-		return fmt.Errorf("gasnet: SetFault: rank %d out of range", rank)
+	return f.d.rankOfAddr(addr)
+}
+
+// cfgFor returns the distribution governing datagrams toward dst. Caller
+// holds f.mu.
+func (f *faultConn) cfgFor(dst int) FaultConfig {
+	if dst >= 0 && len(f.pairs) > 0 {
+		if pc, ok := f.pairs[dst]; ok {
+			return pc
+		}
 	}
-	fc, ok := d.udp.send[rank].(*faultConn)
-	if !ok {
-		return fmt.Errorf("gasnet: SetFault: fault injection not armed (Config.Fault was nil)")
+	return f.cfg
+}
+
+// route decides the transmission path of one surviving datagram under
+// f.mu: latency armed, it is copied onto the delay queue (drained by the
+// domain ticker); otherwise it is appended to out for the caller to write
+// after unlocking. copied reports whether b is already a private copy.
+func (f *faultConn) route(out []heldPkt, b []byte, addr netip.AddrPort, copied bool) []heldPkt {
+	if (f.delay > 0 || f.jitter > 0) && len(f.delayed) < faultMaxDelayed {
+		due := clockNow() + f.delay
+		if f.jitter > 0 {
+			due += f.rng.Int64N(f.jitter)
+		}
+		if !copied {
+			b = append([]byte(nil), b...)
+		}
+		f.delayed = append(f.delayed, delayedPkt{b: b, addr: addr, due: due})
+		return out
 	}
-	fc.setConfig(cfg)
-	return nil
+	return append(out, heldPkt{b: b, addr: addr})
 }
 
 // takeHeld removes and returns the holdback queue. Caller holds f.mu.
@@ -213,70 +327,134 @@ func (f *faultConn) flush(held []heldPkt) {
 	}
 }
 
-func (f *faultConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
-	f.mu.Lock()
-	r := f.rng.Float64()
-	switch {
-	case r < f.cfg.Drop:
-		f.mu.Unlock()
-		f.injected.Add(1)
-		return len(b), nil // swallowed; the wire reports success
-	case r < f.cfg.Drop+f.cfg.Dup:
-		held := f.takeHeld()
-		f.mu.Unlock()
-		f.injected.Add(1)
-		if _, err := f.inner.WriteToUDPAddrPort(b, addr); err != nil {
-			return 0, err
-		}
-		n, err := f.inner.WriteToUDPAddrPort(b, addr)
-		f.flush(held)
-		return n, err
-	case r < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder && len(f.held) < faultMaxHeld:
-		f.held = append(f.held, heldPkt{b: append([]byte(nil), b...), addr: addr})
-		f.mu.Unlock()
-		f.injected.Add(1)
-		return len(b), nil
-	default:
-		held := f.takeHeld()
-		f.mu.Unlock()
-		n, err := f.inner.WriteToUDPAddrPort(b, addr)
-		f.flush(held) // held datagrams now arrive after this one: reordered
-		return n, err
+// drain releases every delay-queue entry whose due time has passed,
+// re-checking the partition per destination — a partition armed after
+// capture still cuts the packet. Called from the domain ticker
+// (Domain.faultTick); the idle case is one atomic load.
+func (f *faultConn) drain(now int64) {
+	if !f.armed.Load() {
+		return
 	}
+	f.mu.Lock()
+	if len(f.delayed) == 0 {
+		f.mu.Unlock()
+		return
+	}
+	var due []heldPkt
+	rem := f.delayed[:0]
+	for _, p := range f.delayed {
+		if p.due > now {
+			rem = append(rem, p)
+			continue
+		}
+		if len(f.blocked) > 0 && f.blocked[f.d.rankOfAddr(p.addr)] {
+			f.d.partitionDrops.Add(1)
+			continue
+		}
+		due = append(due, heldPkt{b: p.b, addr: p.addr})
+	}
+	for i := len(rem); i < len(f.delayed); i++ {
+		f.delayed[i] = delayedPkt{}
+	}
+	f.delayed = rem
+	f.updateArmed()
+	f.mu.Unlock()
+	f.flush(due)
 }
 
-// WriteBatch applies the fault distribution frame-by-frame — each staged
-// frame draws its own verdict, exactly as if it had been written alone —
-// and forwards the survivors in one batch, preserving the vectorized
-// write underneath. Dropped frames vanish from the batch; duplicated
-// frames appear twice; reorder-held frames are copied aside and released
-// behind a later batch's survivors, so they arrive after frames staged
-// after them. The receive path needs no counterpart: faults are
-// send-side injection, the wire delivers what survives.
+func (f *faultConn) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	if !f.armed.Load() {
+		return f.inner.WriteToUDPAddrPort(b, addr)
+	}
+	f.mu.Lock()
+	dst := f.destOf(addr)
+	if len(f.blocked) > 0 && f.blocked[dst] {
+		f.mu.Unlock()
+		f.d.partitionDrops.Add(1)
+		return len(b), nil // severed; the wire reports success
+	}
+	cfg := f.cfgFor(dst)
+	r := f.rng.Float64()
+	var out []heldPkt
+	switch {
+	case r < cfg.Drop:
+		f.mu.Unlock()
+		f.d.faultsInjected.Add(1)
+		return len(b), nil // swallowed; the wire reports success
+	case r < cfg.Drop+cfg.Dup:
+		f.d.faultsInjected.Add(1)
+		out = f.route(out, b, addr, false)
+		out = f.route(out, b, addr, false)
+		out = append(out, f.takeHeld()...)
+	case r < cfg.Drop+cfg.Dup+cfg.Reorder && len(f.held) < faultMaxHeld:
+		f.held = append(f.held, heldPkt{b: append([]byte(nil), b...), addr: addr})
+		f.updateArmed() // held queue pins the armed state
+		f.mu.Unlock()
+		f.d.faultsInjected.Add(1)
+		return len(b), nil
+	default:
+		out = f.route(out, b, addr, false)
+		out = append(out, f.takeHeld()...) // held arrive after this one: reordered
+	}
+	f.updateArmed()
+	f.mu.Unlock()
+	f.flush(out)
+	return len(b), nil
+}
+
+// WriteBatch applies the network model frame-by-frame — each staged frame
+// draws its own verdict, exactly as if it had been written alone — and
+// forwards the survivors in one batch, preserving the vectorized write
+// underneath. Partitioned frames and dropped frames vanish from the
+// batch; duplicated frames appear twice; reorder-held frames are copied
+// aside and released behind a later batch's survivors; delayed frames are
+// copied onto the latency queue for the domain ticker. The receive path
+// needs no counterpart: faults are send-side injection, the wire delivers
+// what survives.
 func (f *faultConn) WriteBatch(frames []batchFrame) error {
+	if !f.armed.Load() {
+		return f.inner.WriteBatch(frames)
+	}
 	// The fault path is for test suites, not the cost model, so the
 	// per-call scratch allocation here is acceptable.
 	out := make([]batchFrame, 0, len(frames)+faultMaxHeld)
 	f.mu.Lock()
+	latency := f.delay > 0 || f.jitter > 0
 	for _, fr := range frames {
+		dst := f.destOf(fr.addr)
+		if len(f.blocked) > 0 && f.blocked[dst] {
+			f.d.partitionDrops.Add(1)
+			continue
+		}
+		cfg := f.cfgFor(dst)
 		r := f.rng.Float64()
 		switch {
-		case r < f.cfg.Drop:
-			f.injected.Add(1)
-		case r < f.cfg.Drop+f.cfg.Dup:
-			f.injected.Add(1)
-			out = append(out, fr, fr)
-		case r < f.cfg.Drop+f.cfg.Dup+f.cfg.Reorder && len(f.held) < faultMaxHeld:
-			f.injected.Add(1)
+		case r < cfg.Drop:
+			f.d.faultsInjected.Add(1)
+		case r < cfg.Drop+cfg.Dup:
+			f.d.faultsInjected.Add(1)
+			if latency {
+				f.route(nil, fr.b, fr.addr, false)
+				f.route(nil, fr.b, fr.addr, false)
+			} else {
+				out = append(out, fr, fr)
+			}
+		case r < cfg.Drop+cfg.Dup+cfg.Reorder && len(f.held) < faultMaxHeld:
+			f.d.faultsInjected.Add(1)
 			f.held = append(f.held, heldPkt{b: append([]byte(nil), fr.b...), addr: fr.addr})
 		default:
-			out = append(out, fr)
+			if latency {
+				f.route(nil, fr.b, fr.addr, false)
+			} else {
+				out = append(out, fr)
+			}
 		}
 	}
 	var released []heldPkt
 	if len(out) > 0 {
 		released = f.takeHeld()
 	}
+	f.updateArmed()
 	f.mu.Unlock()
 	for _, p := range released {
 		// Held datagrams ride behind this batch's survivors: reordered.
@@ -286,4 +464,189 @@ func (f *faultConn) WriteBatch(frames []batchFrame) error {
 		return nil
 	}
 	return f.inner.WriteBatch(out)
+}
+
+// rankOfAddr resolves a socket address to its rank, or -1. Linear scan of
+// the (rank-count-sized) address table; only the armed fault paths call
+// it, and only when a pair override or partition needs the destination.
+func (d *Domain) rankOfAddr(addr netip.AddrPort) int {
+	tr := d.udp
+	if tr == nil {
+		return -1
+	}
+	for r := range tr.addrs {
+		if p := tr.addrs[r].Load(); p != nil && *p == addr {
+			return r
+		}
+	}
+	return -1
+}
+
+// faultShim returns rank's fault layer. Every UDP socket has one; in a
+// multiproc world only Self's socket lives in this process, so every
+// other rank errors.
+func (d *Domain) faultShim(rank int) (*faultConn, error) {
+	if d.udp == nil {
+		return nil, fmt.Errorf("gasnet: fault injection: not a UDP-conduit domain")
+	}
+	if rank < 0 || rank >= len(d.udp.send) {
+		return nil, fmt.Errorf("gasnet: fault injection: rank %d out of range", rank)
+	}
+	fc, ok := d.udp.send[rank].(*faultConn)
+	if !ok || fc == nil {
+		return nil, fmt.Errorf("gasnet: fault injection: rank %d is not hosted by this process", rank)
+	}
+	return fc, nil
+}
+
+// SetFault replaces rank's base send-path fault distribution mid-run
+// (e.g. Drop:1 to simulate killing the rank after a healthy start). The
+// fault layer is always interposed on UDP worlds — idle it costs one
+// atomic load per write — so faults can be armed on any domain without
+// pre-arranging Config.Fault.
+func (d *Domain) SetFault(rank int, cfg FaultConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	fc, err := d.faultShim(rank)
+	if err != nil {
+		return err
+	}
+	fc.setConfig(cfg)
+	return nil
+}
+
+// SetPairFault installs a directional fault distribution on datagrams
+// from→to, overriding the base distribution for that destination only —
+// the asymmetric-loss primitive (A's frames toward B all dropped while
+// B→A stays clean). A zero config is a valid override: it shields the
+// pair from the base distribution. Scenario heal clears all overrides.
+func (d *Domain) SetPairFault(from, to int, cfg FaultConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	fc, err := d.faultShim(from)
+	if err != nil {
+		return err
+	}
+	if to < 0 || to >= d.cfg.Ranks {
+		return fmt.Errorf("gasnet: SetPairFault: destination rank %d out of range", to)
+	}
+	fc.setPairConfig(to, cfg)
+	return nil
+}
+
+// SetLatency arms deterministic one-way latency (plus uniform jitter from
+// the seeded PRNG) on rank's send path: surviving datagrams are copied
+// onto a delay queue and released by the domain ticker once due. Zero
+// both to disarm.
+func (d *Domain) SetLatency(rank int, delay, jitter time.Duration) error {
+	if delay < 0 || jitter < 0 {
+		return fmt.Errorf("gasnet: SetLatency: negative duration")
+	}
+	fc, err := d.faultShim(rank)
+	if err != nil {
+		return err
+	}
+	fc.setLatency(delay, jitter)
+	return nil
+}
+
+// SetPartition severs the network between the given rank groups: every
+// datagram (heartbeats and probes included) between ranks in different
+// groups is dropped at the sender. Ranks not listed in any group form one
+// implicit group of their own. The cut applies to every rank hosted by
+// this process — in a multiproc world each process applies its own
+// senders' half of the same partition, which is why the scenario DSL
+// (scenario.go) is the natural way to coordinate one. HealPartition (or
+// SetPartition(nil)) restores the network; the liveness layer then heals
+// the pairs the cut drove Down (liveness.go).
+func (d *Domain) SetPartition(groups [][]int) error {
+	if d.udp == nil {
+		return fmt.Errorf("gasnet: SetPartition: not a UDP-conduit domain")
+	}
+	group := make([]int, d.cfg.Ranks)
+	for i := range group {
+		group[i] = -1
+	}
+	for gi, g := range groups {
+		for _, r := range g {
+			if r < 0 || r >= d.cfg.Ranks {
+				return fmt.Errorf("gasnet: SetPartition: rank %d out of range", r)
+			}
+			if group[r] != -1 {
+				return fmt.Errorf("gasnet: SetPartition: rank %d listed twice", r)
+			}
+			group[r] = gi
+		}
+	}
+	for i := range group {
+		if group[i] == -1 {
+			group[i] = len(groups) // the implicit group of unlisted ranks
+		}
+	}
+	for from := range d.udp.send {
+		fc, ok := d.udp.send[from].(*faultConn)
+		if !ok || fc == nil {
+			continue // multiproc: only Self's socket lives here
+		}
+		var blocked map[int]bool
+		for to := 0; to < d.cfg.Ranks; to++ {
+			if to != from && group[to] != group[from] {
+				if blocked == nil {
+					blocked = make(map[int]bool)
+				}
+				blocked[to] = true
+			}
+		}
+		fc.setBlocked(blocked)
+	}
+	return nil
+}
+
+// HealPartition removes the partition installed by SetPartition from
+// every rank hosted by this process. Pair-fault overrides (SetPairFault)
+// are left in place; the scenario DSL's heal directive clears both.
+func (d *Domain) HealPartition() error {
+	if d.udp == nil {
+		return fmt.Errorf("gasnet: HealPartition: not a UDP-conduit domain")
+	}
+	for from := range d.udp.send {
+		if fc, ok := d.udp.send[from].(*faultConn); ok && fc != nil {
+			fc.setBlocked(nil)
+		}
+	}
+	return nil
+}
+
+// healNetwork is the scenario engine's heal directive: partition lifted
+// AND pair overrides cleared on every locally-hosted sender.
+func (d *Domain) healNetwork() {
+	if d.udp == nil {
+		return
+	}
+	for from := range d.udp.send {
+		if fc, ok := d.udp.send[from].(*faultConn); ok && fc != nil {
+			fc.setBlocked(nil)
+			fc.clearPairConfigs()
+		}
+	}
+}
+
+// faultTick is the domain ticker's hook into the network model: it steps
+// the armed scenario (if any) and drains due latency-queue entries on
+// every locally-hosted sender. Idle cost: one pointer load plus one
+// atomic load per socket.
+func (d *Domain) faultTick(now int64) {
+	if s := d.scen.Load(); s != nil {
+		s.step(now)
+	}
+	if d.udp == nil {
+		return
+	}
+	for _, pc := range d.udp.send {
+		if fc, ok := pc.(*faultConn); ok && fc != nil {
+			fc.drain(now)
+		}
+	}
 }

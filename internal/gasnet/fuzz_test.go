@@ -143,6 +143,17 @@ func FuzzDecodeFrameSeq(f *testing.F) {
 	f.Add([]byte{frameJoin, 0, 0, 2, 0, 0, 0, 3, 'b', 'a', 'd'})
 	f.Add([]byte{frameJoin, 0, 0, 2, 0, 0, 0, 200, 'x'})
 	f.Add([]byte{frameJoin, 0, 0})
+	// Partition probes: a well-formed probe and ack (current incarnation
+	// is 1), a stale incarnation, a zero incarnation, a bogus sender rank,
+	// an unknown kind byte, and truncated stubs.
+	f.Add([]byte{frameProbe, 0, 0, 1, 0, 0, 0, probeKindProbe})
+	f.Add([]byte{frameProbe, 0, 0, 1, 0, 0, 0, probeKindAck})
+	f.Add([]byte{frameProbe, 0, 0, 9, 9, 0, 0, probeKindProbe})
+	f.Add([]byte{frameProbe, 0, 0, 0, 0, 0, 0, probeKindProbe})
+	f.Add([]byte{frameProbe, 9, 0, 1, 0, 0, 0, probeKindAck})
+	f.Add([]byte{frameProbe, 0, 0, 1, 0, 0, 0, 0xEE})
+	f.Add([]byte{frameProbe, 0, 0})
+	f.Add([]byte{frameProbe})
 	f.Add(inner)
 	f.Add([]byte{})
 

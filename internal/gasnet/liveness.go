@@ -20,17 +20,50 @@ var ErrPeerUnreachable = errors.New("gasnet: peer unreachable")
 // that has fallen silent past Config.SuspectAfter (recoverable — hearing
 // from it restores Alive); Down is reached through silence past
 // Config.DownAfter or an exhausted retransmission budget. Down is sticky
-// within one incarnation of the peer — late datagrams from a
-// declared-dead process never resurrect it — but it is not terminal: a
-// restarted peer re-registers under a bumped epoch and is readmitted
+// within one incarnation of the peer — ORDINARY late datagrams from a
+// declared-dead process never resurrect it — but there are two ways out:
+// a restarted peer re-registers under a bumped epoch and is readmitted
 // (Down→Alive with fully reset reliability state) when its join frame
-// arrives (see handleJoin). While a peer is Down every operation
-// targeting it fails with ErrPeerUnreachable instead of hanging.
+// arrives (see handleJoin), and a silence-declared peer that was merely
+// partitioned heals (Down→Alive under the SAME incarnation, parked
+// reliability state re-armed) when a probe authenticates it (see heal).
+// While a peer is Down every operation targeting it fails with
+// ErrPeerUnreachable instead of hanging.
 const (
 	peerAlive int32 = iota
 	peerSuspect
 	peerDown
 )
+
+// Down causes. A Down reached through SILENCE (heartbeat timeout or
+// retransmission exhaustion — causeNet) is indistinguishable from a
+// network partition, so it is recoverable: the detector keeps sending
+// paced probe frames at the dead pair, and authentic same-incarnation
+// traffic (a probe or its ack) heals it back to Alive without the
+// incarnation machinery. A Down reached through a goodbye frame — or
+// installed by readmit to bury a superseded incarnation — is the process
+// actually leaving (causeBye) and stays terminal until a join frame from
+// a newer incarnation readmits it.
+const (
+	causeNone int32 = iota
+	causeNet
+	causeBye
+)
+
+// Probe frame: [frameProbe u8] [sender rank u16 LE] [sender incarnation
+// u32 LE] [kind u8]. Probes are unsequenced and deliberately bypass
+// checkInc — their whole point is authenticating a same-incarnation
+// survivor that the incarnation gate would drop as stale — so they carry
+// their own gate in handleProbe.
+const (
+	probeFrameLen  = 8
+	probeKindProbe = 0 // "are you there?" — answered with an ack
+	probeKindAck   = 1 // "I am" — heals but is never answered
+)
+
+// probeGapMax caps the probe backoff at 16 heartbeat rounds per dead
+// pair, so a long partition costs a trickle of tiny frames, not a storm.
+const probeGapMax = 16
 
 // liveness is the per-domain peer-failure detector, present only on the
 // reliable UDP conduit. Detection is pairwise and one-directional: rank
@@ -111,6 +144,23 @@ type liveness struct {
 	// Stats.StaleIncarnationDrops counts every drop.
 	staleEv []atomic.Bool
 
+	// downCause[local*ranks+peer] records WHY the pair is Down (causeNet
+	// is healable, causeBye is terminal). Written by the winner of the
+	// markDown state transition, cleared by heal/readmit.
+	downCause []atomic.Int32
+
+	// Probe pacing per dead pair: probeNext is the round at which the next
+	// probe ships; probeGap is the current gap in rounds, doubling to
+	// probeGapMax. Both are (re)armed by markDown on a healable death.
+	probeGap  []atomic.Int32
+	probeNext []atomic.Int64
+
+	// healOff (Config.DisableHealing) restores terminal Down for
+	// silence-driven deaths: no probes are sent and incoming probes are
+	// ignored (no acks either, so both sides of a partition converge to
+	// sticky Down symmetrically).
+	healOff bool
+
 	// mmu serializes readmit: join frames can arrive on the socket reader
 	// while the ticker is sweeping the same pair, and readmission is a
 	// multi-step transition (down-mark, pair reset, incarnation adopt)
@@ -150,7 +200,11 @@ func newLiveness(d *Domain, now int64) *liveness {
 		peerInc:       make([]atomic.Uint32, d.cfg.Ranks*d.cfg.Ranks),
 		deaths:        make([]atomic.Uint32, d.cfg.Ranks*d.cfg.Ranks),
 		staleEv:       make([]atomic.Bool, d.cfg.Ranks*d.cfg.Ranks),
+		downCause:     make([]atomic.Int32, d.cfg.Ranks*d.cfg.Ranks),
+		probeGap:      make([]atomic.Int32, d.cfg.Ranks*d.cfg.Ranks),
+		probeNext:     make([]atomic.Int64, d.cfg.Ranks*d.cfg.Ranks),
 		readmitOff:    d.cfg.DisableReadmission,
+		healOff:       d.cfg.DisableHealing,
 	}
 	if lv.downRounds <= lv.suspectRounds {
 		lv.downRounds = lv.suspectRounds + 1
@@ -319,7 +373,17 @@ func (lv *liveness) markSuspect(local, peer int) {
 // table at the next Poll. The deaths stamp rises before the epoch so a
 // sweep triggered by the epoch change always observes the new
 // generation. Callable from any goroutine.
-func (lv *liveness) markDown(local, peer int) {
+//
+// The cause decides what happens to the reliability pair. A terminal
+// death (causeBye, or healing disabled) releases it — in-flight buffers
+// return to the pool, the stream is gone. A healable death (causeNet)
+// PARKS it instead: in-flight frames keep their sequence numbers and
+// wait out the partition, because releasing them would leave permanent
+// gaps the receiver's cumulative stream could never close after a heal.
+// Only the winner of the state transition writes the cause, so a racing
+// probe can momentarily read causeNone and skip a heal — the next probe
+// repairs that.
+func (lv *liveness) markDown(local, peer int, cause int32) {
 	i := lv.idx(local, peer)
 	for {
 		s := lv.state[i].Load()
@@ -334,12 +398,86 @@ func (lv *liveness) markDown(local, peer int) {
 	lv.d.emit(obs.EvPeerDown, local, peer, 0, 0)
 	lv.deaths[i].Add(1)
 	lv.epoch[local].Add(1)
+	lv.downCause[i].Store(cause)
+	healable := cause == causeNet && !lv.healOff
 	if r := lv.d.rel; r != nil {
-		r.releasePair(local, peer)
+		if healable {
+			r.parkPair(local, peer)
+		} else {
+			r.releasePair(local, peer)
+		}
+	}
+	if healable {
+		lv.probeGap[i].Store(1)
+		lv.probeNext[i].Store(lv.round.Load() + 1)
+		lv.d.emit(obs.EvPartitionSuspected, local, peer, 0, 0)
 	}
 	// Wake the rank so a parked waiter re-polls and observes the epoch
 	// change promptly instead of waiting out parkTimeout.
 	lv.d.eps[local].notify()
+}
+
+// heal returns a silence-declared-Down peer to Alive under the SAME
+// incarnation — the partition-recovery path, distinct from readmission
+// (no incarnation change, no address rewrite, no pair reset). Called from
+// the socket reader when authentic same-incarnation traffic (a probe or
+// its ack) arrives for a pair that is Down with causeNet. The parked
+// reliability pair is re-armed (backoff reset, immediate retransmit)
+// BEFORE Alive becomes visible, so a sender observing Alive never races a
+// still-parked stream. deaths/epoch are left alone: the death already
+// happened and was swept; ops issued after the heal carry the bumped
+// generation stamp and survive any sweep for the old death (domain.go).
+func (lv *liveness) heal(local, peer int) {
+	lv.mmu.Lock()
+	defer lv.mmu.Unlock()
+	i := lv.idx(local, peer)
+	if lv.state[i].Load() != peerDown || lv.downCause[i].Load() != causeNet {
+		return
+	}
+	if r := lv.d.rel; r != nil {
+		r.healPair(local, peer)
+	}
+	lv.downCause[i].Store(causeNone)
+	lv.heardRound[i].Store(lv.round.Load())
+	lv.staleEv[i].Store(false)
+	lv.state[i].Store(peerAlive)
+	lv.d.peersHealed.Add(1)
+	lv.d.emit(obs.EvPeerHealed, local, peer, int64(lv.peerInc[i].Load()), 0)
+	// Wake the rank: ops refused while the peer was Down can flow again.
+	lv.d.eps[local].notify()
+}
+
+// handleProbe processes a probe frame from peer claiming incarnation inc.
+// Runs on the socket reader goroutine. Probes bypass checkInc (a Down
+// peer's frames are exactly what they authenticate) but carry their own
+// gate: only the recorded incarnation heals — an unknown peer is not
+// adopted (that is first-contact traffic's job) and a stale stamp is the
+// dead process draining out. A probe against an Alive pair is just proof
+// of life; that is the asymmetric case — B downed A, A still sees B — in
+// which A's acks let B heal and the views reconverge.
+func (lv *liveness) handleProbe(local, peer int, inc uint32, kind byte) {
+	if lv.healOff || peer < 0 || peer >= lv.ranks || peer == local || inc == 0 {
+		return
+	}
+	i := lv.idx(local, peer)
+	rec := lv.peerInc[i].Load()
+	if rec == 0 || inc != rec {
+		if rec != 0 && inc < rec {
+			lv.noteStale(local, peer, inc, rec)
+		}
+		return
+	}
+	if lv.state[i].Load() == peerDown {
+		if lv.downCause[i].Load() != causeNet {
+			return // said goodbye or was superseded: stays dead
+		}
+		lv.heal(local, peer)
+	} else {
+		lv.heard(local, peer)
+	}
+	if kind == probeKindProbe {
+		lv.sendProbe(local, peer, probeKindAck)
+	}
 }
 
 // tick runs one detector step on the reliability ticker. When a heartbeat
@@ -377,16 +515,19 @@ func (lv *liveness) tick(now int64) {
 			switch lv.state[i].Load() {
 			case peerAlive:
 				if silent >= lv.downRounds {
-					lv.markDown(local, peer)
+					lv.markDown(local, peer, causeNet)
 				} else if silent >= lv.suspectRounds {
 					lv.markSuspect(local, peer)
 				}
 			case peerSuspect:
 				if silent >= lv.downRounds {
-					lv.markDown(local, peer)
+					lv.markDown(local, peer, causeNet)
 				}
 			}
 		}
+	}
+	if !lv.healOff {
+		lv.sendProbes(round)
 	}
 }
 
@@ -424,6 +565,48 @@ func (lv *liveness) broadcast() {
 			lv.d.writeFrame(from, to, frame[:])
 		}
 	}
+}
+
+// sendProbes ships one probe at every silence-declared-Down pair whose
+// pacing window has opened, then doubles the pair's gap toward
+// probeGapMax. Probes traverse the sender's real send path — fault shim
+// included — so during a partition they are cut like everything else and
+// the heal fires only once the network actually heals. Ticker goroutine.
+func (lv *liveness) sendProbes(round int64) {
+	for local := 0; local < lv.ranks; local++ {
+		if lv.self >= 0 && local != lv.self {
+			continue // only Self has a socket in a multiproc world
+		}
+		for peer := 0; peer < lv.ranks; peer++ {
+			if peer == local {
+				continue
+			}
+			i := lv.idx(local, peer)
+			if lv.state[i].Load() != peerDown || lv.downCause[i].Load() != causeNet {
+				continue
+			}
+			if round < lv.probeNext[i].Load() {
+				continue
+			}
+			gap := int64(lv.probeGap[i].Load())
+			lv.probeNext[i].Store(round + gap)
+			if gap < probeGapMax {
+				lv.probeGap[i].Store(int32(min(gap*2, probeGapMax)))
+			}
+			lv.sendProbe(local, peer, probeKindProbe)
+		}
+	}
+}
+
+// sendProbe ships one probe or probe-ack frame. Any goroutine.
+func (lv *liveness) sendProbe(local, peer int, kind byte) {
+	var frame [probeFrameLen]byte
+	frame[0] = frameProbe
+	binary.LittleEndian.PutUint16(frame[1:3], uint16(local))
+	binary.LittleEndian.PutUint32(frame[3:7], lv.d.inc)
+	frame[7] = kind
+	lv.d.probesSent.Add(1)
+	lv.d.writeFrame(local, peer, frame[:])
 }
 
 // sendJoins announces this rank's new incarnation to every peer that has
@@ -502,7 +685,9 @@ func (lv *liveness) readmit(local, peer int, inc uint32, addr netip.AddrPort) {
 	hadOld := rec != 0
 	wasDown := lv.state[i].Load() == peerDown
 	if hadOld && !wasDown {
-		lv.markDown(local, peer)
+		// Superseded, not partitioned: bury terminally (no probes, pair
+		// released) — the new incarnation gets a fresh stream below.
+		lv.markDown(local, peer, causeBye)
 		wasDown = true
 	}
 	if lv.d.udp != nil && addr.IsValid() {
@@ -514,6 +699,7 @@ func (lv *liveness) readmit(local, peer int, inc uint32, addr netip.AddrPort) {
 	lv.peerInc[i].Store(inc)
 	lv.heardRound[i].Store(lv.round.Load())
 	lv.staleEv[i].Store(false)
+	lv.downCause[i].Store(causeNone)
 	lv.state[i].Store(peerAlive)
 	if hadOld || wasDown {
 		lv.d.peersReadmitted.Add(1)

@@ -98,7 +98,7 @@ func TestHeartbeatsKeepIdlePeersAlive(t *testing.T) {
 func TestHeartbeatSilenceMarksPeerDown(t *testing.T) {
 	d := newTestDomain(t, Config{
 		Ranks: 2, Conduit: UDP,
-		Fault:          &FaultConfig{}, // armed, fault-free
+		Fault:          &FaultConfig{}, // shield from any GUPCXX_UDP_FAULT preset
 		HeartbeatEvery: time.Millisecond,
 		SuspectAfter:   5 * time.Millisecond,
 		DownAfter:      20 * time.Millisecond,
@@ -132,8 +132,6 @@ func TestHeartbeatSilenceMarksPeerDown(t *testing.T) {
 
 // TestLivenessConfigValidation pins the liveness knobs' validation.
 func TestLivenessConfigValidation(t *testing.T) {
-	// A GUPCXX_UDP_FAULT preset (make test-loss) arms the fault shim on
-	// every domain and would invalidate the unarmed-shim assertion below.
 	t.Setenv(faultEnvVar, "")
 	if _, err := NewDomain(Config{Ranks: 2, Conduit: UDP,
 		SuspectAfter: 50 * time.Millisecond, DownAfter: 10 * time.Millisecond}); err == nil {
@@ -147,7 +145,15 @@ func TestLivenessConfigValidation(t *testing.T) {
 	if d.Endpoint(0).PeerDown(1) || d.Endpoint(0).AnyPeerDown() {
 		t.Error("liveness state exists despite DisableLiveness")
 	}
-	if err := d.SetFault(0, FaultConfig{Drop: 0.5}); err == nil {
-		t.Error("SetFault accepted without an armed fault shim")
+	// The fault shim is always interposed: arming faults mid-run needs no
+	// construction-time Config.Fault.
+	if err := d.SetFault(0, FaultConfig{Drop: 0.5}); err != nil {
+		t.Errorf("SetFault on a nil-Fault domain failed: %v", err)
+	}
+	if err := d.SetFault(2, FaultConfig{}); err == nil {
+		t.Error("SetFault accepted an out-of-range rank")
+	}
+	if err := d.SetFault(0, FaultConfig{Drop: 2}); err == nil {
+		t.Error("SetFault accepted an invalid probability")
 	}
 }

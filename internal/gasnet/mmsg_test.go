@@ -2,7 +2,6 @@ package gasnet
 
 import (
 	"net/netip"
-	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -139,11 +138,11 @@ func testFrames(tags ...byte) []batchFrame {
 // written alone — drops vanish from the batch, duplicates appear twice,
 // reorder-held frames release behind a later batch's survivors.
 func TestFaultConnWriteBatch(t *testing.T) {
-	var injected atomic.Int64
+	fd := &Domain{} // counters only; no transport behind it
 
 	t.Run("drop", func(t *testing.T) {
 		rec := &recordingConn{}
-		fc := newFaultConn(rec, FaultConfig{Drop: 1}, 0, &injected)
+		fc := newFaultConn(rec, FaultConfig{Drop: 1}, 0, fd)
 		if err := fc.WriteBatch(testFrames(1, 2, 3)); err != nil {
 			t.Fatal(err)
 		}
@@ -154,7 +153,7 @@ func TestFaultConnWriteBatch(t *testing.T) {
 
 	t.Run("dup", func(t *testing.T) {
 		rec := &recordingConn{}
-		fc := newFaultConn(rec, FaultConfig{Dup: 1}, 0, &injected)
+		fc := newFaultConn(rec, FaultConfig{Dup: 1}, 0, fd)
 		if err := fc.WriteBatch(testFrames(1, 2)); err != nil {
 			t.Fatal(err)
 		}
@@ -175,7 +174,7 @@ func TestFaultConnWriteBatch(t *testing.T) {
 
 	t.Run("reorder", func(t *testing.T) {
 		rec := &recordingConn{}
-		fc := newFaultConn(rec, FaultConfig{Reorder: 1}, 0, &injected)
+		fc := newFaultConn(rec, FaultConfig{Reorder: 1}, 0, fd)
 		// All three frames are held: nothing survives, nothing is written.
 		if err := fc.WriteBatch(testFrames(1, 2, 3)); err != nil {
 			t.Fatal(err)
@@ -206,7 +205,7 @@ func TestFaultConnWriteBatch(t *testing.T) {
 
 	t.Run("holdback-bound", func(t *testing.T) {
 		rec := &recordingConn{}
-		fc := newFaultConn(rec, FaultConfig{Reorder: 1}, 0, &injected)
+		fc := newFaultConn(rec, FaultConfig{Reorder: 1}, 0, fd)
 		// Ten frames against a holdback bound of faultMaxHeld (8): the
 		// first eight are held, the overflow passes through — and passing
 		// through releases the held eight behind it, all in one batch.

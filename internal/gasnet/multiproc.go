@@ -49,13 +49,20 @@ func (d *Domain) initUDPMultiproc() error {
 	}
 	tr.conns[self] = conn
 	bc := newBatchConn(conn, d)
-	var pc packetConn = bc
+	// The fault shim is always interposed (see initUDP): mid-run arming of
+	// faults, partitions, and scenarios needs it, and idle it costs one
+	// atomic load per write.
+	var cfg FaultConfig
 	if d.cfg.Fault != nil {
-		pc = newFaultConn(bc, *d.cfg.Fault, self, &d.faultsInjected)
+		cfg = *d.cfg.Fault
 	}
-	tr.send[self] = pc
+	tr.send[self] = newFaultConn(bc, cfg, self, d)
 	tr.read[self] = bc
 	d.udp = tr
+	if err := d.armScenarioFromEnv(); err != nil {
+		tr.close()
+		return err
+	}
 	if !d.cfg.UDPUnreliable {
 		// Detector before ticker, as on the in-process path: newReliability
 		// captures d.lv, and the very first sweep may already need it.

@@ -687,6 +687,9 @@ func (r *reliability) run() {
 			if r.lv != nil {
 				r.lv.tick(now)
 			}
+			// Network-model housekeeping: scenario phases and delayed
+			// (latency-injected) datagrams run off the same tick.
+			r.d.faultTick(now)
 		}
 	}
 }
@@ -707,6 +710,13 @@ func (r *reliability) sweep(now int64) {
 		for to := 0; to < r.ranks; to++ {
 			p := r.pair(from, to)
 			p.mu.Lock()
+			if p.down {
+				// Down pair. Parked (healable) queues must not retransmit
+				// into the partition — healPair re-arms them; released
+				// queues are empty anyway.
+				p.mu.Unlock()
+				continue
+			}
 			// Deadlines are not sorted once backoff diverges, so scan the
 			// whole (window-bounded) queue.
 			exhausted := false
@@ -770,7 +780,7 @@ func (r *reliability) sweep(now int64) {
 				p.mu.Unlock()
 				d.retransmitExhausted.Add(1)
 				d.emit(obs.EvRetransmitExhausted, from, to, int64(exhaustedSeq), 0)
-				r.lv.markDown(from, to) // drains the queue via releasePair
+				r.lv.markDown(from, to, causeNet) // parks or drains the queue
 				continue
 			}
 			if shedBurst && r.lv != nil {
@@ -805,6 +815,59 @@ func (r *reliability) releasePair(from, to int) {
 		p.inflight[i] = relEntry{}
 	}
 	p.inflight = p.inflight[:0]
+	p.mu.Unlock()
+}
+
+// parkPair marks the from→to send stream down WITHOUT releasing its
+// retransmission queue — the healable-death half of markDown
+// (liveness.go). The in-flight entries keep their sequence numbers and
+// buffers: they were assigned seqs the receiver's cumulative stream still
+// expects, so releasing them would leave gaps no retransmission could
+// ever close after a heal. While parked, trySeal drops new sends (no new
+// seqs are assigned — no new gaps), the sweep skips the pair (nothing
+// retransmits into the partition), and window-blocked senders drain out
+// exactly as with releasePair. If the peer turns out to be truly gone,
+// Close's drainState returns the parked buffers to the arena.
+func (r *reliability) parkPair(from, to int) {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	p.down = true
+	p.mu.Unlock()
+}
+
+// healPair re-arms a parked pair — the reliability half of liveness.heal,
+// called under its mmu with the pair still marked down. Every parked
+// entry is reset to a fresh first attempt (backoff cleared, RTO from the
+// estimator, deadline now) so the next ticker sweep retransmits it
+// immediately: the first post-heal exchange costs O(srtt), not the
+// clamped RTO the entries had backed off to when the partition hit.
+// recoverSeq moves past everything parked so those forced expiries are
+// not misread as fresh congestion, and the window restarts from the AIMD
+// floor — the path just proved it can vanish; probe conservatively.
+// Estimator state (srtt/rttvar/rto) survives: the pre-partition path is
+// the best guess for the post-heal one. The receive half needs nothing:
+// cumSeq/reorder kept parity with everything actually delivered.
+//
+// Note the delivered-late consequence: parked frames whose operations
+// were already failed by the down sweep still retransmit and execute at
+// the receiver after the heal. That is the same at-most-once-per-seq,
+// maybe-after-failure semantics a deadline expiry already has — the
+// completion cookie died with the op, so the late ack is a counted
+// badCookieDrop, not a double completion.
+func (r *reliability) healPair(from, to int) {
+	p := r.pair(from, to)
+	p.mu.Lock()
+	now := clockNow()
+	for i := range p.inflight {
+		e := &p.inflight[i]
+		e.attempts = 0
+		e.rto = p.rto
+		e.deadline = now
+	}
+	p.cwnd = r.windowMin
+	p.recoverSeq = p.nextSeq
+	p.down = false
+	p.bpBlocked = false
 	p.mu.Unlock()
 }
 

@@ -58,6 +58,7 @@ const (
 	frameHB     = 0x04 // liveness heartbeat; see liveness.go
 	frameBye    = 0x05 // graceful departure (multiproc worlds); see sendBye
 	frameJoin   = 0x06 // incarnation announcement (readmission); see liveness.go
+	frameProbe  = 0x07 // partition probe/ack (healing); see liveness.go
 )
 
 // byeFrameLen is the size of a departure frame:
@@ -129,8 +130,9 @@ func (c seqConn) ReadBatch(views [][]byte, sizes []int) (int, error) {
 // udpTransport is the per-domain socket state for the UDP conduit.
 type udpTransport struct {
 	conns []*net.UDPConn
-	// send is the per-rank write path: the batch-capable socket adapter,
-	// or a fault-injecting wrapper around it when Config.Fault is set.
+	// send is the per-rank write path: always the fault shim (fault.go)
+	// wrapping the batch-capable socket adapter — idle it forwards behind
+	// one atomic load, armed it is the deterministic network model.
 	send []packetConn
 	// read is the per-rank read path: always the unwrapped batch adapter
 	// (the fault shim injects on the send side only).
@@ -184,15 +186,22 @@ func (d *Domain) initUDP() error {
 		}
 		tr.conns = append(tr.conns, conn)
 		bc := newBatchConn(conn, d)
-		var pc packetConn = bc
+		// The fault shim is ALWAYS interposed: idle it costs one atomic
+		// load per write, and it is what lets tests and scenarios arm
+		// faults, partitions, and latency mid-run (SetFault et al.).
+		var cfg FaultConfig
 		if d.cfg.Fault != nil {
-			pc = newFaultConn(bc, *d.cfg.Fault, r, &d.faultsInjected)
+			cfg = *d.cfg.Fault
 		}
-		tr.send = append(tr.send, pc)
+		tr.send = append(tr.send, newFaultConn(bc, cfg, r, d))
 		tr.read = append(tr.read, bc)
 		tr.setAddr(r, conn.LocalAddr().(*net.UDPAddr).AddrPort())
 	}
 	d.udp = tr
+	if err := d.armScenarioFromEnv(); err != nil {
+		tr.close()
+		return err
+	}
 	if !d.cfg.UDPUnreliable {
 		// The detector must exist before the reliability ticker starts
 		// (newReliability captures it), so exhaustion events observed on
@@ -287,7 +296,23 @@ func (d *Domain) receiveDatagram(ep *Endpoint, wb *wireBuf) {
 			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
 			inc := binary.LittleEndian.Uint32(wb.b[3:7])
 			if from < d.cfg.Ranks && from != ep.rank && d.lv.checkInc(ep.rank, from, inc) {
-				d.lv.markDown(ep.rank, from)
+				d.lv.markDown(ep.rank, from, causeBye)
+			}
+		}
+		wb.release()
+		return
+	}
+	if len(wb.b) >= 1 && wb.b[0] == frameProbe {
+		// A partition probe (or its ack): authentic same-incarnation
+		// traffic from a peer we may have declared dead. Deliberately NOT
+		// gated by checkInc — a Down peer's frames are exactly what a
+		// probe authenticates — handleProbe carries its own incarnation
+		// gate and heals or acks as appropriate.
+		if d.lv != nil && len(wb.b) >= probeFrameLen {
+			from := int(binary.LittleEndian.Uint16(wb.b[1:3]))
+			inc := binary.LittleEndian.Uint32(wb.b[3:7])
+			if from < d.cfg.Ranks {
+				d.lv.handleProbe(ep.rank, from, inc, wb.b[7])
 			}
 		}
 		wb.release()

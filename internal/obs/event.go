@@ -66,6 +66,17 @@ const (
 	// Stats.StaleIncarnationDrops counts every drop). A holds the stale
 	// incarnation on the frame, B the currently recorded one.
 	EvStaleIncarnation
+	// EvPartitionSuspected: a peer was declared Down through SILENCE
+	// (heartbeat timeout or retransmit exhaustion, as opposed to a goodbye
+	// frame) with healing enabled — indistinguishable from a network
+	// partition, so the detector begins probing the pair for recovery.
+	// Emitted alongside the EvPeerDown of the same transition.
+	EvPartitionSuspected
+	// EvPeerHealed: a silence-declared Down peer answered a partition
+	// probe under the SAME incarnation and returned to Alive with its
+	// parked reliability state re-armed — recovery without readmission.
+	// A holds the (unchanged) incarnation.
+	EvPeerHealed
 
 	// NumEventKinds bounds the EventKind space.
 	NumEventKinds
@@ -98,6 +109,10 @@ func (k EventKind) String() string {
 		return "peer-readmitted"
 	case EvStaleIncarnation:
 		return "stale-incarnation"
+	case EvPartitionSuspected:
+		return "partition-suspected"
+	case EvPeerHealed:
+		return "peer-healed"
 	default:
 		return "event(?)"
 	}

@@ -43,12 +43,26 @@ func TestMultiprocWorkerProcess(t *testing.T) {
 
 func multiprocWorker(scenario string) error {
 	var notifies atomic.Int64
-	w, ok, err := gupcxx.WorldFromEnv(gupcxx.Config{
+	cfg := gupcxx.Config{
 		SegmentBytes:   1 << 20,
 		HeartbeatEvery: 2 * time.Millisecond,
 		SuspectAfter:   20 * time.Millisecond,
 		DownAfter:      80 * time.Millisecond,
-	})
+		DisableHealing: os.Getenv(disableHealEnv) != "",
+	}
+	if strings.HasPrefix(scenario, "partition") {
+		// The partition workers assert heal counts and liveness states on
+		// HEALTHY links. On an oversubscribed host (CI runners, the race
+		// detector, 4 rank processes on few cores) an 80ms heartbeat gap is
+		// ordinary scheduling noise, and a spurious down/heal flap of an
+		// intra-group pair would poison those assertions. Wider margins keep
+		// the detector honest about actual cuts — the scenario holds the
+		// partition for many DownAfter periods regardless.
+		cfg.HeartbeatEvery = 5 * time.Millisecond
+		cfg.SuspectAfter = 100 * time.Millisecond
+		cfg.DownAfter = 400 * time.Millisecond
+	}
+	w, ok, err := gupcxx.WorldFromEnv(cfg)
 	if err != nil {
 		return err
 	}
@@ -71,6 +85,10 @@ func multiprocWorker(scenario string) error {
 			deathScenario(r, echo, bump, &notifies)
 		case "churn":
 			churnScenario(w, r, echo, bump, &notifies)
+		case "partition":
+			partitionScenario(w, r, echo, bump, &notifies, false)
+		case "partition-terminal":
+			partitionScenario(w, r, echo, bump, &notifies, true)
 		case "serve":
 			serveScenario(r)
 		case "bench":

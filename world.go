@@ -320,6 +320,12 @@ type Config struct {
 	// relaunching the whole world.
 	DisableReadmission bool
 
+	// DisableHealing makes silence-driven Down terminal again: a peer
+	// declared dead because the network went quiet (a partition, not a
+	// goodbye) is never probed and never healed back to Alive. Readmission
+	// of genuinely restarted ranks is unaffected.
+	DisableHealing bool
+
 	// Peers is the rank-indexed UDP address table of a Multiproc world.
 	Peers []netip.AddrPort
 
@@ -388,6 +394,7 @@ func NewWorld(cfg Config) (*World, error) {
 		Epoch:            cfg.Epoch,
 		Rejoin:           cfg.Rejoin,
 		DisableReadmission: cfg.DisableReadmission,
+		DisableHealing:     cfg.DisableHealing,
 		Events:           bus,
 	})
 	if err != nil {
@@ -706,10 +713,41 @@ func (w *World) OpStats() OpStats {
 
 // SetFault replaces rank's UDP send-path fault distribution mid-run
 // (e.g. Drop:1 to simulate killing the rank after a healthy start). The
-// shim must have been armed at construction by a non-nil Config.Fault —
-// pass &FaultConfig{} for a fault-free start.
+// fault layer is always interposed on UDP worlds — idle it costs one
+// atomic load per write — so no construction-time arming is needed.
 func (w *World) SetFault(rank int, cfg FaultConfig) error {
 	return w.dom.SetFault(rank, cfg)
+}
+
+// SetPairFault installs a directional fault distribution on datagrams
+// from→to only — the asymmetric-loss primitive. See Domain.SetPairFault.
+func (w *World) SetPairFault(from, to int, cfg FaultConfig) error {
+	return w.dom.SetPairFault(from, to, cfg)
+}
+
+// SetPartition severs the network between the given rank groups at the
+// senders this process hosts: every datagram (heartbeats and partition
+// probes included) between ranks in different groups is dropped. Ranks
+// not listed form an implicit group of their own. The liveness machine
+// then declares the cut pairs Down; HealPartition restores the network
+// and lets them heal back to Alive under the same incarnation (unless
+// Config.DisableHealing). In a multiproc world each process applies its
+// own senders' half — coordinate with the GUPCXX_UDP_SCENARIO DSL.
+func (w *World) SetPartition(groups [][]int) error {
+	return w.dom.SetPartition(groups)
+}
+
+// HealPartition removes the partition installed by SetPartition.
+func (w *World) HealPartition() error {
+	return w.dom.HealPartition()
+}
+
+// StartScenario arms a phased network scenario against this world's
+// senders, e.g. "at=2s partition=0,1|2,3; at=6s heal". See the scenario
+// DSL grammar in DESIGN.md §16; GUPCXX_UDP_SCENARIO arms the same thing
+// at construction.
+func (w *World) StartScenario(spec string) error {
+	return w.dom.StartScenario(spec)
 }
 
 // Close releases substrate resources (the UDP conduit's sockets and
